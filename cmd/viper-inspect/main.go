@@ -1,0 +1,153 @@
+// Command viper-inspect dumps the contents of a serialized Viper
+// checkpoint file in any of the reproduction's wire formats: the lean
+// vformat, quantized (vquant), delta (vdelta), or the h5lite baseline
+// container. It auto-detects the format from the file's magic.
+//
+// Usage:
+//
+//	viper-inspect checkpoint.bin        # summary
+//	viper-inspect -stats checkpoint.bin # per-tensor statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"viper/internal/h5lite"
+	"viper/internal/vformat"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print per-tensor min/max/mean/std")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] <checkpoint-file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
+		os.Exit(1)
+	}
+	if err := inspect(blob, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func inspect(blob []byte, stats bool) error {
+	if len(blob) < 8 {
+		return fmt.Errorf("file too short (%d bytes)", len(blob))
+	}
+	switch string(blob[:8]) {
+	case "VPRF0001":
+		ckpt, err := vformat.Decode(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("format:    vformat (lean full checkpoint)\n")
+		printCheckpoint(ckpt, stats)
+	case "VPRQ0001":
+		ckpt, prec, err := vformat.DecodeQuantized(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("format:    vquant (wire precision %s)\n", prec)
+		printCheckpoint(ckpt, stats)
+	case "VPRD0001":
+		delta, err := vformat.DecodeDelta(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("format:    vdelta (incremental checkpoint)\n")
+		fmt.Printf("model:     %s\n", delta.ModelName)
+		fmt.Printf("version:   %d (applies to v%d)\n", delta.Version, delta.BaseVersion)
+		fmt.Printf("iteration: %d\n", delta.Iteration)
+		fmt.Printf("loss:      %g\n", delta.TrainLoss)
+		fmt.Printf("tensors:   %d, changed elements: %d\n", len(delta.Deltas), delta.ChangedElements())
+		if stats {
+			for _, td := range delta.Deltas {
+				if td.Dense != nil {
+					fmt.Printf("  %-32s dense replacement of %d elements\n", td.Name, len(td.Dense))
+				} else {
+					fmt.Printf("  %-32s sparse update of %d elements\n", td.Name, len(td.Indices))
+				}
+			}
+		}
+	case "H5LT0001":
+		f, err := h5lite.Decode(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("format:    h5lite (baseline container)\n")
+		printGroup(f.Root(), "", stats)
+	default:
+		return fmt.Errorf("unknown magic %q", blob[:8])
+	}
+	return nil
+}
+
+func printCheckpoint(ckpt *vformat.Checkpoint, stats bool) {
+	fmt.Printf("model:     %s\n", ckpt.ModelName)
+	fmt.Printf("version:   %d\n", ckpt.Version)
+	fmt.Printf("iteration: %d\n", ckpt.Iteration)
+	fmt.Printf("loss:      %g\n", ckpt.TrainLoss)
+	fmt.Printf("tensors:   %d, payload: %d bytes\n", len(ckpt.Weights), ckpt.Weights.NumBytes())
+	for _, nt := range ckpt.Weights {
+		if stats {
+			mn, mx, mean, std := tensorStats(nt.Data)
+			fmt.Printf("  %-32s %-12v min=%+.4g max=%+.4g mean=%+.4g std=%.4g\n",
+				nt.Name, nt.Shape, mn, mx, mean, std)
+		} else {
+			fmt.Printf("  %-32s %v (%d elements)\n", nt.Name, nt.Shape, len(nt.Data))
+		}
+	}
+}
+
+func printGroup(g *h5lite.Group, indent string, stats bool) {
+	for k, v := range g.Attrs {
+		fmt.Printf("%s@%s = %q\n", indent, k, v)
+	}
+	for _, name := range g.Datasets() {
+		ds, _ := g.Dataset(name)
+		if stats {
+			mn, mx, mean, std := tensorStats(ds.Data)
+			fmt.Printf("%s%-32s %-12v min=%+.4g max=%+.4g mean=%+.4g std=%.4g\n",
+				indent, name, ds.Shape, mn, mx, mean, std)
+		} else {
+			fmt.Printf("%s%-32s %v (%d elements)\n", indent, name, ds.Shape, ds.NumElems())
+		}
+	}
+	for _, name := range g.Groups() {
+		child, _ := g.Group(name)
+		fmt.Printf("%s%s/\n", indent, name)
+		printGroup(child, indent+"  ", stats)
+	}
+}
+
+func tensorStats(data []float64) (mn, mx, mean, std float64) {
+	if len(data) == 0 {
+		return 0, 0, 0, 0
+	}
+	mn, mx = data[0], data[0]
+	sum := 0.0
+	for _, v := range data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	mean = sum / float64(len(data))
+	varsum := 0.0
+	for _, v := range data {
+		varsum += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(varsum / float64(len(data)))
+	return mn, mx, mean, std
+}

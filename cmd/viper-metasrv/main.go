@@ -1,0 +1,49 @@
+// Command viper-metasrv runs Viper's shared services for multi-process
+// deployments: the metadata store (the paper's Redis role) and the
+// publish/subscribe notification broker, each on its own TCP port.
+//
+// Usage:
+//
+//	viper-metasrv -meta 127.0.0.1:7461 -notify 127.0.0.1:7462
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"viper/internal/kvstore"
+	"viper/internal/pubsub"
+)
+
+func main() {
+	metaAddr := flag.String("meta", "127.0.0.1:7461", "metadata store listen address")
+	notifyAddr := flag.String("notify", "127.0.0.1:7462", "notification broker listen address")
+	flag.Parse()
+
+	kvSrv := kvstore.NewServer(kvstore.NewStore())
+	boundMeta, err := kvSrv.Listen(*metaAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-metasrv: %v\n", err)
+		os.Exit(1)
+	}
+	defer kvSrv.Close()
+
+	psSrv := pubsub.NewServer(pubsub.NewBroker(256))
+	boundNotify, err := psSrv.Listen(*notifyAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-metasrv: %v\n", err)
+		os.Exit(1)
+	}
+	defer psSrv.Close()
+
+	fmt.Printf("viper-metasrv: metadata store on %s, notification broker on %s\n", boundMeta, boundNotify)
+	fmt.Println("viper-metasrv: press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("viper-metasrv: shutting down")
+}

@@ -1,0 +1,95 @@
+// Schedule planner: a standalone tour of the Inference Performance
+// Predictor (§4.3) without any training — it fits the four learning-curve
+// families to a synthetic warm-up, prints the fit comparison (Figure 5's
+// method), then contrasts the epoch-boundary baseline, Algorithm 2's
+// fixed interval, and Algorithm 3's greedy schedule on predicted
+// cumulative inference loss.
+//
+// Run with:
+//
+//	go run ./examples/schedule_planner
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"viper"
+	"viper/internal/ipp"
+)
+
+func main() {
+	// Synthetic warm-up: an exponentially decaying loss with mini-batch
+	// noise, the regime the paper's Assumption 1 describes.
+	const warmup = 300
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, warmup)
+	ys := make([]float64, warmup)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.4*math.Exp(-0.006*float64(i)) + 0.25 + 0.05*rng.NormFloat64()
+	}
+
+	pred, err := viper.FitPredictor(xs, ys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fitted TLP predictions:")
+	for _, it := range []int{warmup, 2 * warmup, 4 * warmup, 8 * warmup} {
+		fmt.Printf("  loss(%4d) ≈ %.4f\n", it, pred.PredictLoss(float64(it)))
+	}
+
+	cost := viper.CostModel{
+		TTrain: 50 * time.Millisecond,
+		TInfer: 5 * time.Millisecond,
+		TP:     100 * time.Millisecond,
+		TC:     500 * time.Millisecond,
+	}
+	const (
+		endIter     = 3000
+		totalInfers = 30000
+	)
+
+	// Baseline: epoch boundary (say 250 iterations per epoch).
+	baseline := ipp.EpochBoundarySchedule(warmup, endIter, 250)
+	fmt.Printf("\nbaseline (epoch-boundary): %d checkpoints\n", len(baseline))
+
+	// Algorithm 2: near-optimal fixed interval.
+	interval, err := viper.PlanFixedInterval(pred, cost, warmup, endIter, totalInfers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nFixed := (endIter - warmup) / interval
+	fmt.Printf("algorithm 2 (fixed):       interval %d → %d checkpoints\n", interval, nFixed)
+
+	// Algorithm 3: greedy irregular schedule.
+	threshold := viper.GreedyThreshold(ys)
+	sched, err := viper.PlanGreedy(pred, cost, warmup, endIter, totalInfers, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("algorithm 3 (greedy):      threshold %.4f → %d checkpoints\n", threshold, len(sched))
+	if len(sched) >= 4 {
+		fmt.Printf("  first gaps: %d %d...  last gaps: ...%d %d (dense early, sparse late)\n",
+			sched[0]-warmup, sched[1]-sched[0],
+			sched[len(sched)-2]-sched[len(sched)-3], sched[len(sched)-1]-sched[len(sched)-2])
+	}
+
+	// Predicted CIL comparison via the CILP (Eq. 2 / Algorithm 1 path).
+	fmt.Println("\npredicted cumulative inference loss:")
+	fixedRes, err := ipp.FixedIntervalSchedule(pred, cost, warmup, endIter, totalInfers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedyRes, err := ipp.GreedySchedule(pred, cost, warmup, endIter, totalInfers, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noUpdate := pred.PredictLoss(float64(warmup)) * float64(totalInfers)
+	fmt.Printf("  never update:  %.0f\n", noUpdate)
+	fmt.Printf("  fixed (alg 2): %.0f\n", fixedRes.PredictedCIL)
+	fmt.Printf("  greedy (alg 3): %.0f\n", greedyRes.PredictedCIL)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"viper/internal/ipp"
+	"viper/internal/nn"
+)
+
+// CheckpointCallback hooks the training loop (train.Callback): it records
+// per-iteration training losses, consults the active checkpoint Schedule,
+// and triggers WeightsHandler.Save at scheduled iterations — the paper's
+// custom callback appended to model.fit().
+type CheckpointCallback struct {
+	// Model is the model being trained (snapshot source).
+	Model nn.Model
+	// Handler performs the saves.
+	Handler *WeightsHandler
+	// Schedule decides when to checkpoint. It may be swapped mid-training
+	// via SetSchedule (e.g. after the warm-up fit).
+	schedule ipp.Schedule
+
+	mu      sync.Mutex
+	losses  []float64
+	reports []*SaveReport
+	errs    []error
+}
+
+// NewCheckpointCallback constructs a callback with an initial schedule.
+func NewCheckpointCallback(model nn.Model, handler *WeightsHandler, schedule ipp.Schedule) (*CheckpointCallback, error) {
+	if model == nil || handler == nil || schedule == nil {
+		return nil, errors.New("core: callback requires model, handler and schedule")
+	}
+	return &CheckpointCallback{Model: model, Handler: handler, schedule: schedule}, nil
+}
+
+// SetSchedule swaps the active schedule (the paper's pluggable
+// infrastructure: a configurable initial interval replaced by the IPP's
+// near-optimal schedule once the warm-up fit completes).
+func (c *CheckpointCallback) SetSchedule(s ipp.Schedule) {
+	c.mu.Lock()
+	c.schedule = s
+	c.mu.Unlock()
+}
+
+// Schedule returns the active schedule.
+func (c *CheckpointCallback) Schedule() ipp.Schedule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.schedule
+}
+
+// OnIterationEnd implements train.Callback: record the loss and
+// checkpoint when scheduled.
+func (c *CheckpointCallback) OnIterationEnd(iter int, loss float64) {
+	c.mu.Lock()
+	c.losses = append(c.losses, loss)
+	sched := c.schedule
+	c.mu.Unlock()
+	if !sched.ShouldCheckpoint(iter, loss) {
+		return
+	}
+	rep, err := c.Handler.Save(nn.TakeSnapshot(c.Model), uint64(iter), loss)
+	c.mu.Lock()
+	if err != nil {
+		c.errs = append(c.errs, err)
+	} else {
+		c.reports = append(c.reports, rep)
+	}
+	c.mu.Unlock()
+}
+
+// OnEpochEnd implements train.Callback (no epoch-level action; the paper
+// checkpoints at iteration granularity).
+func (c *CheckpointCallback) OnEpochEnd(int, float64) {}
+
+// Losses returns the recorded per-iteration loss history.
+func (c *CheckpointCallback) Losses() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, len(c.losses))
+	copy(out, c.losses)
+	return out
+}
+
+// Reports returns the completed save reports in order.
+func (c *CheckpointCallback) Reports() []*SaveReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SaveReport, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// Errors returns any save errors encountered.
+func (c *CheckpointCallback) Errors() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]error, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// TotalStall sums the training stall across all saves.
+func (c *CheckpointCallback) TotalStall() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var d time.Duration
+	for _, r := range c.reports {
+		d += r.Stall
+	}
+	return d
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"viper/internal/nn"
+	"viper/internal/tensor"
+)
+
+func TestMultiConsumerBroadcast(t *testing.T) {
+	env, _ := newTestEnv()
+	src := testModel(200)
+	h, err := NewWeightsHandler(env, HandlerConfig{Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One primary + two extra consumers, each with its own serving model.
+	consumers := make([]*Consumer, 3)
+	servings := make([]*nn.Sequential, 3)
+	for i := range consumers {
+		servings[i] = testModel(int64(210 + i))
+		if i == 0 {
+			consumers[i], err = NewConsumer(env, "m", servings[i])
+		} else {
+			consumers[i], err = NewExtraConsumer(env, "m", servings[i])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Save(nn.TakeSnapshot(src), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(220))
+	x := tensor.RandNormal(rng, 0, 1, 3, 8)
+	want := src.Predict(x)
+	for i, c := range consumers {
+		if _, ok, err := pollViaMeta(c); err != nil || !ok {
+			t.Fatalf("consumer %d load: %v %v", i, ok, err)
+		}
+		if !servings[i].Predict(x).AllClose(want, 1e-12) {
+			t.Fatalf("consumer %d serving model does not match", i)
+		}
+	}
+}
+
+func TestBroadcastCostGrowsWithConsumers(t *testing.T) {
+	// Each extra consumer adds one serialized wire transfer.
+	cost := func(extra int) time.Duration {
+		env, _ := newTestEnv()
+		h, err := NewWeightsHandler(env, HandlerConfig{
+			Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync},
+			VirtualSize: 4 << 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < extra; i++ {
+			env.AddConsumerLinks()
+		}
+		rep, err := h.Save(nn.TakeSnapshot(testModel(230)), 1, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Total
+	}
+	one := cost(0)
+	four := cost(3)
+	if four <= one {
+		t.Fatalf("broadcast to 4 consumers (%v) must exceed 1 consumer (%v)", four, one)
+	}
+	// Roughly linear: 4 consumers ≈ capture + 4 transfers.
+	if ratio := float64(four) / float64(one); ratio < 2 || ratio > 5 {
+		t.Fatalf("4-consumer/1-consumer cost ratio = %.2f, want ≈3-4", ratio)
+	}
+}
+
+func TestRecoverFromPFSAfterConsumerRestart(t *testing.T) {
+	env, _ := newTestEnv()
+	src := testModel(240)
+	h, err := NewWeightsHandler(env, HandlerConfig{
+		Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}, FlushHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First consumer applies v1 and v2, then "crashes".
+	first, err := NewConsumer(env, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(241))
+	for v := 1; v <= 2; v++ {
+		perturb(src, rng, 0.2, 0.1)
+		if _, err := h.Save(nn.TakeSnapshot(src), uint64(v), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := pollViaMeta(first); err != nil || !ok {
+			t.Fatalf("first consumer load v%d: %v %v", v, ok, err)
+		}
+	}
+	// Replacement consumer: the memory frames are long gone, but the PFS
+	// flush history has every version.
+	serving := testModel(242)
+	second, err := NewConsumer(env, "m", serving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := second.RecoverFromPFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Meta.Version != 2 {
+		t.Fatalf("recovered report = %+v, want v2", rep)
+	}
+	if rep.Meta.Location != RoutePFS {
+		t.Fatalf("recovery location = %q, want pfs", rep.Meta.Location)
+	}
+	x := tensor.RandNormal(rng, 0, 1, 3, 8)
+	if !src.Predict(x).AllClose(serving.Predict(x), 1e-12) {
+		t.Fatal("recovered serving model must match the latest weights")
+	}
+}
+
+func TestRecoverFromPFSSkipsDeltas(t *testing.T) {
+	env, _ := newTestEnv()
+	src := testModel(250)
+	h, err := NewWeightsHandler(env, HandlerConfig{
+		Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync},
+		FlushHistory: true, Incremental: true, FullEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewConsumer(env, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(251))
+	// v1 full (flushed), v2/v3 deltas (not flushed).
+	for v := 1; v <= 3; v++ {
+		perturb(src, rng, 0.05, 0.1)
+		if _, err := h.Save(nn.TakeSnapshot(src), uint64(v), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pollViaMeta(live); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.Cluster.PFS.Has(CheckpointKey("m", 2)) || env.Cluster.PFS.Has(CheckpointKey("m", 3)) {
+		t.Fatal("delta checkpoints must not be flushed to the PFS")
+	}
+	fresh, err := NewConsumer(env, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fresh.RecoverFromPFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The newest recoverable state is the full v1.
+	if rep.Meta.Version != 1 {
+		t.Fatalf("recovered version = %d, want 1 (the newest full)", rep.Meta.Version)
+	}
+}
+
+func TestRecoverFromPFSWithoutHistory(t *testing.T) {
+	env, _ := newTestEnv()
+	h, err := NewWeightsHandler(env, HandlerConfig{Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Save(nn.TakeSnapshot(testModel(260)), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(env, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cons.RecoverFromPFS(); err == nil {
+		t.Fatal("recovery without flush history must fail")
+	}
+}
+
+func TestProducerResumeFrom(t *testing.T) {
+	env, _ := newTestEnv()
+	src := testModel(270)
+	h1, err := NewWeightsHandler(env, HandlerConfig{
+		Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}, Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(env, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(271))
+	for v := 1; v <= 2; v++ {
+		perturb(src, rng, 0.05, 0.1)
+		if _, err := h1.Save(nn.TakeSnapshot(src), uint64(v), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pollViaMeta(cons); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restarted producer resumes the version sequence; its first save is
+	// full (no delta base survives).
+	h2, err := NewWeightsHandler(env, HandlerConfig{
+		Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}, Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.ResumeFrom(h1.Version())
+	perturb(src, rng, 0.05, 0.1)
+	rep, err := h2.Save(nn.TakeSnapshot(src), 30, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Version != 3 {
+		t.Fatalf("resumed version = %d, want 3", rep.Meta.Version)
+	}
+	if rep.Meta.Format != "vformat" {
+		t.Fatalf("first post-restart save format = %q, want full", rep.Meta.Format)
+	}
+	if _, ok, err := pollViaMeta(cons); err != nil || !ok {
+		t.Fatalf("post-restart load: %v %v", ok, err)
+	}
+}

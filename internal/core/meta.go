@@ -1,0 +1,140 @@
+// Package core implements the Viper framework itself (paper §4): the
+// Checkpoint Callback that hooks the training loop, the Model Weights
+// Handler (the memory-first transfer engine with its transfer strategies),
+// the metadata schema stored in the shared KV store, the double-buffered
+// consumer-side model swap, and the producer/consumer runtime that ties
+// them to the notification module.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Route names a transfer strategy's data path.
+type Route string
+
+// The three data paths of the paper's evaluation.
+const (
+	// RouteGPU is direct GPU-to-GPU memory transfer (GPUDirect-style).
+	RouteGPU Route = "gpu"
+	// RouteHost is host-to-host DRAM transfer over the interconnect.
+	RouteHost Route = "host"
+	// RoutePFS stages the checkpoint through the parallel file system.
+	RoutePFS Route = "pfs"
+)
+
+// Mode selects blocking behaviour on the producer.
+type Mode string
+
+// Save modes.
+const (
+	// ModeSync blocks training until the checkpoint reaches the wire.
+	ModeSync Mode = "sync"
+	// ModeAsync copies the snapshot to a staging buffer and returns; a
+	// background path completes the delivery. Slightly higher end-to-end
+	// latency (one extra copy), much lower training stall.
+	ModeAsync Mode = "async"
+)
+
+// Strategy is a complete transfer configuration.
+type Strategy struct {
+	// Route is the data path.
+	Route Route
+	// Mode is the producer blocking behaviour (PFS transfers are always
+	// synchronous writes, as in the paper's evaluation).
+	Mode Mode
+	// Baseline selects the h5py-style baseline (h5lite serialization via
+	// PFS with fragmented-I/O overhead) instead of Viper's lean format.
+	Baseline bool
+}
+
+// String renders the strategy as it appears in the paper's figures.
+func (s Strategy) String() string {
+	if s.Baseline {
+		return "baseline-h5"
+	}
+	switch s.Route {
+	case RoutePFS:
+		return "viper-pfs"
+	default:
+		return fmt.Sprintf("viper-%s-%s", s.Mode, s.Route)
+	}
+}
+
+// Validate reports configuration errors.
+func (s Strategy) Validate() error {
+	switch s.Route {
+	case RouteGPU, RouteHost, RoutePFS:
+	default:
+		return fmt.Errorf("core: unknown route %q", s.Route)
+	}
+	if s.Baseline && s.Route != RoutePFS {
+		return fmt.Errorf("core: baseline strategy requires the PFS route, got %q", s.Route)
+	}
+	if s.Route != RoutePFS {
+		switch s.Mode {
+		case ModeSync, ModeAsync:
+		default:
+			return fmt.Errorf("core: unknown mode %q", s.Mode)
+		}
+	}
+	return nil
+}
+
+// ModelMeta is the checkpoint metadata Viper stores in the shared KV
+// store (paper Figure 3: name, version, size, location, path).
+type ModelMeta struct {
+	// Name is the model identifier.
+	Name string `json:"name"`
+	// Version is the monotonically increasing checkpoint version.
+	Version uint64 `json:"version"`
+	// Iteration is the training iteration of the snapshot.
+	Iteration uint64 `json:"iteration"`
+	// TrainLoss is the loss at Iteration.
+	TrainLoss float64 `json:"train_loss"`
+	// Location is the tier holding the latest copy ("gpu", "host", "pfs").
+	Location Route `json:"location"`
+	// Path is the storage key under Location.
+	Path string `json:"path"`
+	// Size is the accounted (virtual) checkpoint size in bytes.
+	Size int64 `json:"size"`
+	// Format is the serialization ("vformat", "vquant", "vdelta", "h5").
+	Format string `json:"format"`
+	// Incremental marks checkpoints from an incremental (delta-chain)
+	// producer: consumers must consume frames strictly in order instead
+	// of draining to the newest.
+	Incremental bool `json:"incremental,omitempty"`
+	// SavedAt is the clock time the save completed.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// MetaKey returns the KV key for a model's latest metadata.
+func MetaKey(model string) string { return "viper/meta/" + model }
+
+// UpdateChannel returns the pub/sub channel for a model's update events.
+func UpdateChannel(model string) string { return "viper/updates/" + model }
+
+// Encode serializes the metadata for the KV store.
+func (m *ModelMeta) Encode() (string, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("core: encoding metadata: %w", err)
+	}
+	return string(b), nil
+}
+
+// DecodeMeta parses metadata from the KV store.
+func DecodeMeta(s string) (*ModelMeta, error) {
+	var m ModelMeta
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		return nil, fmt.Errorf("core: decoding metadata: %w", err)
+	}
+	return &m, nil
+}
+
+// CheckpointKey returns the storage key for a model version.
+func CheckpointKey(model string, version uint64) string {
+	return fmt.Sprintf("%s/v%08d", model, version)
+}

@@ -1,0 +1,59 @@
+package coupled
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/nn"
+)
+
+// BenchmarkRun50k measures the discrete-event replay of a full
+// 50,000-inference coupled run (the Figure 9/10 workhorse).
+func BenchmarkRun50k(b *testing.B) {
+	loss := func(iter int) float64 { return 2*math.Exp(-0.001*float64(iter)) + 0.2 }
+	var sched []int
+	for it := 216; it <= 5000; it += 216 {
+		sched = append(sched, it)
+	}
+	cfg := Config{
+		Loss:        loss,
+		Schedule:    sched,
+		TotalInfers: 50000,
+		Timing: Timing{
+			TTrain: 60 * time.Millisecond, TInfer: 5 * time.Millisecond,
+			Stall: 60 * time.Millisecond, Delivery: 700 * time.Millisecond,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureTiming measures one engine probe (save+load cycle).
+func BenchmarkMeasureTiming(b *testing.B) {
+	snap := probeSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MeasureTiming(gpuSync(), 4<<30, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func probeSnapshot() nn.Snapshot {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewSequential("probe", nn.NewDense("d", 8, 8, rng))
+	return nn.TakeSnapshot(m)
+}
+
+func gpuSync() core.Strategy {
+	return core.Strategy{Route: core.RouteGPU, Mode: core.ModeSync}
+}

@@ -1,0 +1,272 @@
+package coupled
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/nn"
+)
+
+func stdTiming() Timing {
+	return Timing{
+		TTrain:   50 * time.Millisecond,
+		TInfer:   5 * time.Millisecond,
+		Stall:    100 * time.Millisecond,
+		Delivery: 300 * time.Millisecond,
+	}
+}
+
+func decayLoss(iter int) float64 {
+	return 2*math.Exp(-0.01*float64(iter)) + 0.2
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Loss: nil, TotalInfers: 10, Timing: stdTiming()}); err == nil {
+		t.Fatal("nil loss must be rejected")
+	}
+	if _, err := Run(Config{Loss: decayLoss, TotalInfers: 0, Timing: stdTiming()}); err == nil {
+		t.Fatal("zero inferences must be rejected")
+	}
+	bad := stdTiming()
+	bad.TInfer = 0
+	if _, err := Run(Config{Loss: decayLoss, TotalInfers: 10, Timing: bad}); err == nil {
+		t.Fatal("bad timing must be rejected")
+	}
+	if _, err := Run(Config{Loss: decayLoss, TotalInfers: 10, Timing: stdTiming(),
+		StartIter: 100, Schedule: []int{50}}); err == nil {
+		t.Fatal("checkpoint before warm-up end must be rejected")
+	}
+}
+
+func TestRunNoCheckpointsServesWarmupModel(t *testing.T) {
+	res, err := Run(Config{Loss: decayLoss, TotalInfers: 100, StartIter: 50, Timing: stdTiming()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := decayLoss(50) * 100
+	if math.Abs(res.CIL-want) > 1e-9 {
+		t.Fatalf("CIL = %v, want %v", res.CIL, want)
+	}
+	if res.Checkpoints != 0 || res.TrainingOverhead != 0 || res.UpdatesApplied != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunSingleUpdateSplitsWindow(t *testing.T) {
+	// One checkpoint at iteration 60 from start 50: trigger at
+	// 10*50ms = 500ms, available at 800ms. With t_infer = 5ms the first
+	// 160 requests (t < 800ms) use the old model, the rest the new one.
+	timing := stdTiming()
+	res, err := Run(Config{
+		Loss: decayLoss, TotalInfers: 400, StartIter: 50,
+		Schedule: []int{60}, Timing: timing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, new_ := decayLoss(50), decayLoss(60)
+	want := old*160 + new_*240
+	if math.Abs(res.CIL-want) > 1e-9 {
+		t.Fatalf("CIL = %v, want %v", res.CIL, want)
+	}
+	if res.Checkpoints != 1 || res.UpdatesApplied != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.FinalServedLoss != new_ {
+		t.Fatalf("final served loss = %v, want %v", res.FinalServedLoss, new_)
+	}
+	if res.TrainingOverhead != timing.Stall {
+		t.Fatalf("overhead = %v, want %v", res.TrainingOverhead, timing.Stall)
+	}
+}
+
+func TestRunStallsDelayLaterCheckpoints(t *testing.T) {
+	// Two checkpoints: the second's trigger time includes the first's
+	// stall. Make the stall enormous so the second model arrives too
+	// late to serve anything.
+	timing := stdTiming()
+	timing.Stall = 10 * time.Second
+	res, err := Run(Config{
+		Loss: decayLoss, TotalInfers: 100, StartIter: 0,
+		Schedule: []int{1, 2}, Timing: timing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window = 500ms; first ckpt triggers at 50ms but delivers at
+	// 50ms+Delivery(300ms)=350ms → serves the tail. Second triggers at
+	// 100ms+10s → far outside.
+	if res.UpdatesApplied != 1 {
+		t.Fatalf("UpdatesApplied = %d, want 1", res.UpdatesApplied)
+	}
+	// Only the first checkpoint triggers inside the window.
+	if res.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", res.Checkpoints)
+	}
+}
+
+func TestRunFrequentUpdatesLowerCILOnDecayingCurve(t *testing.T) {
+	timing := stdTiming()
+	mk := func(interval int) float64 {
+		var sched []int
+		for it := interval; it <= 5000; it += interval {
+			sched = append(sched, it)
+		}
+		res, err := Run(Config{Loss: decayLoss, TotalInfers: 20000, StartIter: 0, Schedule: sched, Timing: timing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CIL
+	}
+	frequent := mk(20)
+	rare := mk(2000)
+	if frequent >= rare {
+		t.Fatalf("frequent CIL %v must beat rare CIL %v on a decaying curve", frequent, rare)
+	}
+}
+
+func TestRunFasterDeliveryLowersCIL(t *testing.T) {
+	// The Figure 9 effect: same schedule, faster transfer → lower CIL.
+	sched := []int{}
+	for it := 216; it <= 10000; it += 216 {
+		sched = append(sched, it)
+	}
+	run := func(stall, delivery time.Duration) float64 {
+		res, err := Run(Config{
+			Loss: decayLoss, TotalInfers: 50000, StartIter: 0, Schedule: sched,
+			Timing: Timing{TTrain: 20 * time.Millisecond, TInfer: 4 * time.Millisecond, Stall: stall, Delivery: delivery},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CIL
+	}
+	gpu := run(60*time.Millisecond, 700*time.Millisecond)
+	pfs := run(3700*time.Millisecond, 7000*time.Millisecond)
+	if gpu >= pfs {
+		t.Fatalf("GPU CIL %v must beat PFS CIL %v", gpu, pfs)
+	}
+}
+
+func TestMeasureTimingStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewSequential("m", nn.NewDense("d", 4, 4, rng))
+	snap := nn.TakeSnapshot(m)
+	size := int64(4 << 30)
+	stallGPU, delivGPU, err := MeasureTiming(core.Strategy{Route: core.RouteGPU, Mode: core.ModeSync}, size, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stallPFS, delivPFS, err := MeasureTiming(core.Strategy{Route: core.RoutePFS}, size, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stallGPU < stallPFS) {
+		t.Fatalf("GPU stall %v must be below PFS stall %v", stallGPU, stallPFS)
+	}
+	if !(delivGPU < delivPFS) {
+		t.Fatalf("GPU delivery %v must be below PFS delivery %v", delivGPU, delivPFS)
+	}
+	stallAsync, delivAsync, err := MeasureTiming(core.Strategy{Route: core.RouteGPU, Mode: core.ModeAsync}, size, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stallAsync < stallGPU) {
+		t.Fatalf("async stall %v must be below sync stall %v", stallAsync, stallGPU)
+	}
+	if !(delivAsync > delivGPU) {
+		t.Fatalf("async delivery %v must exceed sync delivery %v", delivAsync, delivGPU)
+	}
+}
+
+func TestTimingCostModel(t *testing.T) {
+	timing := stdTiming()
+	cm := timing.CostModel()
+	if cm.TP != timing.Stall || cm.TC != timing.Delivery-timing.Stall {
+		t.Fatalf("cost model = %+v", cm)
+	}
+	if err := cm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery < Stall clamps TC at 0.
+	odd := Timing{TTrain: time.Second, TInfer: time.Second, Stall: 2 * time.Second, Delivery: time.Second}
+	if odd.CostModel().TC != 0 {
+		t.Fatal("TC must clamp at 0")
+	}
+}
+
+func TestLossFromHistory(t *testing.T) {
+	hist := []float64{1.0, 0.8, 0.6}
+	f, err := LossFromHistory(hist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(0) != 1.0 || f(2) != 0.6 {
+		t.Fatal("in-history lookup wrong")
+	}
+	if f(100) != 0.6 {
+		t.Fatal("hold-last extrapolation wrong")
+	}
+	if f(-5) != 1.0 {
+		t.Fatal("negative clamp wrong")
+	}
+	if _, err := LossFromHistory(nil, nil); err == nil {
+		t.Fatal("empty history must error")
+	}
+}
+
+func TestPropCILBoundedByExtremes(t *testing.T) {
+	// CIL is always within [minLoss*M, maxLoss*M].
+	f := func(seed int64, nSched uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sched []int
+		it := 1
+		for i := 0; i < int(nSched%10); i++ {
+			it += 1 + rng.Intn(50)
+			sched = append(sched, it)
+		}
+		const m = 500
+		res, err := Run(Config{Loss: decayLoss, TotalInfers: m, StartIter: 0, Schedule: sched, Timing: stdTiming()})
+		if err != nil {
+			return false
+		}
+		lo, hi := decayLoss(100000)*m, decayLoss(0)*m
+		return res.CIL >= lo-1e-9 && res.CIL <= hi+1e-9 && res.Inferences == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMoreCheckpointsNeverHurtWithZeroCosts(t *testing.T) {
+	// With zero stall and zero delivery, adding checkpoints can only
+	// lower CIL on a monotonically decreasing curve.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		timing := Timing{TTrain: 10 * time.Millisecond, TInfer: time.Millisecond}
+		base := []int{100, 200}
+		extraIt := 1 + rng.Intn(400)
+		extra := append(append([]int{}, base...), extraIt)
+		dedup := map[int]bool{}
+		var extraClean []int
+		for _, e := range extra {
+			if !dedup[e] && e > 0 {
+				dedup[e] = true
+				extraClean = append(extraClean, e)
+			}
+		}
+		r1, err1 := Run(Config{Loss: decayLoss, TotalInfers: 2000, Schedule: base, Timing: timing})
+		r2, err2 := Run(Config{Loss: decayLoss, TotalInfers: 2000, Schedule: extraClean, Timing: timing})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.CIL <= r1.CIL+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package curvefit
+
+import (
+	"math"
+	"testing"
+)
+
+func benchData(n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.4*math.Exp(-0.01*float64(i)) + 0.3
+	}
+	return xs, ys
+}
+
+func BenchmarkFitExp3(b *testing.B) {
+	xs, ys := benchData(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(Exp3{}, xs, ys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitBestAllFamilies(b *testing.B) {
+	xs, ys := benchData(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FitBest(xs, ys, nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

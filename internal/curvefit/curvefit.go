@@ -1,0 +1,396 @@
+// Package curvefit implements nonlinear least-squares fitting of the
+// parametric learning-curve families the Viper paper uses to model
+// training loss (§4.3): Exp2 (a·e^{−bx}), Exp3 (a·e^{−bx}+c), Lin2
+// (a·x+b), and Expd3 (c−(c−a)e^{−bx}), fitted with Levenberg–Marquardt
+// and selected by mean squared error, as in the paper's Figure 5.
+package curvefit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a parametric curve family y = f(params, x).
+type Model interface {
+	// Name returns the family name used in reports (e.g. "exp3").
+	Name() string
+	// NumParams returns the parameter count.
+	NumParams() int
+	// Eval computes f(params, x).
+	Eval(params []float64, x float64) float64
+	// Gradient writes ∂f/∂params at x into out (len NumParams).
+	Gradient(params []float64, x float64, out []float64)
+	// InitialGuess proposes starting parameters for the given data.
+	InitialGuess(xs, ys []float64) []float64
+}
+
+// Exp2 is y = a·e^{−b·x}.
+type Exp2 struct{}
+
+// Name implements Model.
+func (Exp2) Name() string { return "exp2" }
+
+// NumParams implements Model.
+func (Exp2) NumParams() int { return 2 }
+
+// Eval implements Model.
+func (Exp2) Eval(p []float64, x float64) float64 { return p[0] * math.Exp(-p[1]*x) }
+
+// Gradient implements Model.
+func (Exp2) Gradient(p []float64, x float64, out []float64) {
+	e := math.Exp(-p[1] * x)
+	out[0] = e
+	out[1] = -p[0] * x * e
+}
+
+// InitialGuess implements Model.
+func (Exp2) InitialGuess(xs, ys []float64) []float64 {
+	return []float64{firstPositive(ys), guessDecay(xs, ys)}
+}
+
+// Exp3 is y = a·e^{−b·x} + c, the family that fits CANDLE-TC1 best in the
+// paper.
+type Exp3 struct{}
+
+// Name implements Model.
+func (Exp3) Name() string { return "exp3" }
+
+// NumParams implements Model.
+func (Exp3) NumParams() int { return 3 }
+
+// Eval implements Model.
+func (Exp3) Eval(p []float64, x float64) float64 { return p[0]*math.Exp(-p[1]*x) + p[2] }
+
+// Gradient implements Model.
+func (Exp3) Gradient(p []float64, x float64, out []float64) {
+	e := math.Exp(-p[1] * x)
+	out[0] = e
+	out[1] = -p[0] * x * e
+	out[2] = 1
+}
+
+// InitialGuess implements Model.
+func (Exp3) InitialGuess(xs, ys []float64) []float64 {
+	floor := minOf(ys)
+	return []float64{firstPositive(ys) - floor, guessDecay(xs, ys), floor}
+}
+
+// Lin2 is y = a·x + b.
+type Lin2 struct{}
+
+// Name implements Model.
+func (Lin2) Name() string { return "lin2" }
+
+// NumParams implements Model.
+func (Lin2) NumParams() int { return 2 }
+
+// Eval implements Model.
+func (Lin2) Eval(p []float64, x float64) float64 { return p[0]*x + p[1] }
+
+// Gradient implements Model.
+func (Lin2) Gradient(_ []float64, x float64, out []float64) {
+	out[0] = x
+	out[1] = 1
+}
+
+// InitialGuess implements Model.
+func (Lin2) InitialGuess(xs, ys []float64) []float64 {
+	if len(xs) < 2 {
+		return []float64{0, firstPositive(ys)}
+	}
+	n := len(xs)
+	slope := (ys[n-1] - ys[0]) / (xs[n-1] - xs[0] + 1e-12)
+	return []float64{slope, ys[0] - slope*xs[0]}
+}
+
+// Expd3 is y = c − (c−a)·e^{−b·x}, a saturating-decay family.
+type Expd3 struct{}
+
+// Name implements Model.
+func (Expd3) Name() string { return "expd3" }
+
+// NumParams implements Model.
+func (Expd3) NumParams() int { return 3 }
+
+// Eval implements Model.
+func (Expd3) Eval(p []float64, x float64) float64 {
+	a, b, c := p[0], p[1], p[2]
+	return c - (c-a)*math.Exp(-b*x)
+}
+
+// Gradient implements Model.
+func (Expd3) Gradient(p []float64, x float64, out []float64) {
+	a, b, c := p[0], p[1], p[2]
+	e := math.Exp(-b * x)
+	out[0] = e
+	out[1] = (c - a) * x * e
+	out[2] = 1 - e
+}
+
+// InitialGuess implements Model.
+func (Expd3) InitialGuess(xs, ys []float64) []float64 {
+	return []float64{ys[0], guessDecay(xs, ys), ys[len(ys)-1]}
+}
+
+// Pow3 is y = a·(x+1)^(−b) + c, a power-law decay family from the
+// learning-curve literature (Viering & Loog) the paper's §4.3 draws on.
+// It is not part of the paper's four-family set but often fits the long
+// sub-exponential tails real training runs exhibit.
+type Pow3 struct{}
+
+// Name implements Model.
+func (Pow3) Name() string { return "pow3" }
+
+// NumParams implements Model.
+func (Pow3) NumParams() int { return 3 }
+
+// Eval implements Model.
+func (Pow3) Eval(p []float64, x float64) float64 {
+	return p[0]*math.Pow(x+1, -p[1]) + p[2]
+}
+
+// Gradient implements Model.
+func (Pow3) Gradient(p []float64, x float64, out []float64) {
+	base := math.Pow(x+1, -p[1])
+	out[0] = base
+	out[1] = -p[0] * base * math.Log(x+1)
+	out[2] = 1
+}
+
+// InitialGuess implements Model.
+func (Pow3) InitialGuess(xs, ys []float64) []float64 {
+	floor := minOf(ys)
+	return []float64{firstPositive(ys) - floor, 0.5, floor}
+}
+
+// AllModels returns the four families the paper considers, in its order.
+func AllModels() []Model { return []Model{Exp2{}, Exp3{}, Lin2{}, Expd3{}} }
+
+// ExtendedModels returns the paper's four families plus the power-law
+// extension.
+func ExtendedModels() []Model { return append(AllModels(), Pow3{}) }
+
+func firstPositive(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 1
+	}
+	if ys[0] > 0 {
+		return ys[0]
+	}
+	return 1
+}
+
+func minOf(ys []float64) float64 {
+	m := math.Inf(1)
+	for _, y := range ys {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// guessDecay estimates a decay constant from the x span: a curve that
+// decays most of the way over the observed window has b ≈ 2/span.
+func guessDecay(xs, ys []float64) float64 {
+	if len(xs) < 2 {
+		return 0.1
+	}
+	span := xs[len(xs)-1] - xs[0]
+	if span <= 0 {
+		return 0.1
+	}
+	return 2 / span
+}
+
+// FitResult reports a completed fit.
+type FitResult struct {
+	// Model is the fitted family.
+	Model Model
+	// Params are the fitted parameters.
+	Params []float64
+	// MSE is the mean squared residual over the fitting data.
+	MSE float64
+	// Iterations is the number of LM iterations performed.
+	Iterations int
+}
+
+// Predict evaluates the fitted curve at x.
+func (r *FitResult) Predict(x float64) float64 { return r.Model.Eval(r.Params, x) }
+
+// Options tunes the Levenberg–Marquardt solver. The zero value selects
+// sensible defaults.
+type Options struct {
+	// MaxIterations caps LM iterations (default 200).
+	MaxIterations int
+	// Tol stops when the relative MSE improvement drops below it
+	// (default 1e-12).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// ErrInsufficientData is returned when there are fewer points than
+// parameters.
+var ErrInsufficientData = errors.New("curvefit: fewer data points than parameters")
+
+// Fit runs Levenberg–Marquardt to fit model to (xs, ys).
+func Fit(model Model, xs, ys []float64, opts Options) (*FitResult, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("curvefit: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	np := model.NumParams()
+	if len(xs) < np {
+		return nil, ErrInsufficientData
+	}
+	opts = opts.withDefaults()
+	params := model.InitialGuess(xs, ys)
+	if len(params) != np {
+		return nil, fmt.Errorf("curvefit: model %s initial guess has %d params, want %d", model.Name(), len(params), np)
+	}
+	lambda := 1e-3
+	mse := meanSquaredResidual(model, params, xs, ys)
+	iters := 0
+	grad := make([]float64, np)
+	for ; iters < opts.MaxIterations; iters++ {
+		// Build JᵀJ and Jᵀr.
+		jtj := make([][]float64, np)
+		for i := range jtj {
+			jtj[i] = make([]float64, np)
+		}
+		jtr := make([]float64, np)
+		for k := range xs {
+			model.Gradient(params, xs[k], grad)
+			r := ys[k] - model.Eval(params, xs[k])
+			for i := 0; i < np; i++ {
+				jtr[i] += grad[i] * r
+				for j := 0; j < np; j++ {
+					jtj[i][j] += grad[i] * grad[j]
+				}
+			}
+		}
+		// Damped normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr.
+		improved := false
+		for attempt := 0; attempt < 12; attempt++ {
+			a := make([][]float64, np)
+			for i := range a {
+				a[i] = make([]float64, np+1)
+				copy(a[i], jtj[i])
+				d := jtj[i][i]
+				if d == 0 {
+					d = 1e-12
+				}
+				a[i][i] += lambda * d
+				a[i][np] = jtr[i]
+			}
+			delta, ok := solveGauss(a)
+			if !ok {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, np)
+			for i := range trial {
+				trial[i] = params[i] + delta[i]
+			}
+			trialMSE := meanSquaredResidual(model, trial, xs, ys)
+			if trialMSE < mse && !math.IsNaN(trialMSE) {
+				rel := (mse - trialMSE) / (mse + 1e-300)
+				params, mse = trial, trialMSE
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if rel < opts.Tol {
+					iters++
+					return &FitResult{Model: model, Params: params, MSE: mse, Iterations: iters}, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break
+		}
+	}
+	return &FitResult{Model: model, Params: params, MSE: mse, Iterations: iters}, nil
+}
+
+// FitBest fits every candidate family and returns the one with minimal
+// MSE, plus all individual results (for Figure 5-style reports).
+func FitBest(xs, ys []float64, candidates []Model, opts Options) (*FitResult, []*FitResult, error) {
+	if len(candidates) == 0 {
+		candidates = AllModels()
+	}
+	var best *FitResult
+	var all []*FitResult
+	var firstErr error
+	for _, m := range candidates {
+		res, err := Fit(m, xs, ys, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		all = append(all, res)
+		if best == nil || res.MSE < best.MSE {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("curvefit: all fits failed: %w", firstErr)
+	}
+	return best, all, nil
+}
+
+func meanSquaredResidual(model Model, params, xs, ys []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		d := ys[i] - model.Eval(params, xs[i])
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// solveGauss solves the augmented system a·x = b given as rows of
+// [a | b] using Gaussian elimination with partial pivoting. It returns
+// (solution, true) or (nil, false) for singular systems.
+func solveGauss(a [][]float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-300 {
+			return nil, false
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := a[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}

@@ -1,0 +1,268 @@
+package curvefit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth generates data from a model with optional noise.
+func synth(m Model, params []float64, n int, noise float64, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		ys[i] = m.Eval(params, xs[i]) + noise*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+func TestFitExp2Recovers(t *testing.T) {
+	truth := []float64{2.5, 0.05}
+	xs, ys := synth(Exp2{}, truth, 60, 0, 1)
+	res, err := Fit(Exp2{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSE > 1e-10 {
+		t.Fatalf("MSE = %v, want ~0", res.MSE)
+	}
+	for i, p := range res.Params {
+		if math.Abs(p-truth[i]) > 1e-3 {
+			t.Fatalf("param %d = %v, want %v", i, p, truth[i])
+		}
+	}
+}
+
+func TestFitExp3Recovers(t *testing.T) {
+	truth := []float64{1.8, 0.08, 0.4}
+	xs, ys := synth(Exp3{}, truth, 80, 0, 2)
+	res, err := Fit(Exp3{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Params {
+		if math.Abs(p-truth[i]) > 1e-2 {
+			t.Fatalf("param %d = %v, want %v (MSE %v)", i, p, truth[i], res.MSE)
+		}
+	}
+}
+
+func TestFitLin2Recovers(t *testing.T) {
+	truth := []float64{-0.01, 3}
+	xs, ys := synth(Lin2{}, truth, 40, 0, 3)
+	res, err := Fit(Lin2{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Params {
+		if math.Abs(p-truth[i]) > 1e-6 {
+			t.Fatalf("param %d = %v, want %v", i, p, truth[i])
+		}
+	}
+}
+
+func TestFitExpd3Recovers(t *testing.T) {
+	truth := []float64{5, 0.07, 1} // starts at 5, decays to 1
+	xs, ys := synth(Expd3{}, truth, 80, 0, 4)
+	res, err := Fit(Expd3{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Params {
+		if math.Abs(p-truth[i]) > 1e-2 {
+			t.Fatalf("param %d = %v, want %v (MSE %v)", i, p, truth[i], res.MSE)
+		}
+	}
+}
+
+func TestFitWithNoiseStillClose(t *testing.T) {
+	truth := []float64{2, 0.05, 0.3}
+	xs, ys := synth(Exp3{}, truth, 200, 0.02, 5)
+	res, err := Fit(Exp3{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[2]-truth[2]) > 0.05 {
+		t.Fatalf("asymptote = %v, want ≈%v", res.Params[2], truth[2])
+	}
+}
+
+func TestFitBestSelectsGeneratingFamily(t *testing.T) {
+	// Data from Exp3 with a clear floor: Exp3 (or the equivalent Expd3)
+	// must beat Lin2; Exp2 lacks the floor and must lose too.
+	truth := []float64{2, 0.06, 0.5}
+	xs, ys := synth(Exp3{}, truth, 100, 0.001, 6)
+	best, all, err := FitBest(xs, ys, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("fitted %d families, want 4", len(all))
+	}
+	if n := best.Model.Name(); n != "exp3" && n != "expd3" {
+		t.Fatalf("best family = %s, want exp3/expd3", n)
+	}
+	var lin *FitResult
+	for _, r := range all {
+		if r.Model.Name() == "lin2" {
+			lin = r
+		}
+	}
+	if lin == nil || lin.MSE <= best.MSE {
+		t.Fatalf("lin2 MSE %v must exceed best MSE %v", lin.MSE, best.MSE)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(Exp3{}, []float64{1, 2}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("want ErrInsufficientData for 2 points / 3 params")
+	}
+	if _, err := Fit(Exp2{}, []float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+}
+
+func TestPredictMatchesEval(t *testing.T) {
+	res := &FitResult{Model: Exp2{}, Params: []float64{3, 0.1}}
+	if got, want := res.Predict(5.0), 3*math.Exp(-0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestSolveGaussKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  →  x = 2, y = 1.
+	a := [][]float64{{2, 1, 5}, {1, -1, 1}}
+	x, ok := solveGauss(a)
+	if !ok {
+		t.Fatal("solver reported singular")
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := [][]float64{{1, 1, 2}, {2, 2, 4}}
+	if _, ok := solveGauss(a); ok {
+		t.Fatal("singular system must be reported")
+	}
+}
+
+func TestSolveGaussNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1, 3}, {2, 0, 4}}
+	x, ok := solveGauss(a)
+	if !ok || math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v ok=%v, want [2 3]", x, ok)
+	}
+}
+
+func TestPropGradientsMatchFiniteDifferences(t *testing.T) {
+	check := func(m Model) func(int64, uint8) bool {
+		return func(seed int64, xi uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			np := m.NumParams()
+			p := make([]float64, np)
+			for i := range p {
+				p[i] = 0.2 + rng.Float64()
+			}
+			x := float64(xi % 50)
+			grad := make([]float64, np)
+			m.Gradient(p, x, grad)
+			const h = 1e-6
+			for i := 0; i < np; i++ {
+				orig := p[i]
+				p[i] = orig + h
+				fp := m.Eval(p, x)
+				p[i] = orig - h
+				fm := m.Eval(p, x)
+				p[i] = orig
+				num := (fp - fm) / (2 * h)
+				scale := math.Max(1, math.Abs(num))
+				if math.Abs(num-grad[i])/scale > 1e-4 {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	for _, m := range AllModels() {
+		if err := quick.Check(check(m), &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestPropFitNeverIncreasesMSEOverInitialGuess(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := []float64{1 + rng.Float64(), 0.01 + 0.1*rng.Float64(), rng.Float64()}
+		xs, ys := synth(Exp3{}, truth, 50, 0.05, seed)
+		init := Exp3{}.InitialGuess(xs, ys)
+		initMSE := meanSquaredResidual(Exp3{}, init, xs, ys)
+		res, err := Fit(Exp3{}, xs, ys, Options{})
+		if err != nil {
+			return false
+		}
+		return res.MSE <= initMSE+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPow3Recovers(t *testing.T) {
+	truth := []float64{3, 0.7, 0.2}
+	xs, ys := synth(Pow3{}, truth, 120, 0, 9)
+	res, err := Fit(Pow3{}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Params {
+		if math.Abs(p-truth[i]) > 0.05 {
+			t.Fatalf("param %d = %v, want %v (MSE %v)", i, p, truth[i], res.MSE)
+		}
+	}
+}
+
+func TestPow3GradientMatchesFiniteDifference(t *testing.T) {
+	p := []float64{2, 0.6, 0.3}
+	grad := make([]float64, 3)
+	m := Pow3{}
+	for _, x := range []float64{0, 1, 10, 100} {
+		m.Gradient(p, x, grad)
+		const h = 1e-6
+		for i := range p {
+			orig := p[i]
+			p[i] = orig + h
+			fp := m.Eval(p, x)
+			p[i] = orig - h
+			fm := m.Eval(p, x)
+			p[i] = orig
+			num := (fp - fm) / (2 * h)
+			if math.Abs(num-grad[i]) > 1e-4*math.Max(1, math.Abs(num)) {
+				t.Fatalf("x=%v param %d: analytic %v vs numeric %v", x, i, grad[i], num)
+			}
+		}
+	}
+}
+
+func TestExtendedModelsIncludePow3(t *testing.T) {
+	ext := ExtendedModels()
+	if len(ext) != 5 || ext[4].Name() != "pow3" {
+		t.Fatalf("ExtendedModels = %d entries, last %q", len(ext), ext[len(ext)-1].Name())
+	}
+	// Power-law data must be fitted best by pow3 among the extended set.
+	truth := []float64{2.5, 0.5, 0.3}
+	xs, ys := synth(Pow3{}, truth, 150, 0.002, 10)
+	best, _, err := FitBest(xs, ys, ExtendedModels(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model.Name() != "pow3" {
+		t.Fatalf("best family for power-law data = %q", best.Model.Name())
+	}
+}

@@ -1,0 +1,49 @@
+package curvefit_test
+
+import (
+	"fmt"
+	"math"
+
+	"viper/internal/curvefit"
+)
+
+// ExampleFit fits an exponential-decay learning curve to synthetic
+// warm-up losses and extrapolates it, the §4.3 TLP workflow.
+func ExampleFit() {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*math.Exp(-0.05*float64(i)) + 0.4
+	}
+	res, err := curvefit.Fit(curvefit.Exp3{}, xs, ys, curvefit.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("family: %s\n", res.Model.Name())
+	fmt.Printf("loss at iteration 500: %.2f\n", res.Predict(500))
+	// Output:
+	// family: exp3
+	// loss at iteration 500: 0.40
+}
+
+// ExampleFitBest compares all four families by MSE, as Figure 5 does.
+func ExampleFitBest() {
+	xs := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3 * math.Exp(-0.02*float64(i))
+	}
+	best, all, err := curvefit.FitBest(xs, ys, nil, curvefit.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("families fitted: %d\n", len(all))
+	fmt.Printf("best: %s\n", best.Model.Name())
+	// Output:
+	// families fitted: 4
+	// best: exp2
+}

@@ -1,0 +1,239 @@
+// Package dataset generates the synthetic workloads that stand in for the
+// Viper paper's application data: RNA-seq-like gene-expression profiles for
+// the CANDLE NT3/TC1 classification benchmarks, and diffraction patterns
+// with ground-truth amplitude/phase for PtychoNN.
+//
+// The generators are deterministic given a seed and produce genuinely
+// learnable structure (per-class signatures, Fourier-magnitude diffraction)
+// so that training runs exhibit the convergent loss curves the paper's
+// predictor relies on.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"viper/internal/tensor"
+)
+
+// Classification holds a labelled 1-D signal dataset.
+type Classification struct {
+	// X has shape [n, length, 1].
+	X *tensor.Tensor
+	// Y is one-hot with shape [n, classes].
+	Y *tensor.Tensor
+	// Classes is the number of label categories.
+	Classes int
+}
+
+// ClassificationConfig parameterizes SynthesizeClassification.
+type ClassificationConfig struct {
+	// Samples is the number of examples to generate.
+	Samples int
+	// Length is the per-sample signal length (gene-profile width).
+	Length int
+	// Classes is the number of balanced categories.
+	Classes int
+	// Noise is the additive Gaussian noise std on top of the class
+	// signature (higher = harder problem, slower convergence).
+	Noise float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// SynthesizeClassification builds a balanced classification dataset where
+// each class has a smooth latent signature and samples are noisy copies of
+// their class signature — the same structure (profile → tissue/tumor type)
+// the NT3/TC1 benchmarks learn.
+func SynthesizeClassification(cfg ClassificationConfig) (*Classification, error) {
+	if cfg.Samples <= 0 || cfg.Length <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("dataset: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	signatures := make([][]float64, cfg.Classes)
+	for c := range signatures {
+		signatures[c] = smoothSignal(rng, cfg.Length, 4+rng.Intn(4))
+	}
+	x := tensor.New(cfg.Samples, cfg.Length, 1)
+	y := tensor.New(cfg.Samples, cfg.Classes)
+	xd := x.Data()
+	for i := 0; i < cfg.Samples; i++ {
+		c := i % cfg.Classes // balanced
+		sig := signatures[c]
+		row := xd[i*cfg.Length : (i+1)*cfg.Length]
+		for j := range row {
+			row[j] = sig[j] + cfg.Noise*rng.NormFloat64()
+		}
+		y.Set(1, i, c)
+	}
+	return &Classification{X: x, Y: y, Classes: cfg.Classes}, nil
+}
+
+// smoothSignal builds a random band-limited signal from k sinusoids,
+// normalized to roughly unit amplitude.
+func smoothSignal(rng *rand.Rand, length, k int) []float64 {
+	out := make([]float64, length)
+	for h := 1; h <= k; h++ {
+		amp := rng.NormFloat64() / float64(h)
+		phase := 2 * math.Pi * rng.Float64()
+		freq := 2 * math.Pi * float64(h) / float64(length)
+		for j := range out {
+			out[j] += amp * math.Sin(freq*float64(j)+phase)
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test subsets (test gets the
+// trailing fraction). It panics if frac is outside (0,1).
+func (c *Classification) Split(testFrac float64) (train, test *Classification) {
+	if testFrac <= 0 || testFrac >= 1 {
+		panic(fmt.Sprintf("dataset: testFrac %v outside (0,1)", testFrac))
+	}
+	n := c.X.Dim(0)
+	cut := n - int(float64(n)*testFrac)
+	length := c.X.Dim(1)
+	xr := c.X.Reshape(n, length) // rows view for slicing
+	train = &Classification{
+		X:       xr.SliceRows(0, cut).Clone().Reshape(cut, length, 1),
+		Y:       c.Y.SliceRows(0, cut).Clone(),
+		Classes: c.Classes,
+	}
+	test = &Classification{
+		X:       xr.SliceRows(cut, n).Clone().Reshape(n-cut, length, 1),
+		Y:       c.Y.SliceRows(cut, n).Clone(),
+		Classes: c.Classes,
+	}
+	return train, test
+}
+
+// Diffraction holds a PtychoNN-style dataset: input diffraction magnitudes
+// and ground-truth real-space amplitude and phase.
+type Diffraction struct {
+	// X has shape [n, length, 1]: the Fourier magnitude of the object.
+	X *tensor.Tensor
+	// Amplitude has shape [n, length]: real-space amplitude target.
+	Amplitude *tensor.Tensor
+	// Phase has shape [n, length]: real-space phase target.
+	Phase *tensor.Tensor
+}
+
+// DiffractionConfig parameterizes SynthesizeDiffraction.
+type DiffractionConfig struct {
+	// Samples is the number of scan positions.
+	Samples int
+	// Length is the 1-D object/detector size.
+	Length int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// SynthesizeDiffraction builds a synthetic ptychography dataset. Each
+// sample is a smooth random complex object a(x)·e^{iφ(x)}; the network
+// input is the magnitude of its discrete Fourier transform (the measured
+// diffraction pattern) and the targets are a and φ — exactly the mapping
+// PtychoNN learns.
+func SynthesizeDiffraction(cfg DiffractionConfig) (*Diffraction, error) {
+	if cfg.Samples <= 0 || cfg.Length <= 0 {
+		return nil, fmt.Errorf("dataset: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	x := tensor.New(cfg.Samples, cfg.Length, 1)
+	amp := tensor.New(cfg.Samples, cfg.Length)
+	phase := tensor.New(cfg.Samples, cfg.Length)
+	re := make([]float64, cfg.Length)
+	im := make([]float64, cfg.Length)
+	for i := 0; i < cfg.Samples; i++ {
+		a := smoothSignal(rng, cfg.Length, 3)
+		p := smoothSignal(rng, cfg.Length, 3)
+		for j := 0; j < cfg.Length; j++ {
+			av := 0.5 + 0.25*a[j] // keep amplitude positive
+			if av < 0 {
+				av = 0
+			}
+			pv := 0.5 * p[j] // modest phase excursion
+			amp.Set(av, i, j)
+			phase.Set(pv, i, j)
+			re[j] = av * math.Cos(pv)
+			im[j] = av * math.Sin(pv)
+		}
+		mag := dftMagnitude(re, im)
+		for j, m := range mag {
+			x.Set(m, i, j, 0)
+		}
+	}
+	return &Diffraction{X: x, Amplitude: amp, Phase: phase}, nil
+}
+
+// dftMagnitude computes |DFT| of the complex signal re+i·im. O(n²) is fine
+// for the small object sizes used here.
+func dftMagnitude(re, im []float64) []float64 {
+	n := len(re)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			sr += re[j]*c - im[j]*s
+			si += re[j]*s + im[j]*c
+		}
+		out[k] = math.Hypot(sr, si) / math.Sqrt(float64(n))
+	}
+	return out
+}
+
+// Split partitions the diffraction dataset into train and test subsets.
+func (d *Diffraction) Split(testFrac float64) (train, test *Diffraction) {
+	if testFrac <= 0 || testFrac >= 1 {
+		panic(fmt.Sprintf("dataset: testFrac %v outside (0,1)", testFrac))
+	}
+	n := d.X.Dim(0)
+	cut := n - int(float64(n)*testFrac)
+	length := d.X.Dim(1)
+	xr := d.X.Reshape(n, length)
+	train = &Diffraction{
+		X:         xr.SliceRows(0, cut).Clone().Reshape(cut, length, 1),
+		Amplitude: d.Amplitude.SliceRows(0, cut).Clone(),
+		Phase:     d.Phase.SliceRows(0, cut).Clone(),
+	}
+	test = &Diffraction{
+		X:         xr.SliceRows(cut, n).Clone().Reshape(n-cut, length, 1),
+		Amplitude: d.Amplitude.SliceRows(cut, n).Clone(),
+		Phase:     d.Phase.SliceRows(cut, n).Clone(),
+	}
+	return train, test
+}
+
+// BatchIndices returns shuffled batch index slices covering [0,n), each of
+// size batch (the final batch may be smaller).
+func BatchIndices(rng *rand.Rand, n, batch int) [][]int {
+	if batch <= 0 || n <= 0 {
+		panic(fmt.Sprintf("dataset: invalid batch %d for %d samples", batch, n))
+	}
+	perm := rng.Perm(n)
+	var out [][]int
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		out = append(out, perm[lo:hi])
+	}
+	return out
+}
+
+// Gather copies the given rows of a [n, ...] tensor into a new tensor of
+// shape [len(rows), ...].
+func Gather(t *tensor.Tensor, rows []int) *tensor.Tensor {
+	shape := t.Shape()
+	per := t.Len() / shape[0]
+	outShape := append([]int{len(rows)}, shape[1:]...)
+	out := tensor.New(outShape...)
+	td, od := t.Data(), out.Data()
+	for i, r := range rows {
+		copy(od[i*per:(i+1)*per], td[r*per:(r+1)*per])
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viper/internal/tensor"
+)
+
+func TestSynthesizeClassificationShapes(t *testing.T) {
+	d, err := SynthesizeClassification(ClassificationConfig{
+		Samples: 36, Length: 32, Classes: 18, Noise: 0.1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.X.Shape(); s[0] != 36 || s[1] != 32 || s[2] != 1 {
+		t.Fatalf("X shape = %v", s)
+	}
+	if s := d.Y.Shape(); s[0] != 36 || s[1] != 18 {
+		t.Fatalf("Y shape = %v", s)
+	}
+}
+
+func TestSynthesizeClassificationBalancedOneHot(t *testing.T) {
+	d, err := SynthesizeClassification(ClassificationConfig{
+		Samples: 40, Length: 16, Classes: 4, Noise: 0.1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 40; i++ {
+		row := d.Y.Row(i)
+		if s := row.Sum(); s != 1 {
+			t.Fatalf("row %d one-hot sum = %v", i, s)
+		}
+		counts[row.ArgMax()]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10 (balanced)", c, n)
+		}
+	}
+}
+
+func TestSynthesizeClassificationDeterministic(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 10, Length: 8, Classes: 2, Noise: 0.2, Seed: 7}
+	a, _ := SynthesizeClassification(cfg)
+	b, _ := SynthesizeClassification(cfg)
+	if !a.X.AllClose(b.X, 0) {
+		t.Fatal("same seed must give identical data")
+	}
+}
+
+func TestSynthesizeClassificationRejectsBadConfig(t *testing.T) {
+	bad := []ClassificationConfig{
+		{Samples: 0, Length: 8, Classes: 2},
+		{Samples: 8, Length: 0, Classes: 2},
+		{Samples: 8, Length: 8, Classes: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := SynthesizeClassification(cfg); err == nil {
+			t.Fatalf("config %+v must be rejected", cfg)
+		}
+	}
+}
+
+func TestClassSignaturesSeparable(t *testing.T) {
+	// Same-class samples must be closer to their class mean than to the
+	// other class's mean, on average — i.e. the problem is learnable.
+	d, err := SynthesizeClassification(ClassificationConfig{
+		Samples: 200, Length: 64, Classes: 2, Noise: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := d.X.Dim(1)
+	means := [2][]float64{make([]float64, length), make([]float64, length)}
+	counts := [2]int{}
+	xr := d.X.Reshape(200, length)
+	for i := 0; i < 200; i++ {
+		c := d.Y.Row(i).ArgMax()
+		for j, v := range xr.Row(i).Data() {
+			means[c][j] += v
+		}
+		counts[c]++
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		c := d.Y.Row(i).ArgMax()
+		row := xr.Row(i).Data()
+		var d0, d1 float64
+		for j, v := range row {
+			d0 += (v - means[0][j]) * (v - means[0][j])
+			d1 += (v - means[1][j]) * (v - means[1][j])
+		}
+		pred := 0
+		if d1 < d0 {
+			pred = 1
+		}
+		if pred == c {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Fatalf("nearest-mean accuracy = %v, want >= 0.95 (separable classes)", acc)
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	d, _ := SynthesizeClassification(ClassificationConfig{Samples: 100, Length: 8, Classes: 2, Noise: 0.1, Seed: 4})
+	train, test := d.Split(0.2)
+	if train.X.Dim(0) != 80 || test.X.Dim(0) != 20 {
+		t.Fatalf("split sizes = %d/%d, want 80/20", train.X.Dim(0), test.X.Dim(0))
+	}
+	if train.X.Dim(1) != 8 || train.X.Dim(2) != 1 {
+		t.Fatalf("train X shape = %v", train.X.Shape())
+	}
+}
+
+func TestSynthesizeDiffractionShapesAndPositivity(t *testing.T) {
+	d, err := SynthesizeDiffraction(DiffractionConfig{Samples: 12, Length: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.X.Shape(); s[0] != 12 || s[1] != 16 || s[2] != 1 {
+		t.Fatalf("X shape = %v", s)
+	}
+	if s := d.Amplitude.Shape(); s[0] != 12 || s[1] != 16 {
+		t.Fatalf("Amplitude shape = %v", s)
+	}
+	for _, v := range d.X.Data() {
+		if v < 0 {
+			t.Fatalf("diffraction magnitude %v < 0", v)
+		}
+	}
+	for _, v := range d.Amplitude.Data() {
+		if v < 0 {
+			t.Fatalf("amplitude %v < 0", v)
+		}
+	}
+}
+
+func TestDFTMagnitudeParseval(t *testing.T) {
+	// With the 1/sqrt(n) normalization, total energy is preserved:
+	// sum |X_k|² == sum |x_j|².
+	rng := rand.New(rand.NewSource(6))
+	n := 32
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var energy float64
+	for j := range re {
+		re[j] = rng.NormFloat64()
+		im[j] = rng.NormFloat64()
+		energy += re[j]*re[j] + im[j]*im[j]
+	}
+	mag := dftMagnitude(re, im)
+	var spec float64
+	for _, m := range mag {
+		spec += m * m
+	}
+	if math.Abs(spec-energy)/energy > 1e-9 {
+		t.Fatalf("Parseval violated: spectrum energy %v vs signal energy %v", spec, energy)
+	}
+}
+
+func TestDFTMagnitudeConstantSignal(t *testing.T) {
+	// A constant signal concentrates all energy in bin 0.
+	n := 8
+	re := make([]float64, n)
+	for j := range re {
+		re[j] = 1
+	}
+	mag := dftMagnitude(re, make([]float64, n))
+	if math.Abs(mag[0]-math.Sqrt(float64(n))) > 1e-9 {
+		t.Fatalf("DC bin = %v, want sqrt(%d)", mag[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if mag[k] > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", k, mag[k])
+		}
+	}
+}
+
+func TestDiffractionSplit(t *testing.T) {
+	d, _ := SynthesizeDiffraction(DiffractionConfig{Samples: 20, Length: 8, Seed: 7})
+	train, test := d.Split(0.25)
+	if train.X.Dim(0) != 15 || test.X.Dim(0) != 5 {
+		t.Fatalf("split = %d/%d, want 15/5", train.X.Dim(0), test.X.Dim(0))
+	}
+	if train.Phase.Dim(0) != 15 || test.Amplitude.Dim(0) != 5 {
+		t.Fatal("targets must split alongside inputs")
+	}
+}
+
+func TestBatchIndicesCoverAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	batches := BatchIndices(rng, 23, 5)
+	if len(batches) != 5 {
+		t.Fatalf("got %d batches, want 5", len(batches))
+	}
+	seen := make(map[int]bool)
+	for _, b := range batches {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 23 {
+		t.Fatalf("covered %d indices, want 23", len(seen))
+	}
+	if len(batches[4]) != 3 {
+		t.Fatalf("last batch size = %d, want 3", len(batches[4]))
+	}
+}
+
+func TestGather(t *testing.T) {
+	x := tensor.FromSlice([]float64{0, 0, 1, 1, 2, 2, 3, 3}, 4, 2)
+	g := Gather(x, []int{3, 1})
+	want := tensor.FromSlice([]float64{3, 3, 1, 1}, 2, 2)
+	if !g.AllClose(want, 0) {
+		t.Fatalf("Gather = %v, want %v", g.Data(), want.Data())
+	}
+}
+
+func TestPropBatchIndicesPartition(t *testing.T) {
+	f := func(seed int64, nd, bd uint8) bool {
+		n := 1 + int(nd%50)
+		b := 1 + int(bd%10)
+		rng := rand.New(rand.NewSource(seed))
+		batches := BatchIndices(rng, n, b)
+		seen := make(map[int]bool)
+		total := 0
+		for _, batch := range batches {
+			if len(batch) == 0 || len(batch) > b {
+				return false
+			}
+			for _, i := range batch {
+				if i < 0 || i >= n || seen[i] {
+					return false
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGatherPreservesRows(t *testing.T) {
+	f := func(seed int64, nd uint8) bool {
+		n := 2 + int(nd%10)
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 1, n, 3)
+		rows := []int{n - 1, 0}
+		g := Gather(x, rows)
+		return g.Row(0).AllClose(x.Row(n-1), 0) && g.Row(1).AllClose(x.Row(0), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viper/internal/tensor"
+)
+
+// Distribution drift support for continual-learning workflows (paper §2:
+// online training under shifting data patterns, with experience replay to
+// mitigate catastrophic forgetting).
+
+// SynthesizeDriftingClassification builds a sequence of dataset phases.
+// Phase 0 uses fresh class signatures; each subsequent phase interpolates
+// every class signature toward a new random signature by the drift
+// factor (0 = identical distributions, 1 = completely new patterns).
+func SynthesizeDriftingClassification(cfg ClassificationConfig, phases int, drift float64) ([]*Classification, error) {
+	if phases <= 0 {
+		return nil, fmt.Errorf("dataset: phases %d must be positive", phases)
+	}
+	if drift < 0 || drift > 1 {
+		return nil, fmt.Errorf("dataset: drift %v outside [0,1]", drift)
+	}
+	if cfg.Samples <= 0 || cfg.Length <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("dataset: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	signatures := make([][]float64, cfg.Classes)
+	for c := range signatures {
+		signatures[c] = smoothSignal(rng, cfg.Length, 4+rng.Intn(4))
+	}
+	out := make([]*Classification, 0, phases)
+	for p := 0; p < phases; p++ {
+		if p > 0 {
+			// Drift: blend each signature toward a fresh one.
+			for c := range signatures {
+				next := smoothSignal(rng, cfg.Length, 4+rng.Intn(4))
+				for j := range signatures[c] {
+					signatures[c][j] = (1-drift)*signatures[c][j] + drift*next[j]
+				}
+			}
+		}
+		x := tensor.New(cfg.Samples, cfg.Length, 1)
+		y := tensor.New(cfg.Samples, cfg.Classes)
+		xd := x.Data()
+		for i := 0; i < cfg.Samples; i++ {
+			c := i % cfg.Classes
+			sig := signatures[c]
+			row := xd[i*cfg.Length : (i+1)*cfg.Length]
+			for j := range row {
+				row[j] = sig[j] + cfg.Noise*rng.NormFloat64()
+			}
+			y.Set(1, i, c)
+		}
+		out = append(out, &Classification{X: x, Y: y, Classes: cfg.Classes})
+	}
+	return out, nil
+}
+
+// Concat merges several classification datasets with identical shapes
+// into one (the building block of an experience-replay buffer).
+func Concat(parts ...*Classification) (*Classification, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: nothing to concatenate")
+	}
+	length := parts[0].X.Dim(1)
+	classes := parts[0].Classes
+	total := 0
+	for i, p := range parts {
+		if p.X.Dim(1) != length || p.Classes != classes {
+			return nil, fmt.Errorf("dataset: part %d has shape %dx%d, want %dx%d",
+				i, p.X.Dim(1), p.Classes, length, classes)
+		}
+		total += p.X.Dim(0)
+	}
+	x := tensor.New(total, length, 1)
+	y := tensor.New(total, classes)
+	xd, yd := x.Data(), y.Data()
+	off := 0
+	for _, p := range parts {
+		n := p.X.Dim(0)
+		copy(xd[off*length:(off+n)*length], p.X.Data())
+		copy(yd[off*classes:(off+n)*classes], p.Y.Data())
+		off += n
+	}
+	return &Classification{X: x, Y: y, Classes: classes}, nil
+}
+
+// Sample draws n random rows (with replacement if n exceeds the dataset)
+// into a new dataset — the replay-buffer draw.
+func (c *Classification) Sample(rng *rand.Rand, n int) (*Classification, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: sample size %d must be positive", n)
+	}
+	total := c.X.Dim(0)
+	rows := make([]int, n)
+	if n <= total {
+		perm := rng.Perm(total)
+		copy(rows, perm[:n])
+	} else {
+		for i := range rows {
+			rows[i] = rng.Intn(total)
+		}
+	}
+	return &Classification{
+		X:       Gather(c.X, rows),
+		Y:       Gather(c.Y, rows),
+		Classes: c.Classes,
+	}, nil
+}

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDriftingPhasesShapes(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 40, Length: 16, Classes: 4, Noise: 0.1, Seed: 1}
+	phases, err := SynthesizeDriftingClassification(cfg, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for i, p := range phases {
+		if p.X.Dim(0) != 40 || p.X.Dim(1) != 16 || p.Y.Dim(1) != 4 {
+			t.Fatalf("phase %d shapes: X=%v Y=%v", i, p.X.Shape(), p.Y.Shape())
+		}
+	}
+}
+
+// classMeans computes per-class mean signals of a dataset.
+func classMeans(c *Classification) [][]float64 {
+	n, length := c.X.Dim(0), c.X.Dim(1)
+	means := make([][]float64, c.Classes)
+	counts := make([]int, c.Classes)
+	for i := range means {
+		means[i] = make([]float64, length)
+	}
+	xr := c.X.Reshape(n, length)
+	for i := 0; i < n; i++ {
+		cl := c.Y.Row(i).ArgMax()
+		for j, v := range xr.Row(i).Data() {
+			means[cl][j] += v
+		}
+		counts[cl]++
+	}
+	for cl := range means {
+		for j := range means[cl] {
+			means[cl][j] /= float64(counts[cl])
+		}
+	}
+	return means
+}
+
+func meanDist(a, b [][]float64) float64 {
+	s := 0.0
+	for c := range a {
+		for j := range a[c] {
+			d := a[c][j] - b[c][j]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func TestDriftMagnitudeScalesWithFactor(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 200, Length: 32, Classes: 2, Noise: 0.05, Seed: 2}
+	small, err := SynthesizeDriftingClassification(cfg, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SynthesizeDriftingClassification(cfg, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSmall := meanDist(classMeans(small[0]), classMeans(small[1]))
+	dBig := meanDist(classMeans(big[0]), classMeans(big[1]))
+	if dSmall >= dBig {
+		t.Fatalf("drift 0.1 moved %v, drift 0.9 moved %v: bigger factor must move more", dSmall, dBig)
+	}
+}
+
+func TestDriftZeroKeepsDistribution(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 200, Length: 32, Classes: 2, Noise: 0.05, Seed: 3}
+	phases, err := SynthesizeDriftingClassification(cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := meanDist(classMeans(phases[0]), classMeans(phases[1])); d > 0.5 {
+		t.Fatalf("zero drift moved class means by %v", d)
+	}
+}
+
+func TestDriftingRejectsBadConfig(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 10, Length: 8, Classes: 2, Noise: 0.1, Seed: 1}
+	if _, err := SynthesizeDriftingClassification(cfg, 0, 0.5); err == nil {
+		t.Fatal("zero phases must error")
+	}
+	if _, err := SynthesizeDriftingClassification(cfg, 2, 1.5); err == nil {
+		t.Fatal("drift > 1 must error")
+	}
+	if _, err := SynthesizeDriftingClassification(ClassificationConfig{}, 2, 0.5); err == nil {
+		t.Fatal("bad base config must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 10, Length: 8, Classes: 2, Noise: 0.1, Seed: 4}
+	a, _ := SynthesizeClassification(cfg)
+	cfg.Seed = 5
+	b, _ := SynthesizeClassification(cfg)
+	merged, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.X.Dim(0) != 20 {
+		t.Fatalf("merged rows = %d", merged.X.Dim(0))
+	}
+	// First block must equal a, second must equal b.
+	if merged.X.Data()[0] != a.X.Data()[0] {
+		t.Fatal("first block corrupted")
+	}
+	if merged.X.Data()[10*8] != b.X.Data()[0] {
+		t.Fatal("second block corrupted")
+	}
+	if _, err := Concat(); err == nil {
+		t.Fatal("empty concat must error")
+	}
+	bad, _ := SynthesizeClassification(ClassificationConfig{Samples: 4, Length: 9, Classes: 2, Noise: 0.1, Seed: 6})
+	if _, err := Concat(a, bad); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestSample(t *testing.T) {
+	cfg := ClassificationConfig{Samples: 30, Length: 8, Classes: 3, Noise: 0.1, Seed: 7}
+	d, _ := SynthesizeClassification(cfg)
+	rng := rand.New(rand.NewSource(8))
+	s, err := d.Sample(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X.Dim(0) != 10 || s.Y.Dim(0) != 10 {
+		t.Fatalf("sample shapes: %v %v", s.X.Shape(), s.Y.Shape())
+	}
+	// Oversampling draws with replacement.
+	big, err := d.Sample(rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.X.Dim(0) != 50 {
+		t.Fatalf("oversample rows = %d", big.X.Dim(0))
+	}
+	if _, err := d.Sample(rng, 0); err == nil {
+		t.Fatal("zero sample must error")
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/coupled"
+	"viper/internal/ipp"
+)
+
+// ScheduleKind names the three checkpoint-schedule policies of Figure 10
+// and Table 1.
+type ScheduleKind string
+
+// The compared policies.
+const (
+	// ScheduleBaseline checkpoints at epoch boundaries.
+	ScheduleBaseline ScheduleKind = "baseline"
+	// ScheduleFixed uses Algorithm 2's near-optimal regular interval.
+	ScheduleFixed ScheduleKind = "fixed-inter"
+	// ScheduleAdaptive uses Algorithm 3's greedy irregular schedule.
+	ScheduleAdaptive ScheduleKind = "adapt-inter"
+)
+
+// Fig10Row is one bar of Figure 10 plus its Table 1 columns.
+type Fig10Row struct {
+	// Kind is the schedule policy.
+	Kind ScheduleKind
+	// CIL is the measured cumulative inference loss.
+	CIL float64
+	// Checkpoints is the number of model updates (Table 1, left half).
+	Checkpoints int
+	// TrainingOverhead is the stall total (Table 1, right half).
+	TrainingOverhead time.Duration
+	// Interval is the fixed interval chosen by Algorithm 2 (fixed only).
+	Interval int
+}
+
+// Fig10App is one subfigure: an application's three schedule results.
+type Fig10App struct {
+	// Workload names the application.
+	Workload Workload
+	// Variant is the display label ("NT3.B (1.7GB)", ...).
+	Variant string
+	// Inferences is the serving window size.
+	Inferences int
+	// Rows are baseline/fixed/adaptive results.
+	Rows []Fig10Row
+	// WarmupIters is the end of warm-up.
+	WarmupIters int
+	// EndIter is the final training iteration covered by the window.
+	EndIter int
+}
+
+// Fig10Result holds all three applications (and doubles as Table 1).
+type Fig10Result struct {
+	// Apps are NT3.B, TC1, PtychoNN in paper order.
+	Apps []Fig10App
+}
+
+// Fig10AppConfig parameterizes one application's run.
+type Fig10AppConfig struct {
+	// Workload selects the application.
+	Workload Workload
+	// VariantB selects NT3.B's larger size for NT3.
+	VariantB bool
+	// TotalInfers is the serving window (paper: 25k/50k/40k).
+	TotalInfers int
+	// WarmupEpochs and TotalEpochs bound the training run.
+	WarmupEpochs, TotalEpochs int
+	// TTrain and TInfer are the timing constants.
+	TTrain, TInfer time.Duration
+	// Seed drives training.
+	Seed int64
+}
+
+// Fig10Config parameterizes the experiment.
+type Fig10Config struct {
+	// Apps lists the per-application configs.
+	Apps []Fig10AppConfig
+}
+
+// DefaultFig10Config mirrors the paper's three subfigures at
+// reproduction scale.
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{Apps: []Fig10AppConfig{
+		{Workload: WorkloadNT3, VariantB: true, TotalInfers: 25000,
+			WarmupEpochs: 3, TotalEpochs: 45, TTrain: 40 * time.Millisecond, TInfer: 4 * time.Millisecond, Seed: 41},
+		{Workload: WorkloadTC1, TotalInfers: 50000,
+			WarmupEpochs: 2, TotalEpochs: 21, TTrain: 60 * time.Millisecond, TInfer: 5 * time.Millisecond, Seed: 42},
+		{Workload: WorkloadPtychoNN, TotalInfers: 40000,
+			WarmupEpochs: 2, TotalEpochs: 21, TTrain: 80 * time.Millisecond, TInfer: 6 * time.Millisecond, Seed: 43},
+	}}
+}
+
+// RunFig10 executes the full Figure 10 / Table 1 experiment: for each
+// application it trains the real model, fits the IPP on the warm-up
+// prefix, derives the three schedules, measures GPU-transfer timing with
+// the engine, and replays the coupled timeline for each schedule.
+func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, app := range cfg.Apps {
+		a, err := runFig10App(app)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 %s: %w", app.Workload, err)
+		}
+		res.Apps = append(res.Apps, *a)
+	}
+	return res, nil
+}
+
+func runFig10App(cfg Fig10AppConfig) (*Fig10App, error) {
+	if cfg.TotalInfers <= 0 || cfg.TotalEpochs <= cfg.WarmupEpochs {
+		return nil, fmt.Errorf("invalid config %+v", cfg)
+	}
+	run, err := TrainWorkload(cfg.Workload, cfg.TotalEpochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	smooth := SmoothedLosses(run.Losses, 0.1)
+	warmup := cfg.WarmupEpochs * run.ItersPerEpoch
+	if warmup >= len(smooth) {
+		return nil, fmt.Errorf("warm-up %d exceeds history %d", warmup, len(smooth))
+	}
+
+	// IPP inputs from the warm-up prefix only.
+	tlp, _, threshold, err := FitWarmup(smooth, warmup)
+	if err != nil {
+		return nil, err
+	}
+
+	// Timing: the Figure 10 runs all use the GPU-to-GPU strategy with
+	// asynchronous capture (Table 1's per-checkpoint overheads match
+	// capture-only stalls).
+	size := PaperSize(cfg.Workload, cfg.VariantB)
+	stall, delivery, err := coupled.MeasureTiming(
+		core.Strategy{Route: core.RouteGPU, Mode: core.ModeAsync}, size, SmallSnapshot(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	timing := coupled.Timing{TTrain: cfg.TTrain, TInfer: cfg.TInfer, Stall: stall, Delivery: delivery}
+	cost := timing.CostModel()
+
+	window := time.Duration(cfg.TotalInfers) * cfg.TInfer
+	eIter := warmup + int(window/cfg.TTrain)
+
+	// The three schedules.
+	baseline := ipp.EpochBoundarySchedule(warmup, eIter, run.ItersPerEpoch)
+	fixedRes, err := ipp.FixedIntervalSchedule(tlp, cost, warmup, eIter, cfg.TotalInfers)
+	if err != nil {
+		return nil, err
+	}
+	var fixed []int
+	for it := warmup + fixedRes.BestInterval; it <= eIter; it += fixedRes.BestInterval {
+		fixed = append(fixed, it)
+	}
+	lossFn, err := coupled.LossFromHistory(smooth, tlp)
+	if err != nil {
+		return nil, err
+	}
+	// Adaptive: Algorithm 3's greedy rule driven by the observed loss
+	// signal (the Checkpoint Frequency Adapter of Figure 3).
+	adaptive, err := ipp.GreedyScheduleFromLosses(lossFn, warmup, eIter, threshold)
+	if err != nil {
+		return nil, err
+	}
+	variant := string(cfg.Workload)
+	switch {
+	case cfg.Workload == WorkloadNT3 && cfg.VariantB:
+		variant = "NT3.B (1.7GB)"
+	case cfg.Workload == WorkloadTC1:
+		variant = "TC1 (4.7GB)"
+	case cfg.Workload == WorkloadPtychoNN:
+		variant = "PtychoNN (4.5GB)"
+	}
+	app := &Fig10App{
+		Workload:    cfg.Workload,
+		Variant:     variant,
+		Inferences:  cfg.TotalInfers,
+		WarmupIters: warmup,
+		EndIter:     eIter,
+	}
+	type entry struct {
+		kind     ScheduleKind
+		schedule []int
+		interval int
+	}
+	for _, e := range []entry{
+		{ScheduleBaseline, baseline, run.ItersPerEpoch},
+		{ScheduleFixed, fixed, fixedRes.BestInterval},
+		{ScheduleAdaptive, adaptive, 0},
+	} {
+		out, err := coupled.Run(coupled.Config{
+			Loss:        lossFn,
+			Schedule:    e.schedule,
+			StartIter:   warmup,
+			TotalInfers: cfg.TotalInfers,
+			Timing:      timing,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.Rows = append(app.Rows, Fig10Row{
+			Kind:             e.kind,
+			CIL:              out.CIL,
+			Checkpoints:      out.Checkpoints,
+			TrainingOverhead: out.TrainingOverhead,
+			Interval:         e.interval,
+		})
+	}
+	return app, nil
+}
+
+// Row returns the row for a schedule kind (nil if absent).
+func (a *Fig10App) Row(kind ScheduleKind) *Fig10Row {
+	for i := range a.Rows {
+		if a.Rows[i].Kind == kind {
+			return &a.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Format renders Figure 10's three subfigures.
+func (r *Fig10Result) Format() string {
+	out := ""
+	labels := []string{"(a)", "(b)", "(c)"}
+	for i, app := range r.Apps {
+		rows := make([][]string, 0, len(app.Rows))
+		for _, row := range app.Rows {
+			rows = append(rows, []string{
+				string(row.Kind),
+				fmt.Sprintf("%.1f", row.CIL),
+			})
+		}
+		out += fmt.Sprintf("Figure 10%s: CIL — %s over %d inferences\n", labels[i%3], app.Variant, app.Inferences)
+		out += Table([]string{"schedule", "cil"}, rows) + "\n"
+	}
+	return out
+}
+
+// FormatTable1 renders Table 1 (checkpoints + training overhead).
+func (r *Fig10Result) FormatTable1() string {
+	rows := make([][]string, 0, len(r.Apps))
+	for _, app := range r.Apps {
+		b, f, a := app.Row(ScheduleBaseline), app.Row(ScheduleFixed), app.Row(ScheduleAdaptive)
+		rows = append(rows, []string{
+			app.Variant,
+			fmt.Sprint(b.Checkpoints), fmt.Sprint(f.Checkpoints), fmt.Sprint(a.Checkpoints),
+			fmt.Sprintf("%.3fs", b.TrainingOverhead.Seconds()),
+			fmt.Sprintf("%.3fs", f.TrainingOverhead.Seconds()),
+			fmt.Sprintf("%.3fs", a.TrainingOverhead.Seconds()),
+		})
+	}
+	return "Table 1: checkpoints and training overhead\n" +
+		Table([]string{"app", "ckpt_base", "ckpt_fixed", "ckpt_adapt", "ovh_base", "ovh_fixed", "ovh_adapt"}, rows)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"viper/internal/curvefit"
+)
+
+// Fig5Result reproduces Figure 5: fitting the TC1 warm-up training loss
+// with the four learning-curve families and comparing their MSE, both on
+// the warm-up window (fit quality) and on the post-warm-up continuation
+// (extrapolation quality).
+type Fig5Result struct {
+	// WarmupIters is the number of iterations used for fitting.
+	WarmupIters int
+	// TotalIters is the full measured history length.
+	TotalIters int
+	// Fits holds each family's fitted result on the warm-up window.
+	Fits []*curvefit.FitResult
+	// ExtrapolationMSE maps family name → MSE on the continuation.
+	ExtrapolationMSE map[string]float64
+	// Best is the family selected by warm-up MSE (the paper's criterion).
+	Best string
+}
+
+// Fig5Config parameterizes the experiment.
+type Fig5Config struct {
+	// WarmupEpochs and TotalEpochs bound the fit window and the full run.
+	WarmupEpochs, TotalEpochs int
+	// Seed drives the training run.
+	Seed int64
+}
+
+// DefaultFig5Config mirrors the paper's setup at reproduction scale.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{WarmupEpochs: 2, TotalEpochs: 6, Seed: 7}
+}
+
+// RunFig5 trains TC1, fits the warm-up losses with all four families and
+// evaluates extrapolation on the rest of the run.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.TotalEpochs <= cfg.WarmupEpochs {
+		return nil, fmt.Errorf("experiments: TotalEpochs %d must exceed WarmupEpochs %d", cfg.TotalEpochs, cfg.WarmupEpochs)
+	}
+	run, err := TrainWorkload(WorkloadTC1, cfg.TotalEpochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	smooth := SmoothedLosses(run.Losses, 0.1)
+	warmup := cfg.WarmupEpochs * run.ItersPerEpoch
+	if warmup >= len(smooth) {
+		return nil, fmt.Errorf("experiments: warm-up %d exceeds history %d", warmup, len(smooth))
+	}
+	tlp, fits, _, err := FitWarmup(smooth, warmup)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		WarmupIters:      warmup,
+		TotalIters:       len(smooth),
+		Fits:             fits,
+		ExtrapolationMSE: make(map[string]float64, len(fits)),
+		Best:             tlp.Fit.Model.Name(),
+	}
+	for _, f := range fits {
+		// Continuation MSE: how well the warm-up fit predicts the rest.
+		var s float64
+		n := 0
+		for i := warmup; i < len(smooth); i++ {
+			d := smooth[i] - f.Predict(float64(i))
+			s += d * d
+			n++
+		}
+		res.ExtrapolationMSE[f.Model.Name()] = s / float64(n)
+	}
+	return res, nil
+}
+
+// Format renders the Figure 5 comparison table.
+func (r *Fig5Result) Format() string {
+	rows := make([][]string, 0, len(r.Fits))
+	for _, f := range r.Fits {
+		name := f.Model.Name()
+		marker := ""
+		if name == r.Best {
+			marker = "  <-- selected (min MSE, valid extrapolation)"
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.3e", f.MSE),
+			fmt.Sprintf("%.3e", r.ExtrapolationMSE[name]),
+			fmt.Sprintf("%v", formatParams(f.Params)) + marker,
+		})
+	}
+	head := fmt.Sprintf("Figure 5: TC1 learning-curve fit (warm-up = %d of %d iterations)\n",
+		r.WarmupIters, r.TotalIters)
+	return head + Table([]string{"family", "warmup_mse", "extrap_mse", "params"}, rows)
+}
+
+func formatParams(p []float64) string {
+	s := "["
+	for i, v := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", v)
+	}
+	return s + "]"
+}

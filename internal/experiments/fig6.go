@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"viper/internal/dataset"
+	"viper/internal/models"
+	"viper/internal/nn"
+	"viper/internal/train"
+)
+
+// Fig6Result reproduces Figure 6: per-iteration training time and
+// per-request inference time are (approximately) constant — the paper's
+// empirical basis for treating t_train and t_infer as constants in the
+// predictor. Times here are real wall-clock measurements of the
+// reproduction's TC1 model.
+type Fig6Result struct {
+	// TrainTimes are per-iteration wall times for one epoch.
+	TrainTimes []time.Duration
+	// InferTimes are per-request wall times.
+	InferTimes []time.Duration
+	// TrainMean/TrainCV and InferMean/InferCV summarize them
+	// (CV = coefficient of variation, std/mean).
+	TrainMean, InferMean time.Duration
+	TrainCV, InferCV     float64
+}
+
+// Fig6Config parameterizes the experiment.
+type Fig6Config struct {
+	// Iterations to measure (one paper epoch is 216).
+	Iterations int
+	// Inferences to measure (the paper plots ~208).
+	Inferences int
+	// Seed drives data and init.
+	Seed int64
+}
+
+// DefaultFig6Config mirrors the paper's single-epoch measurement.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{Iterations: 216, Inferences: 208, Seed: 11}
+}
+
+// RunFig6 measures real per-iteration and per-request wall times.
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	if cfg.Iterations <= 1 || cfg.Inferences <= 1 {
+		return nil, fmt.Errorf("experiments: need >1 iterations and inferences, got %d/%d", cfg.Iterations, cfg.Inferences)
+	}
+	data, err := dataset.SynthesizeClassification(dataset.ClassificationConfig{
+		Samples: 432, Length: 32, Classes: models.TC1Classes, Noise: 0.25, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := models.TC1(rng, 32)
+	task := &train.ClassificationTask{Net: net, Data: data, Eval: data, Opt: nn.NewSGD(0.02, 0.9)}
+
+	res := &Fig6Result{}
+	batches := dataset.BatchIndices(rng, task.NumSamples(), 2)
+	for i := 0; i < cfg.Iterations; i++ {
+		rows := batches[i%len(batches)]
+		start := time.Now()
+		task.Step(rows)
+		res.TrainTimes = append(res.TrainTimes, time.Since(start))
+	}
+	// Inference requests: single-sample predicts, the serving pattern.
+	xr := data.X
+	for i := 0; i < cfg.Inferences; i++ {
+		row := dataset.Gather(xr, []int{i % xr.Dim(0)})
+		start := time.Now()
+		net.Predict(row)
+		res.InferTimes = append(res.InferTimes, time.Since(start))
+	}
+	res.TrainMean, res.TrainCV = meanCV(res.TrainTimes)
+	res.InferMean, res.InferCV = meanCV(res.InferTimes)
+	return res, nil
+}
+
+func meanCV(ds []time.Duration) (time.Duration, float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, d := range ds {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(ds))
+	var varsum float64
+	for _, d := range ds {
+		varsum += (float64(d) - mean) * (float64(d) - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(ds)))
+	return time.Duration(mean), std / mean
+}
+
+// Format renders the Figure 6 summary.
+func (r *Fig6Result) Format() string {
+	rows := [][]string{
+		{"training (per iter)", fmt.Sprint(len(r.TrainTimes)), r.TrainMean.String(), fmt.Sprintf("%.2f", r.TrainCV)},
+		{"inference (per req)", fmt.Sprint(len(r.InferTimes)), r.InferMean.String(), fmt.Sprintf("%.2f", r.InferCV)},
+	}
+	return "Figure 6: per-iteration / per-request time stability (wall clock)\n" +
+		Table([]string{"series", "n", "mean", "cv"}, rows)
+}
+
+// MedianStable reports whether the bulk of the distribution is stable:
+// the interquartile spread is within frac of the median. Wall-clock
+// tails (GC, scheduler) are excluded by construction, matching the
+// paper's "roughly constant" claim.
+func MedianStable(ds []time.Duration, frac float64) bool {
+	if len(ds) < 4 {
+		return true
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	q1 := float64(sorted[len(sorted)/4])
+	med := float64(sorted[len(sorted)/2])
+	q3 := float64(sorted[3*len(sorted)/4])
+	return (q3-q1)/med <= frac
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/coupled"
+)
+
+// Fig8Strategies lists the six data-sharing approaches of Figure 8, in
+// the paper's order.
+var Fig8Strategies = []core.Strategy{
+	{Route: core.RoutePFS, Baseline: true},
+	{Route: core.RoutePFS},
+	{Route: core.RouteHost, Mode: core.ModeSync},
+	{Route: core.RouteHost, Mode: core.ModeAsync},
+	{Route: core.RouteGPU, Mode: core.ModeSync},
+	{Route: core.RouteGPU, Mode: core.ModeAsync},
+}
+
+// Fig8Row is one bar of Figure 8: a strategy's end-to-end model update
+// latency for one model.
+type Fig8Row struct {
+	// Strategy is the transfer approach.
+	Strategy core.Strategy
+	// Latency is checkpointing time + delivery/loading time (the paper's
+	// end-to-end model update latency).
+	Latency time.Duration
+	// Stall is the producer-side training stall component.
+	Stall time.Duration
+	// SpeedupVsBaseline is baseline latency / this latency.
+	SpeedupVsBaseline float64
+}
+
+// Fig8Model is one subfigure (8a/8b/8c).
+type Fig8Model struct {
+	// Name is the model label ("NT3.A 600MB", ...).
+	Name string
+	// Size is the accounted checkpoint size.
+	Size int64
+	// Rows are the six strategies' results.
+	Rows []Fig8Row
+}
+
+// Fig8Result holds all three subfigures.
+type Fig8Result struct {
+	// Models are the subfigures in paper order: NT3.A, TC1, PtychoNN.
+	Models []Fig8Model
+}
+
+// RunFig8 measures the end-to-end model update latency of every strategy
+// for the paper's three model sizes, by running one real save/load cycle
+// per (model, strategy) pair through the engine on a virtual clock.
+func RunFig8() (*Fig8Result, error) {
+	snap := SmallSnapshot(21)
+	specs := []struct {
+		name string
+		size int64
+	}{
+		{"NT3.A (600MB)", PaperSize(WorkloadNT3, false)},
+		{"TC1 (4.7GB)", PaperSize(WorkloadTC1, false)},
+		{"PtychoNN (4.5GB)", PaperSize(WorkloadPtychoNN, false)},
+	}
+	res := &Fig8Result{}
+	for _, spec := range specs {
+		m := Fig8Model{Name: spec.name, Size: spec.size}
+		var baseline time.Duration
+		for _, strat := range Fig8Strategies {
+			stall, delivery, err := coupled.MeasureTiming(strat, spec.size, snap)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig8 %s %s: %w", spec.name, strat, err)
+			}
+			row := Fig8Row{Strategy: strat, Latency: delivery, Stall: stall}
+			if strat.Baseline {
+				baseline = delivery
+			}
+			if baseline > 0 {
+				row.SpeedupVsBaseline = float64(baseline) / float64(delivery)
+			}
+			m.Rows = append(m.Rows, row)
+		}
+		res.Models = append(res.Models, m)
+	}
+	return res, nil
+}
+
+// Format renders the three Figure 8 bar groups as tables.
+func (r *Fig8Result) Format() string {
+	out := ""
+	labels := []string{"(a)", "(b)", "(c)"}
+	for i, m := range r.Models {
+		rows := make([][]string, 0, len(m.Rows))
+		for _, row := range m.Rows {
+			rows = append(rows, []string{
+				row.Strategy.String(),
+				fmt.Sprintf("%.3fs", row.Latency.Seconds()),
+				fmt.Sprintf("%.3fs", row.Stall.Seconds()),
+				fmt.Sprintf("%.1fx", row.SpeedupVsBaseline),
+			})
+		}
+		out += fmt.Sprintf("Figure 8%s: end-to-end model update latency — %s\n", labels[i%3], m.Name)
+		out += Table([]string{"strategy", "latency", "stall", "speedup"}, rows) + "\n"
+	}
+	return out
+}
+
+// Find returns the row for a strategy in one subfigure (nil if absent).
+func (m *Fig8Model) Find(s core.Strategy) *Fig8Row {
+	for i := range m.Rows {
+		if m.Rows[i].Strategy == s {
+			return &m.Rows[i]
+		}
+	}
+	return nil
+}

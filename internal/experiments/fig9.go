@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/coupled"
+	"viper/internal/ipp"
+)
+
+// Fig9Row is one strategy's bar + line in Figure 9.
+type Fig9Row struct {
+	// Strategy is the transfer approach (GPU / host / PFS).
+	Strategy core.Strategy
+	// CIL is the cumulative inference loss over the serving window.
+	CIL float64
+	// Checkpoints is the number of model updates triggered.
+	Checkpoints int
+	// TrainingOverhead is the total training stall.
+	TrainingOverhead time.Duration
+}
+
+// Fig9Result reproduces Figure 9: impact of low-latency model updates on
+// CIL and training overhead, with the update interval fixed at the
+// epoch boundary (TC1: 216 iterations).
+type Fig9Result struct {
+	// Rows are GPU, host, PFS in the paper's order.
+	Rows []Fig9Row
+	// Inferences is the serving window size.
+	Inferences int
+}
+
+// Fig9Config parameterizes the experiment.
+type Fig9Config struct {
+	// TotalInfers is the serving window (paper: 50,000).
+	TotalInfers int
+	// WarmupEpochs and TotalEpochs bound the TC1 training run feeding the
+	// loss history.
+	WarmupEpochs, TotalEpochs int
+	// TTrain and TInfer are the per-iteration / per-request times.
+	TTrain, TInfer time.Duration
+	// Seed drives training.
+	Seed int64
+}
+
+// DefaultFig9Config mirrors the paper's setup (50 k inferences, TC1
+// epoch-boundary interval) at reproduction scale.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		TotalInfers:  50000,
+		WarmupEpochs: 2,
+		TotalEpochs:  21,
+		TTrain:       60 * time.Millisecond,
+		TInfer:       5 * time.Millisecond,
+		Seed:         31,
+	}
+}
+
+// RunFig9 trains TC1 for the loss history, measures each strategy's
+// stall/delivery with the real engine, and replays the coupled timeline
+// at the epoch-boundary schedule for each strategy.
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	if cfg.TotalInfers <= 0 || cfg.TotalEpochs <= cfg.WarmupEpochs {
+		return nil, fmt.Errorf("experiments: invalid fig9 config %+v", cfg)
+	}
+	run, err := TrainWorkload(WorkloadTC1, cfg.TotalEpochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	smooth := SmoothedLosses(run.Losses, 0.1)
+	warmup := cfg.WarmupEpochs * run.ItersPerEpoch
+
+	// TLP for extrapolation beyond the measured history.
+	tlp, _, _, err := FitWarmup(smooth, warmup)
+	if err != nil {
+		return nil, err
+	}
+	lossFn, err := coupled.LossFromHistory(smooth, tlp)
+	if err != nil {
+		return nil, err
+	}
+
+	window := time.Duration(cfg.TotalInfers) * cfg.TInfer
+	eIter := warmup + int(window/cfg.TTrain)
+	sched := ipp.EpochBoundarySchedule(warmup, eIter, run.ItersPerEpoch)
+
+	// The paper's Figure 9 overheads correspond to capture-only stalls
+	// (async memory transfers): 16 checkpoints cost ≈1 s on the GPU
+	// tier, ≈22 s on host, ≈60 s on the PFS.
+	strategies := []core.Strategy{
+		{Route: core.RouteGPU, Mode: core.ModeAsync},
+		{Route: core.RouteHost, Mode: core.ModeAsync},
+		{Route: core.RoutePFS},
+	}
+	snap := SmallSnapshot(32)
+	size := PaperSize(WorkloadTC1, false)
+	res := &Fig9Result{Inferences: cfg.TotalInfers}
+	for _, strat := range strategies {
+		stall, delivery, err := coupled.MeasureTiming(strat, size, snap)
+		if err != nil {
+			return nil, err
+		}
+		out, err := coupled.Run(coupled.Config{
+			Loss:        lossFn,
+			Schedule:    sched,
+			StartIter:   warmup,
+			TotalInfers: cfg.TotalInfers,
+			Timing: coupled.Timing{
+				TTrain: cfg.TTrain, TInfer: cfg.TInfer,
+				Stall: stall, Delivery: delivery,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Strategy:         strat,
+			CIL:              out.CIL,
+			Checkpoints:      out.Checkpoints,
+			TrainingOverhead: out.TrainingOverhead,
+		})
+	}
+	return res, nil
+}
+
+// Format renders the Figure 9 table.
+func (r *Fig9Result) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Strategy.Route),
+			fmt.Sprintf("%.1f", row.CIL),
+			fmt.Sprint(row.Checkpoints),
+			fmt.Sprintf("%.1fs", row.TrainingOverhead.Seconds()),
+		})
+	}
+	return fmt.Sprintf("Figure 9: CIL over %d inferences + training overhead (epoch-boundary interval)\n", r.Inferences) +
+		Table([]string{"transfer", "cil", "checkpoints", "train_overhead"}, rows)
+}

@@ -1,0 +1,557 @@
+// Package h5lite implements a hierarchical, HDF5-like container format —
+// groups, float64 datasets, and string attributes — used as the *baseline*
+// checkpoint serialization in the reproduction (the paper's h5py
+// baseline). Like HDF5 it pays per-object metadata costs: fixed-size
+// object headers, padded attribute heaps, a chunked data layout with a
+// chunk index, and per-chunk checksums. Viper's own lean format
+// (internal/vformat) avoids most of this, which is what makes Viper-PFS
+// ~1.2–1.3× faster than the baseline in Figure 8.
+package h5lite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+const (
+	magic = "H5LT0001"
+	// headerSize is the fixed object-header cost paid per group and
+	// dataset, mirroring HDF5 object headers + B-tree nodes.
+	headerSize = 512
+	// attrSlot is the padded size of one attribute entry (HDF5 stores
+	// attributes in heap slots).
+	attrSlot = 128
+	// chunkElems is the number of float64 elements per data chunk.
+	chunkElems = 8192
+)
+
+// Dataset is an n-dimensional float64 array with attributes.
+type Dataset struct {
+	// Name within the parent group.
+	Name string
+	// Shape of the array.
+	Shape []int
+	// Data in row-major order.
+	Data []float64
+	// Attrs are string attributes.
+	Attrs map[string]string
+}
+
+// NumElems returns the element count implied by Shape.
+func (d *Dataset) NumElems() int {
+	n := 1
+	for _, s := range d.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Group is a node in the hierarchy holding child groups and datasets.
+type Group struct {
+	// Name within the parent group ("" for the root).
+	Name string
+	// Attrs are string attributes.
+	Attrs map[string]string
+
+	groups   map[string]*Group
+	datasets map[string]*Dataset
+}
+
+func newGroup(name string) *Group {
+	return &Group{
+		Name:     name,
+		Attrs:    make(map[string]string),
+		groups:   make(map[string]*Group),
+		datasets: make(map[string]*Dataset),
+	}
+}
+
+// File is an in-memory h5lite container.
+type File struct {
+	root *Group
+}
+
+// New returns an empty file.
+func New() *File { return &File{root: newGroup("")} }
+
+// Root returns the root group.
+func (f *File) Root() *Group { return f.root }
+
+// CreateGroup adds (or returns an existing) child group.
+func (g *Group) CreateGroup(name string) (*Group, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if child, ok := g.groups[name]; ok {
+		return child, nil
+	}
+	if _, ok := g.datasets[name]; ok {
+		return nil, fmt.Errorf("h5lite: %q already exists as a dataset", name)
+	}
+	child := newGroup(name)
+	g.groups[name] = child
+	return child, nil
+}
+
+// CreateDataset adds a dataset; the data slice is used directly.
+func (g *Group) CreateDataset(name string, shape []int, data []float64) (*Dataset, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if _, ok := g.groups[name]; ok {
+		return nil, fmt.Errorf("h5lite: %q already exists as a group", name)
+	}
+	if _, ok := g.datasets[name]; ok {
+		return nil, fmt.Errorf("h5lite: dataset %q already exists", name)
+	}
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			return nil, fmt.Errorf("h5lite: negative dimension in %v", shape)
+		}
+		n *= s
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("h5lite: shape %v needs %d elements, got %d", shape, n, len(data))
+	}
+	ds := &Dataset{Name: name, Shape: append([]int(nil), shape...), Data: data, Attrs: make(map[string]string)}
+	g.datasets[name] = ds
+	return ds, nil
+}
+
+// Group returns a child group by name.
+func (g *Group) Group(name string) (*Group, bool) {
+	child, ok := g.groups[name]
+	return child, ok
+}
+
+// Dataset returns a child dataset by name.
+func (g *Group) Dataset(name string) (*Dataset, bool) {
+	ds, ok := g.datasets[name]
+	return ds, ok
+}
+
+// Groups lists child group names, sorted.
+func (g *Group) Groups() []string { return sortedKeys(g.groups) }
+
+// Datasets lists child dataset names, sorted.
+func (g *Group) Datasets() []string { return sortedKeys(g.datasets) }
+
+// Lookup resolves a "/"-separated path to a dataset.
+func (f *File) Lookup(path string) (*Dataset, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("h5lite: empty path")
+	}
+	g := f.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := g.Group(p)
+		if !ok {
+			return nil, fmt.Errorf("h5lite: group %q not found in path %q", p, path)
+		}
+		g = child
+	}
+	ds, ok := g.Dataset(parts[len(parts)-1])
+	if !ok {
+		return nil, fmt.Errorf("h5lite: dataset %q not found", path)
+	}
+	return ds, nil
+}
+
+func checkName(name string) error {
+	if name == "" || strings.Contains(name, "/") {
+		return fmt.Errorf("h5lite: invalid object name %q", name)
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode serializes the file. The layout mimics HDF5's cost structure:
+// superblock, then a recursive tree of object headers, padded attribute
+// slots, and chunked checksummed data.
+func (f *File) Encode(w io.Writer) error {
+	bw := &countingWriter{w: w}
+	if _, err := bw.Write([]byte(magic)); err != nil {
+		return err
+	}
+	// Superblock padding (HDF5 superblock + driver info).
+	if err := writePad(bw, headerSize-len(magic)); err != nil {
+		return err
+	}
+	return encodeGroup(bw, f.root)
+}
+
+// Bytes serializes the file to a byte slice.
+func (f *File) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writePad(w io.Writer, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := w.Write(make([]byte, n))
+	return err
+}
+
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func encodeAttrs(w io.Writer, attrs map[string]string) error {
+	keys := sortedKeys(attrs)
+	if err := writeU32(w, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		var slot bytes.Buffer
+		if err := writeString(&slot, k); err != nil {
+			return err
+		}
+		if err := writeString(&slot, attrs[k]); err != nil {
+			return err
+		}
+		// Pad each attribute to a heap slot, as HDF5 fragments its heaps.
+		pad := attrSlot - slot.Len()%attrSlot
+		if pad == attrSlot {
+			pad = 0
+		}
+		if err := writeU32(w, uint32(slot.Len()+pad)); err != nil {
+			return err
+		}
+		if _, err := w.Write(slot.Bytes()); err != nil {
+			return err
+		}
+		if err := writePad(w, pad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeGroup(w io.Writer, g *Group) error {
+	// Object header (fixed cost, mostly padding — message table,
+	// B-tree node, local heap).
+	if _, err := w.Write([]byte{'G'}); err != nil {
+		return err
+	}
+	if err := writeString(w, g.Name); err != nil {
+		return err
+	}
+	if err := writePad(w, headerSize-1-4-len(g.Name)); err != nil {
+		return err
+	}
+	if err := encodeAttrs(w, g.Attrs); err != nil {
+		return err
+	}
+	dsNames := g.Datasets()
+	grNames := g.Groups()
+	if err := writeU32(w, uint32(len(dsNames))); err != nil {
+		return err
+	}
+	for _, name := range dsNames {
+		if err := encodeDataset(w, g.datasets[name]); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(len(grNames))); err != nil {
+		return err
+	}
+	for _, name := range grNames {
+		if err := encodeGroup(w, g.groups[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeDataset(w io.Writer, d *Dataset) error {
+	if _, err := w.Write([]byte{'D'}); err != nil {
+		return err
+	}
+	if err := writeString(w, d.Name); err != nil {
+		return err
+	}
+	if err := writePad(w, headerSize-1-4-len(d.Name)); err != nil {
+		return err
+	}
+	if err := encodeAttrs(w, d.Attrs); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(d.Shape))); err != nil {
+		return err
+	}
+	for _, s := range d.Shape {
+		if err := writeU64(w, uint64(s)); err != nil {
+			return err
+		}
+	}
+	// Chunked layout: chunk count, then per chunk a 32-byte index entry
+	// (offset/size/filter mask, as in HDF5 B-tree chunk records), payload
+	// and a CRC32 checksum.
+	n := len(d.Data)
+	chunks := (n + chunkElems - 1) / chunkElems
+	if err := writeU32(w, uint32(chunks)); err != nil {
+		return err
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkElems
+		hi := lo + chunkElems
+		if hi > n {
+			hi = n
+		}
+		payload := make([]byte, 8*(hi-lo))
+		for i, v := range d.Data[lo:hi] {
+			binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+		}
+		// Index entry: logical offset, byte size, filter mask + padding.
+		if err := writeU64(w, uint64(lo)); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(len(payload))); err != nil {
+			return err
+		}
+		if err := writePad(w, 16); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		if err := writeU32(w, crc32.ChecksumIEEE(payload)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses a serialized file.
+func Decode(b []byte) (*File, error) {
+	r := bytes.NewReader(b)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("h5lite: header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("h5lite: bad magic %q", head)
+	}
+	if err := skip(r, headerSize-len(magic)); err != nil {
+		return nil, err
+	}
+	root, err := decodeGroup(r)
+	if err != nil {
+		return nil, err
+	}
+	return &File{root: root}, nil
+}
+
+func skip(r *bytes.Reader, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := r.Seek(int64(n), io.SeekCurrent)
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func decodeAttrs(r *bytes.Reader) (map[string]string, error) {
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]string, count)
+	for i := uint32(0); i < count; i++ {
+		slotLen, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		slot := make([]byte, slotLen)
+		if _, err := io.ReadFull(r, slot); err != nil {
+			return nil, err
+		}
+		sr := bytes.NewReader(slot)
+		k, err := readString(sr)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readString(sr)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = v
+	}
+	return attrs, nil
+}
+
+func decodeGroup(r *bytes.Reader) (*Group, error) {
+	tag := make([]byte, 1)
+	if _, err := io.ReadFull(r, tag); err != nil {
+		return nil, err
+	}
+	if tag[0] != 'G' {
+		return nil, fmt.Errorf("h5lite: expected group tag, got %q", tag)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := skip(r, headerSize-1-4-len(name)); err != nil {
+		return nil, err
+	}
+	g := newGroup(name)
+	if g.Attrs, err = decodeAttrs(r); err != nil {
+		return nil, err
+	}
+	nds, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nds; i++ {
+		ds, err := decodeDataset(r)
+		if err != nil {
+			return nil, err
+		}
+		g.datasets[ds.Name] = ds
+	}
+	ngr, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ngr; i++ {
+		child, err := decodeGroup(r)
+		if err != nil {
+			return nil, err
+		}
+		g.groups[child.Name] = child
+	}
+	return g, nil
+}
+
+func decodeDataset(r *bytes.Reader) (*Dataset, error) {
+	tag := make([]byte, 1)
+	if _, err := io.ReadFull(r, tag); err != nil {
+		return nil, err
+	}
+	if tag[0] != 'D' {
+		return nil, fmt.Errorf("h5lite: expected dataset tag, got %q", tag)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := skip(r, headerSize-1-4-len(name)); err != nil {
+		return nil, err
+	}
+	attrs, err := decodeAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		d, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	chunks, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]float64, n)
+	for c := uint32(0); c < chunks; c++ {
+		lo, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		size, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := skip(r, 16); err != nil {
+			return nil, err
+		}
+		if lo > uint64(n) || size%8 != 0 || lo+size/8 > uint64(n) {
+			return nil, fmt.Errorf("h5lite: chunk [%d,+%d] outside dataset of %d elements", lo, size, n)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		sum, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if sum != crc32.ChecksumIEEE(payload) {
+			return nil, fmt.Errorf("h5lite: dataset %q chunk %d checksum mismatch", name, c)
+		}
+		for i := 0; i < int(size)/8; i++ {
+			data[int(lo)+i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	}
+	return &Dataset{Name: name, Shape: shape, Data: data, Attrs: attrs}, nil
+}

@@ -1,0 +1,294 @@
+package h5lite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample(t *testing.T) *File {
+	t.Helper()
+	f := New()
+	f.Root().Attrs["format"] = "test"
+	g, err := f.Root().CreateGroup("model_weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateDataset("kernel", []int{2, 3}, []float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.CreateDataset("bias", []int{3}, []float64{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Attrs["layer"] = "dense1"
+	sub, err := g.CreateGroup("optimizer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.CreateDataset("lr", []int{1}, []float64{0.001}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := buildSample(t)
+	blob, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := got.Lookup("model_weights/kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Shape) != 2 || ds.Shape[0] != 2 || ds.Shape[1] != 3 {
+		t.Fatalf("kernel shape = %v", ds.Shape)
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6} {
+		if ds.Data[i] != want {
+			t.Fatalf("kernel[%d] = %v, want %v", i, ds.Data[i], want)
+		}
+	}
+	bias, err := got.Lookup("model_weights/bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias.Attrs["layer"] != "dense1" {
+		t.Fatalf("bias attrs = %v", bias.Attrs)
+	}
+	if got.Root().Attrs["format"] != "test" {
+		t.Fatal("root attrs lost")
+	}
+	lr, err := got.Lookup("model_weights/optimizer/lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Data[0] != 0.001 {
+		t.Fatalf("lr = %v", lr.Data[0])
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	f := buildSample(t)
+	if _, err := f.Lookup("missing/ds"); err == nil {
+		t.Fatal("missing group must error")
+	}
+	if _, err := f.Lookup("model_weights/missing"); err == nil {
+		t.Fatal("missing dataset must error")
+	}
+	if _, err := f.Lookup(""); err == nil {
+		t.Fatal("empty path must error")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	f := New()
+	g := f.Root()
+	if _, err := g.CreateDataset("d", []int{2}, []float64{1}); err == nil {
+		t.Fatal("shape/data mismatch must error")
+	}
+	if _, err := g.CreateDataset("bad/name", []int{1}, []float64{1}); err == nil {
+		t.Fatal("slash in name must error")
+	}
+	if _, err := g.CreateDataset("d", []int{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateDataset("d", []int{1}, []float64{2}); err == nil {
+		t.Fatal("duplicate dataset must error")
+	}
+	if _, err := g.CreateGroup("d"); err == nil {
+		t.Fatal("group with dataset's name must error")
+	}
+	if _, err := g.CreateGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateDataset("g", []int{1}, []float64{1}); err == nil {
+		t.Fatal("dataset with group's name must error")
+	}
+	// CreateGroup twice returns the same group.
+	g1, _ := g.CreateGroup("g")
+	g2, _ := g.CreateGroup("g")
+	if g1 != g2 {
+		t.Fatal("CreateGroup must be idempotent")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("short")); err == nil {
+		t.Fatal("truncated input must error")
+	}
+	bad := make([]byte, 1024)
+	copy(bad, "NOTMAGIC")
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	f := buildSample(t)
+	blob, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the float64 value 1.0 (first element of "kernel") in the
+	// encoded stream and corrupt it; the chunk checksum must catch it.
+	one := []byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F}
+	idx := -1
+	for i := 0; i+8 <= len(blob); i++ {
+		match := true
+		for j := 0; j < 8; j++ {
+			if blob[i+j] != one[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("could not locate payload byte to corrupt")
+	}
+	blob[idx] ^= 0xFF
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("corrupted payload must fail decode (checksum)")
+	}
+}
+
+func TestMetadataOverheadStructure(t *testing.T) {
+	// The format must carry real metadata overhead (that's its role as
+	// the baseline): a tiny dataset still costs > 1KB on disk.
+	f := New()
+	if _, err := f.Root().CreateDataset("tiny", []int{1}, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 1024 {
+		t.Fatalf("file size %d, want >= 1KB of header overhead", len(blob))
+	}
+	// But for large data the overhead must stay bounded (< 10%).
+	data := make([]float64, 1<<16)
+	f2 := New()
+	if _, err := f2.Root().CreateDataset("big", []int{1 << 16}, data); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := f2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := (1 << 16) * 8
+	if ratio := float64(len(blob2))/float64(payload) - 1; ratio > 0.10 {
+		t.Fatalf("large-file overhead = %.1f%%, want < 10%%", ratio*100)
+	}
+}
+
+func TestMultiChunkDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := chunkElems*2 + 100 // 3 chunks
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	f := New()
+	if _, err := f.Root().CreateDataset("d", []int{n}, data); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := got.Lookup("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if ds.Data[i] != data[i] {
+			t.Fatalf("element %d = %v, want %v", i, ds.Data[i], data[i])
+		}
+	}
+}
+
+func TestGroupListingsSorted(t *testing.T) {
+	f := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := f.Root().CreateGroup(n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Root().CreateDataset("ds_"+n, []int{1}, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gs := f.Root().Groups()
+	if strings.Join(gs, ",") != "alpha,mid,zeta" {
+		t.Fatalf("Groups = %v", gs)
+	}
+	ds := f.Root().Datasets()
+	if strings.Join(ds, ",") != "ds_alpha,ds_mid,ds_zeta" {
+		t.Fatalf("Datasets = %v", ds)
+	}
+}
+
+func TestPropRoundTripArbitraryData(t *testing.T) {
+	f := func(seed int64, nd uint8) bool {
+		n := 1 + int(nd)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 1e6
+		}
+		file := New()
+		if _, err := file.Root().CreateDataset("d", []int{n}, data); err != nil {
+			return false
+		}
+		blob, err := file.Bytes()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			return false
+		}
+		ds, err := got.Lookup("d")
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if ds.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	f := buildSample(t)
+	b1, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("encoding must be deterministic")
+	}
+}

@@ -1,0 +1,59 @@
+package ipp_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"viper/internal/ipp"
+)
+
+// ExampleFixedIntervalSchedule runs Algorithm 2: search the near-optimal
+// regular checkpoint interval for a decaying loss curve.
+func ExampleFixedIntervalSchedule() {
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*math.Exp(-0.01*float64(i)) + 0.3
+	}
+	tlp, _, err := ipp.FitTLP(xs, ys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cost := ipp.CostModel{
+		TTrain: 50 * time.Millisecond,
+		TInfer: 5 * time.Millisecond,
+		TP:     60 * time.Millisecond,
+		TC:     500 * time.Millisecond,
+	}
+	res, err := ipp.FixedIntervalSchedule(tlp, cost, 200, 1200, 10000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("interval found: %v\n", res.BestInterval > 0 && res.BestInterval <= 1000)
+	fmt.Printf("beats never-updating: %v\n",
+		res.PredictedCIL < tlp.PredictLoss(200)*10000)
+	// Output:
+	// interval found: true
+	// beats never-updating: true
+}
+
+// ExampleGreedyThreshold derives Algorithm 3's trigger threshold from
+// warm-up losses (mean + std of consecutive differences).
+func ExampleGreedyThreshold() {
+	warmup := []float64{1.0, 0.8, 0.7, 0.65}
+	fmt.Printf("threshold: %.3f\n", ipp.GreedyThreshold(warmup))
+	// Output:
+	// threshold: 0.179
+}
+
+// ExampleEpochBoundarySchedule lists the baseline's checkpoint
+// iterations.
+func ExampleEpochBoundarySchedule() {
+	fmt.Println(ipp.EpochBoundarySchedule(100, 500, 100))
+	// Output:
+	// [200 300 400 500]
+}

@@ -1,0 +1,356 @@
+// Package ipp implements Viper's Inference Performance Predictor (paper
+// §4.3): a Training Loss Predictor (TLP) fitted from warm-up losses, a
+// Cumulative Inference Loss Predictor (CILP, Eq. 1–2 / Algorithm 1), and
+// the two checkpoint-schedule search algorithms — fixed-interval
+// (Algorithm 2) and greedy adaptive-interval (Algorithm 3) — plus the
+// epoch-boundary baseline the paper compares against.
+package ipp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"viper/internal/curvefit"
+)
+
+// LossPredictor predicts training loss as a function of the (global)
+// training iteration — the paper's Assumption 1. Under Assumption 2 the
+// same value doubles as the predicted inference loss of a checkpoint taken
+// at that iteration.
+type LossPredictor interface {
+	// PredictLoss returns the predicted training loss at iteration x.
+	PredictLoss(x float64) float64
+}
+
+// CurveTLP is a LossPredictor backed by a fitted learning-curve family.
+type CurveTLP struct {
+	// Fit is the winning curve fit.
+	Fit *curvefit.FitResult
+}
+
+// PredictLoss implements LossPredictor. Predictions are clamped at 0
+// from below (losses cannot be negative).
+func (t *CurveTLP) PredictLoss(x float64) float64 {
+	v := t.Fit.Predict(x)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// FitTLP fits the warm-up loss history (losses[i] is the loss at
+// iteration iters[i]) with all four families from the paper and selects
+// the minimum-MSE fit *among those that extrapolate like a loss curve*:
+// non-negative and non-increasing out to several times the warm-up
+// horizon. (The paper picks its families "as they show a decreasing
+// trend"; the constraint enforces the same property on the fitted
+// instances, rejecting degenerate fits that match the window but predict
+// negative losses.) It returns the TLP and all individual fits for
+// Figure 5-style reporting.
+func FitTLP(iters, losses []float64) (*CurveTLP, []*curvefit.FitResult, error) {
+	_, all, err := curvefit.FitBest(iters, losses, nil, curvefit.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ipp: fitting TLP: %w", err)
+	}
+	xmax := 0.0
+	for _, x := range iters {
+		if x > xmax {
+			xmax = x
+		}
+	}
+	best := SelectTLP(all, 4*xmax+1)
+	if best == nil {
+		return nil, nil, fmt.Errorf("ipp: no fitted family extrapolates as a valid loss curve")
+	}
+	return &CurveTLP{Fit: best}, all, nil
+}
+
+// SelectTLP picks the minimum-MSE fit among candidates whose
+// extrapolation out to horizon stays a plausible loss curve:
+// non-negative and not increasing beyond its fitted window. Returns nil
+// if none qualify.
+func SelectTLP(fits []*curvefit.FitResult, horizon float64) *curvefit.FitResult {
+	var best *curvefit.FitResult
+	for _, f := range fits {
+		end := f.Predict(horizon)
+		mid := f.Predict(horizon / 2)
+		if math.IsNaN(end) || math.IsNaN(mid) || end < 0 || mid < 0 {
+			continue
+		}
+		if end > mid+1e-9 { // increasing tail
+			continue
+		}
+		if best == nil || f.MSE < best.MSE {
+			best = f
+		}
+	}
+	return best
+}
+
+// CostModel carries the timing constants of §4.3, measured during the
+// warm-up phase.
+type CostModel struct {
+	// TTrain is the (constant) time of one training iteration.
+	TTrain time.Duration
+	// TInfer is the (constant) time of one inference request.
+	TInfer time.Duration
+	// TP is the producer stall per checkpoint: s_model / bw_write.
+	TP time.Duration
+	// TC is the consumer-side load time: s_model / bw_read.
+	TC time.Duration
+}
+
+// Validate reports configuration errors.
+func (c CostModel) Validate() error {
+	if c.TTrain <= 0 || c.TInfer <= 0 {
+		return fmt.Errorf("ipp: TTrain (%v) and TInfer (%v) must be positive", c.TTrain, c.TInfer)
+	}
+	if c.TP < 0 || c.TC < 0 {
+		return fmt.Errorf("ipp: TP (%v) and TC (%v) must be non-negative", c.TP, c.TC)
+	}
+	return nil
+}
+
+// EffectiveIterTime returns t'_train = ckpti·t_train + t_p: the wall time
+// of one checkpoint period (Eq. 1).
+func (c CostModel) EffectiveIterTime(ckpti int) time.Duration {
+	return time.Duration(ckpti)*c.TTrain + c.TP
+}
+
+// ItersAt implements Eq. 1: it maps elapsed training wall time tk to the
+// training iteration reached, given a checkpoint every ckpti iterations.
+func (c CostModel) ItersAt(tk time.Duration, ckpti int) int {
+	if ckpti <= 0 {
+		panic(fmt.Sprintf("ipp: ItersAt interval %d must be positive", ckpti))
+	}
+	tPrime := c.EffectiveIterTime(ckpti)
+	full := int(tk / tPrime)
+	rem := tk - time.Duration(full)*tPrime
+	if rem > tPrime {
+		rem = tPrime
+	}
+	return ckpti*full + int(rem/c.TTrain)
+}
+
+// CILInterval implements Algorithm 1: the inference loss accumulated
+// while one checkpoint interval elapses on the producer. loss is the
+// (predicted) loss of the model currently serving; ckptVer is 1 for the
+// first update (whose period additionally absorbs the consumer's first
+// load, t_c); remInfers bounds the count by the remaining request budget.
+// It returns the accumulated loss and the number of inferences consumed.
+func (c CostModel) CILInterval(inter int, loss float64, ckptVer, remInfers int) (float64, int) {
+	if remInfers <= 0 {
+		return 0, 0
+	}
+	period := time.Duration(inter)*c.TTrain + c.TP
+	if ckptVer == 1 {
+		period += c.TC
+	}
+	infers := int(period / c.TInfer)
+	if infers > remInfers {
+		infers = remInfers
+	}
+	return loss * float64(infers), infers
+}
+
+// AccLoss implements Eq. 2: the predicted cumulative inference loss over
+// a fixed wall-time horizon tmax with a regular checkpoint interval
+// ckpti. The first period is extended by the consumer load t_c; each
+// subsequent checkpoint k serves inferences at the loss predicted for
+// iteration k·ckpti.
+func AccLoss(tlp LossPredictor, c CostModel, ckpti int, tmax time.Duration) float64 {
+	if ckpti <= 0 {
+		panic(fmt.Sprintf("ipp: AccLoss interval %d must be positive", ckpti))
+	}
+	tPrime := c.EffectiveIterTime(ckpti)
+	cnm := int((tmax - c.TC) / tPrime)
+	if cnm <= 0 {
+		// The first model (loss at iteration 0) serves everything.
+		return tlp.PredictLoss(0) * float64(tmax/c.TInfer)
+	}
+	total := 0.0
+	for k := 0; k <= cnm; k++ {
+		var span time.Duration
+		switch {
+		case k == 0:
+			span = tPrime + c.TC
+		case k < cnm:
+			span = tPrime
+		default:
+			span = tmax - (time.Duration(k)*tPrime + c.TC)
+		}
+		if span < 0 {
+			span = 0
+		}
+		total += tlp.PredictLoss(float64(k*ckpti)) * float64(span/c.TInfer)
+	}
+	return total
+}
+
+// FixedIntervalResult reports Algorithm 2's outcome.
+type FixedIntervalResult struct {
+	// BestInterval is the near-optimal regular checkpoint interval in
+	// iterations.
+	BestInterval int
+	// PredictedCIL is the predicted cumulative inference loss at
+	// BestInterval.
+	PredictedCIL float64
+	// CILByInterval maps every candidate interval to its predicted CIL
+	// (useful for plotting the search landscape).
+	CILByInterval map[int]float64
+}
+
+// FixedIntervalSchedule implements Algorithm 2: it traverses every
+// candidate interval in [1, eIter-sIter] and selects the one minimizing
+// the predicted CIL over totalInfers inference requests issued from
+// iteration sIter to eIter.
+func FixedIntervalSchedule(tlp LossPredictor, c CostModel, sIter, eIter, totalInfers int) (*FixedIntervalResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if eIter <= sIter {
+		return nil, fmt.Errorf("ipp: eIter %d must exceed sIter %d", eIter, sIter)
+	}
+	if totalInfers <= 0 {
+		return nil, fmt.Errorf("ipp: totalInfers %d must be positive", totalInfers)
+	}
+	maxInter := eIter - sIter
+	res := &FixedIntervalResult{BestInterval: 0, PredictedCIL: math.Inf(1), CILByInterval: make(map[int]float64, maxInter)}
+	for i := 1; i <= maxInter; i++ {
+		tl := 0.0
+		rem := totalInfers
+		pl := tlp.PredictLoss(float64(sIter))
+		cIter := sIter + i
+		ckptVer := 1
+		for cIter <= eIter && rem > 0 {
+			il, infers := c.CILInterval(i, pl, ckptVer, rem)
+			tl += il
+			rem -= infers
+			pl = tlp.PredictLoss(float64(cIter))
+			cIter += i
+			ckptVer++
+		}
+		// Any remaining request budget is served by the final model.
+		tl += pl * float64(rem)
+		res.CILByInterval[i] = tl
+		if tl < res.PredictedCIL {
+			res.PredictedCIL = tl
+			res.BestInterval = i
+		}
+	}
+	return res, nil
+}
+
+// GreedyThreshold derives Algorithm 3's trigger threshold from the
+// warm-up loss history: mean + standard deviation of the absolute
+// consecutive-loss differences, as specified in §4.3.
+func GreedyThreshold(warmupLosses []float64) float64 {
+	if len(warmupLosses) < 2 {
+		return 0
+	}
+	diffs := make([]float64, 0, len(warmupLosses)-1)
+	for i := 1; i < len(warmupLosses); i++ {
+		diffs = append(diffs, math.Abs(warmupLosses[i]-warmupLosses[i-1]))
+	}
+	mean := 0.0
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= float64(len(diffs))
+	varsum := 0.0
+	for _, d := range diffs {
+		varsum += (d - mean) * (d - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(diffs)))
+	return mean + std
+}
+
+// GreedyResult reports Algorithm 3's outcome.
+type GreedyResult struct {
+	// Schedule lists the iterations at which to checkpoint, ascending.
+	Schedule []int
+	// PredictedCIL is the predicted cumulative inference loss under the
+	// schedule.
+	PredictedCIL float64
+}
+
+// GreedySchedule implements Algorithm 3: walk iterations sIter+1..eIter
+// and checkpoint whenever the predicted loss improved by more than
+// thresh since the previous checkpoint. Unconstrained intervals let it
+// checkpoint densely early (fast convergence) and sparsely later.
+func GreedySchedule(tlp LossPredictor, c CostModel, sIter, eIter, totalInfers int, thresh float64) (*GreedyResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if eIter <= sIter {
+		return nil, fmt.Errorf("ipp: eIter %d must exceed sIter %d", eIter, sIter)
+	}
+	if totalInfers <= 0 {
+		return nil, fmt.Errorf("ipp: totalInfers %d must be positive", totalInfers)
+	}
+	if thresh < 0 {
+		return nil, fmt.Errorf("ipp: threshold %v must be non-negative", thresh)
+	}
+	res := &GreedyResult{}
+	pIter := sIter
+	pl := tlp.PredictLoss(float64(sIter))
+	ckptVer := 1
+	rem := totalInfers
+	for i := sIter + 1; i <= eIter; i++ {
+		cl := tlp.PredictLoss(float64(i))
+		if cl < pl && math.Abs(cl-pl) > thresh {
+			il, infers := c.CILInterval(i-pIter, pl, ckptVer, rem)
+			res.PredictedCIL += il
+			rem -= infers
+			pl, pIter = cl, i
+			res.Schedule = append(res.Schedule, i)
+			ckptVer++
+		}
+	}
+	// Remaining requests are served by the last delivered model.
+	res.PredictedCIL += pl * float64(rem)
+	return res, nil
+}
+
+// GreedyScheduleFromLosses runs Algorithm 3's greedy trigger rule over an
+// arbitrary loss signal — typically the *observed* (smoothed) training
+// loss, which the producer has at runtime. This realizes the Checkpoint
+// Frequency Adapter of the paper's Figure 3: the predicted schedule is
+// corrected by feedback, so the adaptive policy keeps checkpointing as
+// long as real improvement continues even where the fitted curve's floor
+// underestimates it. It returns the checkpoint iterations in (sIter,
+// eIter].
+func GreedyScheduleFromLosses(loss func(iter int) float64, sIter, eIter int, thresh float64) ([]int, error) {
+	if eIter <= sIter {
+		return nil, fmt.Errorf("ipp: eIter %d must exceed sIter %d", eIter, sIter)
+	}
+	if thresh < 0 {
+		return nil, fmt.Errorf("ipp: threshold %v must be non-negative", thresh)
+	}
+	var sched []int
+	pl := loss(sIter)
+	for i := sIter + 1; i <= eIter; i++ {
+		cl := loss(i)
+		if cl < pl && math.Abs(cl-pl) > thresh {
+			sched = append(sched, i)
+			pl = cl
+		}
+	}
+	return sched, nil
+}
+
+// EpochBoundarySchedule is the baseline: checkpoint at every epoch
+// boundary between sIter (exclusive) and eIter (inclusive).
+func EpochBoundarySchedule(sIter, eIter, itersPerEpoch int) []int {
+	if itersPerEpoch <= 0 {
+		panic(fmt.Sprintf("ipp: itersPerEpoch %d must be positive", itersPerEpoch))
+	}
+	var out []int
+	// First boundary strictly after sIter.
+	start := (sIter/itersPerEpoch + 1) * itersPerEpoch
+	for it := start; it <= eIter; it += itersPerEpoch {
+		out = append(out, it)
+	}
+	return out
+}

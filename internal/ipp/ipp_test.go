@@ -1,0 +1,388 @@
+package ipp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"viper/internal/curvefit"
+)
+
+// expTLP returns a predictor loss(x) = a·e^{-b·x} + c.
+func expTLP(a, b, c float64) *CurveTLP {
+	return &CurveTLP{Fit: &curvefit.FitResult{Model: curvefit.Exp3{}, Params: []float64{a, b, c}}}
+}
+
+func stdCost() CostModel {
+	return CostModel{
+		TTrain: 50 * time.Millisecond,
+		TInfer: 5 * time.Millisecond,
+		TP:     100 * time.Millisecond,
+		TC:     80 * time.Millisecond,
+	}
+}
+
+func TestCurveTLPClampsNegative(t *testing.T) {
+	tlp := expTLP(1, 0.1, -0.5) // asymptote below zero
+	if got := tlp.PredictLoss(1000); got != 0 {
+		t.Fatalf("PredictLoss = %v, want clamped 0", got)
+	}
+	if got := tlp.PredictLoss(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PredictLoss(0) = %v, want 0.5", got)
+	}
+}
+
+func TestFitTLPSelectsByMSE(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*math.Exp(-0.05*float64(i)) + 0.3
+	}
+	tlp, all, err := FitTLP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("fitted %d families, want 4", len(all))
+	}
+	if got := tlp.PredictLoss(200); math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("extrapolated loss = %v, want ≈0.3", got)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := stdCost().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := stdCost()
+	bad.TTrain = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero TTrain must be rejected")
+	}
+	neg := stdCost()
+	neg.TP = -time.Second
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative TP must be rejected")
+	}
+}
+
+func TestItersAtEq1(t *testing.T) {
+	c := stdCost()
+	// ckpti = 10: t'_train = 10*50ms + 100ms = 600ms.
+	// tk = 1.2s → one full period (10 iters) + 600ms rem → rem capped at
+	// t'_train, floor(600ms/50ms) = 12 → but only 10 iters fit training
+	// time in a period; Eq. 1 takes the floor over raw t_train.
+	got := c.ItersAt(1200*time.Millisecond, 10)
+	want := 10*2 + 0 // two full periods exactly
+	if got != want {
+		t.Fatalf("ItersAt = %d, want %d", got, want)
+	}
+	// Mid-period: tk = 850ms → 1 full period (10 iters) + 250ms → +5.
+	if got := c.ItersAt(850*time.Millisecond, 10); got != 15 {
+		t.Fatalf("ItersAt(850ms) = %d, want 15", got)
+	}
+	// Before any checkpoint: tk = 140ms → 2 iterations.
+	if got := c.ItersAt(140*time.Millisecond, 10); got != 2 {
+		t.Fatalf("ItersAt(140ms) = %d, want 2", got)
+	}
+}
+
+func TestCILIntervalAlgorithm1(t *testing.T) {
+	c := stdCost()
+	// inter=10: period = 10*50ms + 100ms = 600ms; first update adds
+	// t_c=80ms → 680ms → 136 inferences at 5ms each.
+	il, infers := c.CILInterval(10, 2.0, 1, 1000)
+	if infers != 136 {
+		t.Fatalf("first-interval inferences = %d, want 136", infers)
+	}
+	if math.Abs(il-2.0*136) > 1e-9 {
+		t.Fatalf("accumulated loss = %v, want %v", il, 2.0*136)
+	}
+	// Subsequent updates exclude t_c: 600ms → 120 inferences.
+	_, infers2 := c.CILInterval(10, 2.0, 2, 1000)
+	if infers2 != 120 {
+		t.Fatalf("later-interval inferences = %d, want 120", infers2)
+	}
+	// The remaining budget caps the count.
+	_, capped := c.CILInterval(10, 2.0, 2, 7)
+	if capped != 7 {
+		t.Fatalf("capped inferences = %d, want 7", capped)
+	}
+	// Zero budget consumes nothing.
+	il0, n0 := c.CILInterval(10, 2.0, 2, 0)
+	if il0 != 0 || n0 != 0 {
+		t.Fatalf("zero budget = %v, %d", il0, n0)
+	}
+}
+
+func TestAccLossDecreasingBeatsStale(t *testing.T) {
+	// With a decaying loss curve, frequent updates must yield lower
+	// predicted CIL than a single huge interval.
+	tlp := expTLP(2, 0.01, 0.2)
+	c := stdCost()
+	tmax := 60 * time.Second
+	freq := AccLoss(tlp, c, 20, tmax)
+	rare := AccLoss(tlp, c, 100000, tmax)
+	if freq >= rare {
+		t.Fatalf("frequent CIL %v must beat stale CIL %v", freq, rare)
+	}
+}
+
+func TestAccLossFlatCurveInsensitive(t *testing.T) {
+	// With a flat loss curve the interval should barely matter (only the
+	// checkpoint stalls shift the inference count slightly).
+	tlp := expTLP(0, 1, 1) // constant loss 1
+	c := stdCost()
+	tmax := 10 * time.Second
+	a := AccLoss(tlp, c, 10, tmax)
+	b := AccLoss(tlp, c, 50, tmax)
+	if math.Abs(a-b)/a > 0.1 {
+		t.Fatalf("flat-curve CIL varies too much: %v vs %v", a, b)
+	}
+}
+
+func TestFixedIntervalScheduleFindsInterior(t *testing.T) {
+	tlp := expTLP(3, 0.02, 0.1)
+	c := stdCost()
+	res, err := FixedIntervalSchedule(tlp, c, 100, 600, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestInterval <= 0 || res.BestInterval > 500 {
+		t.Fatalf("BestInterval = %d", res.BestInterval)
+	}
+	if math.IsInf(res.PredictedCIL, 1) {
+		t.Fatal("PredictedCIL not computed")
+	}
+	if len(res.CILByInterval) != 500 {
+		t.Fatalf("search landscape has %d entries, want 500", len(res.CILByInterval))
+	}
+	// The chosen interval must actually minimize the landscape.
+	for i, cil := range res.CILByInterval {
+		if cil < res.PredictedCIL {
+			t.Fatalf("interval %d has CIL %v < best %v", i, cil, res.PredictedCIL)
+		}
+	}
+}
+
+func TestFixedIntervalScheduleErrors(t *testing.T) {
+	tlp := expTLP(1, 0.1, 0)
+	c := stdCost()
+	if _, err := FixedIntervalSchedule(tlp, c, 10, 10, 100); err == nil {
+		t.Fatal("empty range must error")
+	}
+	if _, err := FixedIntervalSchedule(tlp, c, 0, 10, 0); err == nil {
+		t.Fatal("zero inference budget must error")
+	}
+	bad := c
+	bad.TInfer = 0
+	if _, err := FixedIntervalSchedule(tlp, bad, 0, 10, 10); err == nil {
+		t.Fatal("invalid cost model must error")
+	}
+}
+
+func TestGreedyThreshold(t *testing.T) {
+	// diffs: |1.0-0.8|=0.2, |0.8-0.7|=0.1 → mean 0.15, std 0.05 → 0.2.
+	got := GreedyThreshold([]float64{1.0, 0.8, 0.7})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("GreedyThreshold = %v, want 0.2", got)
+	}
+	if GreedyThreshold([]float64{1}) != 0 {
+		t.Fatal("single-point warm-up must yield 0 threshold")
+	}
+}
+
+func TestGreedyScheduleDenseEarlySparse(t *testing.T) {
+	tlp := expTLP(5, 0.05, 0.1) // fast early decay
+	c := stdCost()
+	res, err := GreedySchedule(tlp, c, 0, 500, 10000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule) == 0 {
+		t.Fatal("greedy produced no checkpoints")
+	}
+	// Checkpoints must be strictly increasing and inside (0, 500].
+	for i := 1; i < len(res.Schedule); i++ {
+		if res.Schedule[i] <= res.Schedule[i-1] {
+			t.Fatalf("schedule not increasing: %v", res.Schedule)
+		}
+	}
+	if res.Schedule[0] <= 0 || res.Schedule[len(res.Schedule)-1] > 500 {
+		t.Fatalf("schedule out of range: %v", res.Schedule)
+	}
+	// Early gaps must be no larger than late gaps on average: compare
+	// first-half mean gap vs second-half mean gap.
+	gaps := make([]float64, 0, len(res.Schedule))
+	prev := 0
+	for _, it := range res.Schedule {
+		gaps = append(gaps, float64(it-prev))
+		prev = it
+	}
+	if len(gaps) >= 4 {
+		h := len(gaps) / 2
+		early, late := 0.0, 0.0
+		for _, g := range gaps[:h] {
+			early += g
+		}
+		for _, g := range gaps[h:] {
+			late += g
+		}
+		early /= float64(h)
+		late /= float64(len(gaps) - h)
+		if early > late {
+			t.Fatalf("greedy gaps early=%v late=%v: should update more frequently early", early, late)
+		}
+	}
+}
+
+func TestGreedyScheduleHighThresholdFewerCheckpoints(t *testing.T) {
+	tlp := expTLP(5, 0.05, 0.1)
+	c := stdCost()
+	low, err := GreedySchedule(tlp, c, 0, 500, 10000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := GreedySchedule(tlp, c, 0, 500, 10000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high.Schedule) >= len(low.Schedule) {
+		t.Fatalf("threshold 0.5 gave %d ckpts, 0.01 gave %d: higher threshold must give fewer",
+			len(high.Schedule), len(low.Schedule))
+	}
+}
+
+func TestGreedyScheduleErrors(t *testing.T) {
+	tlp := expTLP(1, 0.1, 0)
+	c := stdCost()
+	if _, err := GreedySchedule(tlp, c, 5, 5, 10, 0.1); err == nil {
+		t.Fatal("empty range must error")
+	}
+	if _, err := GreedySchedule(tlp, c, 0, 10, 10, -1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}
+
+func TestEpochBoundarySchedule(t *testing.T) {
+	got := EpochBoundarySchedule(100, 500, 100)
+	want := []int{200, 300, 400, 500}
+	if len(got) != len(want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+	// Start mid-epoch: first boundary after 150 is 200.
+	got2 := EpochBoundarySchedule(150, 350, 100)
+	if len(got2) != 2 || got2[0] != 200 || got2[1] != 300 {
+		t.Fatalf("mid-epoch schedule = %v", got2)
+	}
+}
+
+func TestPropFixedIntervalBestIsArgmin(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := 1 + float64(aRaw)/64
+		b := 0.005 + float64(bRaw)/2048
+		tlp := expTLP(a, b, 0.1)
+		c := stdCost()
+		res, err := FixedIntervalSchedule(tlp, c, 0, 200, 2000)
+		if err != nil {
+			return false
+		}
+		for _, cil := range res.CILByInterval {
+			if cil < res.PredictedCIL-1e-9 {
+				return false
+			}
+		}
+		return res.BestInterval >= 1 && res.BestInterval <= 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGreedyCILNeverExceedsNoUpdate(t *testing.T) {
+	// Updating with a decreasing curve can only help: greedy's predicted
+	// CIL must be <= serving everything with the warm-up model.
+	f := func(aRaw, bRaw uint8) bool {
+		a := 1 + float64(aRaw)/64
+		b := 0.005 + float64(bRaw)/2048
+		tlp := expTLP(a, b, 0.1)
+		c := stdCost()
+		total := 3000
+		res, err := GreedySchedule(tlp, c, 0, 300, total, 0.01)
+		if err != nil {
+			return false
+		}
+		noUpdate := tlp.PredictLoss(0) * float64(total)
+		return res.PredictedCIL <= noUpdate+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyScheduleFromLosses(t *testing.T) {
+	// A measured signal that keeps improving past any fitted floor.
+	loss := func(iter int) float64 { return 2.0 / (1 + float64(iter)/100) }
+	sched, err := GreedyScheduleFromLosses(loss, 0, 500, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Fatal("feedback-driven schedule produced no checkpoints")
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] <= sched[i-1] {
+			t.Fatalf("schedule not increasing: %v", sched)
+		}
+	}
+	// Each scheduled point improved by > threshold over the previous.
+	prev := loss(0)
+	for _, it := range sched {
+		cur := loss(it)
+		if prev-cur <= 0.1 {
+			t.Fatalf("iteration %d improved only %v", it, prev-cur)
+		}
+		prev = cur
+	}
+	if _, err := GreedyScheduleFromLosses(loss, 5, 5, 0.1); err == nil {
+		t.Fatal("empty range must error")
+	}
+	if _, err := GreedyScheduleFromLosses(loss, 0, 10, -1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}
+
+func TestGreedyScheduleFromLossesFlatSignal(t *testing.T) {
+	sched, err := GreedyScheduleFromLosses(func(int) float64 { return 1 }, 0, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 0 {
+		t.Fatalf("flat signal must produce no checkpoints, got %v", sched)
+	}
+}
+
+func TestSelectTLPFiltersInvalidExtrapolations(t *testing.T) {
+	// Build two fits: a valid decaying exp2 and a lin2 plunging negative.
+	good := &curvefit.FitResult{Model: curvefit.Exp2{}, Params: []float64{2, 0.01}, MSE: 0.5}
+	bad := &curvefit.FitResult{Model: curvefit.Lin2{}, Params: []float64{-0.1, 1}, MSE: 0.1}
+	best := SelectTLP([]*curvefit.FitResult{good, bad}, 1000)
+	if best != good {
+		t.Fatalf("SelectTLP picked %v, want the valid fit", best.Model.Name())
+	}
+	// Increasing fits are rejected too.
+	rising := &curvefit.FitResult{Model: curvefit.Lin2{}, Params: []float64{0.1, 1}, MSE: 0.01}
+	if got := SelectTLP([]*curvefit.FitResult{rising}, 1000); got != nil {
+		t.Fatal("increasing fit must be rejected")
+	}
+	if got := SelectTLP(nil, 1000); got != nil {
+		t.Fatal("no candidates must yield nil")
+	}
+}

@@ -1,0 +1,115 @@
+package ipp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule decides, online during training, whether to take a checkpoint
+// after a given iteration. Viper's CheckpointCallback consults the active
+// Schedule once per iteration; the paper's pluggable-algorithm design maps
+// to swapping Schedule implementations.
+type Schedule interface {
+	// Name identifies the schedule for reports.
+	Name() string
+	// ShouldCheckpoint reports whether to checkpoint after iteration iter
+	// (0-based, global), given its observed training loss.
+	ShouldCheckpoint(iter int, loss float64) bool
+}
+
+// FixedEvery checkpoints every Interval iterations after Start.
+type FixedEvery struct {
+	// Interval between checkpoints, in iterations.
+	Interval int
+	// Start is the first eligible iteration (exclusive): the warm-up end.
+	Start int
+}
+
+// NewFixedEvery constructs a fixed-interval schedule.
+func NewFixedEvery(interval, start int) *FixedEvery {
+	if interval <= 0 {
+		panic(fmt.Sprintf("ipp: FixedEvery interval %d must be positive", interval))
+	}
+	return &FixedEvery{Interval: interval, Start: start}
+}
+
+// Name implements Schedule.
+func (f *FixedEvery) Name() string { return fmt.Sprintf("fixed-%d", f.Interval) }
+
+// ShouldCheckpoint implements Schedule.
+func (f *FixedEvery) ShouldCheckpoint(iter int, _ float64) bool {
+	return iter > f.Start && (iter-f.Start)%f.Interval == 0
+}
+
+// AtIterations checkpoints at an explicit iteration list (the shape
+// produced by GreedySchedule).
+type AtIterations struct {
+	name string
+	set  map[int]bool
+}
+
+// NewAtIterations constructs a schedule from explicit iteration numbers.
+func NewAtIterations(name string, iters []int) *AtIterations {
+	set := make(map[int]bool, len(iters))
+	for _, it := range iters {
+		set[it] = true
+	}
+	return &AtIterations{name: name, set: set}
+}
+
+// Name implements Schedule.
+func (a *AtIterations) Name() string { return a.name }
+
+// ShouldCheckpoint implements Schedule.
+func (a *AtIterations) ShouldCheckpoint(iter int, _ float64) bool { return a.set[iter] }
+
+// Iterations returns the scheduled iterations, ascending.
+func (a *AtIterations) Iterations() []int {
+	out := make([]int, 0, len(a.set))
+	for it := range a.set {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AdaptiveOnline is the online analogue of Algorithm 3: it checkpoints
+// whenever the observed training loss has improved by more than Threshold
+// since the last checkpoint. Used when no TLP is available or as a
+// feedback-driven fallback.
+type AdaptiveOnline struct {
+	// Threshold is the minimum loss improvement that triggers a
+	// checkpoint (typically GreedyThreshold of the warm-up losses).
+	Threshold float64
+	// Start is the first eligible iteration (exclusive).
+	Start int
+
+	lastLoss float64
+	primed   bool
+}
+
+// NewAdaptiveOnline constructs an online adaptive schedule anchored at
+// the loss observed at the end of warm-up.
+func NewAdaptiveOnline(threshold float64, start int, warmupEndLoss float64) *AdaptiveOnline {
+	return &AdaptiveOnline{Threshold: threshold, Start: start, lastLoss: warmupEndLoss, primed: true}
+}
+
+// Name implements Schedule.
+func (a *AdaptiveOnline) Name() string { return "adaptive-online" }
+
+// ShouldCheckpoint implements Schedule.
+func (a *AdaptiveOnline) ShouldCheckpoint(iter int, loss float64) bool {
+	if iter <= a.Start {
+		return false
+	}
+	if !a.primed {
+		a.lastLoss = loss
+		a.primed = true
+		return false
+	}
+	if loss < a.lastLoss && a.lastLoss-loss > a.Threshold {
+		a.lastLoss = loss
+		return true
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package ipp
+
+import (
+	"testing"
+)
+
+func TestFixedEvery(t *testing.T) {
+	s := NewFixedEvery(10, 100)
+	cases := []struct {
+		iter int
+		want bool
+	}{
+		{100, false}, // start itself: no
+		{105, false},
+		{110, true},
+		{120, true},
+		{121, false},
+		{90, false}, // before start
+	}
+	for _, c := range cases {
+		if got := s.ShouldCheckpoint(c.iter, 1.0); got != c.want {
+			t.Errorf("ShouldCheckpoint(%d) = %v, want %v", c.iter, got, c.want)
+		}
+	}
+	if s.Name() != "fixed-10" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestFixedEveryRejectsBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interval 0 must panic")
+		}
+	}()
+	NewFixedEvery(0, 0)
+}
+
+func TestAtIterations(t *testing.T) {
+	s := NewAtIterations("greedy", []int{42, 7, 100})
+	if !s.ShouldCheckpoint(42, 0) || !s.ShouldCheckpoint(7, 0) {
+		t.Fatal("scheduled iterations must trigger")
+	}
+	if s.ShouldCheckpoint(8, 0) {
+		t.Fatal("unscheduled iteration must not trigger")
+	}
+	its := s.Iterations()
+	if len(its) != 3 || its[0] != 7 || its[1] != 42 || its[2] != 100 {
+		t.Fatalf("Iterations = %v", its)
+	}
+	if s.Name() != "greedy" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestAdaptiveOnlineTriggersOnImprovement(t *testing.T) {
+	s := NewAdaptiveOnline(0.1, 10, 1.0)
+	if s.ShouldCheckpoint(5, 0.2) {
+		t.Fatal("must not trigger before start")
+	}
+	if s.ShouldCheckpoint(11, 0.95) {
+		t.Fatal("0.05 improvement below threshold must not trigger")
+	}
+	if !s.ShouldCheckpoint(12, 0.7) {
+		t.Fatal("0.3 improvement must trigger")
+	}
+	// Anchor moved to 0.7: another small improvement must not trigger.
+	if s.ShouldCheckpoint(13, 0.65) {
+		t.Fatal("0.05 improvement after re-anchor must not trigger")
+	}
+	if !s.ShouldCheckpoint(14, 0.5) {
+		t.Fatal("0.2 improvement must trigger")
+	}
+}
+
+func TestAdaptiveOnlineIgnoresLossIncrease(t *testing.T) {
+	s := NewAdaptiveOnline(0.01, 0, 0.5)
+	if s.ShouldCheckpoint(1, 0.9) {
+		t.Fatal("loss increase must never trigger")
+	}
+	// The anchor must not move on an increase: dropping back to 0.45
+	// (0.05 below the 0.5 anchor) must trigger.
+	if !s.ShouldCheckpoint(2, 0.45) {
+		t.Fatal("improvement relative to the original anchor must trigger")
+	}
+}

@@ -1,0 +1,65 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkStoreSet(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set("key", "value")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore()
+	s.Set("key", "value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("key"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreIncr(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Incr("ctr"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientRoundTrip measures one SET+GET over loopback TCP — the
+// metadata cost per checkpoint in a multi-process deployment.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	srv := NewServer(NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := fmt.Sprintf(`{"name":"tc1","version":%d,"location":"gpu"}`, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("viper/meta/tc1", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get("viper/meta/tc1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

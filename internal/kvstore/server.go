@@ -1,0 +1,352 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Store over TCP using a RESP-like text protocol:
+//
+//	SET <key> <len>\r\n<value bytes>\r\n  → +OK
+//	GET <key>                            → $<len>\r\n<value>\r\n or $-1
+//	DEL <key>                            → :1 or :0
+//	INCR <key>                           → :<n> or -ERR
+//	KEYS <prefix>                        → *<n> then $-framed keys
+//	PING                                 → +PONG
+//
+// Values are length-prefixed so they may contain spaces and newlines.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps store in a TCP server (not yet listening).
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kvstore: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				return // listener failed
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		if err := s.dispatch(line, r, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
+	parts := strings.SplitN(line, " ", 3)
+	cmd := strings.ToUpper(parts[0])
+	switch cmd {
+	case "PING":
+		fmt.Fprint(w, "+PONG\r\n")
+	case "SET":
+		if len(parts) != 3 {
+			fmt.Fprint(w, "-ERR usage: SET key len\r\n")
+			return nil
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n < 0 {
+			fmt.Fprint(w, "-ERR bad length\r\n")
+			return nil
+		}
+		buf := make([]byte, n+2) // payload + trailing \r\n
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		s.store.Set(parts[1], string(buf[:n]))
+		fmt.Fprint(w, "+OK\r\n")
+	case "GET":
+		if len(parts) < 2 {
+			fmt.Fprint(w, "-ERR usage: GET key\r\n")
+			return nil
+		}
+		v, err := s.store.Get(parts[1])
+		if err != nil {
+			fmt.Fprint(w, "$-1\r\n")
+			return nil
+		}
+		fmt.Fprintf(w, "$%d\r\n%s\r\n", len(v), v)
+	case "DEL":
+		if len(parts) < 2 {
+			fmt.Fprint(w, "-ERR usage: DEL key\r\n")
+			return nil
+		}
+		if s.store.Del(parts[1]) {
+			fmt.Fprint(w, ":1\r\n")
+		} else {
+			fmt.Fprint(w, ":0\r\n")
+		}
+	case "INCR":
+		if len(parts) < 2 {
+			fmt.Fprint(w, "-ERR usage: INCR key\r\n")
+			return nil
+		}
+		n, err := s.store.Incr(parts[1])
+		if err != nil {
+			fmt.Fprintf(w, "-ERR %s\r\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, ":%d\r\n", n)
+	case "KEYS":
+		prefix := ""
+		if len(parts) >= 2 {
+			prefix = parts[1]
+		}
+		keys := s.store.Keys(prefix)
+		fmt.Fprintf(w, "*%d\r\n", len(keys))
+		for _, k := range keys {
+			fmt.Fprintf(w, "$%d\r\n%s\r\n", len(k), k)
+		}
+	default:
+		fmt.Fprintf(w, "-ERR unknown command %q\r\n", cmd)
+	}
+	return nil
+}
+
+// Close stops the listener and closes every open connection.
+func (s *Server) Close() error {
+	close(s.done)
+	s.mu.Lock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a TCP client for Server. Methods are safe for concurrent use
+// (requests are serialized over one connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a kvstore server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprint(c.w, "PING\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "+PONG" {
+		return fmt.Errorf("kvstore: unexpected ping reply %q", line)
+	}
+	return nil
+}
+
+// Set assigns value to key on the server.
+func (c *Client) Set(key, value string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "SET %s %d\r\n%s\r\n", key, len(value), value)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "+OK" {
+		return fmt.Errorf("kvstore: SET failed: %s", line)
+	}
+	return nil
+}
+
+// Get fetches key; ErrNotFound if missing.
+func (c *Client) Get(key string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "GET %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.readBulk()
+}
+
+// Del removes key, reporting whether it existed.
+func (c *Client) Del(key string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "DEL %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	n, err := c.readInt()
+	return n == 1, err
+}
+
+// Incr atomically increments key on the server.
+func (c *Client) Incr(key string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "INCR %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	return c.readInt()
+}
+
+// Keys lists keys with the given prefix.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "KEYS %s\r\n", prefix)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "*") {
+		return nil, fmt.Errorf("kvstore: unexpected KEYS reply %q", line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: bad array length %q", line)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k, err := c.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (c *Client) readBulk() (string, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "$") {
+		if strings.HasPrefix(line, "-ERR") {
+			return "", fmt.Errorf("kvstore: %s", line)
+		}
+		return "", fmt.Errorf("kvstore: unexpected bulk reply %q", line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil {
+		return "", fmt.Errorf("kvstore: bad bulk length %q", line)
+	}
+	if n < 0 {
+		return "", ErrNotFound
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
+}
+
+func (c *Client) readInt() (int64, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	if strings.HasPrefix(line, "-ERR") {
+		return 0, fmt.Errorf("kvstore: %s", line)
+	}
+	if !strings.HasPrefix(line, ":") {
+		return 0, fmt.Errorf("kvstore: unexpected int reply %q", line)
+	}
+	return strconv.ParseInt(line[1:], 10, 64)
+}

@@ -1,0 +1,133 @@
+// Package kvstore implements the shared metadata database Viper uses to
+// track model checkpoints (name, version, location, path, size) — the
+// paper deploys Redis for this role. The package provides an in-process
+// store plus a line-protocol TCP server and client so producer and
+// consumer processes on different nodes can share one instance.
+package kvstore
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a key does not exist.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Store is an in-memory string key/value store with atomic counters,
+// safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]string
+	version uint64 // bumps on every mutation, for cheap change detection
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string]string)}
+}
+
+// Set assigns value to key.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	s.data[key] = value
+	s.version++
+	s.mu.Unlock()
+}
+
+// Get returns the value for key or ErrNotFound.
+func (s *Store) Get(key string) (string, error) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return "", ErrNotFound
+	}
+	return v, nil
+}
+
+// Del removes key, reporting whether it existed.
+func (s *Store) Del(key string) bool {
+	s.mu.Lock()
+	_, ok := s.data[key]
+	if ok {
+		delete(s.data, key)
+		s.version++
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Incr atomically increments the integer stored at key (missing keys
+// start at 0) and returns the new value. Non-integer values error.
+func (s *Store) Incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := int64(0)
+	if v, ok := s.data[key]; ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, errors.New("kvstore: value is not an integer")
+		}
+		cur = n
+	}
+	cur++
+	s.data[key] = strconv.FormatInt(cur, 10)
+	s.version++
+	return cur, nil
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Version returns a counter that increases on every mutation; consumers
+// can use it to detect "anything changed" cheaply.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// SetMulti sets several key/value pairs atomically (one version bump).
+func (s *Store) SetMulti(kv map[string]string) {
+	s.mu.Lock()
+	for k, v := range kv {
+		s.data[k] = v
+	}
+	s.version++
+	s.mu.Unlock()
+}
+
+// GetMulti fetches several keys atomically; missing keys are omitted from
+// the result.
+func (s *Store) GetMulti(keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	s.mu.RLock()
+	for _, k := range keys {
+		if v, ok := s.data[k]; ok {
+			out[k] = v
+		}
+	}
+	s.mu.RUnlock()
+	return out
+}

@@ -1,0 +1,92 @@
+// Package models builds the three application architectures the Viper
+// paper evaluates — CANDLE NT3, CANDLE TC1 (1-D convolutional classifiers)
+// and PtychoNN (a convolutional encoder with amplitude and phase decoder
+// heads) — at laptop-scale parameter counts, plus the paper's published
+// checkpoint byte sizes used by the storage simulator.
+package models
+
+import (
+	"math/rand"
+
+	"viper/internal/nn"
+)
+
+// Paper-reported checkpoint sizes (bytes) for the evaluated models. The
+// storage/transfer simulator accounts virtual time against these sizes
+// while the in-process models stay small enough to train in tests.
+const (
+	// SizeNT3A is the NT3.A checkpoint size from Figure 8a (600 MB).
+	SizeNT3A = 600 << 20
+	// SizeNT3B is the NT3.B checkpoint size from Figure 10a (1.7 GB).
+	SizeNT3B = int64(17) << 30 / 10
+	// SizeTC1 is the TC1 checkpoint size from Figure 8b (4.7 GB).
+	SizeTC1 = int64(47) << 30 / 10
+	// SizePtychoNN is the PtychoNN checkpoint size from Figure 8c (4.5 GB).
+	SizePtychoNN = int64(45) << 30 / 10
+)
+
+// NT3Classes and TC1Classes are the benchmark label counts from the paper.
+const (
+	NT3Classes = 2  // normal vs tumor tissue
+	TC1Classes = 18 // balanced tumor types
+)
+
+// NT3 builds a scaled-down CANDLE NT3: a 1-D convolutional network with
+// pooling and dense layers classifying profiles into 2 classes. inputLen
+// must be divisible by 4.
+func NT3(rng *rand.Rand, inputLen int) *nn.Sequential {
+	return convClassifier("nt3", rng, inputLen, NT3Classes, 8, 16, 32)
+}
+
+// TC1 builds a scaled-down CANDLE TC1: architecturally akin to NT3 (as in
+// the paper) but classifying into 18 tumor types.
+func TC1(rng *rand.Rand, inputLen int) *nn.Sequential {
+	return convClassifier("tc1", rng, inputLen, TC1Classes, 16, 32, 64)
+}
+
+// convClassifier is the shared NT3/TC1 topology: two conv+pool stages
+// followed by two dense layers, mirroring the Pilot1 reference models.
+func convClassifier(name string, rng *rand.Rand, inputLen, classes, ch1, ch2, hidden int) *nn.Sequential {
+	flat := (inputLen / 4) * ch2
+	return nn.NewSequential(name,
+		nn.NewConv1D(name+"_conv1", 1, ch1, 5, 1, nn.PaddingSame, rng),
+		nn.NewReLU(name+"_relu1"),
+		nn.NewMaxPool1D(name+"_pool1", 2),
+		nn.NewConv1D(name+"_conv2", ch1, ch2, 5, 1, nn.PaddingSame, rng),
+		nn.NewReLU(name+"_relu2"),
+		nn.NewMaxPool1D(name+"_pool2", 2),
+		nn.NewFlatten(name+"_flatten"),
+		nn.NewDense(name+"_dense1", flat, hidden, rng),
+		nn.NewReLU(name+"_relu3"),
+		nn.NewDense(name+"_dense2", hidden, classes, rng),
+	)
+}
+
+// PtychoNN builds a scaled-down PtychoNN: a convolutional encoder over the
+// diffraction input and two decoder heads mapping the encoding to
+// real-space amplitude and phase respectively. inputLen must be divisible
+// by 4.
+func PtychoNN(rng *rand.Rand, inputLen int) *nn.TwoHead {
+	encCh := 16
+	latentLen := inputLen / 4
+	encoder := nn.NewSequential("ptycho_encoder",
+		nn.NewConv1D("enc_conv1", 1, 8, 5, 1, nn.PaddingSame, rng),
+		nn.NewReLU("enc_relu1"),
+		nn.NewMaxPool1D("enc_pool1", 2),
+		nn.NewConv1D("enc_conv2", 8, encCh, 5, 1, nn.PaddingSame, rng),
+		nn.NewReLU("enc_relu2"),
+		nn.NewMaxPool1D("enc_pool2", 2),
+	)
+	decoder := func(head string) *nn.Sequential {
+		return nn.NewSequential("ptycho_"+head,
+			nn.NewUpsample1D(head+"_up1", 2),
+			nn.NewConv1D(head+"_conv1", encCh, 8, 5, 1, nn.PaddingSame, rng),
+			nn.NewReLU(head+"_relu1"),
+			nn.NewUpsample1D(head+"_up2", 2),
+			nn.NewConv1D(head+"_conv2", 8, 1, 5, 1, nn.PaddingSame, rng),
+			nn.NewFlatten(head+"_flatten"),
+		)
+	}
+	_ = latentLen
+	return nn.NewTwoHead("ptychonn", encoder, decoder("amp"), decoder("phase"))
+}

@@ -1,0 +1,111 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/dataset"
+	"viper/internal/nn"
+	"viper/internal/tensor"
+)
+
+func TestNT3Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NT3(rng, 32)
+	shape, err := m.Validate([]int{32, 1})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(shape) != 1 || shape[0] != NT3Classes {
+		t.Fatalf("NT3 output shape = %v, want [%d]", shape, NT3Classes)
+	}
+	x := tensor.RandNormal(rng, 0, 1, 3, 32, 1)
+	y := m.Predict(x)
+	if y.Dim(0) != 3 || y.Dim(1) != NT3Classes {
+		t.Fatalf("NT3 predict shape = %v", y.Shape())
+	}
+}
+
+func TestTC1Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := TC1(rng, 64)
+	shape, err := m.Validate([]int{64, 1})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if shape[0] != TC1Classes {
+		t.Fatalf("TC1 output shape = %v, want [%d]", shape, TC1Classes)
+	}
+}
+
+func TestPtychoNNShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := PtychoNN(rng, 32)
+	x := tensor.RandNormal(rng, 0, 1, 2, 32, 1)
+	amp, phase := m.PredictBoth(x)
+	if amp.Dim(0) != 2 || amp.Dim(1) != 32 {
+		t.Fatalf("amplitude shape = %v, want [2 32]", amp.Shape())
+	}
+	if phase.Dim(0) != 2 || phase.Dim(1) != 32 {
+		t.Fatalf("phase shape = %v, want [2 32]", phase.Shape())
+	}
+}
+
+func TestModelsHaveDistinctParamNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []nn.Model{NT3(rng, 32), TC1(rng, 32), PtychoNN(rng, 32)} {
+		seen := make(map[string]bool)
+		for _, p := range m.Params() {
+			if seen[p.Name] {
+				t.Fatalf("%s: duplicate parameter name %q", m.Name(), p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestPaperSizesOrdering(t *testing.T) {
+	// NT3.A < NT3.B < PtychoNN < TC1, as in the paper.
+	if !(int64(SizeNT3A) < SizeNT3B && SizeNT3B < SizePtychoNN && SizePtychoNN < SizeTC1) {
+		t.Fatalf("size ordering wrong: %d %d %d %d", SizeNT3A, SizeNT3B, SizePtychoNN, SizeTC1)
+	}
+}
+
+func TestNT3LearnsSyntheticData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, err := dataset.SynthesizeClassification(dataset.ClassificationConfig{
+		Samples: 64, Length: 32, Classes: NT3Classes, Noise: 0.3, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NT3(rng, 32)
+	opt := nn.NewSGD(0.05, 0.9)
+	loss := nn.CrossEntropyWithLogits{}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = m.TrainStep(d.X, d.Y, loss, opt)
+	}
+	if last > 0.2 {
+		t.Fatalf("NT3 loss after 60 full-batch steps = %v, want < 0.2", last)
+	}
+}
+
+func TestPtychoNNLearnsSyntheticData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := dataset.SynthesizeDiffraction(dataset.DiffractionConfig{Samples: 32, Length: 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PtychoNN(rng, 16)
+	opt := nn.NewAdam(0.005)
+	mae := nn.MAE{}
+	first := m.TrainStep(d.X, d.Amplitude, d.Phase, mae, mae, opt)
+	var last float64
+	for i := 0; i < 80; i++ {
+		last = m.TrainStep(d.X, d.Amplitude, d.Phase, mae, mae, opt)
+	}
+	if last > first*0.8 {
+		t.Fatalf("PtychoNN loss went %v -> %v, want at least 20%% reduction", first, last)
+	}
+}

@@ -1,0 +1,283 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"viper/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name  string
+	lastX *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (r *ReLU) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		r.lastX = x
+	}
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastX == nil {
+		panic(fmt.Sprintf("nn: ReLU %s: Backward before Forward(train=true)", r.name))
+	}
+	out := grad.Clone()
+	xd, od := r.lastX.Data(), out.Data()
+	for i := range od {
+		if xd[i] <= 0 {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+type Sigmoid struct {
+	name  string
+	lastY *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid activation layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (s *Sigmoid) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if train {
+		s.lastY = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.lastY == nil {
+		panic(fmt.Sprintf("nn: Sigmoid %s: Backward before Forward(train=true)", s.name))
+	}
+	out := grad.Clone()
+	yd, od := s.lastY.Data(), out.Data()
+	for i := range od {
+		od[i] *= yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	name  string
+	lastY *tensor.Tensor
+}
+
+// NewTanh constructs a tanh activation layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return t.name }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (t *Tanh) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Apply(math.Tanh)
+	if train {
+		t.lastY = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if t.lastY == nil {
+		panic(fmt.Sprintf("nn: Tanh %s: Backward before Forward(train=true)", t.name))
+	}
+	out := grad.Clone()
+	yd, od := t.lastY.Data(), out.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Softmax applies a numerically stable row-wise softmax to a 2-D tensor of
+// logits. Prefer CrossEntropyWithLogits for training; this layer exists to
+// expose class probabilities at inference time, and its Backward computes
+// the full softmax Jacobian product for completeness.
+type Softmax struct {
+	name  string
+	lastY *tensor.Tensor
+}
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Softmax) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (s *Softmax) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(shapeErr(s.name, "[batch, classes]", x.Shape()))
+	}
+	y := SoftmaxRows(x)
+	if train {
+		s.lastY = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.lastY == nil {
+		panic(fmt.Sprintf("nn: Softmax %s: Backward before Forward(train=true)", s.name))
+	}
+	batch, n := s.lastY.Dim(0), s.lastY.Dim(1)
+	out := tensor.New(batch, n)
+	yd, gd, od := s.lastY.Data(), grad.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		yr := yd[b*n : (b+1)*n]
+		gr := gd[b*n : (b+1)*n]
+		dot := 0.0
+		for i := range yr {
+			dot += yr[i] * gr[i]
+		}
+		orow := od[b*n : (b+1)*n]
+		for i := range yr {
+			orow[i] = yr[i] * (gr[i] - dot)
+		}
+	}
+	return out
+}
+
+// SoftmaxRows returns the row-wise softmax of a 2-D tensor as a new tensor.
+func SoftmaxRows(x *tensor.Tensor) *tensor.Tensor {
+	batch, n := x.Dim(0), x.Dim(1)
+	out := tensor.New(batch, n)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		row := xd[b*n : (b+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		orow := od[b*n : (b+1)*n]
+		for i, v := range row {
+			e := math.Exp(v - m)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
+	return out
+}
+
+// Dropout randomly zeroes a fraction rate of activations during training
+// and rescales the survivors by 1/(1-rate) (inverted dropout). At inference
+// time it is the identity.
+type Dropout struct {
+	name     string
+	rate     float64
+	rng      *rand.Rand
+	lastMask []float64
+}
+
+// NewDropout constructs a dropout layer with drop probability rate∈[0,1).
+func NewDropout(name string, rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: Dropout %s: rate %v outside [0,1)", name, rate))
+	}
+	return &Dropout{name: name, rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (d *Dropout) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.rate == 0 {
+		return x
+	}
+	keep := 1 - d.rate
+	mask := make([]float64, x.Len())
+	out := x.Clone()
+	od := out.Data()
+	for i := range od {
+		if d.rng.Float64() < d.rate {
+			mask[i] = 0
+			od[i] = 0
+		} else {
+			mask[i] = 1 / keep
+			od[i] *= 1 / keep
+		}
+	}
+	d.lastMask = mask
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.rate == 0 {
+		return grad
+	}
+	if d.lastMask == nil {
+		panic(fmt.Sprintf("nn: Dropout %s: Backward before Forward(train=true)", d.name))
+	}
+	out := grad.Clone()
+	od := out.Data()
+	for i := range od {
+		od[i] *= d.lastMask[i]
+	}
+	return out
+}

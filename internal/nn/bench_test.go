@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/tensor"
+)
+
+func benchModel(b *testing.B) (*Sequential, *tensor.Tensor, *tensor.Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := NewSequential("bench",
+		NewConv1D("c1", 1, 16, 5, 1, PaddingSame, rng),
+		NewReLU("r1"),
+		NewMaxPool1D("p1", 2),
+		NewConv1D("c2", 16, 32, 5, 1, PaddingSame, rng),
+		NewReLU("r2"),
+		NewMaxPool1D("p2", 2),
+		NewFlatten("f"),
+		NewDense("d1", 32*16, 64, rng),
+		NewReLU("r3"),
+		NewDense("d2", 64, 18, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 8, 64, 1)
+	y := tensor.New(8, 18)
+	for i := 0; i < 8; i++ {
+		y.Set(1, i, i%18)
+	}
+	return m, x, y
+}
+
+func BenchmarkForward(b *testing.B) {
+	m, x, _ := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(x)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	m, x, y := benchModel(b)
+	opt := NewSGD(0.01, 0.9)
+	loss := CrossEntropyWithLogits{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TrainStep(x, y, loss, opt)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	m, x, y := benchModel(b)
+	opt := NewAdam(0.001)
+	loss := CrossEntropyWithLogits{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TrainStep(x, y, loss, opt)
+	}
+}
+
+func BenchmarkSnapshotTake(b *testing.B) {
+	m, _, _ := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TakeSnapshot(m)
+	}
+}
+
+func BenchmarkSnapshotMarshal(b *testing.B) {
+	m, _, _ := benchModel(b)
+	snap := TakeSnapshot(m)
+	b.SetBytes(snap.NumBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotUnmarshal(b *testing.B) {
+	m, _, _ := benchModel(b)
+	blob, err := TakeSnapshot(m).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalSnapshot(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

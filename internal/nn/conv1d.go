@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viper/internal/tensor"
+)
+
+// Padding selects the boundary behaviour of Conv1D.
+type Padding int
+
+const (
+	// PaddingValid performs no padding: Lout = (L-K)/stride + 1.
+	PaddingValid Padding = iota
+	// PaddingSame zero-pads so that Lout = ceil(L/stride).
+	PaddingSame
+)
+
+// Conv1D is a 1-D convolution over inputs of shape [batch, length, inCh],
+// producing [batch, outLen, outCh]. The kernel has shape [K, inCh, outCh].
+// This is the workhorse layer of the CANDLE NT3/TC1 benchmarks and the
+// PtychoNN encoder.
+type Conv1D struct {
+	name         string
+	inCh, outCh  int
+	kernelSize   int
+	stride       int
+	padding      Padding
+	w, b         *Param
+	lastX        *tensor.Tensor
+	lastPadded   *tensor.Tensor
+	lastPadLeft  int
+	lastInLen    int
+	lastOutLen   int
+	lastBatch    int
+	lastPaddedOK bool
+}
+
+// NewConv1D constructs a 1-D convolution with Glorot-uniform weights.
+func NewConv1D(name string, inCh, outCh, kernelSize, stride int, padding Padding, rng *rand.Rand) *Conv1D {
+	if inCh <= 0 || outCh <= 0 || kernelSize <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D %s: non-positive parameter", name))
+	}
+	fanIn := inCh * kernelSize
+	fanOut := outCh * kernelSize
+	return &Conv1D{
+		name:       name,
+		inCh:       inCh,
+		outCh:      outCh,
+		kernelSize: kernelSize,
+		stride:     stride,
+		padding:    padding,
+		w:          newParam(name+"/kernel", tensor.GlorotUniform(rng, fanIn, fanOut, kernelSize, inCh, outCh)),
+		b:          newParam(name+"/bias", tensor.New(outCh)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// outLen computes the output length and left padding for an input length.
+func (c *Conv1D) outLen(l int) (outLen, padLeft int) {
+	switch c.padding {
+	case PaddingSame:
+		outLen = (l + c.stride - 1) / c.stride
+		padTotal := (outLen-1)*c.stride + c.kernelSize - l
+		if padTotal < 0 {
+			padTotal = 0
+		}
+		return outLen, padTotal / 2
+	default:
+		if l < c.kernelSize {
+			return 0, 0
+		}
+		return (l-c.kernelSize)/c.stride + 1, 0
+	}
+}
+
+// OutputShape implements OutputShaper.
+func (c *Conv1D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != c.inCh {
+		return nil, shapeErr(c.name, []int{-1, c.inCh}, in)
+	}
+	ol, _ := c.outLen(in[0])
+	if ol <= 0 {
+		return nil, fmt.Errorf("nn: layer %s: input length %d shorter than kernel %d", c.name, in[0], c.kernelSize)
+	}
+	return []int{ol, c.outCh}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(2) != c.inCh {
+		panic(shapeErr(c.name, []int{-1, -1, c.inCh}, x.Shape()))
+	}
+	batch, l := x.Dim(0), x.Dim(1)
+	outLen, padLeft := c.outLen(l)
+	if outLen <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D %s: input length %d shorter than kernel %d", c.name, l, c.kernelSize))
+	}
+	out := tensor.New(batch, outLen, c.outCh)
+	xd, wd, bd, od := x.Data(), c.w.Value.Data(), c.b.Value.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*l*c.inCh : (b+1)*l*c.inCh]
+		ob := od[b*outLen*c.outCh : (b+1)*outLen*c.outCh]
+		for i := 0; i < outLen; i++ {
+			orow := ob[i*c.outCh : (i+1)*c.outCh]
+			copy(orow, bd)
+			start := i*c.stride - padLeft
+			for k := 0; k < c.kernelSize; k++ {
+				j := start + k
+				if j < 0 || j >= l {
+					continue
+				}
+				xrow := xb[j*c.inCh : (j+1)*c.inCh]
+				wk := wd[k*c.inCh*c.outCh : (k+1)*c.inCh*c.outCh]
+				for ci := 0; ci < c.inCh; ci++ {
+					xv := xrow[ci]
+					if xv == 0 {
+						continue
+					}
+					wrow := wk[ci*c.outCh : (ci+1)*c.outCh]
+					for co := 0; co < c.outCh; co++ {
+						orow[co] += xv * wrow[co]
+					}
+				}
+			}
+		}
+	}
+	if train {
+		c.lastX = x
+		c.lastPadLeft = padLeft
+		c.lastInLen = l
+		c.lastOutLen = outLen
+		c.lastBatch = batch
+		c.lastPaddedOK = true
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !c.lastPaddedOK {
+		panic(fmt.Sprintf("nn: Conv1D %s: Backward before Forward(train=true)", c.name))
+	}
+	batch, l, outLen, padLeft := c.lastBatch, c.lastInLen, c.lastOutLen, c.lastPadLeft
+	if grad.Rank() != 3 || grad.Dim(0) != batch || grad.Dim(1) != outLen || grad.Dim(2) != c.outCh {
+		panic(shapeErr(c.name+" (backward)", []int{batch, outLen, c.outCh}, grad.Shape()))
+	}
+	dx := tensor.New(batch, l, c.inCh)
+	xd, wd := c.lastX.Data(), c.w.Value.Data()
+	gd, dxd := grad.Data(), dx.Data()
+	dwd, dbd := c.w.Grad.Data(), c.b.Grad.Data()
+	for b := 0; b < batch; b++ {
+		xb := xd[b*l*c.inCh : (b+1)*l*c.inCh]
+		gb := gd[b*outLen*c.outCh : (b+1)*outLen*c.outCh]
+		dxb := dxd[b*l*c.inCh : (b+1)*l*c.inCh]
+		for i := 0; i < outLen; i++ {
+			grow := gb[i*c.outCh : (i+1)*c.outCh]
+			for co := 0; co < c.outCh; co++ {
+				dbd[co] += grow[co]
+			}
+			start := i*c.stride - padLeft
+			for k := 0; k < c.kernelSize; k++ {
+				j := start + k
+				if j < 0 || j >= l {
+					continue
+				}
+				xrow := xb[j*c.inCh : (j+1)*c.inCh]
+				dxrow := dxb[j*c.inCh : (j+1)*c.inCh]
+				wk := wd[k*c.inCh*c.outCh : (k+1)*c.inCh*c.outCh]
+				dwk := dwd[k*c.inCh*c.outCh : (k+1)*c.inCh*c.outCh]
+				for ci := 0; ci < c.inCh; ci++ {
+					wrow := wk[ci*c.outCh : (ci+1)*c.outCh]
+					dwrow := dwk[ci*c.outCh : (ci+1)*c.outCh]
+					xv := xrow[ci]
+					acc := 0.0
+					for co := 0; co < c.outCh; co++ {
+						g := grow[co]
+						dwrow[co] += xv * g
+						acc += wrow[co] * g
+					}
+					dxrow[ci] += acc
+				}
+			}
+		}
+	}
+	return dx
+}

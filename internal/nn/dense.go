@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viper/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b with x of shape
+// [batch, in] and y of shape [batch, out].
+type Dense struct {
+	name    string
+	in, out int
+	w, b    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewDense constructs a fully connected layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense %s: non-positive dimensions in=%d out=%d", name, in, out))
+	}
+	return &Dense{
+		name: name,
+		in:   in,
+		out:  out,
+		w:    newParam(name+"/kernel", tensor.GlorotUniform(rng, in, out, in, out)),
+		b:    newParam(name+"/bias", tensor.New(out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutputShape implements OutputShaper.
+func (d *Dense) OutputShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.in {
+		return nil, shapeErr(d.name, []int{d.in}, in)
+	}
+	return []int{d.out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		panic(shapeErr(d.name, []int{-1, d.in}, x.Shape()))
+	}
+	if train {
+		d.lastX = x
+	}
+	y := x.MatMul(d.w.Value)
+	y.AddRowVector(d.b.Value)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic(fmt.Sprintf("nn: Dense %s: Backward before Forward(train=true)", d.name))
+	}
+	// dW = xᵀ·grad, db = column sums of grad, dx = grad·Wᵀ.
+	d.w.Grad.AddInPlace(d.lastX.T().MatMul(grad))
+	d.b.Grad.AddInPlace(grad.SumRows())
+	return grad.MatMul(d.w.Value.T())
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viper/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dParam[i] by central differences for the
+// given forward function.
+func numericalGrad(f func() float64, w []float64, i int) float64 {
+	const h = 1e-6
+	orig := w[i]
+	w[i] = orig + h
+	lp := f()
+	w[i] = orig - h
+	lm := f()
+	w[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkModelGradients verifies the analytic gradients of every parameter of
+// a sequential model against central differences.
+func checkModelGradients(t *testing.T, model *Sequential, loss Loss, x, y *tensor.Tensor, tol float64) {
+	t.Helper()
+	forward := func() float64 {
+		pred := model.Forward(x, false)
+		lv, _ := loss.Compute(pred, y)
+		return lv
+	}
+	// Analytic pass.
+	pred := model.Forward(x, true)
+	_, grad := loss.Compute(pred, y)
+	model.Backward(grad)
+	for _, p := range model.Params() {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		// Probe a deterministic subset of indices to keep runtime low.
+		step := len(w)/7 + 1
+		for i := 0; i < len(w); i += step {
+			want := numericalGrad(forward, w, i)
+			got := g[i]
+			scale := math.Max(1, math.Max(math.Abs(want), math.Abs(got)))
+			if math.Abs(want-got)/scale > tol {
+				t.Errorf("param %s[%d]: analytic grad %v, numeric %v", p.Name, i, got, want)
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := NewSequential("m",
+		NewDense("d1", 5, 7, rng),
+		NewTanh("t1"),
+		NewDense("d2", 7, 3, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 4, 5)
+	y := tensor.New(4, 3)
+	for b := 0; b < 4; b++ {
+		y.Set(1, b, b%3)
+	}
+	checkModelGradients(t, model, CrossEntropyWithLogits{}, x, y, 1e-4)
+}
+
+func TestDenseGradientsMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	model := NewSequential("m",
+		NewDense("d1", 4, 6, rng),
+		NewSigmoid("s1"),
+		NewDense("d2", 6, 2, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 3, 4)
+	y := tensor.RandNormal(rng, 0, 1, 3, 2)
+	checkModelGradients(t, model, MSE{}, x, y, 1e-4)
+}
+
+func TestConv1DGradientsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	model := NewSequential("m",
+		NewConv1D("c1", 2, 3, 3, 1, PaddingValid, rng),
+		NewReLU("r1"),
+		NewFlatten("f"),
+		NewDense("d", 3*6, 2, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 8, 2)
+	y := tensor.New(2, 2)
+	y.Set(1, 0, 0)
+	y.Set(1, 1, 1)
+	checkModelGradients(t, model, CrossEntropyWithLogits{}, x, y, 1e-4)
+}
+
+func TestConv1DGradientsSameStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	model := NewSequential("m",
+		NewConv1D("c1", 1, 4, 5, 2, PaddingSame, rng),
+		NewTanh("t"),
+		NewFlatten("f"),
+		NewDense("d", 4*5, 2, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 10, 1)
+	y := tensor.RandNormal(rng, 0, 1, 2, 2)
+	checkModelGradients(t, model, MSE{}, x, y, 1e-4)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	model := NewSequential("m",
+		NewConv1D("c1", 1, 3, 3, 1, PaddingSame, rng),
+		NewMaxPool1D("p1", 2),
+		NewFlatten("f"),
+		NewDense("d", 3*6, 2, rng),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 12, 1)
+	y := tensor.RandNormal(rng, 0, 1, 2, 2)
+	checkModelGradients(t, model, MSE{}, x, y, 1e-4)
+}
+
+func TestUpsampleGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	model := NewSequential("m",
+		NewDense("d1", 4, 6, rng),
+		NewReshape("rs", 3, 2),
+		NewUpsample1D("u", 2),
+		NewConv1D("c", 2, 1, 3, 1, PaddingSame, rng),
+		NewFlatten("f"),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 4)
+	y := tensor.RandNormal(rng, 0, 1, 2, 6)
+	checkModelGradients(t, model, MAE{}, x, y, 1e-3)
+}
+
+func TestSoftmaxLayerGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	model := NewSequential("m",
+		NewDense("d1", 4, 3, rng),
+		NewSoftmax("sm"),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 3, 4)
+	y := tensor.RandNormal(rng, 0.3, 0.1, 3, 3)
+	checkModelGradients(t, model, MSE{}, x, y, 1e-4)
+}
+
+func TestTwoHeadGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	enc := NewSequential("enc", NewDense("e1", 6, 8, rng), NewTanh("et"))
+	h1 := NewSequential("h1", NewDense("h1d", 8, 4, rng))
+	h2 := NewSequential("h2", NewDense("h2d", 8, 4, rng))
+	model := NewTwoHead("two", enc, h1, h2)
+	x := tensor.RandNormal(rng, 0, 1, 3, 6)
+	y1 := tensor.RandNormal(rng, 0, 1, 3, 4)
+	y2 := tensor.RandNormal(rng, 0, 1, 3, 4)
+	mae := MAE{}
+	mse := MSE{}
+
+	forward := func() float64 {
+		p1, p2 := model.Forward(x, false)
+		l1, _ := mse.Compute(p1, y1)
+		l2, _ := mae.Compute(p2, y2)
+		return l1 + l2
+	}
+	p1, p2 := model.Forward(x, true)
+	_, g1 := mse.Compute(p1, y1)
+	_, g2 := mae.Compute(p2, y2)
+	encGrad := model.Head1.Backward(g1)
+	encGrad.AddInPlace(model.Head2.Backward(g2))
+	model.Encoder.Backward(encGrad)
+
+	for _, p := range model.Params() {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		step := len(w)/5 + 1
+		for i := 0; i < len(w); i += step {
+			want := numericalGrad(forward, w, i)
+			scale := math.Max(1, math.Abs(want))
+			if math.Abs(want-g[i])/scale > 1e-3 {
+				t.Errorf("param %s[%d]: analytic %v, numeric %v", p.Name, i, g[i], want)
+			}
+		}
+	}
+}

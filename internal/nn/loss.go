@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"viper/internal/tensor"
+)
+
+// Loss computes a scalar training loss and the gradient of that loss with
+// respect to the model output.
+type Loss interface {
+	// Name returns the loss identifier (e.g. "cross_entropy").
+	Name() string
+	// Compute returns (loss, dLoss/dPred) for predictions pred and
+	// targets y. The loss is averaged over the batch.
+	Compute(pred, y *tensor.Tensor) (float64, *tensor.Tensor)
+}
+
+// CrossEntropyWithLogits is the softmax cross-entropy loss over raw logits
+// with one-hot targets — the classification loss used by NT3 and TC1.
+// Fusing softmax into the loss keeps the gradient numerically stable:
+// dL/dlogits = (softmax(logits) - y) / batch.
+type CrossEntropyWithLogits struct{}
+
+// Name implements Loss.
+func (CrossEntropyWithLogits) Name() string { return "cross_entropy" }
+
+// Compute implements Loss. pred is [batch, classes] logits; y is one-hot
+// [batch, classes].
+func (CrossEntropyWithLogits) Compute(pred, y *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(y) {
+		panic(fmt.Sprintf("nn: cross_entropy shape mismatch %v vs %v", pred.Shape(), y.Shape()))
+	}
+	batch, n := pred.Dim(0), pred.Dim(1)
+	probs := SoftmaxRows(pred)
+	grad := probs.Clone()
+	grad.SubInPlace(y)
+	grad.ScaleInPlace(1 / float64(batch))
+	loss := 0.0
+	pd, yd := probs.Data(), y.Data()
+	for i := range pd {
+		if yd[i] > 0 {
+			p := pd[i]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= yd[i] * math.Log(p)
+		}
+	}
+	_ = n
+	return loss / float64(batch), grad
+}
+
+// MSE is the mean squared error loss, averaged over all elements.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Compute implements Loss.
+func (MSE) Compute(pred, y *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(y) {
+		panic(fmt.Sprintf("nn: mse shape mismatch %v vs %v", pred.Shape(), y.Shape()))
+	}
+	n := float64(pred.Len())
+	grad := pred.Sub(y)
+	loss := 0.0
+	for _, d := range grad.Data() {
+		loss += d * d
+	}
+	grad.ScaleInPlace(2 / n)
+	return loss / n, grad
+}
+
+// MAE is the mean absolute error loss (PtychoNN's inference-quality
+// metric), averaged over all elements. The subgradient at zero is 0.
+type MAE struct{}
+
+// Name implements Loss.
+func (MAE) Name() string { return "mae" }
+
+// Compute implements Loss.
+func (MAE) Compute(pred, y *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(y) {
+		panic(fmt.Sprintf("nn: mae shape mismatch %v vs %v", pred.Shape(), y.Shape()))
+	}
+	n := float64(pred.Len())
+	diff := pred.Sub(y)
+	loss := 0.0
+	grad := tensor.New(pred.Shape()...)
+	dd, gd := diff.Data(), grad.Data()
+	for i, d := range dd {
+		loss += math.Abs(d)
+		switch {
+		case d > 0:
+			gd[i] = 1 / n
+		case d < 0:
+			gd[i] = -1 / n
+		}
+	}
+	return loss / n, grad
+}
+
+// Accuracy returns the fraction of rows where the argmax of pred matches
+// the argmax of one-hot y. Both must be [batch, classes].
+func Accuracy(pred, y *tensor.Tensor) float64 {
+	if !pred.SameShape(y) {
+		panic(fmt.Sprintf("nn: accuracy shape mismatch %v vs %v", pred.Shape(), y.Shape()))
+	}
+	batch := pred.Dim(0)
+	if batch == 0 {
+		return 0
+	}
+	correct := 0
+	for b := 0; b < batch; b++ {
+		if pred.Row(b).ArgMax() == y.Row(b).ArgMax() {
+			correct++
+		}
+	}
+	return float64(correct) / float64(batch)
+}

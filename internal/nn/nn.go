@@ -1,0 +1,63 @@
+// Package nn implements a compact neural-network framework with true
+// backpropagation: dense and 1-D convolutional layers, pooling, dropout,
+// standard activations, cross-entropy / MSE / MAE losses, and SGD / Adam
+// optimizers.
+//
+// It stands in for the TensorFlow training stack used by the Viper paper's
+// applications (CANDLE NT3/TC1 and PtychoNN). Viper itself treats the
+// framework as a black box that (a) emits a training loss per iteration and
+// (b) can snapshot its weights as a byte blob; this package provides both
+// for real, convergent training runs on synthetic data.
+package nn
+
+import (
+	"fmt"
+
+	"viper/internal/tensor"
+)
+
+// Param is a trainable parameter: a value tensor and its accumulated
+// gradient from the most recent backward pass.
+type Param struct {
+	// Name identifies the parameter for snapshots, e.g. "dense1/kernel".
+	Name string
+	// Value holds the current weights.
+	Value *tensor.Tensor
+	// Grad holds dLoss/dValue, zeroed by the optimizer after each step.
+	Grad *tensor.Tensor
+}
+
+// newParam allocates a parameter with a zeroed gradient of matching shape.
+func newParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes the layer input and returns its output; when train is
+// true the layer may cache activations needed by Backward and apply
+// training-only behaviour (e.g. dropout). Backward consumes dLoss/dOutput
+// and returns dLoss/dInput, accumulating parameter gradients into Params.
+type Layer interface {
+	// Name returns a unique, human-readable layer name.
+	Name() string
+	// Forward runs the layer on x.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// OutputShaper is implemented by layers that can statically report their
+// output shape for a given input shape (excluding the batch dimension).
+// It is used for model construction-time validation.
+type OutputShaper interface {
+	// OutputShape maps an input sample shape to an output sample shape.
+	OutputShape(in []int) ([]int, error)
+}
+
+// shapeErr builds a consistent shape-mismatch error.
+func shapeErr(layer string, want, got interface{}) error {
+	return fmt.Errorf("nn: layer %s: expected input shape %v, got %v", layer, want, got)
+}

@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viper/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 2, 2, rng)
+	// Overwrite weights with known values: W = [[1,2],[3,4]], b = [10, 20].
+	copy(d.w.Value.Data(), []float64{1, 2, 3, 4})
+	copy(d.b.Value.Data(), []float64{10, 20})
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	y := d.Forward(x, false)
+	want := tensor.FromSlice([]float64{14, 26}, 1, 2)
+	if !y.AllClose(want, 1e-12) {
+		t.Fatalf("Forward = %v, want %v", y.Data(), want.Data())
+	}
+}
+
+func TestConv1DKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D("c", 1, 1, 2, 1, PaddingValid, rng)
+	copy(c.w.Value.Data(), []float64{1, -1}) // difference kernel
+	copy(c.b.Value.Data(), []float64{0})
+	x := tensor.FromSlice([]float64{1, 3, 6, 10}, 1, 4, 1)
+	y := c.Forward(x, false)
+	want := tensor.FromSlice([]float64{-2, -3, -4}, 1, 3, 1)
+	if !y.AllClose(want, 1e-12) {
+		t.Fatalf("Conv = %v, want %v", y.Data(), want.Data())
+	}
+}
+
+func TestConv1DSamePaddingLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D("c", 3, 5, 3, 1, PaddingSame, rng)
+	x := tensor.RandNormal(rng, 0, 1, 2, 11, 3)
+	y := c.Forward(x, false)
+	if y.Dim(1) != 11 {
+		t.Fatalf("same-padding output length = %d, want 11", y.Dim(1))
+	}
+	shape, err := c.OutputShape([]int{11, 3})
+	if err != nil || shape[0] != 11 || shape[1] != 5 {
+		t.Fatalf("OutputShape = %v, %v", shape, err)
+	}
+}
+
+func TestMaxPoolForwardKnown(t *testing.T) {
+	p := NewMaxPool1D("p", 2)
+	x := tensor.FromSlice([]float64{1, 5, 2, 4, 9, 3}, 1, 6, 1)
+	y := p.Forward(x, false)
+	want := tensor.FromSlice([]float64{5, 4, 9}, 1, 3, 1)
+	if !y.AllClose(want, 0) {
+		t.Fatalf("MaxPool = %v, want %v", y.Data(), want.Data())
+	}
+}
+
+func TestMaxPoolDropsRemainder(t *testing.T) {
+	p := NewMaxPool1D("p", 2)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5}, 1, 5, 1)
+	y := p.Forward(x, false)
+	if y.Dim(1) != 2 {
+		t.Fatalf("pool output length = %d, want 2 (trailing element dropped)", y.Dim(1))
+	}
+}
+
+func TestUpsampleForwardKnown(t *testing.T) {
+	u := NewUpsample1D("u", 3)
+	x := tensor.FromSlice([]float64{1, 2}, 1, 2, 1)
+	y := u.Forward(x, false)
+	want := tensor.FromSlice([]float64{1, 1, 1, 2, 2, 2}, 1, 6, 1)
+	if !y.AllClose(want, 0) {
+		t.Fatalf("Upsample = %v, want %v", y.Data(), want.Data())
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 0, 5, 7, 9)
+	y := SoftmaxRows(x)
+	for b := 0; b < 7; b++ {
+		if s := y.Row(b).Sum(); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v, want 1", b, s)
+		}
+		for _, v := range y.Row(b).Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	x := tensor.FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	y := SoftmaxRows(x)
+	if s := y.Sum(); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("softmax of huge logits sums to %v", s)
+	}
+	for _, v := range y.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed")
+		}
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	pred := tensor.FromSlice([]float64{100, 0, 0}, 1, 3)
+	y := tensor.FromSlice([]float64{1, 0, 0}, 1, 3)
+	loss, _ := CrossEntropyWithLogits{}.Compute(pred, y)
+	if loss > 1e-9 {
+		t.Fatalf("perfect prediction loss = %v, want ~0", loss)
+	}
+}
+
+func TestCrossEntropyUniformPrediction(t *testing.T) {
+	pred := tensor.New(1, 4)
+	y := tensor.FromSlice([]float64{0, 1, 0, 0}, 1, 4)
+	loss, _ := CrossEntropyWithLogits{}.Compute(pred, y)
+	if want := math.Log(4); math.Abs(loss-want) > 1e-9 {
+		t.Fatalf("uniform prediction loss = %v, want ln(4)=%v", loss, want)
+	}
+}
+
+func TestMSEKnown(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	y := tensor.FromSlice([]float64{0, 0}, 1, 2)
+	loss, grad := MSE{}.Compute(pred, y)
+	if want := (1.0 + 4.0) / 2; math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("MSE = %v, want %v", loss, want)
+	}
+	wantGrad := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	if !grad.AllClose(wantGrad, 1e-12) {
+		t.Fatalf("MSE grad = %v, want %v", grad.Data(), wantGrad.Data())
+	}
+}
+
+func TestMAEKnown(t *testing.T) {
+	pred := tensor.FromSlice([]float64{3, -1}, 1, 2)
+	y := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	loss, grad := MAE{}.Compute(pred, y)
+	if want := (2.0 + 2.0) / 2; math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("MAE = %v, want %v", loss, want)
+	}
+	wantGrad := tensor.FromSlice([]float64{0.5, -0.5}, 1, 2)
+	if !grad.AllClose(wantGrad, 1e-12) {
+		t.Fatalf("MAE grad = %v, want %v", grad.Data(), wantGrad.Data())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	pred := tensor.FromSlice([]float64{
+		0.9, 0.1,
+		0.2, 0.8,
+		0.6, 0.4,
+	}, 3, 2)
+	y := tensor.FromSlice([]float64{
+		1, 0,
+		0, 1,
+		0, 1,
+	}, 3, 2)
+	if got := Accuracy(pred, y); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 2/3", got)
+	}
+}
+
+func TestDropoutInferenceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDropout("do", 0.5, rng)
+	x := tensor.RandNormal(rng, 0, 1, 4, 4)
+	y := d.Forward(x, false)
+	if !y.AllClose(x, 0) {
+		t.Fatal("dropout must be identity at inference")
+	}
+}
+
+func TestDropoutTrainZeroesAndScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDropout("do", 0.5, rng)
+	x := tensor.Ones(1, 10000)
+	y := d.Forward(x, true)
+	zeros := 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			// survivor scaled by 1/(1-0.5)
+		default:
+			t.Fatalf("dropout output %v, want 0 or 2", v)
+		}
+	}
+	if frac := float64(zeros) / 10000; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("dropout zeroed %v, want ≈0.5", frac)
+	}
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{1}, 1))
+	p.Grad.Set(2, 0)
+	NewSGD(0.1, 0).Step([]*Param{p})
+	if got := p.Value.At(0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("after SGD step w = %v, want 0.8", got)
+	}
+	if p.Grad.At(0) != 0 {
+		t.Fatal("SGD must zero gradients after stepping")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := newParam("w", tensor.FromSlice([]float64{0}, 1))
+	opt := NewSGD(1, 0.9)
+	p.Grad.Set(1, 0)
+	opt.Step([]*Param{p}) // v = -1, w = -1
+	p.Grad.Set(1, 0)
+	opt.Step([]*Param{p}) // v = -1.9, w = -2.9
+	if got := p.Value.At(0); math.Abs(got+2.9) > 1e-12 {
+		t.Fatalf("after 2 momentum steps w = %v, want -2.9", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)² with Adam.
+	p := newParam("w", tensor.FromSlice([]float64{0}, 1))
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Set(2*(p.Value.At(0)-3), 0)
+		opt.Step([]*Param{p})
+	}
+	if got := p.Value.At(0); math.Abs(got-3) > 0.01 {
+		t.Fatalf("Adam converged to %v, want 3", got)
+	}
+}
+
+func TestSequentialTrainingConverges(t *testing.T) {
+	// XOR-ish 2-class problem solvable by a small MLP.
+	rng := rand.New(rand.NewSource(5))
+	model := NewSequential("xor",
+		NewDense("d1", 2, 16, rng),
+		NewTanh("t1"),
+		NewDense("d2", 16, 2, rng),
+	)
+	x := tensor.FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	y := tensor.FromSlice([]float64{1, 0, 0, 1, 0, 1, 1, 0}, 4, 2)
+	opt := NewSGD(0.5, 0.9)
+	loss := CrossEntropyWithLogits{}
+	var last float64
+	for i := 0; i < 500; i++ {
+		last = model.TrainStep(x, y, loss, opt)
+	}
+	if last > 0.05 {
+		t.Fatalf("XOR training loss = %v after 500 steps, want < 0.05", last)
+	}
+	if acc := Accuracy(model.Predict(x), y); acc != 1 {
+		t.Fatalf("XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestSequentialValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := NewSequential("m",
+		NewConv1D("c1", 1, 8, 3, 1, PaddingSame, rng),
+		NewMaxPool1D("p1", 2),
+		NewFlatten("f"),
+		NewDense("d", 8*16, 4, rng),
+	)
+	shape, err := model.Validate([]int{32, 1})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(shape) != 1 || shape[0] != 4 {
+		t.Fatalf("Validate output shape = %v, want [4]", shape)
+	}
+	if _, err := model.Validate([]int{32, 2}); err == nil {
+		t.Fatal("Validate must reject wrong channel count")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m1 := NewSequential("m", NewDense("d1", 3, 5, rng), NewTanh("t"), NewDense("d2", 5, 2, rng))
+	m2 := NewSequential("m", NewDense("d1", 3, 5, rng), NewTanh("t"), NewDense("d2", 5, 2, rng))
+	snap := TakeSnapshot(m1)
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	parsed, err := UnmarshalSnapshot(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalSnapshot: %v", err)
+	}
+	if err := RestoreSnapshot(m2, parsed); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	x := tensor.RandNormal(rng, 0, 1, 4, 3)
+	if !m1.Predict(x).AllClose(m2.Predict(x), 1e-12) {
+		t.Fatal("restored model must produce identical predictions")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewSequential("m", NewDense("d", 2, 2, rng))
+	snap := TakeSnapshot(m)
+	before := snap[0].Data[0]
+	m.Params()[0].Value.Set(999, 0, 0)
+	if snap[0].Data[0] != before {
+		t.Fatal("snapshot must not alias model weights")
+	}
+}
+
+func TestSnapshotNumBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewSequential("m", NewDense("d", 10, 5, rng))
+	snap := TakeSnapshot(m)
+	if got, want := snap.NumBytes(), int64((10*5+5)*8); got != want {
+		t.Fatalf("NumBytes = %d, want %d", got, want)
+	}
+}
+
+func TestRestoreSnapshotRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewSequential("m", NewDense("d", 2, 2, rng))
+	other := NewSequential("m", NewDense("other", 2, 2, rng))
+	if err := RestoreSnapshot(m, TakeSnapshot(other)); err == nil {
+		t.Fatal("RestoreSnapshot must reject mismatched names")
+	}
+	small := NewSequential("m", NewDense("d", 2, 1, rng))
+	if err := RestoreSnapshot(m, TakeSnapshot(small)); err == nil {
+		t.Fatal("RestoreSnapshot must reject mismatched shapes")
+	}
+}
+
+func TestUnmarshalSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSnapshot([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	if _, err := UnmarshalSnapshot([]byte{0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestTwoHeadTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	enc := NewSequential("enc", NewDense("e1", 4, 12, rng), NewTanh("et"))
+	h1 := NewSequential("h1", NewDense("h1d", 12, 4, rng))
+	h2 := NewSequential("h2", NewDense("h2d", 12, 4, rng))
+	model := NewTwoHead("two", enc, h1, h2)
+	x := tensor.RandNormal(rng, 0, 1, 8, 4)
+	y1 := x.Clone()   // head1 learns identity
+	y2 := x.Scale(-1) // head2 learns negation
+	opt := NewAdam(0.01)
+	first := model.TrainStep(x, y1, y2, MSE{}, MSE{}, opt)
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = model.TrainStep(x, y1, y2, MSE{}, MSE{}, opt)
+	}
+	if last > first/10 {
+		t.Fatalf("two-head loss went %v -> %v, want 10x reduction", first, last)
+	}
+}
+
+func TestModelInterfaceCompliance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var _ Model = NewSequential("s", NewDense("d", 1, 1, rng))
+	var _ Model = NewTwoHead("t",
+		NewSequential("e", NewDense("ed", 1, 1, rng)),
+		NewSequential("h1", NewDense("h1d", 1, 1, rng)),
+		NewSequential("h2", NewDense("h2d", 1, 1, rng)))
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"viper/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and zeroes
+// the gradients afterwards.
+type Optimizer interface {
+	// Name returns the optimizer identifier (e.g. "sgd", "adam").
+	Name() string
+	// Step applies one update to every parameter.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum,
+// matching the optimizer used by the CANDLE NT3/TC1 benchmarks.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0,1); 0 disables the velocity term.
+	Momentum float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate %v must be positive", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("nn: SGD momentum %v outside [0,1)", momentum))
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			v.ScaleInPlace(s.Momentum)
+			v.AddScaled(p.Grad, -s.LR)
+			p.Value.AddInPlace(v)
+		} else {
+			p.Value.AddScaled(p.Grad, -s.LR)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the optimizer PtychoNN uses.
+type Adam struct {
+	// LR is the learning rate (default 1e-3 if constructed via NewAdam).
+	LR float64
+	// Beta1 and Beta2 are the exponential decay rates for the first and
+	// second moment estimates.
+	Beta1, Beta2 float64
+	// Eps guards against division by zero.
+	Eps float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: Adam learning rate %v must be positive", lr))
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		md, vd, gd, wd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
+		for i, g := range gd {
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
+			mHat := md[i] / bc1
+			vHat := vd[i] / bc2
+			wd[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.Grad.Zero()
+	}
+}

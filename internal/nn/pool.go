@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+
+	"viper/internal/tensor"
+)
+
+// MaxPool1D downsamples inputs of shape [batch, length, ch] by taking the
+// maximum over non-overlapping windows of size Pool along the length axis
+// (stride == pool size, TensorFlow default). Trailing elements that do not
+// fill a window are dropped (valid pooling).
+type MaxPool1D struct {
+	name    string
+	pool    int
+	lastIdx []int // flat input index chosen for each output element
+	lastIn  []int // input shape of the last training forward
+}
+
+// NewMaxPool1D constructs a max-pooling layer with the given window size.
+func NewMaxPool1D(name string, pool int) *MaxPool1D {
+	if pool <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool1D %s: non-positive pool %d", name, pool))
+	}
+	return &MaxPool1D{name: name, pool: pool}
+}
+
+// Name implements Layer.
+func (p *MaxPool1D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (p *MaxPool1D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, shapeErr(p.name, "[length, channels]", in)
+	}
+	ol := in[0] / p.pool
+	if ol <= 0 {
+		return nil, fmt.Errorf("nn: layer %s: input length %d shorter than pool %d", p.name, in[0], p.pool)
+	}
+	return []int{ol, in[1]}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(shapeErr(p.name, "[batch, length, channels]", x.Shape()))
+	}
+	batch, l, ch := x.Dim(0), x.Dim(1), x.Dim(2)
+	outLen := l / p.pool
+	if outLen <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool1D %s: input length %d shorter than pool %d", p.name, l, p.pool))
+	}
+	out := tensor.New(batch, outLen, ch)
+	var idx []int
+	if train {
+		idx = make([]int, batch*outLen*ch)
+	}
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		for i := 0; i < outLen; i++ {
+			for c := 0; c < ch; c++ {
+				bestJ := (b*l+i*p.pool)*ch + c
+				best := xd[bestJ]
+				for k := 1; k < p.pool; k++ {
+					j := (b*l+i*p.pool+k)*ch + c
+					if xd[j] > best {
+						best, bestJ = xd[j], j
+					}
+				}
+				o := (b*outLen+i)*ch + c
+				od[o] = best
+				if train {
+					idx[o] = bestJ
+				}
+			}
+		}
+	}
+	if train {
+		p.lastIdx = idx
+		p.lastIn = x.Shape()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastIdx == nil {
+		panic(fmt.Sprintf("nn: MaxPool1D %s: Backward before Forward(train=true)", p.name))
+	}
+	if grad.Len() != len(p.lastIdx) {
+		panic(shapeErr(p.name+" (backward)", len(p.lastIdx), grad.Len()))
+	}
+	dx := tensor.New(p.lastIn...)
+	dxd, gd := dx.Data(), grad.Data()
+	for o, j := range p.lastIdx {
+		dxd[j] += gd[o]
+	}
+	return dx
+}
+
+// Upsample1D repeats each position along the length axis r times, mapping
+// [batch, length, ch] to [batch, length*r, ch]. It is the decoder
+// counterpart of MaxPool1D in the PtychoNN-style architecture.
+type Upsample1D struct {
+	name   string
+	rate   int
+	lastIn []int
+}
+
+// NewUpsample1D constructs an upsampling layer with repetition factor rate.
+func NewUpsample1D(name string, rate int) *Upsample1D {
+	if rate <= 0 {
+		panic(fmt.Sprintf("nn: Upsample1D %s: non-positive rate %d", name, rate))
+	}
+	return &Upsample1D{name: name, rate: rate}
+}
+
+// Name implements Layer.
+func (u *Upsample1D) Name() string { return u.name }
+
+// Params implements Layer.
+func (u *Upsample1D) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (u *Upsample1D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, shapeErr(u.name, "[length, channels]", in)
+	}
+	return []int{in[0] * u.rate, in[1]}, nil
+}
+
+// Forward implements Layer.
+func (u *Upsample1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(shapeErr(u.name, "[batch, length, channels]", x.Shape()))
+	}
+	batch, l, ch := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(batch, l*u.rate, ch)
+	xd, od := x.Data(), out.Data()
+	for b := 0; b < batch; b++ {
+		for i := 0; i < l; i++ {
+			src := xd[(b*l+i)*ch : (b*l+i+1)*ch]
+			for k := 0; k < u.rate; k++ {
+				dst := (b*l*u.rate + i*u.rate + k) * ch
+				copy(od[dst:dst+ch], src)
+			}
+		}
+	}
+	if train {
+		u.lastIn = x.Shape()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (u *Upsample1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if u.lastIn == nil {
+		panic(fmt.Sprintf("nn: Upsample1D %s: Backward before Forward(train=true)", u.name))
+	}
+	batch, l, ch := u.lastIn[0], u.lastIn[1], u.lastIn[2]
+	if grad.Rank() != 3 || grad.Dim(0) != batch || grad.Dim(1) != l*u.rate || grad.Dim(2) != ch {
+		panic(shapeErr(u.name+" (backward)", []int{batch, l * u.rate, ch}, grad.Shape()))
+	}
+	dx := tensor.New(batch, l, ch)
+	gd, dxd := grad.Data(), dx.Data()
+	for b := 0; b < batch; b++ {
+		for i := 0; i < l; i++ {
+			dst := dxd[(b*l+i)*ch : (b*l+i+1)*ch]
+			for k := 0; k < u.rate; k++ {
+				src := (b*l*u.rate + i*u.rate + k) * ch
+				for c := 0; c < ch; c++ {
+					dst[c] += gd[src+c]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes [batch, d1, d2, ...] to [batch, d1*d2*...].
+type Flatten struct {
+	name   string
+	lastIn []int
+}
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (f *Flatten) OutputShape(in []int) ([]int, error) {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}, nil
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() < 2 {
+		panic(shapeErr(f.name, "[batch, ...]", x.Shape()))
+	}
+	batch := x.Dim(0)
+	if train {
+		f.lastIn = x.Shape()
+	}
+	return x.Reshape(batch, x.Len()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastIn == nil {
+		panic(fmt.Sprintf("nn: Flatten %s: Backward before Forward(train=true)", f.name))
+	}
+	return grad.Reshape(f.lastIn...)
+}
+
+// Reshape reshapes each sample to the given shape (excluding the batch
+// dimension), the inverse companion of Flatten for decoder inputs.
+type Reshape struct {
+	name   string
+	shape  []int
+	lastIn []int
+}
+
+// NewReshape constructs a per-sample reshape layer.
+func NewReshape(name string, sampleShape ...int) *Reshape {
+	out := make([]int, len(sampleShape))
+	copy(out, sampleShape)
+	return &Reshape{name: name, shape: out}
+}
+
+// Name implements Layer.
+func (r *Reshape) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Reshape) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (r *Reshape) OutputShape(in []int) ([]int, error) {
+	inN, outN := 1, 1
+	for _, d := range in {
+		inN *= d
+	}
+	for _, d := range r.shape {
+		outN *= d
+	}
+	if inN != outN {
+		return nil, fmt.Errorf("nn: layer %s: cannot reshape %v (%d) to %v (%d)", r.name, in, inN, r.shape, outN)
+	}
+	return append([]int(nil), r.shape...), nil
+}
+
+// Forward implements Layer.
+func (r *Reshape) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Dim(0)
+	if train {
+		r.lastIn = x.Shape()
+	}
+	shape := append([]int{batch}, r.shape...)
+	return x.Reshape(shape...)
+}
+
+// Backward implements Layer.
+func (r *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastIn == nil {
+		panic(fmt.Sprintf("nn: Reshape %s: Backward before Forward(train=true)", r.name))
+	}
+	return grad.Reshape(r.lastIn...)
+}

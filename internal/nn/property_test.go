@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viper/internal/tensor"
+)
+
+func TestPropSoftmaxRowsAreDistributions(t *testing.T) {
+	f := func(seed int64, bd, nd uint8) bool {
+		b, n := 1+int(bd%5), 1+int(nd%9)
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 10, b, n)
+		y := SoftmaxRows(x)
+		for i := 0; i < b; i++ {
+			row := y.Row(i)
+			if math.Abs(row.Sum()-1) > 1e-9 {
+				return false
+			}
+			for _, v := range row.Data() {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCrossEntropyNonNegative(t *testing.T) {
+	f := func(seed int64, bd, nd uint8) bool {
+		b, n := 1+int(bd%5), 2+int(nd%8)
+		rng := rand.New(rand.NewSource(seed))
+		pred := tensor.RandNormal(rng, 0, 3, b, n)
+		y := tensor.New(b, n)
+		for i := 0; i < b; i++ {
+			y.Set(1, i, rng.Intn(n))
+		}
+		loss, grad := CrossEntropyWithLogits{}.Compute(pred, y)
+		if loss < 0 || math.IsNaN(loss) {
+			return false
+		}
+		// Gradient rows must sum to ~0 (softmax-minus-onehot property).
+		for i := 0; i < b; i++ {
+			if math.Abs(grad.Row(i).Sum()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMSEZeroIffEqual(t *testing.T) {
+	f := func(seed int64, nd uint8) bool {
+		n := 1 + int(nd%16)
+		rng := rand.New(rand.NewSource(seed))
+		a := tensor.RandNormal(rng, 0, 1, 1, n)
+		loss, grad := MSE{}.Compute(a, a.Clone())
+		if loss != 0 {
+			return false
+		}
+		for _, g := range grad.Data() {
+			if g != 0 {
+				return false
+			}
+		}
+		b := a.Clone()
+		b.Set(b.At(0, 0)+1, 0, 0)
+		loss2, _ := MSE{}.Compute(a, b)
+		return loss2 > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSnapshotMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64, layers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(layers%3)
+		var ls []Layer
+		in := 2 + int(seed%3+3)%3
+		cur := in
+		for i := 0; i < n; i++ {
+			out := 1 + (i+int(layers))%4
+			ls = append(ls, NewDense(string(rune('a'+i)), cur, out, rng))
+			cur = out
+		}
+		m := NewSequential("m", ls...)
+		snap := TakeSnapshot(m)
+		blob, err := snap.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		parsed, err := UnmarshalSnapshot(blob)
+		if err != nil || len(parsed) != len(snap) {
+			return false
+		}
+		for i := range snap {
+			if parsed[i].Name != snap[i].Name || len(parsed[i].Data) != len(snap[i].Data) {
+				return false
+			}
+			for j := range snap[i].Data {
+				if parsed[i].Data[j] != snap[i].Data[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropReLUIdempotent(t *testing.T) {
+	f := func(seed int64, nd uint8) bool {
+		n := 1 + int(nd%16)
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 2, 1, n)
+		r := NewReLU("r")
+		once := r.Forward(x, false)
+		twice := r.Forward(once, false)
+		return twice.AllClose(once, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPoolUpsampleShapeInverse(t *testing.T) {
+	// Upsample(rate) after MaxPool(pool=rate) restores the length when the
+	// input length is divisible by rate.
+	f := func(seed int64, rd, ld uint8) bool {
+		rate := 1 + int(rd%4)
+		l := rate * (1 + int(ld%6))
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 1, 2, l, 3)
+		p := NewMaxPool1D("p", rate)
+		u := NewUpsample1D("u", rate)
+		y := u.Forward(p.Forward(x, false), false)
+		return y.Dim(1) == l && y.Dim(0) == 2 && y.Dim(2) == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package pubsub
+
+import "testing"
+
+func BenchmarkBrokerPublish(b *testing.B) {
+	br := NewBroker(1024)
+	sub := br.Subscribe("c")
+	defer sub.Close()
+	go func() {
+		for range sub.C {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish("c", "model update")
+	}
+}
+
+// BenchmarkNotifyLatency measures one publish→receive hop in-process —
+// the paper's "<1 ms" push path.
+func BenchmarkNotifyLatency(b *testing.B) {
+	br := NewBroker(8)
+	sub := br.Subscribe("c")
+	defer sub.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Publish("c", "v")
+		<-sub.C
+	}
+}
+
+// BenchmarkTCPPublish measures publish round trips over loopback TCP.
+func BenchmarkTCPPublish(b *testing.B) {
+	srv := NewServer(NewBroker(1024))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	pub, err := DialClient(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish("c", "model update"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package pubsub_test
+
+import (
+	"fmt"
+
+	"viper/internal/pubsub"
+)
+
+// ExampleBroker shows the push-notification flow Viper uses to announce
+// model updates (no polling).
+func ExampleBroker() {
+	broker := pubsub.NewBroker(8)
+	sub := broker.Subscribe("viper/updates/tc1")
+	defer sub.Close()
+
+	n := broker.Publish("viper/updates/tc1", `{"version":3}`)
+	msg := <-sub.C
+	fmt.Printf("delivered to %d subscriber(s): %s\n", n, msg.Payload)
+	// Output:
+	// delivered to 1 subscriber(s): {"version":3}
+}

@@ -1,0 +1,132 @@
+package pubsub
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rawPubSubConn(t *testing.T) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	srv := NewServer(NewBroker(16))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return conn, bufio.NewReader(conn)
+}
+
+func psSend(t *testing.T, conn net.Conn, line string) {
+	t.Helper()
+	if _, err := conn.Write([]byte(line + "\r\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func psRead(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+func TestPubSubProtocolUnknownCommand(t *testing.T) {
+	conn, r := rawPubSubConn(t)
+	psSend(t, conn, "SHUTDOWN now")
+	if got := psRead(t, r); !strings.HasPrefix(got, "-ERR unknown command") {
+		t.Fatalf("reply = %q", got)
+	}
+	psSend(t, conn, "PING")
+	if got := psRead(t, r); got != "+PONG" {
+		t.Fatalf("after error, PING = %q", got)
+	}
+}
+
+func TestPubSubProtocolMalformedCommands(t *testing.T) {
+	conn, r := rawPubSubConn(t)
+	psSend(t, conn, "SUB")
+	if got := psRead(t, r); !strings.HasPrefix(got, "-ERR usage") {
+		t.Fatalf("SUB reply = %q", got)
+	}
+	psSend(t, conn, "PUB onlychannel")
+	if got := psRead(t, r); !strings.HasPrefix(got, "-ERR usage") {
+		t.Fatalf("PUB reply = %q", got)
+	}
+	psSend(t, conn, "PUB chan notanumber")
+	if got := psRead(t, r); !strings.HasPrefix(got, "-ERR bad length") {
+		t.Fatalf("PUB length reply = %q", got)
+	}
+}
+
+func TestPubSubEmptyPayload(t *testing.T) {
+	pub, subC := newServerPair(t)
+	ch, err := subC.Subscribe("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("c", ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch:
+		if msg.Payload != "" {
+			t.Fatalf("payload = %q, want empty", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty payload not delivered")
+	}
+}
+
+func TestPubSubClientSurvivesDoubleClose(t *testing.T) {
+	pub, _ := newServerPair(t)
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("c", "x"); err == nil {
+		t.Fatal("publish after close must fail")
+	}
+}
+
+func TestPubSubSubscriberReceivesOwnPublishes(t *testing.T) {
+	srv := NewServer(NewBroker(16))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch, err := c.Subscribe("loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Publish("loop", "self")
+	if err != nil || n != 1 {
+		t.Fatalf("publish = %d, %v", n, err)
+	}
+	select {
+	case msg := <-ch:
+		if msg.Payload != "self" {
+			t.Fatalf("payload = %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("self-publish not delivered")
+	}
+}

@@ -1,0 +1,270 @@
+// Package remote implements Viper's multi-process deployment: a producer
+// and a consumer on (potentially) different machines, sharing a metadata
+// server and a notification broker over TCP, and streaming checkpoints
+// over a direct TCP link — the wall-clock analogue of the in-process
+// engine in internal/core, used by the cmd/viper-producer and
+// cmd/viper-consumer demo binaries.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/kvstore"
+	"viper/internal/nn"
+	"viper/internal/pubsub"
+	"viper/internal/transport"
+	"viper/internal/vformat"
+)
+
+// ProducerConfig configures a remote producer.
+type ProducerConfig struct {
+	// Model names the model.
+	Model string
+	// MetaAddr is the kvstore server address.
+	MetaAddr string
+	// NotifyAddr is the pubsub server address.
+	NotifyAddr string
+	// ListenAddr is where to await the consumer's direct link (use
+	// "127.0.0.1:0" to pick a free port).
+	ListenAddr string
+	// OnListen, if set, receives the bound link address before the
+	// producer blocks waiting for the consumer.
+	OnListen func(addr string)
+}
+
+// Producer publishes checkpoints to a remote consumer.
+type Producer struct {
+	model string
+	kv    *kvstore.Client
+	ps    *pubsub.Client
+	link  *transport.TCPLink
+
+	mu      sync.Mutex
+	version uint64
+}
+
+// NewProducer connects to the metadata and notification services, then
+// blocks until the consumer establishes the direct link.
+func NewProducer(cfg ProducerConfig) (*Producer, error) {
+	if cfg.Model == "" {
+		return nil, errors.New("remote: empty model name")
+	}
+	kv, err := kvstore.Dial(cfg.MetaAddr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: metadata: %w", err)
+	}
+	ps, err := pubsub.DialClient(cfg.NotifyAddr)
+	if err != nil {
+		kv.Close()
+		return nil, fmt.Errorf("remote: notify: %w", err)
+	}
+	link, err := transport.ListenTCP(cfg.ListenAddr, cfg.OnListen)
+	if err != nil {
+		kv.Close()
+		ps.Close()
+		return nil, fmt.Errorf("remote: link: %w", err)
+	}
+	return &Producer{model: cfg.Model, kv: kv, ps: ps, link: link}, nil
+}
+
+// Publish serializes and ships a checkpoint: frame over the direct link,
+// metadata into the KV store, then a push notification.
+func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64) (*core.ModelMeta, error) {
+	p.mu.Lock()
+	p.version++
+	version := p.version
+	p.mu.Unlock()
+	ckpt := &vformat.Checkpoint{
+		ModelName: p.model,
+		Version:   version,
+		Iteration: iteration,
+		TrainLoss: loss,
+		Weights:   snapshot,
+	}
+	payload, err := ckpt.Encode()
+	if err != nil {
+		return nil, err
+	}
+	key := core.CheckpointKey(p.model, version)
+	if err := p.link.Send(transport.Frame{
+		Key:     key,
+		Payload: payload,
+		Meta:    map[string]string{"model": p.model, "version": strconv.FormatUint(version, 10)},
+	}); err != nil {
+		return nil, fmt.Errorf("remote: link send: %w", err)
+	}
+	meta := core.ModelMeta{
+		Name:      p.model,
+		Version:   version,
+		Iteration: iteration,
+		TrainLoss: loss,
+		Location:  core.RouteHost,
+		Path:      key,
+		Size:      int64(len(payload)),
+		Format:    "vformat",
+		SavedAt:   time.Now(),
+	}
+	encoded, err := meta.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.kv.Set(core.MetaKey(p.model), encoded); err != nil {
+		return nil, fmt.Errorf("remote: metadata set: %w", err)
+	}
+	if _, err := p.ps.Publish(core.UpdateChannel(p.model), encoded); err != nil {
+		return nil, fmt.Errorf("remote: notify: %w", err)
+	}
+	return &meta, nil
+}
+
+// Version returns the latest published version.
+func (p *Producer) Version() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version
+}
+
+// Close tears down all connections.
+func (p *Producer) Close() {
+	p.link.Close()
+	p.ps.Close()
+	p.kv.Close()
+}
+
+// ConsumerConfig configures a remote consumer.
+type ConsumerConfig struct {
+	// Model names the model to follow.
+	Model string
+	// MetaAddr is the kvstore server address.
+	MetaAddr string
+	// NotifyAddr is the pubsub server address.
+	NotifyAddr string
+	// ProducerAddr is the producer's direct-link address.
+	ProducerAddr string
+	// Serving, if non-nil, is kept restored to the latest checkpoint.
+	Serving nn.Model
+}
+
+// Consumer receives checkpoints pushed by a remote producer.
+type Consumer struct {
+	model   string
+	kv      *kvstore.Client
+	ps      *pubsub.Client
+	link    *transport.TCPLink
+	events  <-chan pubsub.Message
+	serving nn.Model
+
+	mu     sync.Mutex
+	active *vformat.Checkpoint
+	loads  int64
+}
+
+// NewConsumer connects to all services and subscribes to the model's
+// update channel.
+func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
+	if cfg.Model == "" {
+		return nil, errors.New("remote: empty model name")
+	}
+	kv, err := kvstore.Dial(cfg.MetaAddr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: metadata: %w", err)
+	}
+	ps, err := pubsub.DialClient(cfg.NotifyAddr)
+	if err != nil {
+		kv.Close()
+		return nil, fmt.Errorf("remote: notify: %w", err)
+	}
+	events, err := ps.Subscribe(core.UpdateChannel(cfg.Model))
+	if err != nil {
+		kv.Close()
+		ps.Close()
+		return nil, fmt.Errorf("remote: subscribe: %w", err)
+	}
+	link, err := transport.DialTCP(cfg.ProducerAddr)
+	if err != nil {
+		kv.Close()
+		ps.Close()
+		return nil, fmt.Errorf("remote: link: %w", err)
+	}
+	return &Consumer{
+		model: cfg.Model, kv: kv, ps: ps, link: link,
+		events: events, serving: cfg.Serving,
+	}, nil
+}
+
+// ErrTimeout is returned by Next when no update arrives in time.
+var ErrTimeout = errors.New("remote: timed out waiting for a model update")
+
+// Next blocks until the next pushed model update, receives the
+// checkpoint frame, installs it, and returns it.
+func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
+	select {
+	case msg, ok := <-c.events:
+		if !ok {
+			return nil, errors.New("remote: subscription closed")
+		}
+		meta, err := core.DecodeMeta(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := c.link.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("remote: link recv: %w", err)
+		}
+		if frame.Key != meta.Path {
+			return nil, fmt.Errorf("remote: frame %q does not match metadata path %q", frame.Key, meta.Path)
+		}
+		ckpt, err := vformat.Decode(frame.Payload)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.active = ckpt
+		c.loads++
+		c.mu.Unlock()
+		if c.serving != nil {
+			if err := nn.RestoreSnapshot(c.serving, ckpt.Weights); err != nil {
+				return nil, fmt.Errorf("remote: restore: %w", err)
+			}
+		}
+		return ckpt, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// Active returns the currently installed checkpoint (nil before the
+// first update).
+func (c *Consumer) Active() *vformat.Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Loads returns the number of applied updates.
+func (c *Consumer) Loads() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loads
+}
+
+// LatestMeta fetches the newest metadata from the KV store (pull path).
+func (c *Consumer) LatestMeta() (*core.ModelMeta, error) {
+	raw, err := c.kv.Get(core.MetaKey(c.model))
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeMeta(raw)
+}
+
+// Close tears down all connections.
+func (c *Consumer) Close() {
+	c.link.Close()
+	c.ps.Close()
+	c.kv.Close()
+}

@@ -1,0 +1,157 @@
+package remote
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"viper/internal/kvstore"
+	"viper/internal/nn"
+	"viper/internal/pubsub"
+	"viper/internal/tensor"
+)
+
+// testServices starts a kvstore and a pubsub server on loopback.
+func testServices(t *testing.T) (metaAddr, notifyAddr string) {
+	t.Helper()
+	kvSrv := kvstore.NewServer(kvstore.NewStore())
+	metaAddr, err := kvSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kvSrv.Close() })
+	psSrv := pubsub.NewServer(pubsub.NewBroker(64))
+	notifyAddr, err = psSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { psSrv.Close() })
+	return metaAddr, notifyAddr
+}
+
+func testModel(seed int64) *nn.Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential("m", nn.NewDense("d1", 4, 8, rng), nn.NewTanh("t"), nn.NewDense("d2", 8, 2, rng))
+}
+
+// startPair wires a producer and consumer through real TCP services.
+func startPair(t *testing.T, serving nn.Model) (*Producer, *Consumer) {
+	t.Helper()
+	metaAddr, notifyAddr := testServices(t)
+	linkAddr := make(chan string, 1)
+	var prod *Producer
+	var prodErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prod, prodErr = NewProducer(ProducerConfig{
+			Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
+			ListenAddr: "127.0.0.1:0", OnListen: func(a string) { linkAddr <- a },
+		})
+	}()
+	cons, err := NewConsumer(ConsumerConfig{
+		Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
+		ProducerAddr: <-linkAddr, Serving: serving,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if prodErr != nil {
+		t.Fatal(prodErr)
+	}
+	t.Cleanup(func() { prod.Close(); cons.Close() })
+	return prod, cons
+}
+
+func TestPublishAndReceive(t *testing.T) {
+	src := testModel(1)
+	dst := testModel(2)
+	prod, cons := startPair(t, dst)
+	meta, err := prod.Publish(nn.TakeSnapshot(src), 100, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 1 {
+		t.Fatalf("version = %d", meta.Version)
+	}
+	ckpt, err := cons.Next(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Version != 1 || ckpt.Iteration != 100 || ckpt.TrainLoss != 0.42 {
+		t.Fatalf("checkpoint = %+v", ckpt)
+	}
+	// The serving model must now match the producer's weights.
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandNormal(rng, 0, 1, 3, 4)
+	if !src.Predict(x).AllClose(dst.Predict(x), 1e-12) {
+		t.Fatal("serving model does not match published weights")
+	}
+}
+
+func TestMultipleUpdatesInOrder(t *testing.T) {
+	src := testModel(4)
+	prod, cons := startPair(t, nil)
+	const n = 5
+	for i := 1; i <= n; i++ {
+		if _, err := prod.Publish(nn.TakeSnapshot(src), uint64(i*10), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		ckpt, err := cons.Next(5 * time.Second)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if ckpt.Version != uint64(i) {
+			t.Fatalf("update %d has version %d", i, ckpt.Version)
+		}
+	}
+	if cons.Loads() != n {
+		t.Fatalf("loads = %d, want %d", cons.Loads(), n)
+	}
+	if prod.Version() != n {
+		t.Fatalf("producer version = %d", prod.Version())
+	}
+}
+
+func TestNextTimesOut(t *testing.T) {
+	_, cons := startPair(t, nil)
+	if _, err := cons.Next(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestLatestMetaPullPath(t *testing.T) {
+	src := testModel(5)
+	prod, cons := startPair(t, nil)
+	if _, err := cons.LatestMeta(); err == nil {
+		t.Fatal("LatestMeta before any publish must error")
+	}
+	if _, err := prod.Publish(nn.TakeSnapshot(src), 7, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := cons.LatestMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 1 || meta.Iteration != 7 {
+		t.Fatalf("meta = %+v", meta)
+	}
+}
+
+func TestProducerConfigValidation(t *testing.T) {
+	if _, err := NewProducer(ProducerConfig{}); err == nil {
+		t.Fatal("empty model must be rejected")
+	}
+	if _, err := NewConsumer(ConsumerConfig{}); err == nil {
+		t.Fatal("empty consumer model must be rejected")
+	}
+	if _, err := NewProducer(ProducerConfig{Model: "m", MetaAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable metadata server must error")
+	}
+}

@@ -1,0 +1,181 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	c := NewWall()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestWallSleep(t *testing.T) {
+	c := NewWall()
+	start := time.Now()
+	c.Sleep(10 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("Wall.Sleep slept %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); !got.Equal(time.Unix(0, 0)) {
+		t.Fatalf("Now() = %v, want epoch", got)
+	}
+	if v.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", v.Elapsed())
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtualManual()
+	v.Advance(5 * time.Second)
+	if got := v.Elapsed(); got != 5*time.Second {
+		t.Fatalf("Elapsed() = %v, want 5s", got)
+	}
+	v.Advance(250 * time.Millisecond)
+	if got := v.Elapsed(); got != 5250*time.Millisecond {
+		t.Fatalf("Elapsed() = %v, want 5.25s", got)
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoop(t *testing.T) {
+	v := NewVirtualManual()
+	v.Advance(time.Second)
+	v.AdvanceTo(time.Unix(0, 0)) // in the past
+	if got := v.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed() = %v, want 1s", got)
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtualManual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) did not return immediately")
+	}
+}
+
+func TestVirtualManualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtualManual()
+	woke := make(chan time.Duration, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		v.Sleep(2 * time.Second)
+		woke <- v.Elapsed()
+	}()
+	<-started
+	// Give the sleeper a moment to register its wakeup.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(3 * time.Second)
+	select {
+	case e := <-woke:
+		if e < 2*time.Second {
+			t.Fatalf("woke at %v, want >= 2s", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper never woke after Advance")
+	}
+}
+
+func TestVirtualAutoAdvanceSingleWorker(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			v.Sleep(10 * time.Millisecond)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto-advance single worker deadlocked")
+	}
+	if got := v.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed() = %v, want 1s", got)
+	}
+}
+
+func TestVirtualAdvanceFiresInTimestampOrder(t *testing.T) {
+	// Two wakeups registered out of order must be stamped with their own
+	// due times, proving the heap pops them in timestamp order.
+	v := NewVirtualManual()
+	ch5 := v.After(5 * time.Second)
+	ch2 := v.After(2 * time.Second)
+	for v.Pending() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(10 * time.Second)
+	t2 := <-ch2
+	t5 := <-ch5
+	if want := time.Unix(0, 0).Add(2 * time.Second); !t2.Equal(want) {
+		t.Fatalf("2s wakeup stamped %v, want %v", t2, want)
+	}
+	if want := time.Unix(0, 0).Add(5 * time.Second); !t5.Equal(want) {
+		t.Fatalf("5s wakeup stamped %v, want %v", t5, want)
+	}
+	if !t2.Before(t5) {
+		t.Fatal("wakeups must fire in timestamp order")
+	}
+}
+
+func TestVirtualAfterDeliversClockTime(t *testing.T) {
+	v := NewVirtualManual()
+	ch := v.After(time.Second)
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	tm := <-ch
+	if want := time.Unix(0, 0).Add(time.Second); !tm.Equal(want) {
+		t.Fatalf("After delivered %v, want %v", tm, want)
+	}
+}
+
+func TestVirtualWorkersCoordinate(t *testing.T) {
+	// Two registered workers alternately sleeping must interleave in
+	// virtual time without the clock racing ahead.
+	v := NewVirtual()
+	v.RegisterWorker()
+	v.RegisterWorker()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	run := func(step time.Duration, n int) {
+		defer wg.Done()
+		defer v.UnregisterWorker()
+		for i := 0; i < n; i++ {
+			v.Sleep(step)
+		}
+	}
+	go run(10*time.Millisecond, 10) // finishes at 100ms
+	go run(30*time.Millisecond, 10) // finishes at 300ms
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("workers deadlocked")
+	}
+	if got := v.Elapsed(); got != 300*time.Millisecond {
+		t.Fatalf("Elapsed() = %v, want 300ms", got)
+	}
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMats(b *testing.B, n int) (*Tensor, *Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return RandNormal(rng, 0, 1, n, n), RandNormal(rng, 0, 1, n, n)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchMats(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMul(y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	x, y := benchMats(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMul(y)
+	}
+}
+
+func BenchmarkAddInPlace(b *testing.B) {
+	x, y := benchMats(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AddInPlace(y)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	x, _ := benchMats(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.T()
+	}
+}
+
+func BenchmarkSumRows(b *testing.B) {
+	x, _ := benchMats(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.SumRows()
+	}
+}

@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + o elementwise as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	out := t.Clone()
+	out.AddInPlace(o)
+	return out
+}
+
+// AddInPlace adds o to t elementwise. Shapes must match.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// Sub returns t - o elementwise as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	out := t.Clone()
+	out.SubInPlace(o)
+	return out
+}
+
+// SubInPlace subtracts o from t elementwise. Shapes must match.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// Mul returns the elementwise (Hadamard) product t ⊙ o as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	out := t.Clone()
+	out.MulInPlace(o)
+	return out
+}
+
+// MulInPlace multiplies t by o elementwise. Shapes must match.
+func (t *Tensor) MulInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+}
+
+// Scale returns s*t as a new tensor.
+func (t *Tensor) Scale(s float64) *Tensor {
+	out := t.Clone()
+	out.ScaleInPlace(s)
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled adds s*o to t elementwise in place (axpy). Shapes must match.
+func (t *Tensor) AddScaled(o *Tensor, s float64) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] += s * v
+	}
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := t.Clone()
+	out.ApplyInPlace(f)
+	return out
+}
+
+// ApplyInPlace applies f to every element in place.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// MatMul computes the matrix product of two 2-D tensors: (m×k)·(k×n) →
+// (m×n). It panics on rank or inner-dimension mismatch.
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", t.shape, o.shape))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < m; i++ {
+		trow := t.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			a := trow[kk]
+			if a == 0 {
+				continue
+			}
+			brow := o.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose of a 2-D tensor as a new tensor.
+func (t *Tensor) T() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: T requires a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on empty tensors.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element. It panics on empty
+// tensors. Ties resolve to the lowest index.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Dot returns the dot product of two tensors viewed as flat vectors.
+// Lengths must match.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.data) != len(o.data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(t.data), len(o.data)))
+	}
+	s := 0.0
+	for i, v := range t.data {
+		s += v * o.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the tensor viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AddRowVector adds a 1-D vector to every row of a 2-D tensor in place
+// (broadcast over rows). The vector length must equal the column count.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if len(t.shape) != 2 || len(v.shape) != 1 {
+		panic("tensor: AddRowVector requires a 2-D tensor and a 1-D vector")
+	}
+	cols := t.shape[1]
+	if v.shape[0] != cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d does not match %d columns", v.shape[0], cols))
+	}
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*cols : (i+1)*cols]
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+}
+
+// SumRows returns a 1-D tensor whose j-th element is the sum of column j of
+// a 2-D tensor (i.e., the per-column sum over rows).
+func (t *Tensor) SumRows() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRows requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols)
+	for i := 0; i < rows; i++ {
+		row := t.data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// AllClose reports whether every element of t is within tol of o's
+// corresponding element. Shapes must match for a true result.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ClipInPlace clamps every element to [lo, hi].
+func (t *Tensor) ClipInPlace(lo, hi float64) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}

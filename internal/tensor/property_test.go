@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genVec produces a deterministic pseudo-random vector for property tests.
+func genVec(seed int64, n int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return RandUniform(rng, -10, 10, n)
+}
+
+func genMat(seed int64, m, n int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return RandUniform(rng, -5, 5, m, n)
+}
+
+func clampDim(v uint8) int { return 1 + int(v%8) }
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(seed1, seed2 int64, dim uint8) bool {
+		n := clampDim(dim)
+		a, b := genVec(seed1, n), genVec(seed2, n)
+		return a.Add(b).AllClose(b.Add(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSubRoundTrip(t *testing.T) {
+	f := func(seed1, seed2 int64, dim uint8) bool {
+		n := clampDim(dim)
+		a, b := genVec(seed1, n), genVec(seed2, n)
+		return a.Add(b).Sub(b).AllClose(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropScaleDistributesOverAdd(t *testing.T) {
+	f := func(seed1, seed2 int64, dim uint8, sRaw int16) bool {
+		n := clampDim(dim)
+		s := float64(sRaw) / 100
+		a, b := genVec(seed1, n), genVec(seed2, n)
+		left := a.Add(b).Scale(s)
+		right := a.Scale(s).Add(b.Scale(s))
+		return left.AllClose(right, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64, md, nd uint8) bool {
+		m, n := clampDim(md), clampDim(nd)
+		a := genMat(seed, m, n)
+		return a.T().T().AllClose(a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMatMulTransposeIdentity(t *testing.T) {
+	// (A·B)ᵀ == Bᵀ·Aᵀ
+	f := func(seed1, seed2 int64, md, kd, nd uint8) bool {
+		m, k, n := clampDim(md), clampDim(kd), clampDim(nd)
+		a, b := genMat(seed1, m, k), genMat(seed2, k, n)
+		left := a.MatMul(b).T()
+		right := b.T().MatMul(a.T())
+		return left.AllClose(right, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMatMulIdentity(t *testing.T) {
+	f := func(seed int64, md, nd uint8) bool {
+		m, n := clampDim(md), clampDim(nd)
+		a := genMat(seed, m, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(1, i, i)
+		}
+		return a.MatMul(id).AllClose(a, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDotCauchySchwarz(t *testing.T) {
+	f := func(seed1, seed2 int64, dim uint8) bool {
+		n := clampDim(dim)
+		a, b := genVec(seed1, n), genVec(seed2, n)
+		return math.Abs(a.Dot(b)) <= a.Norm2()*b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSumRowsMatchesSum(t *testing.T) {
+	f := func(seed int64, md, nd uint8) bool {
+		m, n := clampDim(md), clampDim(nd)
+		a := genMat(seed, m, n)
+		return math.Abs(a.SumRows().Sum()-a.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqualButIndependent(t *testing.T) {
+	f := func(seed int64, dim uint8) bool {
+		n := clampDim(dim)
+		a := genVec(seed, n)
+		c := a.Clone()
+		if !c.AllClose(a, 0) {
+			return false
+		}
+		c.ApplyInPlace(func(v float64) float64 { return v + 1 })
+		return !c.AllClose(a, 0.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

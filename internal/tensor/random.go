@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a tensor with elements drawn uniformly from
+// [lo, hi) using rng.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*rng.Float64()
+	}
+	return t
+}
+
+// RandNormal returns a tensor with elements drawn from N(mean, std²)
+// using rng.
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// GlorotUniform returns a tensor initialized with the Glorot/Xavier uniform
+// scheme for a layer with the given fan-in and fan-out. This is the default
+// initializer used by the nn package's Dense and Conv1D layers, matching
+// the TensorFlow default the paper's applications use.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+// HeNormal returns a tensor initialized with the He normal scheme for a
+// layer with the given fan-in, appropriate for ReLU activations.
+func HeNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return RandNormal(rng, 0, std, shape...)
+}

@@ -1,0 +1,243 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("Len() = %d, want 6", x.Len())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if x.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, x.At(i, j))
+			}
+		}
+	}
+}
+
+func TestShapeIsCopied(t *testing.T) {
+	x := New(2, 3)
+	s := x.Shape()
+	s[0] = 99
+	if x.Dim(0) != 2 {
+		t.Fatal("Shape() must return a copy")
+	}
+}
+
+func TestFromSliceAndAtSet(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(42, 0, 1)
+	if got := x.At(0, 1); got != 42 {
+		t.Fatalf("after Set, At(0,1) = %v, want 42", got)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(-1, 0)
+	if x.At(0, 0) != -1 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on element-count mismatch")
+		}
+	}()
+	x.Reshape(3)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Set(9, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := a.Add(b); !got.AllClose(FromSlice([]float64{11, 22, 33, 44}, 2, 2), 0) {
+		t.Fatalf("Add = %v", got.Data())
+	}
+	if got := b.Sub(a); !got.AllClose(FromSlice([]float64{9, 18, 27, 36}, 2, 2), 0) {
+		t.Fatalf("Sub = %v", got.Data())
+	}
+	if got := a.Mul(b); !got.AllClose(FromSlice([]float64{10, 40, 90, 160}, 2, 2), 0) {
+		t.Fatalf("Mul = %v", got.Data())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := a.MatMul(b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMatMulInnerMismatchPanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	a.MatMul(b)
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := a.T()
+	want := FromSlice([]float64{1, 4, 2, 5, 3, 6}, 3, 2)
+	if !got.AllClose(want, 0) {
+		t.Fatalf("T = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 4, 1}, 4)
+	if got := a.Sum(); got != 7 {
+		t.Fatalf("Sum = %v, want 7", got)
+	}
+	if got := a.Mean(); got != 1.75 {
+		t.Fatalf("Mean = %v, want 1.75", got)
+	}
+	if got := a.Max(); got != 4 {
+		t.Fatalf("Max = %v, want 4", got)
+	}
+	if got := a.ArgMax(); got != 2 {
+		t.Fatalf("ArgMax = %v, want 2", got)
+	}
+}
+
+func TestArgMaxTieBreaksLow(t *testing.T) {
+	a := FromSlice([]float64{5, 5, 5}, 3)
+	if got := a.ArgMax(); got != 0 {
+		t.Fatalf("ArgMax tie = %v, want 0", got)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	b := FromSlice([]float64{1, 2}, 2)
+	if got := a.Dot(b); got != 11 {
+		t.Fatalf("Dot = %v, want 11", got)
+	}
+	if got := a.Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	v := FromSlice([]float64{10, 20}, 2)
+	a.AddRowVector(v)
+	want := FromSlice([]float64{11, 22, 13, 24}, 2, 2)
+	if !a.AllClose(want, 0) {
+		t.Fatalf("AddRowVector = %v, want %v", a.Data(), want.Data())
+	}
+}
+
+func TestSumRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	got := a.SumRows()
+	want := FromSlice([]float64{9, 12}, 2)
+	if !got.AllClose(want, 0) {
+		t.Fatalf("SumRows = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestRowAndSliceRowsShareStorage(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	r := a.Row(1)
+	if r.At(0) != 3 || r.At(1) != 4 {
+		t.Fatalf("Row(1) = %v", r.Data())
+	}
+	r.Set(99, 0)
+	if a.At(1, 0) != 99 {
+		t.Fatal("Row must share storage")
+	}
+	s := a.SliceRows(1, 3)
+	if s.Dim(0) != 2 || s.At(0, 0) != 99 {
+		t.Fatalf("SliceRows = %v", s.Data())
+	}
+}
+
+func TestClip(t *testing.T) {
+	a := FromSlice([]float64{-5, 0, 5}, 3)
+	a.ClipInPlace(-1, 1)
+	want := FromSlice([]float64{-1, 0, 1}, 3)
+	if !a.AllClose(want, 0) {
+		t.Fatalf("Clip = %v", a.Data())
+	}
+}
+
+func TestRandInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := RandUniform(rng, -2, 3, 100)
+	for _, v := range u.Data() {
+		if v < -2 || v >= 3 {
+			t.Fatalf("RandUniform value %v out of [-2,3)", v)
+		}
+	}
+	n := RandNormal(rng, 0, 1, 10000)
+	if m := n.Mean(); math.Abs(m) > 0.05 {
+		t.Fatalf("RandNormal mean = %v, want ≈0", m)
+	}
+	g := GlorotUniform(rng, 100, 100, 100, 100)
+	limit := math.Sqrt(6.0 / 200.0)
+	for _, v := range g.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot value %v out of ±%v", v, limit)
+		}
+	}
+	h := HeNormal(rng, 50, 1000)
+	if std := h.Norm2() / math.Sqrt(float64(h.Len())); math.Abs(std-math.Sqrt(2.0/50.0)) > 0.02 {
+		t.Fatalf("HeNormal std = %v", std)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := RandNormal(rand.New(rand.NewSource(7)), 0, 1, 16)
+	b := RandNormal(rand.New(rand.NewSource(7)), 0, 1, 16)
+	if !a.AllClose(b, 0) {
+		t.Fatal("same seed must give identical tensors")
+	}
+}

@@ -1,0 +1,193 @@
+// Package trace records structured timelines of Viper runs — checkpoint
+// saves, transfers, loads, swaps, inference batches — and exports them as
+// CSV or JSON for offline analysis. It is the reproduction's analogue of
+// the paper's "Stats Manager" (Figure 3): lightweight, optional
+// observability shared by the experiment drivers and the demo binaries.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind classifies a timeline event.
+type Kind string
+
+// Event kinds emitted by the Viper runtime.
+const (
+	// KindSave is a producer-side checkpoint capture.
+	KindSave Kind = "save"
+	// KindTransfer is a wire transfer completion.
+	KindTransfer Kind = "transfer"
+	// KindLoad is a consumer-side model load.
+	KindLoad Kind = "load"
+	// KindSwap is a double-buffer swap.
+	KindSwap Kind = "swap"
+	// KindInference is an inference batch.
+	KindInference Kind = "inference"
+	// KindStall is a training stall interval.
+	KindStall Kind = "stall"
+	// KindNote is a free-form annotation.
+	KindNote Kind = "note"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	// At is the event time on the run's clock.
+	At time.Time `json:"at"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Model is the model name (may be empty for notes).
+	Model string `json:"model,omitempty"`
+	// Version is the checkpoint version involved (0 if n/a).
+	Version uint64 `json:"version,omitempty"`
+	// Duration is the event's span (0 for instantaneous events).
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Detail carries a free-form description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. It is safe for concurrent use. The zero
+// value is unusable; construct with NewRecorder. A nil *Recorder is a
+// valid no-op sink, so callers can thread an optional recorder without
+// nil checks.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	caps   int
+}
+
+// NewRecorder returns an empty recorder. cap bounds the number of
+// retained events (0 = unbounded); beyond it, the oldest events are
+// discarded.
+func NewRecorder(cap int) *Recorder {
+	return &Recorder{caps: cap}
+}
+
+// Record appends an event. No-op on a nil recorder.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	if r.caps > 0 && len(r.events) > r.caps {
+		drop := len(r.events) - r.caps
+		r.events = append(r.events[:0], r.events[drop:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Note records a free-form annotation at the given time.
+func (r *Recorder) Note(at time.Time, detail string) {
+	r.Record(Event{At: at, Kind: KindNote, Detail: detail})
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the retained events in insertion order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ByKind returns the retained events of one kind, in order.
+func (r *Recorder) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary aggregates per-kind counts and total durations.
+type Summary struct {
+	// Counts maps kind → event count.
+	Counts map[Kind]int
+	// Durations maps kind → summed duration.
+	Durations map[Kind]time.Duration
+}
+
+// Summarize computes the per-kind aggregate.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{Counts: make(map[Kind]int), Durations: make(map[Kind]time.Duration)}
+	for _, e := range r.Events() {
+		s.Counts[e.Kind]++
+		s.Durations[e.Kind] += e.Duration
+	}
+	return s
+}
+
+// String renders the summary with kinds sorted alphabetically.
+func (s Summary) String() string {
+	kinds := make([]string, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	out := ""
+	for _, k := range kinds {
+		out += fmt.Sprintf("%s: %d events, %v total\n", k, s.Counts[Kind(k)], s.Durations[Kind(k)])
+	}
+	return out
+}
+
+// WriteCSV exports the timeline as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_unix_ns", "kind", "model", "version", "duration_ns", "detail"}); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, e := range r.Events() {
+		rec := []string{
+			strconv.FormatInt(e.At.UnixNano(), 10),
+			string(e.Kind),
+			e.Model,
+			strconv.FormatUint(e.Version, 10),
+			strconv.FormatInt(int64(e.Duration), 10),
+			e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports the timeline as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Events())
+}
+
+// ParseJSON reads a timeline exported by WriteJSON.
+func ParseJSON(rd io.Reader) ([]Event, error) {
+	var events []Event
+	if err := json.NewDecoder(rd).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: parsing JSON timeline: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	t0 := time.Unix(100, 0)
+	return []Event{
+		{At: t0, Kind: KindSave, Model: "tc1", Version: 1, Duration: 60 * time.Millisecond},
+		{At: t0.Add(time.Second), Kind: KindTransfer, Model: "tc1", Version: 1, Duration: 550 * time.Millisecond},
+		{At: t0.Add(2 * time.Second), Kind: KindLoad, Model: "tc1", Version: 1, Duration: 60 * time.Millisecond},
+		{At: t0.Add(2 * time.Second), Kind: KindSwap, Model: "tc1", Version: 1},
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range sampleEvents() {
+		r.Record(e)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindSave || evs[3].Kind != KindSwap {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+	// Events() must be a copy.
+	evs[0].Model = "mutated"
+	if r.Events()[0].Model != "tc1" {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSave}) // must not panic
+	r.Note(time.Now(), "x")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must be empty")
+	}
+}
+
+func TestRecorderCapDropsOldest(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Event{Detail: "a"})
+	r.Record(Event{Detail: "b"})
+	r.Record(Event{Detail: "c"})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Detail != "b" || evs[1].Detail != "c" {
+		t.Fatalf("capped events = %+v", evs)
+	}
+}
+
+func TestByKindAndSummary(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range sampleEvents() {
+		r.Record(e)
+	}
+	if saves := r.ByKind(KindSave); len(saves) != 1 || saves[0].Version != 1 {
+		t.Fatalf("ByKind(save) = %+v", saves)
+	}
+	s := r.Summarize()
+	if s.Counts[KindSave] != 1 || s.Counts[KindSwap] != 1 {
+		t.Fatalf("summary counts = %+v", s.Counts)
+	}
+	if s.Durations[KindTransfer] != 550*time.Millisecond {
+		t.Fatalf("transfer duration = %v", s.Durations[KindTransfer])
+	}
+	if !strings.Contains(s.String(), "save: 1 events") {
+		t.Fatalf("summary string = %q", s.String())
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range sampleEvents() {
+		r.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "at_unix_ns,kind,model") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "save") || !strings.Contains(lines[1], "tc1") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	for _, e := range sampleEvents() {
+		r.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 4 {
+		t.Fatalf("parsed %d events", len(parsed))
+	}
+	if parsed[1].Kind != KindTransfer || parsed[1].Duration != 550*time.Millisecond {
+		t.Fatalf("parsed[1] = %+v", parsed[1])
+	}
+	if _, err := ParseJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: KindInference})
+				_ = r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}

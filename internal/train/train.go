@@ -1,0 +1,177 @@
+// Package train runs epoch/iteration training loops with per-iteration
+// callbacks — the equivalent of Keras's model.fit(callbacks=[...]) hook
+// that the Viper paper's Checkpoint Callback plugs into.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viper/internal/dataset"
+	"viper/internal/nn"
+)
+
+// Callback observes training progress. Viper's CheckpointCallback
+// implements this interface; tests use lightweight recorders.
+type Callback interface {
+	// OnIterationEnd fires after every optimizer step with the global
+	// iteration index (0-based) and that iteration's batch loss.
+	OnIterationEnd(iter int, loss float64)
+	// OnEpochEnd fires after each epoch with the epoch index and the mean
+	// iteration loss within the epoch.
+	OnEpochEnd(epoch int, meanLoss float64)
+}
+
+// Task abstracts one trainable workload (single-output classification or
+// two-headed regression) over a fixed in-memory dataset.
+type Task interface {
+	// NumSamples returns the dataset size.
+	NumSamples() int
+	// Step runs one forward/backward/update on the given sample rows and
+	// returns the batch loss.
+	Step(rows []int) float64
+	// EvalLoss returns the current loss over the full evaluation split
+	// without updating weights.
+	EvalLoss() float64
+	// Model returns the model being trained.
+	Model() nn.Model
+}
+
+// ClassificationTask trains a Sequential classifier with softmax
+// cross-entropy (the NT3/TC1 workload).
+type ClassificationTask struct {
+	Net  *nn.Sequential
+	Data *dataset.Classification
+	Eval *dataset.Classification
+	Opt  nn.Optimizer
+
+	loss nn.CrossEntropyWithLogits
+}
+
+// NumSamples implements Task.
+func (t *ClassificationTask) NumSamples() int { return t.Data.X.Dim(0) }
+
+// Model implements Task.
+func (t *ClassificationTask) Model() nn.Model { return t.Net }
+
+// Step implements Task.
+func (t *ClassificationTask) Step(rows []int) float64 {
+	x := dataset.Gather(t.Data.X, rows)
+	y := dataset.Gather(t.Data.Y, rows)
+	return t.Net.TrainStep(x, y, t.loss, t.Opt)
+}
+
+// EvalLoss implements Task.
+func (t *ClassificationTask) EvalLoss() float64 {
+	pred := t.Net.Predict(t.Eval.X)
+	lv, _ := t.loss.Compute(pred, t.Eval.Y)
+	return lv
+}
+
+// EvalAccuracy returns classification accuracy on the evaluation split.
+func (t *ClassificationTask) EvalAccuracy() float64 {
+	return nn.Accuracy(t.Net.Predict(t.Eval.X), t.Eval.Y)
+}
+
+// PtychoTask trains a TwoHead model with MAE on both heads (the PtychoNN
+// workload; the paper measures its inference quality as MAE).
+type PtychoTask struct {
+	Net  *nn.TwoHead
+	Data *dataset.Diffraction
+	Eval *dataset.Diffraction
+	Opt  nn.Optimizer
+
+	loss nn.MAE
+}
+
+// NumSamples implements Task.
+func (t *PtychoTask) NumSamples() int { return t.Data.X.Dim(0) }
+
+// Model implements Task.
+func (t *PtychoTask) Model() nn.Model { return t.Net }
+
+// Step implements Task.
+func (t *PtychoTask) Step(rows []int) float64 {
+	x := dataset.Gather(t.Data.X, rows)
+	y1 := dataset.Gather(t.Data.Amplitude, rows)
+	y2 := dataset.Gather(t.Data.Phase, rows)
+	return t.Net.TrainStep(x, y1, y2, t.loss, t.loss, t.Opt)
+}
+
+// EvalLoss implements Task.
+func (t *PtychoTask) EvalLoss() float64 {
+	p1, p2 := t.Net.PredictBoth(t.Eval.X)
+	l1, _ := t.loss.Compute(p1, t.Eval.Amplitude)
+	l2, _ := t.loss.Compute(p2, t.Eval.Phase)
+	return l1 + l2
+}
+
+// Trainer drives a Task through epochs of shuffled mini-batches, invoking
+// callbacks per iteration and per epoch.
+type Trainer struct {
+	// Task is the workload to train.
+	Task Task
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// Seed drives batch shuffling.
+	Seed int64
+	// Callbacks observe progress.
+	Callbacks []Callback
+
+	iter int
+}
+
+// Iterations returns the number of optimizer steps taken so far.
+func (tr *Trainer) Iterations() int { return tr.iter }
+
+// IterationsPerEpoch returns the number of optimizer steps in one epoch.
+func (tr *Trainer) IterationsPerEpoch() int {
+	n, b := tr.Task.NumSamples(), tr.BatchSize
+	return (n + b - 1) / b
+}
+
+// Run trains for the given number of epochs, returning the per-iteration
+// loss history.
+func (tr *Trainer) Run(epochs int) ([]float64, error) {
+	if tr.BatchSize <= 0 {
+		return nil, fmt.Errorf("train: batch size %d must be positive", tr.BatchSize)
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("train: epochs %d must be positive", epochs)
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	var history []float64
+	for e := 0; e < epochs; e++ {
+		batches := dataset.BatchIndices(rng, tr.Task.NumSamples(), tr.BatchSize)
+		sum := 0.0
+		for _, rows := range batches {
+			loss := tr.Task.Step(rows)
+			history = append(history, loss)
+			sum += loss
+			for _, cb := range tr.Callbacks {
+				cb.OnIterationEnd(tr.iter, loss)
+			}
+			tr.iter++
+		}
+		mean := sum / float64(len(batches))
+		for _, cb := range tr.Callbacks {
+			cb.OnEpochEnd(e, mean)
+		}
+	}
+	return history, nil
+}
+
+// LossRecorder is a Callback that stores per-iteration losses; used by
+// tests and by the warm-up phase that feeds the learning-curve fitter.
+type LossRecorder struct {
+	// Iter holds per-iteration losses in order.
+	Iter []float64
+	// Epoch holds per-epoch mean losses in order.
+	Epoch []float64
+}
+
+// OnIterationEnd implements Callback.
+func (r *LossRecorder) OnIterationEnd(_ int, loss float64) { r.Iter = append(r.Iter, loss) }
+
+// OnEpochEnd implements Callback.
+func (r *LossRecorder) OnEpochEnd(_ int, loss float64) { r.Epoch = append(r.Epoch, loss) }

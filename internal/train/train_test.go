@@ -1,0 +1,121 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/dataset"
+	"viper/internal/models"
+	"viper/internal/nn"
+)
+
+func newClassTask(t *testing.T, seed int64) *ClassificationTask {
+	t.Helper()
+	d, err := dataset.SynthesizeClassification(dataset.ClassificationConfig{
+		Samples: 48, Length: 32, Classes: 2, Noise: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, te := d.Split(0.25)
+	rng := rand.New(rand.NewSource(seed))
+	return &ClassificationTask{
+		Net:  models.NT3(rng, 32),
+		Data: tr,
+		Eval: te,
+		Opt:  nn.NewSGD(0.05, 0.9),
+	}
+}
+
+func TestTrainerRunsExpectedIterations(t *testing.T) {
+	task := newClassTask(t, 1)
+	tr := &Trainer{Task: task, BatchSize: 8, Seed: 1}
+	hist, err := tr.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 36 train samples / batch 8 → 5 iterations per epoch.
+	if want := 5 * 3; len(hist) != want {
+		t.Fatalf("history length = %d, want %d", len(hist), want)
+	}
+	if tr.Iterations() != 15 {
+		t.Fatalf("Iterations() = %d, want 15", tr.Iterations())
+	}
+	if tr.IterationsPerEpoch() != 5 {
+		t.Fatalf("IterationsPerEpoch() = %d, want 5", tr.IterationsPerEpoch())
+	}
+}
+
+func TestTrainerCallbackSequence(t *testing.T) {
+	task := newClassTask(t, 2)
+	rec := &LossRecorder{}
+	tr := &Trainer{Task: task, BatchSize: 12, Seed: 2, Callbacks: []Callback{rec}}
+	if _, err := tr.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Iter) != 6 { // 36/12=3 iters × 2 epochs
+		t.Fatalf("iteration callbacks = %d, want 6", len(rec.Iter))
+	}
+	if len(rec.Epoch) != 2 {
+		t.Fatalf("epoch callbacks = %d, want 2", len(rec.Epoch))
+	}
+}
+
+func TestTrainerLossDecreases(t *testing.T) {
+	task := newClassTask(t, 3)
+	before := task.EvalLoss()
+	tr := &Trainer{Task: task, BatchSize: 8, Seed: 3}
+	if _, err := tr.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	after := task.EvalLoss()
+	if after >= before {
+		t.Fatalf("eval loss %v -> %v, want decrease", before, after)
+	}
+	if acc := task.EvalAccuracy(); acc < 0.7 {
+		t.Fatalf("eval accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestTrainerRejectsBadConfig(t *testing.T) {
+	task := newClassTask(t, 4)
+	if _, err := (&Trainer{Task: task, BatchSize: 0}).Run(1); err == nil {
+		t.Fatal("batch size 0 must be rejected")
+	}
+	if _, err := (&Trainer{Task: task, BatchSize: 8}).Run(0); err == nil {
+		t.Fatal("0 epochs must be rejected")
+	}
+}
+
+func TestPtychoTaskTrains(t *testing.T) {
+	d, err := dataset.SynthesizeDiffraction(dataset.DiffractionConfig{Samples: 24, Length: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trn, te := d.Split(0.25)
+	rng := rand.New(rand.NewSource(5))
+	task := &PtychoTask{Net: models.PtychoNN(rng, 16), Data: trn, Eval: te, Opt: nn.NewAdam(0.005)}
+	before := task.EvalLoss()
+	tr := &Trainer{Task: task, BatchSize: 6, Seed: 5}
+	if _, err := tr.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	if after := task.EvalLoss(); after >= before {
+		t.Fatalf("ptycho eval loss %v -> %v, want decrease", before, after)
+	}
+}
+
+func TestTrainerDeterministicWithSeed(t *testing.T) {
+	t1 := newClassTask(t, 6)
+	t2 := newClassTask(t, 6)
+	h1, _ := (&Trainer{Task: t1, BatchSize: 8, Seed: 9}).Run(3)
+	h2, _ := (&Trainer{Task: t2, BatchSize: 8, Seed: 9}).Run(3)
+	if len(h1) != len(h2) {
+		t.Fatal("history length mismatch")
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("iteration %d loss %v vs %v: training must be deterministic", i, h1[i], h2[i])
+		}
+	}
+}

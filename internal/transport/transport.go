@@ -1,0 +1,408 @@
+// Package transport implements Viper's point-to-point model transfer
+// channels. Two implementations share one interface:
+//
+//   - Link: an in-process, bandwidth-modelled channel whose transfer time
+//     is charged against a pluggable clock. It stands in for the paper's
+//     MPI_Send/MPI_Recv over GPUDirect RDMA (GPU-to-GPU) or InfiniBand
+//     host memory (Host-to-Host); see the calibrated specs below.
+//   - TCPLink: a real TCP connection carrying the same frames, used by the
+//     two-process producer/consumer demo.
+//
+// Frames carry a key, opaque payload, a virtual payload size (so scaled
+// experiments can account full checkpoint sizes) and a small metadata map.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"viper/internal/memsim"
+	"viper/internal/simclock"
+)
+
+// Frame is one transferred message.
+type Frame struct {
+	// Key identifies the payload (e.g. "tc1/v7").
+	Key string
+	// Payload is the physical data.
+	Payload []byte
+	// VirtualSize is the accounted size in bytes (len(Payload) if 0).
+	VirtualSize int64
+	// Meta carries small string metadata.
+	Meta map[string]string
+}
+
+func (f *Frame) accountedSize() int64 {
+	if f.VirtualSize > 0 {
+		return f.VirtualSize
+	}
+	return int64(len(f.Payload))
+}
+
+// Conn is a point-to-point channel for frames.
+type Conn interface {
+	// Send transfers a frame to the peer, blocking for the modelled (or
+	// real) transfer duration.
+	Send(f Frame) error
+	// Recv blocks until a frame arrives or the connection closes.
+	Recv() (Frame, error)
+	// Close tears the connection down; pending Recv calls fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Calibrated link specs (ratios matching the paper's Figure 8; see
+// DESIGN.md §1).
+var (
+	// GPUDirectSpec models GPUDirect RDMA over NVLink/Slingshot: the
+	// GPU-to-GPU path that gives the paper its ≈9× speedup.
+	GPUDirectSpec = LinkSpec{
+		Name:  "gpudirect",
+		Model: memsim.BandwidthModel{Latency: 5 * time.Microsecond, BytesPerSec: 8.5 * float64(1<<30)},
+	}
+	// HostIBSpec models host-to-host RDMA over InfiniBand, the fallback
+	// when direct GPU-to-GPU links are unavailable (≈3× speedup).
+	HostIBSpec = LinkSpec{
+		Name:  "ib-host",
+		Model: memsim.BandwidthModel{Latency: 10 * time.Microsecond, BytesPerSec: 5.5 * float64(1<<30)},
+	}
+)
+
+// LinkSpec names a link and its timing model.
+type LinkSpec struct {
+	// Name identifies the link type.
+	Name string
+	// Model converts sizes to transfer durations.
+	Model memsim.BandwidthModel
+}
+
+// Stats counts link activity.
+type Stats struct {
+	// FramesSent counts completed sends.
+	FramesSent int64
+	// FramesDropped counts superseded frames evicted by SendLatest.
+	FramesDropped int64
+	// BytesSent accumulates virtual sizes.
+	BytesSent int64
+	// BusyTime is the modelled time spent transferring.
+	BusyTime time.Duration
+}
+
+// Link is an in-process bandwidth-modelled connection. Both endpoints
+// share the Link; the producer calls Send, the consumer Recv.
+type Link struct {
+	spec  LinkSpec
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	stats  Stats
+	queue  chan Frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewLink builds a link with the given spec and clock. depth bounds the
+// number of in-flight frames (sends beyond it block after their modelled
+// transfer time).
+func NewLink(spec LinkSpec, clock simclock.Clock, depth int) *Link {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Link{spec: spec, clock: clock, queue: make(chan Frame, depth), closed: make(chan struct{})}
+}
+
+// Spec returns the link's spec.
+func (l *Link) Spec() LinkSpec { return l.spec }
+
+// TransferTime reports the modelled duration for size bytes.
+func (l *Link) TransferTime(size int64) time.Duration { return l.spec.Model.Time(size) }
+
+// Send implements Conn: it sleeps for the modelled transfer time, then
+// enqueues a deep copy of the frame.
+func (l *Link) Send(f Frame) error {
+	select {
+	case <-l.closed:
+		return ErrClosed
+	default:
+	}
+	size := f.accountedSize()
+	cost := l.spec.Model.Time(size)
+	l.clock.Sleep(cost)
+	cp := Frame{Key: f.Key, VirtualSize: f.VirtualSize, Payload: make([]byte, len(f.Payload))}
+	copy(cp.Payload, f.Payload)
+	if f.Meta != nil {
+		cp.Meta = make(map[string]string, len(f.Meta))
+		for k, v := range f.Meta {
+			cp.Meta[k] = v
+		}
+	}
+	select {
+	case l.queue <- cp:
+	case <-l.closed:
+		return ErrClosed
+	}
+	l.mu.Lock()
+	l.stats.FramesSent++
+	l.stats.BytesSent += size
+	l.stats.BusyTime += cost
+	l.mu.Unlock()
+	return nil
+}
+
+// Recv implements Conn.
+func (l *Link) Recv() (Frame, error) {
+	select {
+	case f := <-l.queue:
+		return f, nil
+	case <-l.closed:
+		// Drain anything that raced with close.
+		select {
+		case f := <-l.queue:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+// SendLatest behaves like Send, but never blocks on a full queue:
+// instead it drops the oldest pending frame to make room. Model-update
+// frames are superseding — only the newest matters to the consumer — so
+// a slow consumer observes a skip in versions rather than stalling the
+// producer (mirroring the paper's "only buffer the latest model" policy).
+func (l *Link) SendLatest(f Frame) error {
+	select {
+	case <-l.closed:
+		return ErrClosed
+	default:
+	}
+	size := f.accountedSize()
+	cost := l.spec.Model.Time(size)
+	l.clock.Sleep(cost)
+	cp := Frame{Key: f.Key, VirtualSize: f.VirtualSize, Payload: make([]byte, len(f.Payload))}
+	copy(cp.Payload, f.Payload)
+	if f.Meta != nil {
+		cp.Meta = make(map[string]string, len(f.Meta))
+		for k, v := range f.Meta {
+			cp.Meta[k] = v
+		}
+	}
+	for {
+		select {
+		case l.queue <- cp:
+			l.mu.Lock()
+			l.stats.FramesSent++
+			l.stats.BytesSent += size
+			l.stats.BusyTime += cost
+			l.mu.Unlock()
+			return nil
+		case <-l.closed:
+			return ErrClosed
+		default:
+		}
+		// Queue full: evict the oldest pending frame and retry.
+		select {
+		case <-l.queue:
+			l.mu.Lock()
+			l.stats.FramesDropped++
+			l.mu.Unlock()
+		default:
+		}
+	}
+}
+
+// TryRecv returns a pending frame without blocking.
+func (l *Link) TryRecv() (Frame, bool) {
+	select {
+	case f := <-l.queue:
+		return f, true
+	default:
+		return Frame{}, false
+	}
+}
+
+// Close implements Conn.
+func (l *Link) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// TCPLink is a Conn over a real TCP connection. Frames are length-
+// prefixed: key, meta (count + k/v strings), virtual size, payload.
+type TCPLink struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	writeMu sync.Mutex
+	w       *bufio.Writer
+	readMu  sync.Mutex
+}
+
+// DialTCP connects to a listening peer.
+func DialTCP(addr string) (*TCPLink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return WrapTCP(conn), nil
+}
+
+// WrapTCP builds a TCPLink over an established connection.
+func WrapTCP(conn net.Conn) *TCPLink {
+	return &TCPLink{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+}
+
+// ListenTCP accepts one peer connection on addr, invoking ready with the
+// bound address before blocking in Accept.
+func ListenTCP(addr string, ready func(boundAddr string)) (*TCPLink, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return WrapTCP(conn), nil
+}
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r *bufio.Reader, maxLen uint64) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxLen {
+		return nil, fmt.Errorf("transport: frame field of %d bytes exceeds limit %d", n, maxLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Send implements Conn.
+func (t *TCPLink) Send(f Frame) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	if err := writeBytes(t.w, []byte(f.Key)); err != nil {
+		return err
+	}
+	var meta [8]byte
+	binary.LittleEndian.PutUint64(meta[:], uint64(len(f.Meta)))
+	if _, err := t.w.Write(meta[:]); err != nil {
+		return err
+	}
+	for k, v := range f.Meta {
+		if err := writeBytes(t.w, []byte(k)); err != nil {
+			return err
+		}
+		if err := writeBytes(t.w, []byte(v)); err != nil {
+			return err
+		}
+	}
+	var vs [8]byte
+	binary.LittleEndian.PutUint64(vs[:], uint64(f.VirtualSize))
+	if _, err := t.w.Write(vs[:]); err != nil {
+		return err
+	}
+	if err := writeBytes(t.w, f.Payload); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+const maxFrameField = 8 << 30
+
+// Recv implements Conn.
+func (t *TCPLink) Recv() (Frame, error) {
+	t.readMu.Lock()
+	defer t.readMu.Unlock()
+	key, err := readBytes(t.r, 1<<20)
+	if err != nil {
+		return Frame{}, err
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(t.r, cnt[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	if n > 1<<16 {
+		return Frame{}, fmt.Errorf("transport: implausible meta count %d", n)
+	}
+	var meta map[string]string
+	if n > 0 {
+		meta = make(map[string]string, n)
+		for i := uint64(0); i < n; i++ {
+			k, err := readBytes(t.r, 1<<20)
+			if err != nil {
+				return Frame{}, err
+			}
+			v, err := readBytes(t.r, 1<<20)
+			if err != nil {
+				return Frame{}, err
+			}
+			meta[string(k)] = string(v)
+		}
+	}
+	var vs [8]byte
+	if _, err := io.ReadFull(t.r, vs[:]); err != nil {
+		return Frame{}, err
+	}
+	payload, err := readBytes(t.r, maxFrameField)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		Key:         string(key),
+		Payload:     payload,
+		VirtualSize: int64(binary.LittleEndian.Uint64(vs[:])),
+		Meta:        meta,
+	}, nil
+}
+
+// Close implements Conn.
+func (t *TCPLink) Close() error { return t.conn.Close() }
+
+// Broadcast sends one frame over several connections (the documented
+// extension point toward the paper's future multi-consumer topology).
+// It returns the first error encountered, after attempting every conn.
+func Broadcast(conns []Conn, f Frame) error {
+	var firstErr error
+	for _, c := range conns {
+		if err := c.Send(f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

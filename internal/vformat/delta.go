@@ -1,0 +1,244 @@
+package vformat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"viper/internal/nn"
+)
+
+// Delta checkpointing (incremental checkpoints à la Check-N-Run, cited in
+// the paper's related work): instead of a full weight snapshot, transfer
+// only the elements that changed by more than a threshold since a base
+// version. For fine-tuning phases where most weights barely move, this
+// shrinks the payload — and therefore the capture stall and transfer
+// time — substantially.
+
+const deltaMagic = "VPRD0001"
+
+// TensorDelta is the sparse (or dense) update for one named tensor.
+type TensorDelta struct {
+	// Name matches the base snapshot's tensor name.
+	Name string
+	// Indices are the flat element offsets whose values changed (sparse
+	// representation; nil when Dense is set).
+	Indices []uint32
+	// Values are the new values at Indices.
+	Values []float64
+	// Dense, when non-nil, replaces the whole tensor (used when the
+	// sparse form would be larger than a dense copy).
+	Dense []float64
+}
+
+// DeltaCheckpoint is an incremental checkpoint relative to BaseVersion.
+type DeltaCheckpoint struct {
+	// ModelName identifies the model.
+	ModelName string
+	// Version is this checkpoint's version.
+	Version uint64
+	// BaseVersion is the version the delta applies to.
+	BaseVersion uint64
+	// Iteration is the training iteration of the snapshot.
+	Iteration uint64
+	// TrainLoss is the loss at Iteration.
+	TrainLoss float64
+	// Deltas holds one entry per model tensor, in base order.
+	Deltas []TensorDelta
+}
+
+// ComputeDelta builds the incremental checkpoint that transforms base
+// into next, dropping element changes with |Δ| <= eps (eps = 0 keeps the
+// update exact). Tensors whose sparse form would exceed a dense copy are
+// stored densely. The two snapshots must have identical structure.
+func ComputeDelta(base, next nn.Snapshot, eps float64) (*DeltaCheckpoint, error) {
+	if len(base) != len(next) {
+		return nil, fmt.Errorf("vformat: delta base has %d tensors, next has %d", len(base), len(next))
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("vformat: negative delta threshold %v", eps)
+	}
+	out := &DeltaCheckpoint{Deltas: make([]TensorDelta, 0, len(base))}
+	for i := range base {
+		b, n := base[i], next[i]
+		if b.Name != n.Name || len(b.Data) != len(n.Data) {
+			return nil, fmt.Errorf("vformat: delta tensor %d mismatch: %q(%d) vs %q(%d)",
+				i, b.Name, len(b.Data), n.Name, len(n.Data))
+		}
+		td := TensorDelta{Name: n.Name}
+		for j, v := range n.Data {
+			if math.Abs(v-b.Data[j]) > eps {
+				td.Indices = append(td.Indices, uint32(j))
+				td.Values = append(td.Values, v)
+			}
+		}
+		// A sparse entry costs 12 bytes/element vs 8 dense: switch when
+		// more than 2/3 of the tensor changed.
+		if len(td.Indices)*3 > len(n.Data)*2 {
+			td.Indices, td.Values = nil, nil
+			td.Dense = append([]float64(nil), n.Data...)
+		}
+		out.Deltas = append(out.Deltas, td)
+	}
+	return out, nil
+}
+
+// Apply reconstructs the full snapshot by applying the delta to base.
+// The base is not modified.
+func (d *DeltaCheckpoint) Apply(base nn.Snapshot) (nn.Snapshot, error) {
+	if len(base) != len(d.Deltas) {
+		return nil, fmt.Errorf("vformat: delta has %d tensors, base has %d", len(d.Deltas), len(base))
+	}
+	out := base.Clone()
+	for i := range out {
+		td := d.Deltas[i]
+		if td.Name != out[i].Name {
+			return nil, fmt.Errorf("vformat: delta tensor %d is %q, base has %q", i, td.Name, out[i].Name)
+		}
+		if td.Dense != nil {
+			if len(td.Dense) != len(out[i].Data) {
+				return nil, fmt.Errorf("vformat: dense delta %q has %d elements, base has %d",
+					td.Name, len(td.Dense), len(out[i].Data))
+			}
+			copy(out[i].Data, td.Dense)
+			continue
+		}
+		for k, idx := range td.Indices {
+			if int(idx) >= len(out[i].Data) {
+				return nil, fmt.Errorf("vformat: delta %q index %d out of range %d", td.Name, idx, len(out[i].Data))
+			}
+			out[i].Data[idx] = td.Values[k]
+		}
+	}
+	return out, nil
+}
+
+// ChangedElements returns the total number of updated elements.
+func (d *DeltaCheckpoint) ChangedElements() int {
+	n := 0
+	for _, td := range d.Deltas {
+		if td.Dense != nil {
+			n += len(td.Dense)
+		} else {
+			n += len(td.Indices)
+		}
+	}
+	return n
+}
+
+// Density returns changed elements / total base elements, given the base
+// snapshot's element count.
+func (d *DeltaCheckpoint) Density(totalElements int) float64 {
+	if totalElements <= 0 {
+		return 0
+	}
+	return float64(d.ChangedElements()) / float64(totalElements)
+}
+
+// Encode serializes the delta checkpoint.
+func (d *DeltaCheckpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(deltaMagic)
+	writeString(&buf, d.ModelName)
+	_ = binary.Write(&buf, binary.LittleEndian, d.Version)
+	_ = binary.Write(&buf, binary.LittleEndian, d.BaseVersion)
+	_ = binary.Write(&buf, binary.LittleEndian, d.Iteration)
+	_ = binary.Write(&buf, binary.LittleEndian, d.TrainLoss)
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(len(d.Deltas)))
+	for _, td := range d.Deltas {
+		writeString(&buf, td.Name)
+		if td.Dense != nil {
+			buf.WriteByte(1)
+			_ = binary.Write(&buf, binary.LittleEndian, uint64(len(td.Dense)))
+			payload := make([]byte, 8*len(td.Dense))
+			for i, v := range td.Dense {
+				binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+			}
+			buf.Write(payload)
+			continue
+		}
+		buf.WriteByte(0)
+		_ = binary.Write(&buf, binary.LittleEndian, uint64(len(td.Indices)))
+		payload := make([]byte, 12*len(td.Indices))
+		for i, idx := range td.Indices {
+			binary.LittleEndian.PutUint32(payload[12*i:], idx)
+			binary.LittleEndian.PutUint64(payload[12*i+4:], math.Float64bits(td.Values[i]))
+		}
+		buf.Write(payload)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDelta parses a delta checkpoint serialized by Encode.
+func DecodeDelta(b []byte) (*DeltaCheckpoint, error) {
+	r := bytes.NewReader(b)
+	head := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("vformat: delta header: %w", err)
+	}
+	if string(head) != deltaMagic {
+		return nil, fmt.Errorf("vformat: bad delta magic %q", head)
+	}
+	var d DeltaCheckpoint
+	var err error
+	if d.ModelName, err = readString(r); err != nil {
+		return nil, fmt.Errorf("vformat: delta model name: %w", err)
+	}
+	for _, field := range []*uint64{&d.Version, &d.BaseVersion, &d.Iteration} {
+		if err := binary.Read(r, binary.LittleEndian, field); err != nil {
+			return nil, fmt.Errorf("vformat: delta header field: %w", err)
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, &d.TrainLoss); err != nil {
+		return nil, fmt.Errorf("vformat: delta loss: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("vformat: delta count: %w", err)
+	}
+	for i := uint32(0); i < count; i++ {
+		var td TensorDelta
+		if td.Name, err = readString(r); err != nil {
+			return nil, fmt.Errorf("vformat: delta tensor %d name: %w", i, err)
+		}
+		mode := make([]byte, 1)
+		if _, err := io.ReadFull(r, mode); err != nil {
+			return nil, fmt.Errorf("vformat: delta tensor %d mode: %w", i, err)
+		}
+		var n uint64
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("vformat: delta tensor %d length: %w", i, err)
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("vformat: delta tensor %d implausible length %d", i, n)
+		}
+		switch mode[0] {
+		case 1:
+			payload := make([]byte, 8*int(n))
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return nil, fmt.Errorf("vformat: delta tensor %d dense payload: %w", i, err)
+			}
+			td.Dense = make([]float64, n)
+			for j := range td.Dense {
+				td.Dense[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*j:]))
+			}
+		case 0:
+			payload := make([]byte, 12*int(n))
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return nil, fmt.Errorf("vformat: delta tensor %d sparse payload: %w", i, err)
+			}
+			td.Indices = make([]uint32, n)
+			td.Values = make([]float64, n)
+			for j := range td.Indices {
+				td.Indices[j] = binary.LittleEndian.Uint32(payload[12*j:])
+				td.Values[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[12*j+4:]))
+			}
+		default:
+			return nil, fmt.Errorf("vformat: delta tensor %d unknown mode %d", i, mode[0])
+		}
+		d.Deltas = append(d.Deltas, td)
+	}
+	return &d, nil
+}

@@ -1,0 +1,230 @@
+package vformat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viper/internal/nn"
+)
+
+func twoSnapshots(seed int64, perturb float64, fraction float64) (nn.Snapshot, nn.Snapshot) {
+	rng := rand.New(rand.NewSource(seed))
+	m := nn.NewSequential("m",
+		nn.NewDense("d1", 16, 32, rng),
+		nn.NewTanh("t"),
+		nn.NewDense("d2", 32, 8, rng),
+	)
+	base := nn.TakeSnapshot(m)
+	next := base.Clone()
+	for i := range next {
+		for j := range next[i].Data {
+			if rng.Float64() < fraction {
+				next[i].Data[j] += perturb * rng.NormFloat64()
+			}
+		}
+	}
+	return base, next
+}
+
+func TestComputeDeltaExactRoundTrip(t *testing.T) {
+	base, next := twoSnapshots(1, 0.1, 0.2)
+	d, err := ComputeDelta(base, next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range next {
+		for j := range next[i].Data {
+			if got[i].Data[j] != next[i].Data[j] {
+				t.Fatalf("tensor %d element %d: %v != %v", i, j, got[i].Data[j], next[i].Data[j])
+			}
+		}
+	}
+	// Base must be untouched.
+	base2, _ := twoSnapshots(1, 0.1, 0.2)
+	for i := range base {
+		for j := range base[i].Data {
+			if base[i].Data[j] != base2[i].Data[j] {
+				t.Fatal("Apply must not modify the base")
+			}
+		}
+	}
+}
+
+func TestComputeDeltaSparsity(t *testing.T) {
+	base, next := twoSnapshots(2, 0.5, 0.05) // ~5% of elements changed
+	d, err := ComputeDelta(base, next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, nt := range base {
+		total += len(nt.Data)
+	}
+	if density := d.Density(total); density > 0.15 {
+		t.Fatalf("density = %v, want sparse (<0.15)", density)
+	}
+	// Encoded delta must be much smaller than the full checkpoint.
+	full, err := (&Checkpoint{ModelName: "m", Weights: next}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > len(full)/2 {
+		t.Fatalf("delta %dB not smaller than half the full %dB", len(enc), len(full))
+	}
+}
+
+func TestComputeDeltaDenseFallback(t *testing.T) {
+	base, next := twoSnapshots(3, 0.5, 1.0) // everything changed
+	d, err := ComputeDelta(base, next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, td := range d.Deltas {
+		if td.Dense == nil {
+			t.Fatalf("tensor %q should fall back to dense", td.Name)
+		}
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range next {
+		for j := range next[i].Data {
+			if got[i].Data[j] != next[i].Data[j] {
+				t.Fatal("dense fallback apply mismatch")
+			}
+		}
+	}
+}
+
+func TestComputeDeltaThresholdLossy(t *testing.T) {
+	base, next := twoSnapshots(4, 0.001, 1.0) // tiny changes everywhere
+	d, err := ComputeDelta(base, next, 0.01)  // threshold above the noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.ChangedElements(); n != 0 {
+		t.Fatalf("changes above threshold = %d, want 0", n)
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result equals the base (changes suppressed), within the threshold
+	// of next.
+	for i := range got {
+		for j := range got[i].Data {
+			if got[i].Data[j] != base[i].Data[j] {
+				t.Fatal("suppressed delta must leave base values")
+			}
+			if math.Abs(got[i].Data[j]-next[i].Data[j]) > 0.01 {
+				t.Fatal("reconstruction error exceeds threshold")
+			}
+		}
+	}
+}
+
+func TestDeltaEncodeDecodeRoundTrip(t *testing.T) {
+	base, next := twoSnapshots(5, 0.2, 0.1)
+	d, err := ComputeDelta(base, next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ModelName, d.Version, d.BaseVersion, d.Iteration, d.TrainLoss = "m", 9, 8, 1234, 0.077
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDelta(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelName != "m" || got.Version != 9 || got.BaseVersion != 8 ||
+		got.Iteration != 1234 || got.TrainLoss != 0.077 {
+		t.Fatalf("metadata = %+v", got)
+	}
+	applied1, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied2, err := got.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range applied1 {
+		for j := range applied1[i].Data {
+			if applied1[i].Data[j] != applied2[i].Data[j] {
+				t.Fatal("decoded delta applies differently")
+			}
+		}
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	base, next := twoSnapshots(6, 0.1, 0.1)
+	if _, err := ComputeDelta(base[:1], next, 0); err == nil {
+		t.Fatal("tensor count mismatch must error")
+	}
+	if _, err := ComputeDelta(base, next, -1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+	d, err := ComputeDelta(base, next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(base[:1]); err == nil {
+		t.Fatal("apply to mismatched base must error")
+	}
+	if _, err := DecodeDelta([]byte("junk")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	blob, _ := d.Encode()
+	if _, err := DecodeDelta(blob[:len(blob)-4]); err == nil {
+		t.Fatal("truncated delta must error")
+	}
+}
+
+func TestPropDeltaRoundTripArbitraryChanges(t *testing.T) {
+	f := func(seed int64, fracRaw, perturbRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		perturb := 0.01 + float64(perturbRaw)/64
+		base, next := twoSnapshots(seed, perturb, frac)
+		d, err := ComputeDelta(base, next, 0)
+		if err != nil {
+			return false
+		}
+		blob, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		parsed, err := DecodeDelta(blob)
+		if err != nil {
+			return false
+		}
+		got, err := parsed.Apply(base)
+		if err != nil {
+			return false
+		}
+		for i := range next {
+			for j := range next[i].Data {
+				if got[i].Data[j] != next[i].Data[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

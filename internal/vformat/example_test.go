@@ -1,0 +1,60 @@
+package vformat_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viper/internal/nn"
+	"viper/internal/vformat"
+)
+
+func demoSnapshot() nn.Snapshot {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewSequential("demo", nn.NewDense("d", 4, 4, rng))
+	return nn.TakeSnapshot(m)
+}
+
+// ExampleCheckpoint_Encode round-trips a checkpoint through Viper's lean
+// wire format.
+func ExampleCheckpoint_Encode() {
+	ckpt := &vformat.Checkpoint{
+		ModelName: "tc1",
+		Version:   7,
+		Iteration: 1512,
+		TrainLoss: 0.042,
+		Weights:   demoSnapshot(),
+	}
+	blob, _ := ckpt.Encode()
+	back, _ := vformat.Decode(blob)
+	fmt.Printf("%s v%d at iteration %d, %d tensors\n",
+		back.ModelName, back.Version, back.Iteration, len(back.Weights))
+	// Output:
+	// tc1 v7 at iteration 1512, 2 tensors
+}
+
+// ExampleComputeDelta builds an incremental checkpoint holding only the
+// changed weights.
+func ExampleComputeDelta() {
+	base := demoSnapshot()
+	next := base.Clone()
+	next[0].Data[3] += 1.5 // one weight changed
+
+	delta, _ := vformat.ComputeDelta(base, next, 0)
+	fmt.Printf("changed elements: %d\n", delta.ChangedElements())
+
+	restored, _ := delta.Apply(base)
+	fmt.Printf("restored matches: %v\n", restored[0].Data[3] == next[0].Data[3])
+	// Output:
+	// changed elements: 1
+	// restored matches: true
+}
+
+// ExampleEncodeQuantized ships a checkpoint at half precision.
+func ExampleEncodeQuantized() {
+	ckpt := &vformat.Checkpoint{ModelName: "tc1", Weights: demoSnapshot()}
+	full, _ := ckpt.Encode()
+	half, _ := vformat.EncodeQuantized(ckpt, vformat.PrecFloat16)
+	fmt.Printf("float16 payload is smaller: %v\n", len(half) < len(full))
+	// Output:
+	// float16 payload is smaller: true
+}

@@ -1,0 +1,168 @@
+package vformat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizedRoundTripFloat64Lossless(t *testing.T) {
+	ckpt := &Checkpoint{ModelName: "m", Version: 2, Iteration: 30, TrainLoss: 0.5, Weights: sampleSnapshot(1)}
+	blob, err := EncodeQuantized(ckpt, PrecFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := DecodeQuantized(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != PrecFloat64 {
+		t.Fatalf("precision = %v", p)
+	}
+	for i := range ckpt.Weights {
+		for j := range ckpt.Weights[i].Data {
+			if got.Weights[i].Data[j] != ckpt.Weights[i].Data[j] {
+				t.Fatal("float64 wire must be lossless")
+			}
+		}
+	}
+	if got.ModelName != "m" || got.Version != 2 || got.Iteration != 30 || got.TrainLoss != 0.5 {
+		t.Fatalf("metadata = %+v", got)
+	}
+}
+
+func TestQuantizedFloat32BoundedError(t *testing.T) {
+	ckpt := &Checkpoint{ModelName: "m", Weights: sampleSnapshot(2)}
+	blob, err := EncodeQuantized(ckpt, PrecFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := DecodeQuantized(blob)
+	if err != nil || p != PrecFloat32 {
+		t.Fatalf("decode: %v, %v", p, err)
+	}
+	for i := range ckpt.Weights {
+		for j, v := range ckpt.Weights[i].Data {
+			rel := math.Abs(got.Weights[i].Data[j]-v) / math.Max(1e-9, math.Abs(v))
+			if rel > 1e-6 {
+				t.Fatalf("float32 relative error %v too large", rel)
+			}
+		}
+	}
+}
+
+func TestQuantizedFloat16BoundedError(t *testing.T) {
+	ckpt := &Checkpoint{ModelName: "m", Weights: sampleSnapshot(3)}
+	blob, err := EncodeQuantized(ckpt, PrecFloat16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := DecodeQuantized(blob)
+	if err != nil || p != PrecFloat16 {
+		t.Fatalf("decode: %v, %v", p, err)
+	}
+	for i := range ckpt.Weights {
+		for j, v := range ckpt.Weights[i].Data {
+			rel := math.Abs(got.Weights[i].Data[j]-v) / math.Max(1e-3, math.Abs(v))
+			if rel > 1e-3 {
+				t.Fatalf("float16 relative error %v too large for %v", rel, v)
+			}
+		}
+	}
+}
+
+func TestQuantizedSizeScaling(t *testing.T) {
+	ckpt := &Checkpoint{ModelName: "m", Weights: sampleSnapshot(4)}
+	b64, _ := EncodeQuantized(ckpt, PrecFloat64)
+	b32, _ := EncodeQuantized(ckpt, PrecFloat32)
+	b16, _ := EncodeQuantized(ckpt, PrecFloat16)
+	if !(len(b16) < len(b32) && len(b32) < len(b64)) {
+		t.Fatalf("sizes %d/%d/%d must shrink with precision", len(b64), len(b32), len(b16))
+	}
+	// Payload dominates: the ratios should approach 2x and 4x.
+	if r := float64(len(b64)) / float64(len(b32)); r < 1.7 {
+		t.Fatalf("f64/f32 ratio = %.2f, want ≈2", r)
+	}
+	if r := float64(len(b64)) / float64(len(b16)); r < 2.8 {
+		t.Fatalf("f64/f16 ratio = %.2f, want ≈4", r)
+	}
+}
+
+func TestQuantizedErrors(t *testing.T) {
+	ckpt := &Checkpoint{ModelName: "m", Weights: sampleSnapshot(5)}
+	if _, err := EncodeQuantized(ckpt, Precision(9)); err == nil {
+		t.Fatal("unknown precision must error")
+	}
+	if _, _, err := DecodeQuantized([]byte("nope")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	blob, _ := EncodeQuantized(ckpt, PrecFloat16)
+	if _, _, err := DecodeQuantized(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated must error")
+	}
+}
+
+func TestFloat16SpecialValues(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{-1, -1},
+		{0.5, 0.5},
+		{65504, 65504},                   // max finite half
+		{1e9, 65504},                     // saturates
+		{-1e9, -65504},                   // saturates negative
+		{6.103515625e-5, 6.103515625e-5}, // smallest normal half
+	}
+	for _, c := range cases {
+		got := Float16ToFloat64(Float16FromFloat64(c.in))
+		if got != c.want {
+			t.Errorf("f16 round trip of %v = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if got := Float16ToFloat64(Float16FromFloat64(math.Inf(1))); !math.IsInf(got, 1) {
+		t.Errorf("+Inf round trip = %v", got)
+	}
+	if got := Float16ToFloat64(Float16FromFloat64(math.Inf(-1))); !math.IsInf(got, -1) {
+		t.Errorf("-Inf round trip = %v", got)
+	}
+	if got := Float16ToFloat64(Float16FromFloat64(math.NaN())); !math.IsNaN(got) {
+		t.Errorf("NaN round trip = %v", got)
+	}
+	// Signed zero survives.
+	if bits := Float16FromFloat64(math.Copysign(0, -1)); bits != 0x8000 {
+		t.Errorf("-0 encodes to %#x", bits)
+	}
+}
+
+func TestFloat16Subnormals(t *testing.T) {
+	// The smallest positive half subnormal is 2^-24.
+	tiny := math.Pow(2, -24)
+	if got := Float16ToFloat64(Float16FromFloat64(tiny)); got != tiny {
+		t.Fatalf("subnormal %v round trips to %v", tiny, got)
+	}
+	// A mid-range subnormal.
+	v := 3 * math.Pow(2, -24)
+	if got := Float16ToFloat64(Float16FromFloat64(v)); math.Abs(got-v) > math.Pow(2, -25) {
+		t.Fatalf("subnormal %v round trips to %v", v, got)
+	}
+	// Values below half the smallest subnormal flush to zero.
+	if got := Float16ToFloat64(Float16FromFloat64(math.Pow(2, -26))); got != 0 {
+		t.Fatalf("deep underflow = %v, want 0", got)
+	}
+}
+
+func TestPropFloat16RoundTripMonotoneError(t *testing.T) {
+	f := func(raw int32) bool {
+		v := float64(raw) / float64(1<<20) // range ≈ ±2048
+		got := Float16ToFloat64(Float16FromFloat64(v))
+		// Half precision: ~11 bits of mantissa → rel error < 2^-10.
+		scale := math.Max(math.Abs(v), math.Pow(2, -14))
+		return math.Abs(got-v) <= scale*math.Pow(2, -10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package vformat
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/h5lite"
+	"viper/internal/nn"
+)
+
+func sampleSnapshot(seed int64) nn.Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	m := nn.NewSequential("m",
+		nn.NewDense("d1", 8, 16, rng),
+		nn.NewTanh("t"),
+		nn.NewDense("d2", 16, 4, rng),
+	)
+	return nn.TakeSnapshot(m)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ckpt := &Checkpoint{
+		ModelName: "tc1",
+		Version:   7,
+		Iteration: 1512,
+		TrainLoss: 0.0423,
+		Weights:   sampleSnapshot(1),
+	}
+	blob, err := ckpt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelName != "tc1" || got.Version != 7 || got.Iteration != 1512 || got.TrainLoss != 0.0423 {
+		t.Fatalf("metadata = %+v", got)
+	}
+	if len(got.Weights) != len(ckpt.Weights) {
+		t.Fatalf("weights count = %d, want %d", len(got.Weights), len(ckpt.Weights))
+	}
+	for i := range ckpt.Weights {
+		if got.Weights[i].Name != ckpt.Weights[i].Name {
+			t.Fatalf("tensor %d name = %q", i, got.Weights[i].Name)
+		}
+		for j := range ckpt.Weights[i].Data {
+			if got.Weights[i].Data[j] != ckpt.Weights[i].Data[j] {
+				t.Fatalf("tensor %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("xx")); err == nil {
+		t.Fatal("truncated must error")
+	}
+	if _, err := Decode(make([]byte, 64)); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	ckpt := &Checkpoint{ModelName: "m", Weights: sampleSnapshot(2)}
+	blob, _ := ckpt.Encode()
+	if _, err := Decode(blob[:len(blob)-10]); err == nil {
+		t.Fatal("truncated weights must error")
+	}
+}
+
+func TestLeanerThanH5(t *testing.T) {
+	// The reproduction's analogue of the paper's baseline-vs-Viper-PFS
+	// gap: the same weights serialized via h5lite must be strictly
+	// larger than vformat.
+	snap := sampleSnapshot(3)
+	ckpt := &Checkpoint{ModelName: "m", Version: 1, Weights: snap}
+	lean, err := ckpt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h5 := h5lite.New()
+	g, err := h5.Root().CreateGroup("model_weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nt := range snap {
+		name := nt.Name
+		// h5 names cannot contain '/', flatten.
+		flat := ""
+		for _, r := range name {
+			if r == '/' {
+				flat += "_"
+			} else {
+				flat += string(r)
+			}
+		}
+		if _, err := g.CreateDataset(flat, nt.Shape, nt.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fat, err := h5.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fat) <= len(lean) {
+		t.Fatalf("h5 size %d must exceed vformat size %d", len(fat), len(lean))
+	}
+}
+
+func TestRestoreFromDecodedCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m1 := nn.NewSequential("m", nn.NewDense("d", 4, 4, rng))
+	m2 := nn.NewSequential("m", nn.NewDense("d", 4, 4, rng))
+	ckpt := &Checkpoint{ModelName: "m", Version: 1, Weights: nn.TakeSnapshot(m1)}
+	blob, err := ckpt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.RestoreSnapshot(m2, got.Weights); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m1.Params() {
+		if !p.Value.AllClose(m2.Params()[i].Value, 0) {
+			t.Fatal("weights differ after restore")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package viper is the public API of the Viper reproduction: a
+// high-performance I/O framework for transparently updating, storing, and
+// transferring deep neural network models between a training producer and
+// an inference-serving consumer (Ye et al., ICPP 2024).
+//
+// The API mirrors the paper's Figure 4 — save_weights on the producer,
+// load_weights on the consumer — on top of:
+//
+//   - an Inference Performance Predictor (IPP) that fits a learning curve
+//     to the warm-up training loss and computes a near-optimal checkpoint
+//     schedule (fixed-interval or greedy adaptive, §4.3);
+//   - a memory-first model transfer engine with GPU-to-GPU, host-to-host
+//     and PFS strategies in sync/async modes (§4.4);
+//   - a push-based notification module replacing consumer polling.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	clock := viper.NewVirtualClock()
+//	env := viper.NewEnv(clock)
+//	prod, _ := viper.NewProducer(env, viper.ProducerConfig{
+//		Model:    "tc1",
+//		Strategy: viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
+//	})
+//	cons, _ := viper.NewConsumer(env, "tc1", nil)
+//	sub := cons.Subscribe()
+//	prod.SaveWeights(nn.TakeSnapshot(model), iter, loss)
+//	report, _ := cons.HandleNotification(<-sub.C)
+package viper
+
+import (
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/ipp"
+	"viper/internal/nn"
+	"viper/internal/simclock"
+	"viper/internal/trace"
+	"viper/internal/vformat"
+)
+
+// Re-exported core types: the transfer configuration and reports.
+type (
+	// Env is the deployment environment (cluster, links, metadata store,
+	// notification broker) shared by a producer/consumer pair.
+	Env = core.Env
+	// Strategy selects the transfer route, mode, and baseline flag.
+	Strategy = core.Strategy
+	// Route is a transfer data path (RouteGPU, RouteHost, RoutePFS).
+	Route = core.Route
+	// Mode is a producer blocking mode (ModeSync, ModeAsync).
+	Mode = core.Mode
+	// ModelMeta is checkpoint metadata stored in the metadata DB.
+	ModelMeta = core.ModelMeta
+	// SaveReport describes one completed producer-side save.
+	SaveReport = core.SaveReport
+	// LoadReport describes one completed consumer-side update.
+	LoadReport = core.LoadReport
+	// Consumer is the inference-side runtime.
+	Consumer = core.Consumer
+	// DoubleBuffer is the consumer's atomic model switch.
+	DoubleBuffer = core.DoubleBuffer
+	// Checkpoint is a decoded model checkpoint.
+	Checkpoint = vformat.Checkpoint
+	// Snapshot is a deep copy of model weights.
+	Snapshot = nn.Snapshot
+	// Schedule decides online when to checkpoint.
+	Schedule = ipp.Schedule
+	// CostModel carries the §4.3 timing constants.
+	CostModel = ipp.CostModel
+	// Clock abstracts time (virtual for simulation, wall for deployment).
+	Clock = simclock.Clock
+)
+
+// Transfer routes and modes (paper §4.4 / Figure 8).
+const (
+	RouteGPU  = core.RouteGPU
+	RouteHost = core.RouteHost
+	RoutePFS  = core.RoutePFS
+	ModeSync  = core.ModeSync
+	ModeAsync = core.ModeAsync
+)
+
+// NewEnv builds a default two-node environment on the given clock.
+func NewEnv(clock Clock) *Env { return core.NewEnv(clock) }
+
+// NewVirtualClock returns a deterministic virtual clock for simulations.
+func NewVirtualClock() *simclock.Virtual { return simclock.NewVirtual() }
+
+// NewWallClock returns the real system clock.
+func NewWallClock() Clock { return simclock.NewWall() }
+
+// Precision selects the wire precision for checkpoint transfers.
+type Precision = vformat.Precision
+
+// Wire precisions (PrecFloat64 is lossless).
+const (
+	PrecFloat64 = vformat.PrecFloat64
+	PrecFloat32 = vformat.PrecFloat32
+	PrecFloat16 = vformat.PrecFloat16
+)
+
+// ProducerConfig configures a Producer.
+type ProducerConfig struct {
+	// Model names the model (keys, channels).
+	Model string
+	// Strategy selects the transfer path.
+	Strategy Strategy
+	// VirtualSize is the accounted checkpoint size in bytes (0 = real
+	// payload size). Use the paper sizes for paper-scale accounting.
+	VirtualSize int64
+	// FlushHistory enables background PFS flushes for fault tolerance
+	// (and Consumer.RecoverFromPFS after crashes).
+	FlushHistory bool
+	// Precision selects the wire precision (default lossless float64).
+	Precision Precision
+	// Incremental enables Check-N-Run-style delta checkpoints with a
+	// full refresh every FullEvery versions; DeltaEps suppresses element
+	// changes below the threshold (0 = exact).
+	Incremental bool
+	// DeltaEps is the delta suppression threshold.
+	DeltaEps float64
+	// FullEvery is the incremental full-refresh cadence (default 10).
+	FullEvery int
+}
+
+// Producer is the training-side runtime: it owns the weights handler and
+// exposes the paper's save_weights API.
+type Producer struct {
+	handler *core.WeightsHandler
+}
+
+// NewProducer constructs a producer in the given environment.
+func NewProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
+	h, err := core.NewWeightsHandler(env, core.HandlerConfig{
+		Model:        cfg.Model,
+		Strategy:     cfg.Strategy,
+		VirtualSize:  cfg.VirtualSize,
+		FlushHistory: cfg.FlushHistory,
+		Precision:    cfg.Precision,
+		Incremental:  cfg.Incremental,
+		DeltaEps:     cfg.DeltaEps,
+		FullEvery:    cfg.FullEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{handler: h}, nil
+}
+
+// SaveWeights checkpoints the snapshot taken at the given iteration with
+// its training loss — the paper's save_weights(model_name, weights).
+func (p *Producer) SaveWeights(snapshot Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
+	return p.handler.Save(snapshot, iteration, loss)
+}
+
+// Handler exposes the underlying weights handler (stats, version).
+func (p *Producer) Handler() *core.WeightsHandler { return p.handler }
+
+// NewCheckpointCallback attaches a producer to a training loop: add the
+// returned callback to the trainer's callback list and it will checkpoint
+// per the schedule.
+func (p *Producer) NewCheckpointCallback(model nn.Model, schedule Schedule) (*core.CheckpointCallback, error) {
+	return core.NewCheckpointCallback(model, p.handler, schedule)
+}
+
+// NewConsumer constructs the inference-side runtime. serving may be nil;
+// when set, each update is restored into it so real forward passes run on
+// the latest weights — the paper's load_weights(model).
+func NewConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
+	return core.NewConsumer(env, model, serving)
+}
+
+// NewExtraConsumer constructs an additional consumer with its own
+// dedicated broadcast links (the multi-consumer pattern).
+func NewExtraConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
+	return core.NewExtraConsumer(env, model, serving)
+}
+
+// Schedules (paper §4.3).
+
+// NewFixedSchedule checkpoints every interval iterations after start.
+func NewFixedSchedule(interval, start int) Schedule { return ipp.NewFixedEvery(interval, start) }
+
+// NewExplicitSchedule checkpoints at exactly the given iterations (the
+// output shape of the greedy IPP search).
+func NewExplicitSchedule(name string, iters []int) Schedule {
+	return ipp.NewAtIterations(name, iters)
+}
+
+// NewAdaptiveSchedule checkpoints online whenever the observed loss
+// improves by more than threshold since the last checkpoint.
+func NewAdaptiveSchedule(threshold float64, start int, warmupEndLoss float64) Schedule {
+	return ipp.NewAdaptiveOnline(threshold, start, warmupEndLoss)
+}
+
+// FitPredictor fits the warm-up loss history and returns a training-loss
+// predictor (the TLP backing the IPP).
+func FitPredictor(iters, losses []float64) (ipp.LossPredictor, error) {
+	tlp, _, err := ipp.FitTLP(iters, losses)
+	return tlp, err
+}
+
+// PlanFixedInterval runs Algorithm 2: the near-optimal regular interval.
+func PlanFixedInterval(pred ipp.LossPredictor, cost CostModel, startIter, endIter, totalInfers int) (int, error) {
+	res, err := ipp.FixedIntervalSchedule(pred, cost, startIter, endIter, totalInfers)
+	if err != nil {
+		return 0, err
+	}
+	return res.BestInterval, nil
+}
+
+// PlanGreedy runs Algorithm 3: the near-optimal irregular schedule.
+func PlanGreedy(pred ipp.LossPredictor, cost CostModel, startIter, endIter, totalInfers int, threshold float64) ([]int, error) {
+	res, err := ipp.GreedySchedule(pred, cost, startIter, endIter, totalInfers, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// GreedyThreshold derives Algorithm 3's trigger threshold from warm-up
+// losses (mean + std of consecutive differences).
+func GreedyThreshold(warmupLosses []float64) float64 { return ipp.GreedyThreshold(warmupLosses) }
+
+// Elapsed returns the duration between two clock readings (convenience
+// for latency measurements around Save/Load calls).
+func Elapsed(clock Clock, since time.Time) time.Duration { return clock.Now().Sub(since) }
+
+// TraceRecorder records a deployment's timeline (saves, stalls, loads,
+// swaps); attach one to Env.Trace before creating producers/consumers.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a timeline recorder retaining up to cap
+// events (0 = unbounded).
+func NewTraceRecorder(cap int) *TraceRecorder { return trace.NewRecorder(cap) }
