@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# ci.sh — the tier-1 gate for this repository (see README.md).
+#
+# Runs static analysis, a full build, the complete test suite under the
+# race detector, and a short benchmark smoke pass. Every change must
+# leave this script exiting 0.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench smoke (transport + pubsub, 1x)"
+go test -run '^$' -bench . -benchtime 1x ./internal/transport/ ./internal/pubsub/
+
+echo "==> ci.sh: all green"

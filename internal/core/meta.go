@@ -138,3 +138,12 @@ func DecodeMeta(s string) (*ModelMeta, error) {
 func CheckpointKey(model string, version uint64) string {
 	return fmt.Sprintf("%s/v%08d", model, version)
 }
+
+// StagingKey returns the KV key under which a remote producer stages a
+// checkpoint payload for the PFS-fallback delivery path: when the
+// direct link is faulted, the consumer backfills the update from here
+// instead (the analogue of the paper's degradation from RDMA transfer
+// to PFS staging).
+func StagingKey(model string, version uint64) string {
+	return "viper/stage/" + CheckpointKey(model, version)
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"viper/internal/simclock"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Op("x"); err != nil {
+		t.Fatal(err)
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []bool {
+		inj := New(Config{Seed: 7, FailRate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.Op("op") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical seeds", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	// 30% of 200 ops: the exact count is seed-dependent but must be
+	// in a plausible band and nonzero.
+	if fails < 30 || fails > 90 {
+		t.Fatalf("fails = %d, outside plausible band for rate 0.3", fails)
+	}
+}
+
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	inj := New(Config{Seed: 1, FailRate: 1})
+	err := inj.Op("send")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if s := inj.Stats(); s.Failures != 1 || s.Ops != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSkipFirstExemptsSetup(t *testing.T) {
+	inj := New(Config{Seed: 1, FailRate: 1, SkipFirst: 3})
+	for i := 0; i < 3; i++ {
+		if err := inj.Op("setup"); err != nil {
+			t.Fatalf("op %d failed during exemption window: %v", i, err)
+		}
+	}
+	if err := inj.Op("steady"); err == nil {
+		t.Fatal("op after exemption window must fail at rate 1")
+	}
+}
+
+func TestDelayChargesClock(t *testing.T) {
+	clock := simclock.NewVirtual()
+	inj := New(Config{Seed: 1, DelayRate: 1, Delay: 50 * time.Millisecond, Clock: clock})
+	if err := inj.Op("x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Elapsed(); got != 50*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 50ms", got)
+	}
+}
+
+func TestWrapConnFailsAndCloses(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	wrapped := WrapConn(a, New(Config{Seed: 1, FailRate: 1}))
+	if _, err := wrapped.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	// The underlying conn must have been torn down.
+	a.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := a.Write([]byte("y")); err == nil {
+		t.Fatal("underlying conn still usable after injected failure")
+	}
+}
+
+func TestWrapConnCorruptsWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped := WrapConn(a, New(Config{Seed: 3, CorruptRate: 1}))
+	go func() { wrapped.Write([]byte{1, 2, 3, 4}) }()
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i, want := range []byte{1, 2, 3, 4} {
+		if buf[i] != want {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1 (%v)", diff, buf)
+	}
+}
+
+func TestWrapDialInjectsAndWraps(t *testing.T) {
+	dial := WrapDial(func(string) (net.Conn, error) {
+		c, _ := net.Pipe()
+		return c, nil
+	}, New(Config{Seed: 1, FailRate: 1}))
+	if _, err := dial("anywhere"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial err = %v, want ErrInjected", err)
+	}
+	// Nil injector passes through untouched.
+	base := func(string) (net.Conn, error) { return nil, errors.New("base") }
+	if got := WrapDial(base, nil); got == nil {
+		t.Fatal("nil injector must return the original dial func")
+	}
+}

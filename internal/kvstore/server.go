@@ -182,171 +182,3 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	return nil
 }
-
-// Client is a TCP client for Server. Methods are safe for concurrent use
-// (requests are serialized over one connection).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-// Dial connects to a kvstore server at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprint(c.w, "PING\r\n")
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	line, err := c.readLine()
-	if err != nil {
-		return err
-	}
-	if line != "+PONG" {
-		return fmt.Errorf("kvstore: unexpected ping reply %q", line)
-	}
-	return nil
-}
-
-// Set assigns value to key on the server.
-func (c *Client) Set(key, value string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "SET %s %d\r\n%s\r\n", key, len(value), value)
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	line, err := c.readLine()
-	if err != nil {
-		return err
-	}
-	if line != "+OK" {
-		return fmt.Errorf("kvstore: SET failed: %s", line)
-	}
-	return nil
-}
-
-// Get fetches key; ErrNotFound if missing.
-func (c *Client) Get(key string) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "GET %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	return c.readBulk()
-}
-
-// Del removes key, reporting whether it existed.
-func (c *Client) Del(key string) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "DEL %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return false, err
-	}
-	n, err := c.readInt()
-	return n == 1, err
-}
-
-// Incr atomically increments key on the server.
-func (c *Client) Incr(key string) (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "INCR %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return 0, err
-	}
-	return c.readInt()
-}
-
-// Keys lists keys with the given prefix.
-func (c *Client) Keys(prefix string) ([]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "KEYS %s\r\n", prefix)
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	line, err := c.readLine()
-	if err != nil {
-		return nil, err
-	}
-	if !strings.HasPrefix(line, "*") {
-		return nil, fmt.Errorf("kvstore: unexpected KEYS reply %q", line)
-	}
-	n, err := strconv.Atoi(line[1:])
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: bad array length %q", line)
-	}
-	out := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		k, err := c.readBulk()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, k)
-	}
-	return out, nil
-}
-
-func (c *Client) readLine() (string, error) {
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
-}
-
-func (c *Client) readBulk() (string, error) {
-	line, err := c.readLine()
-	if err != nil {
-		return "", err
-	}
-	if !strings.HasPrefix(line, "$") {
-		if strings.HasPrefix(line, "-ERR") {
-			return "", fmt.Errorf("kvstore: %s", line)
-		}
-		return "", fmt.Errorf("kvstore: unexpected bulk reply %q", line)
-	}
-	n, err := strconv.Atoi(line[1:])
-	if err != nil {
-		return "", fmt.Errorf("kvstore: bad bulk length %q", line)
-	}
-	if n < 0 {
-		return "", ErrNotFound
-	}
-	buf := make([]byte, n+2)
-	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return "", err
-	}
-	return string(buf[:n]), nil
-}
-
-func (c *Client) readInt() (int64, error) {
-	line, err := c.readLine()
-	if err != nil {
-		return 0, err
-	}
-	if strings.HasPrefix(line, "-ERR") {
-		return 0, fmt.Errorf("kvstore: %s", line)
-	}
-	if !strings.HasPrefix(line, ":") {
-		return 0, fmt.Errorf("kvstore: unexpected int reply %q", line)
-	}
-	return strconv.ParseInt(line[1:], 10, 64)
-}

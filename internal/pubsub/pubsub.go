@@ -49,6 +49,7 @@ func (s *Subscription) Close() {
 type Broker struct {
 	mu      sync.Mutex
 	subs    map[string]map[*Subscription]struct{}
+	latest  map[string]Message
 	dropped int64
 	bufSize int
 }
@@ -59,11 +60,29 @@ func NewBroker(bufSize int) *Broker {
 	if bufSize < 1 {
 		bufSize = 1
 	}
-	return &Broker{subs: make(map[string]map[*Subscription]struct{}), bufSize: bufSize}
+	return &Broker{
+		subs:    make(map[string]map[*Subscription]struct{}),
+		latest:  make(map[string]Message),
+		bufSize: bufSize,
+	}
 }
 
 // Subscribe registers interest in a channel.
 func (b *Broker) Subscribe(channel string) *Subscription {
+	sub, _ := b.subscribe(channel, false)
+	return sub
+}
+
+// SubscribeReplay registers interest in a channel and, if anything was
+// ever published on it, immediately queues the most recent message. A
+// reconnecting subscriber therefore never misses the newest model-update
+// notification, even if it was published while the subscriber was away.
+// The second result reports whether a retained message was replayed.
+func (b *Broker) SubscribeReplay(channel string) (*Subscription, bool) {
+	return b.subscribe(channel, true)
+}
+
+func (b *Broker) subscribe(channel string, replay bool) (*Subscription, bool) {
 	ch := make(chan Message, b.bufSize)
 	sub := &Subscription{C: ch, broker: b, channel: channel, ch: ch}
 	b.mu.Lock()
@@ -73,8 +92,23 @@ func (b *Broker) Subscribe(channel string) *Subscription {
 		b.subs[channel] = m
 	}
 	m[sub] = struct{}{}
+	replayed := false
+	if replay {
+		if msg, ok := b.latest[channel]; ok {
+			ch <- msg // fresh buffer with capacity >= 1: never blocks
+			replayed = true
+		}
+	}
 	b.mu.Unlock()
-	return sub
+	return sub, replayed
+}
+
+// Latest returns the most recent message published on channel, if any.
+func (b *Broker) Latest(channel string) (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	msg, ok := b.latest[channel]
+	return msg, ok
 }
 
 func (b *Broker) unsubscribe(s *Subscription) {
@@ -94,25 +128,33 @@ func (b *Broker) Publish(channel, payload string) int {
 	msg := Message{Channel: channel, Payload: payload, At: time.Now()}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.latest[channel] = msg
 	n := 0
 	for sub := range b.subs[channel] {
-		for {
-			select {
-			case sub.ch <- msg:
-				n++
-			default:
-				// Buffer full: drop the oldest and retry so the newest
-				// notification always lands.
-				select {
-				case <-sub.ch:
-					b.dropped++
-					continue
-				default:
-					// Racing consumer emptied it; retry the send.
-					continue
-				}
-			}
-			break
+		select {
+		case sub.ch <- msg:
+			n++
+			continue
+		default:
+		}
+		// Buffer full: drop the oldest so the newest lands. Only
+		// Publish sends on sub.ch and we hold b.mu, so after one
+		// drop (or a racing consumer draining a slot) the retried
+		// send below cannot fail — no loop, and no chance of
+		// spinning under the broker lock while other publishers
+		// and subscribers stall.
+		select {
+		case <-sub.ch:
+			b.dropped++
+		default:
+			// A racing consumer freed a slot between the two selects.
+		}
+		select {
+		case sub.ch <- msg:
+			n++
+		default:
+			// Unreachable: the slot we freed cannot be refilled by
+			// anyone else while b.mu is held.
 		}
 	}
 	return n

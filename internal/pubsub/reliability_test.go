@@ -1,0 +1,210 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression for the Publish busy-spin: the old implementation looped
+// drop-oldest retries *while holding b.mu*, so a full subscriber buffer
+// with a racing consumer could burn CPU under the broker lock and stall
+// every other publisher and subscriber. The rewrite performs at most
+// one drop and one retried send per subscriber (provably sufficient,
+// since only Publish sends and it holds the lock). This storm must
+// terminate promptly with the newest message always surviving.
+func TestPublishFullBufferWithRacingConsumer(t *testing.T) {
+	b := NewBroker(1)
+	sub := b.Subscribe("u")
+	defer sub.Close()
+	const n = 5000
+	var last string
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for msg := range sub.C {
+			mu.Lock()
+			last = msg.Payload
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if got := b.Publish("u", fmt.Sprintf("v%d", i)); got != 1 {
+				t.Errorf("publish %d reached %d receivers", i, got)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish storm did not terminate (spin under broker lock?)")
+	}
+	// The final message can never be dropped (nothing supersedes it).
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		l := last
+		mu.Unlock()
+		if l == fmt.Sprintf("v%d", n-1) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("last delivered = %q, want v%d", l, n-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// While one subscriber's buffer is full, publishing must not stall the
+// broker for other subscribers (the old spin held b.mu indefinitely
+// under adversarial scheduling).
+func TestPublishSlowSubscriberDoesNotStallOthers(t *testing.T) {
+	b := NewBroker(1)
+	slow := b.Subscribe("u") // never drained
+	defer slow.Close()
+	fast := b.Subscribe("u")
+	defer fast.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			b.Publish("u", fmt.Sprintf("v%d", i))
+		}
+	}()
+	// Drop-oldest applies to the fast subscriber too while it lags, but
+	// the final message is never superseded, so it must always arrive.
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case msg := <-fast.C:
+			if msg.Payload == "v999" {
+				<-done
+				if b.Dropped() == 0 {
+					t.Fatal("slow subscriber should have caused drops")
+				}
+				return
+			}
+		case <-timeout:
+			t.Fatal("fast subscriber never saw the final message while sibling was full")
+		}
+	}
+}
+
+func TestSubscriptionCloseVsPublishRace(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		b := NewBroker(2)
+		subs := make([]*Subscription, 4)
+		for i := range subs {
+			subs[i] = b.Subscribe("u")
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Publish("u", "v")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for _, s := range subs {
+				s.Close()
+			}
+		}()
+		wg.Wait()
+		if n := b.Subscribers("u"); n != 0 {
+			t.Fatalf("round %d: %d subscribers left", round, n)
+		}
+	}
+}
+
+func TestSubscribeReplayDeliversRetained(t *testing.T) {
+	b := NewBroker(4)
+	if _, replayed := b.SubscribeReplay("u"); replayed {
+		t.Fatal("nothing published yet, nothing to replay")
+	}
+	b.Publish("u", "v1")
+	b.Publish("u", "v2")
+	sub, replayed := b.SubscribeReplay("u")
+	defer sub.Close()
+	if !replayed {
+		t.Fatal("retained message not replayed")
+	}
+	select {
+	case msg := <-sub.C:
+		if msg.Payload != "v2" {
+			t.Fatalf("replayed %q, want the newest (v2)", msg.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("replayed message not delivered")
+	}
+	if msg, ok := b.Latest("u"); !ok || msg.Payload != "v2" {
+		t.Fatalf("Latest = %+v, %v", msg, ok)
+	}
+}
+
+// A subscriber that reconnects over TCP after a publish must receive
+// the newest notification immediately (the redelivery path consumers
+// rely on after a dropped connection).
+func TestTCPReconnectingSubscriberGetsLatest(t *testing.T) {
+	srv := NewServer(NewBroker(64))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pub, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	// First subscriber connects, receives v1, then drops.
+	sub1, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := sub1.Subscribe("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch1:
+		if msg.Payload != "v1" {
+			t.Fatalf("got %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("v1 not delivered")
+	}
+	sub1.Close()
+	// v2 is published while the subscriber is away.
+	if _, err := pub.Publish("m", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	// The reconnected subscriber must learn about v2 without waiting
+	// for v3.
+	sub2, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	ch2, err := sub2.Subscribe("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch2:
+		if msg.Payload != "v2" {
+			t.Fatalf("replayed %q, want v2", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retained v2 not redelivered after reconnect")
+	}
+}

@@ -105,7 +105,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			sub := s.broker.Subscribe(parts[1])
+			// Replay the retained message so a reconnecting subscriber
+			// immediately learns about the newest model version.
+			sub, _ := s.broker.SubscribeReplay(parts[1])
 			subs = append(subs, sub)
 			s.wg.Add(1)
 			go func(sub *Subscription) {

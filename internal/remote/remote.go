@@ -4,11 +4,20 @@
 // over a direct TCP link — the wall-clock analogue of the in-process
 // engine in internal/core, used by the cmd/viper-producer and
 // cmd/viper-consumer demo binaries.
+//
+// The delivery pipeline is fault-tolerant: both ends drive the direct
+// link through transport.ReconnectLink (redial / re-accept with bounded
+// retries), the metadata client retries idempotent operations, and when
+// the direct link stays faulted the producer degrades to staging the
+// checkpoint payload in the KV store — mirroring the in-process
+// GPU→host→PFS fallback of core.WeightsHandler.captureWithFallback —
+// from where the consumer backfills any update the link lost.
 package remote
 
 import (
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"time"
@@ -17,9 +26,19 @@ import (
 	"viper/internal/kvstore"
 	"viper/internal/nn"
 	"viper/internal/pubsub"
+	"viper/internal/retry"
 	"viper/internal/transport"
 	"viper/internal/vformat"
 )
+
+// stagedHistory is how many staged checkpoint payloads the producer
+// keeps in the KV store (older ones are deleted to bound memory).
+const stagedHistory = 2
+
+// defaultLinkWait bounds how long the consumer waits for a notified
+// checkpoint to arrive on the direct link before backfilling it from
+// the KV staging area.
+const defaultLinkWait = 2 * time.Second
 
 // ProducerConfig configures a remote producer.
 type ProducerConfig struct {
@@ -35,17 +54,51 @@ type ProducerConfig struct {
 	// OnListen, if set, receives the bound link address before the
 	// producer blocks waiting for the consumer.
 	OnListen func(addr string)
+	// Retry bounds reconnect/resend attempts on the networked paths.
+	// The zero value selects retry.Default over the wall clock.
+	Retry retry.Policy
+	// DisableStaging turns off the KV staging copies, leaving the
+	// direct link as the only delivery path (the pre-fault-tolerance
+	// behaviour).
+	DisableStaging bool
+	// LinkWrap, if set, decorates each accepted link connection (fault
+	// injection hooks in here).
+	LinkWrap func(net.Conn) net.Conn
+}
+
+// ProducerStats counts producer-side delivery activity.
+type ProducerStats struct {
+	// LinkSends counts checkpoints that reached the direct link.
+	LinkSends int64
+	// LinkFailures counts checkpoints the link could not carry even
+	// after retries (delivered via staging instead).
+	LinkFailures int64
+	// Staged counts checkpoint payloads written to the KV staging area.
+	Staged int64
 }
 
 // Producer publishes checkpoints to a remote consumer.
 type Producer struct {
-	model string
-	kv    *kvstore.Client
-	ps    *pubsub.Client
-	link  *transport.TCPLink
+	model  string
+	kv     *kvstore.Client
+	ps     *pubsub.Client
+	ln     *transport.Listener
+	link   *transport.ReconnectLink
+	policy retry.Policy
+	stage  bool
 
 	mu      sync.Mutex
 	version uint64
+	stats   ProducerStats
+}
+
+// policyOrDefault substitutes the standard wall-clock schedule for a
+// zero policy.
+func policyOrDefault(p retry.Policy) retry.Policy {
+	if p.MaxAttempts == 0 {
+		return retry.Default(nil)
+	}
+	return p
 }
 
 // NewProducer connects to the metadata and notification services, then
@@ -54,7 +107,8 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 	if cfg.Model == "" {
 		return nil, errors.New("remote: empty model name")
 	}
-	kv, err := kvstore.Dial(cfg.MetaAddr)
+	pol := policyOrDefault(cfg.Retry)
+	kv, err := kvstore.DialOptions(cfg.MetaAddr, kvstore.Options{Retry: pol})
 	if err != nil {
 		return nil, fmt.Errorf("remote: metadata: %w", err)
 	}
@@ -63,17 +117,34 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 		kv.Close()
 		return nil, fmt.Errorf("remote: notify: %w", err)
 	}
-	link, err := transport.ListenTCP(cfg.ListenAddr, cfg.OnListen)
+	ln, err := transport.Listen(cfg.ListenAddr)
 	if err != nil {
 		kv.Close()
 		ps.Close()
 		return nil, fmt.Errorf("remote: link: %w", err)
 	}
-	return &Producer{model: cfg.Model, kv: kv, ps: ps, link: link}, nil
+	ln.Wrap = cfg.LinkWrap
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
+	link := transport.NewReconnectLink(ln.Accept, pol)
+	if err := link.Connect(); err != nil {
+		kv.Close()
+		ps.Close()
+		ln.Close()
+		return nil, fmt.Errorf("remote: link: %w", err)
+	}
+	return &Producer{
+		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
+		policy: pol, stage: !cfg.DisableStaging,
+	}, nil
 }
 
-// Publish serializes and ships a checkpoint: frame over the direct link,
-// metadata into the KV store, then a push notification.
+// Publish serializes and ships a checkpoint: frame over the direct link
+// (reconnecting and retrying on faults), a staging copy plus metadata
+// into the KV store, then a push notification. If the link stays dead
+// the checkpoint still reaches the consumer through the staging copy,
+// with the metadata marking the degraded PFS-style route.
 func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64) (*core.ModelMeta, error) {
 	p.mu.Lock()
 	p.version++
@@ -91,19 +162,48 @@ func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64)
 		return nil, err
 	}
 	key := core.CheckpointKey(p.model, version)
-	if err := p.link.Send(transport.Frame{
+	location := core.RouteHost
+	sendErr := p.link.Send(transport.Frame{
 		Key:     key,
 		Payload: payload,
 		Meta:    map[string]string{"model": p.model, "version": strconv.FormatUint(version, 10)},
-	}); err != nil {
-		return nil, fmt.Errorf("remote: link send: %w", err)
+	})
+	p.mu.Lock()
+	if sendErr != nil {
+		p.stats.LinkFailures++
+	} else {
+		p.stats.LinkSends++
+	}
+	p.mu.Unlock()
+	if sendErr != nil {
+		// Degrade to the staging path, as the in-process engine falls
+		// back from memory tiers to the PFS.
+		location = core.RoutePFS
+	}
+	if p.stage || sendErr != nil {
+		if err := p.kv.Set(core.StagingKey(p.model, version), string(payload)); err != nil {
+			if sendErr != nil {
+				return nil, fmt.Errorf("remote: link send failed (%v) and staging failed: %w", sendErr, err)
+			}
+			// The link carried the frame; a failed staging copy only
+			// costs redundancy.
+		} else {
+			p.mu.Lock()
+			p.stats.Staged++
+			p.mu.Unlock()
+			if version > stagedHistory {
+				_, _ = p.kv.Del(core.StagingKey(p.model, version-stagedHistory))
+			}
+		}
+	} else if sendErr != nil {
+		return nil, fmt.Errorf("remote: link send: %w", sendErr)
 	}
 	meta := core.ModelMeta{
 		Name:      p.model,
 		Version:   version,
 		Iteration: iteration,
 		TrainLoss: loss,
-		Location:  core.RouteHost,
+		Location:  location,
 		Path:      key,
 		Size:      int64(len(payload)),
 		Format:    "vformat",
@@ -129,8 +229,16 @@ func (p *Producer) Version() uint64 {
 	return p.version
 }
 
+// Stats returns a snapshot of the delivery counters.
+func (p *Producer) Stats() ProducerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
 // Close tears down all connections.
 func (p *Producer) Close() {
+	p.ln.Close()
 	p.link.Close()
 	p.ps.Close()
 	p.kv.Close()
@@ -148,20 +256,56 @@ type ConsumerConfig struct {
 	ProducerAddr string
 	// Serving, if non-nil, is kept restored to the latest checkpoint.
 	Serving nn.Model
+	// Retry bounds redial/retry attempts on the networked paths. The
+	// zero value selects retry.Default over the wall clock.
+	Retry retry.Policy
+	// LinkWait bounds how long Next waits for a notified checkpoint on
+	// the direct link before backfilling from the KV staging area
+	// (default 2s).
+	LinkWait time.Duration
+	// LinkDial, if set, replaces the direct-link dial (fault injection
+	// hooks in here).
+	LinkDial func(addr string) (net.Conn, error)
+	// MetaDial, if set, replaces the metadata client dial.
+	MetaDial func(addr string) (net.Conn, error)
+}
+
+// ConsumerStats counts consumer-side delivery activity.
+type ConsumerStats struct {
+	// LinkLoads counts updates received over the direct link.
+	LinkLoads int64
+	// StagedLoads counts updates backfilled from the KV staging area.
+	StagedLoads int64
+	// SkippedVersions counts notified updates that were unrecoverable
+	// on both paths (superseded by a newer version instead).
+	SkippedVersions int64
+	// StaleNotifications counts redelivered/out-of-date notifications
+	// that were ignored.
+	StaleNotifications int64
+	// DiscardedFrames counts link frames superseded before installation.
+	DiscardedFrames int64
 }
 
 // Consumer receives checkpoints pushed by a remote producer.
 type Consumer struct {
-	model   string
-	kv      *kvstore.Client
-	ps      *pubsub.Client
-	link    *transport.TCPLink
-	events  <-chan pubsub.Message
-	serving nn.Model
+	model    string
+	kv       *kvstore.Client
+	ps       *pubsub.Client
+	link     *transport.ReconnectLink
+	events   <-chan pubsub.Message
+	serving  nn.Model
+	linkWait time.Duration
+	policy   retry.Policy
 
-	mu     sync.Mutex
-	active *vformat.Checkpoint
-	loads  int64
+	frames chan transport.Frame
+	stash  *transport.Frame // link frame that overshot its notification
+	closed chan struct{}
+
+	mu      sync.Mutex
+	active  *vformat.Checkpoint
+	loads   int64
+	applied uint64
+	stats   ConsumerStats
 }
 
 // NewConsumer connects to all services and subscribes to the model's
@@ -170,7 +314,8 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 	if cfg.Model == "" {
 		return nil, errors.New("remote: empty model name")
 	}
-	kv, err := kvstore.Dial(cfg.MetaAddr)
+	pol := policyOrDefault(cfg.Retry)
+	kv, err := kvstore.DialOptions(cfg.MetaAddr, kvstore.Options{Retry: pol, DialFunc: cfg.MetaDial})
 	if err != nil {
 		return nil, fmt.Errorf("remote: metadata: %w", err)
 	}
@@ -185,57 +330,225 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 		ps.Close()
 		return nil, fmt.Errorf("remote: subscribe: %w", err)
 	}
-	link, err := transport.DialTCP(cfg.ProducerAddr)
-	if err != nil {
+	dial := cfg.LinkDial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	link := transport.NewReconnectLink(func() (*transport.TCPLink, error) {
+		conn, err := dial(cfg.ProducerAddr)
+		if err != nil {
+			return nil, err
+		}
+		return transport.WrapTCP(conn), nil
+	}, pol)
+	if err := link.Connect(); err != nil {
 		kv.Close()
 		ps.Close()
 		return nil, fmt.Errorf("remote: link: %w", err)
 	}
-	return &Consumer{
+	linkWait := cfg.LinkWait
+	if linkWait <= 0 {
+		linkWait = defaultLinkWait
+	}
+	c := &Consumer{
 		model: cfg.Model, kv: kv, ps: ps, link: link,
 		events: events, serving: cfg.Serving,
-	}, nil
+		linkWait: linkWait, policy: pol,
+		frames: make(chan transport.Frame, 32),
+		closed: make(chan struct{}),
+	}
+	go c.pump()
+	return c, nil
+}
+
+// pump moves frames from the (reconnecting) link into c.frames until
+// the consumer closes. When the link is persistently unavailable it
+// backs off and keeps trying; deliveries continue through the staging
+// fallback meanwhile.
+func (c *Consumer) pump() {
+	backoff := c.policy.BaseDelay
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for {
+		f, err := c.link.Recv()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		select {
+		case c.frames <- f:
+		case <-c.closed:
+			return
+		}
+	}
 }
 
 // ErrTimeout is returned by Next when no update arrives in time.
 var ErrTimeout = errors.New("remote: timed out waiting for a model update")
 
-// Next blocks until the next pushed model update, receives the
-// checkpoint frame, installs it, and returns it.
+// frameVersion extracts the version a link frame carries (0 if absent).
+func frameVersion(f *transport.Frame) uint64 {
+	v, _ := strconv.ParseUint(f.Meta["version"], 10, 64)
+	return v
+}
+
+// Next blocks until the next pushed model update, obtains the
+// checkpoint (direct link first, KV staging backfill when the link
+// lost it), installs it, and returns it. Notifications for versions at
+// or below the installed one (e.g. redelivered after a broker
+// reconnect) are ignored; notified versions that are unrecoverable on
+// both paths are skipped, since a newer update supersedes them.
 func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
-	select {
-	case msg, ok := <-c.events:
-		if !ok {
-			return nil, errors.New("remote: subscription closed")
-		}
-		meta, err := core.DecodeMeta(msg.Payload)
-		if err != nil {
-			return nil, err
-		}
-		frame, err := c.link.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("remote: link recv: %w", err)
-		}
-		if frame.Key != meta.Path {
-			return nil, fmt.Errorf("remote: frame %q does not match metadata path %q", frame.Key, meta.Path)
-		}
-		ckpt, err := vformat.Decode(frame.Payload)
-		if err != nil {
-			return nil, err
-		}
-		c.mu.Lock()
-		c.active = ckpt
-		c.loads++
-		c.mu.Unlock()
-		if c.serving != nil {
-			if err := nn.RestoreSnapshot(c.serving, ckpt.Weights); err != nil {
-				return nil, fmt.Errorf("remote: restore: %w", err)
+	deadline := time.After(timeout)
+	for {
+		select {
+		case msg, ok := <-c.events:
+			if !ok {
+				return nil, errors.New("remote: subscription closed")
 			}
+			meta, err := core.DecodeMeta(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			applied := c.applied
+			c.mu.Unlock()
+			if meta.Version <= applied {
+				c.bump(func(s *ConsumerStats) { s.StaleNotifications++ })
+				continue
+			}
+			ckpt, err := c.fetch(meta)
+			if err != nil {
+				return nil, err
+			}
+			if ckpt == nil {
+				// Unrecoverable on both paths; wait for a newer one.
+				c.bump(func(s *ConsumerStats) { s.SkippedVersions++ })
+				continue
+			}
+			if err := c.install(ckpt); err != nil {
+				return nil, err
+			}
+			return ckpt, nil
+		case <-deadline:
+			return nil, ErrTimeout
 		}
-		return ckpt, nil
-	case <-time.After(timeout):
-		return nil, ErrTimeout
 	}
+}
+
+func (c *Consumer) bump(f func(*ConsumerStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// fetch obtains the checkpoint for meta from the direct link, falling
+// back to the KV staging area. A nil, nil return means the version is
+// lost on both paths (superseded updates may legitimately be).
+func (c *Consumer) fetch(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
+	// A frame stashed by an earlier overshoot may already be the one.
+	if c.stash != nil {
+		f := c.stash
+		switch v := frameVersion(f); {
+		case f.Key == meta.Path:
+			c.stash = nil
+			if ckpt := c.decodeFrame(f, meta); ckpt != nil {
+				c.bump(func(s *ConsumerStats) { s.LinkLoads++ })
+				return ckpt, nil
+			}
+		case v > meta.Version:
+			// The link is already past this version; its frame will
+			// never arrive. Keep the stash for its own notification.
+			return c.fetchStaged(meta)
+		default:
+			c.stash = nil
+			c.bump(func(s *ConsumerStats) { s.DiscardedFrames++ })
+		}
+	}
+	timer := time.After(c.linkWait)
+	for {
+		select {
+		case f := <-c.frames:
+			if f.Key == meta.Path {
+				if ckpt := c.decodeFrame(&f, meta); ckpt != nil {
+					c.bump(func(s *ConsumerStats) { s.LinkLoads++ })
+					return ckpt, nil
+				}
+				// Undecodable frame for our version: backfill.
+				return c.fetchStaged(meta)
+			}
+			if frameVersion(&f) > meta.Version {
+				c.stash = &f
+				return c.fetchStaged(meta)
+			}
+			// An older, superseded frame (its notification was
+			// processed or skipped already): discard.
+			c.bump(func(s *ConsumerStats) { s.DiscardedFrames++ })
+		case <-timer:
+			return c.fetchStaged(meta)
+		case <-c.closed:
+			return nil, errors.New("remote: consumer closed")
+		}
+	}
+}
+
+// decodeFrame validates and decodes a link frame against its metadata,
+// returning nil on any mismatch (the caller falls back to staging).
+func (c *Consumer) decodeFrame(f *transport.Frame, meta *core.ModelMeta) *vformat.Checkpoint {
+	ckpt, err := vformat.Decode(f.Payload)
+	if err != nil {
+		return nil
+	}
+	if ckpt.ModelName != c.model || ckpt.Version != meta.Version {
+		return nil
+	}
+	return ckpt
+}
+
+// fetchStaged backfills a checkpoint from the KV staging area.
+func (c *Consumer) fetchStaged(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
+	raw, err := c.kv.Get(core.StagingKey(c.model, meta.Version))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, nil // lost on both paths
+	}
+	if err != nil {
+		return nil, fmt.Errorf("remote: staged fetch: %w", err)
+	}
+	ckpt, err := vformat.Decode([]byte(raw))
+	if err != nil {
+		return nil, fmt.Errorf("remote: staged checkpoint: %w", err)
+	}
+	if ckpt.ModelName != c.model || ckpt.Version != meta.Version {
+		return nil, fmt.Errorf("remote: staged checkpoint is %s/v%d, want %s/v%d",
+			ckpt.ModelName, ckpt.Version, c.model, meta.Version)
+	}
+	c.bump(func(s *ConsumerStats) { s.StagedLoads++ })
+	return ckpt, nil
+}
+
+// install makes ckpt the active checkpoint and restores the serving
+// model.
+func (c *Consumer) install(ckpt *vformat.Checkpoint) error {
+	c.mu.Lock()
+	c.active = ckpt
+	c.loads++
+	c.applied = ckpt.Version
+	c.mu.Unlock()
+	if c.serving != nil {
+		if err := nn.RestoreSnapshot(c.serving, ckpt.Weights); err != nil {
+			return fmt.Errorf("remote: restore: %w", err)
+		}
+	}
+	return nil
 }
 
 // Active returns the currently installed checkpoint (nil before the
@@ -253,6 +566,13 @@ func (c *Consumer) Loads() int64 {
 	return c.loads
 }
 
+// Stats returns a snapshot of the delivery counters.
+func (c *Consumer) Stats() ConsumerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // LatestMeta fetches the newest metadata from the KV store (pull path).
 func (c *Consumer) LatestMeta() (*core.ModelMeta, error) {
 	raw, err := c.kv.Get(core.MetaKey(c.model))
@@ -264,6 +584,11 @@ func (c *Consumer) LatestMeta() (*core.ModelMeta, error) {
 
 // Close tears down all connections.
 func (c *Consumer) Close() {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
 	c.link.Close()
 	c.ps.Close()
 	c.kv.Close()

@@ -1,0 +1,347 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"viper/internal/faults"
+	"viper/internal/retry"
+	"viper/internal/simclock"
+)
+
+// Regression for the SendLatest busy-spin: with a racing consumer
+// draining the queue between the producer's send attempt and its
+// eviction attempt, the old implementation looped through two
+// non-blocking selects with no yield. The rewritten loop blocks in its
+// retry arm, so this adversarial interleaving must terminate promptly
+// with exact accounting and the final frame always delivered last.
+func TestSendLatestRacingConsumerTerminatesWithExactAccounting(t *testing.T) {
+	l := NewLink(LinkSpec{Name: "t"}, simclock.NewVirtual(), 2)
+	defer l.Close()
+	const n = 5000
+	received := make(chan Frame, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := range received {
+			_ = f
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := l.SendLatest(Frame{Key: fmt.Sprintf("f%d", i)}); err != nil {
+				t.Errorf("SendLatest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Drain concurrently and adversarially: sometimes immediately,
+	// sometimes after letting the queue fill.
+	var last Frame
+	drained := 0
+	for {
+		f, ok := l.TryRecv()
+		if ok {
+			last = f
+			drained++
+			continue
+		}
+		select {
+		case <-done:
+			// Producer finished; drain the residue.
+			for {
+				f, ok := l.TryRecv()
+				if !ok {
+					goto out
+				}
+				last = f
+				drained++
+			}
+		default:
+		}
+	}
+out:
+	close(received)
+	wg.Wait()
+	s := l.Stats()
+	if int(s.FramesSent) != drained+int(s.FramesDropped) {
+		t.Fatalf("accounting: sent %d != drained %d + dropped %d", s.FramesSent, drained, s.FramesDropped)
+	}
+	// The newest frame can never be evicted (nothing supersedes it),
+	// so the consumer's last observation must be the final send.
+	if want := fmt.Sprintf("f%d", n-1); last.Key != want {
+		t.Fatalf("last frame = %q, want %q", last.Key, want)
+	}
+}
+
+func TestSendLatestBlocksInsteadOfSpinningWhenEvictRaces(t *testing.T) {
+	l := NewLink(LinkSpec{Name: "t"}, simclock.NewVirtual(), 1)
+	defer l.Close()
+	if err := l.SendLatest(Frame{Key: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full. SendLatest must complete by evicting the oldest even
+	// with no consumer at all.
+	doneA := make(chan error, 1)
+	go func() { doneA <- l.SendLatest(Frame{Key: "new"}) }()
+	select {
+	case err := <-doneA:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SendLatest stuck on a full queue")
+	}
+	f, ok := l.TryRecv()
+	if !ok || f.Key != "new" {
+		t.Fatalf("queue holds %+v, want the superseding frame", f)
+	}
+	if l.Stats().FramesDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", l.Stats().FramesDropped)
+	}
+}
+
+// Close/teardown races: concurrent Close against Send, SendLatest and
+// Recv must neither deadlock nor corrupt state (run under -race).
+func TestLinkCloseRaces(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		l := NewLink(LinkSpec{Name: "t"}, simclock.NewVirtual(), 1)
+		var wg sync.WaitGroup
+		wg.Add(4)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := l.Send(Frame{Key: "s"}); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := l.SendLatest(Frame{Key: "sl"}); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := l.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			l.Close()
+		}()
+		doneCh := make(chan struct{})
+		go func() { wg.Wait(); close(doneCh) }()
+		select {
+		case <-doneCh:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: close race deadlocked", round)
+		}
+		if err := l.Send(Frame{Key: "after"}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Send after close = %v", err)
+		}
+	}
+}
+
+// flipConn flips one byte at a fixed stream offset, modelling wire
+// corruption inside the payload region of a frame.
+type flipConn struct {
+	net.Conn
+	offset  int
+	written int
+}
+
+func (f *flipConn) Write(p []byte) (int, error) {
+	if f.offset >= f.written && f.offset < f.written+len(p) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		cp[f.offset-f.written] ^= 0xFF
+		f.written += len(p)
+		n, err := f.Conn.Write(cp)
+		return n, err
+	}
+	f.written += len(p)
+	return f.Conn.Write(p)
+}
+
+func TestTCPRecvRejectsCorruptFrame(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *TCPLink, 1)
+	go func() {
+		l, err := ln.Accept()
+		if err == nil {
+			accepted <- l
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer server.Close()
+	// Wire layout for key "k", no meta: keylen(8) key(1) metacount(8)
+	// vsize(8) payloadlen(8) payload... — offset 40 is payload byte 7.
+	faulty := WrapTCP(&flipConn{Conn: conn, offset: 40})
+	defer faulty.Close()
+	if err := faulty.Send(Frame{Key: "k", Payload: []byte("weights-blob-weights-blob")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("Recv = %v, want ErrCorruptFrame", err)
+	}
+}
+
+// Whatever part of a frame random corruption hits (headers included),
+// Recv must fail rather than deliver a poisoned frame.
+func TestTCPRecvNeverDeliversCorruptedBytes(t *testing.T) {
+	payload := []byte("model-weights-model-weights-model-weights")
+	for seed := int64(0); seed < 8; seed++ {
+		ln, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.New(faults.Config{Seed: seed, CorruptRate: 1})
+		accepted := make(chan *TCPLink, 1)
+		go func() {
+			l, err := ln.Accept()
+			if err == nil {
+				accepted <- l
+			}
+		}()
+		conn, err := net.Dial("tcp", ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		server := <-accepted
+		faulty := WrapTCP(faults.WrapConn(conn, inj))
+		if err := faulty.Send(Frame{Key: "k", Payload: payload}); err == nil {
+			if got, err := server.Recv(); err == nil {
+				t.Fatalf("seed %d: corrupted frame delivered: %+v", seed, got)
+			}
+		}
+		faulty.Close()
+		server.Close()
+		ln.Close()
+	}
+}
+
+func TestReconnectLinkConsumerSurvivesServerDrop(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Server: accept, send one frame, drop the connection; accept the
+	// redial and send the second frame.
+	go func() {
+		for i := 1; i <= 2; i++ {
+			l, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l.Send(Frame{Key: fmt.Sprintf("v%d", i)})
+			if i == 1 {
+				l.Close()
+			} else {
+				defer l.Close()
+			}
+		}
+	}()
+	pol := retry.Policy{MaxAttempts: 10, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	rl := NewReconnectLink(func() (*TCPLink, error) { return DialTCP(ln.Addr()) }, pol)
+	defer rl.Close()
+	f1, err := rl.Recv()
+	if err != nil || f1.Key != "v1" {
+		t.Fatalf("first frame = %+v, %v", f1, err)
+	}
+	f2, err := rl.Recv()
+	if err != nil || f2.Key != "v2" {
+		t.Fatalf("post-reconnect frame = %+v, %v", f2, err)
+	}
+	if s := rl.Stats(); s.Connects != 2 || s.RecvRetries < 1 {
+		t.Fatalf("stats = %+v, want 2 connects and >=1 recv retry", s)
+	}
+}
+
+func TestReconnectLinkProducerReacceptsConsumer(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	pol := retry.Policy{MaxAttempts: 10, BaseDelay: 5 * time.Millisecond}
+	rl := NewReconnectLink(ln.Accept, pol)
+	defer rl.Close()
+	c1, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Send(Frame{Key: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := c1.Recv(); err != nil || f.Key != "v1" {
+		t.Fatalf("consumer 1 got %+v, %v", f, err)
+	}
+	c1.Close()
+	// Second consumer dials; the producer keeps sending until a send
+	// lands on the fresh connection (writes into the dying socket can
+	// succeed locally before the RST is observed).
+	c2, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	go func() {
+		for i := 2; i < 100; i++ {
+			if err := rl.Send(Frame{Key: fmt.Sprintf("v%d", i)}); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	f, err := c2.Recv()
+	if err != nil {
+		t.Fatalf("reconnected consumer recv: %v", err)
+	}
+	if f.Key == "v1" {
+		t.Fatalf("stale frame %q delivered to fresh connection", f.Key)
+	}
+	if s := rl.Stats(); s.Connects != 2 {
+		t.Fatalf("stats = %+v, want 2 connects", s)
+	}
+}
+
+func TestReconnectLinkClosedIsPermanent(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	attempts := 0
+	pol := retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, OnRetry: func(int, error, time.Duration) { attempts++ }}
+	rl := NewReconnectLink(func() (*TCPLink, error) { return DialTCP(ln.Addr()) }, pol)
+	rl.Close()
+	if err := rl.Send(Frame{Key: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed reconnect link = %v", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("closed link consumed %d retries, want 0", attempts)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -58,6 +59,12 @@ type Conn interface {
 
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
+
+// ErrCorruptFrame is returned by TCPLink.Recv when a frame's checksum
+// does not match its contents (wire corruption or a desynchronized
+// stream after a mid-frame connection fault). The connection should be
+// torn down and re-established; ReconnectLink does this automatically.
+var ErrCorruptFrame = errors.New("transport: corrupt frame")
 
 // Calibrated link specs (ratios matching the paper's Figure 8; see
 // DESIGN.md §1).
@@ -196,6 +203,7 @@ func (l *Link) SendLatest(f Frame) error {
 		}
 	}
 	for {
+		// Fast path: room available (or just freed by a consumer).
 		select {
 		case l.queue <- cp:
 			l.mu.Lock()
@@ -208,13 +216,25 @@ func (l *Link) SendLatest(f Frame) error {
 			return ErrClosed
 		default:
 		}
-		// Queue full: evict the oldest pending frame and retry.
+		// Queue full: block until we either evict the oldest pending
+		// frame (then retry the send) or a racing consumer frees a slot
+		// and our send lands directly. Every arm blocks, so a consumer
+		// draining the queue between the two selects can never turn
+		// this loop into a busy spin.
 		select {
+		case l.queue <- cp:
+			l.mu.Lock()
+			l.stats.FramesSent++
+			l.stats.BytesSent += size
+			l.stats.BusyTime += cost
+			l.mu.Unlock()
+			return nil
 		case <-l.queue:
 			l.mu.Lock()
 			l.stats.FramesDropped++
 			l.mu.Unlock()
-		default:
+		case <-l.closed:
+			return ErrClosed
 		}
 	}
 }
@@ -243,7 +263,9 @@ func (l *Link) Stats() Stats {
 }
 
 // TCPLink is a Conn over a real TCP connection. Frames are length-
-// prefixed: key, meta (count + k/v strings), virtual size, payload.
+// prefixed: key, meta (count + k/v strings), virtual size, payload,
+// then a CRC32 (IEEE) of key+payload so corrupted or desynchronized
+// frames are rejected instead of silently installed.
 type TCPLink struct {
 	conn net.Conn
 	r    *bufio.Reader
@@ -266,6 +288,44 @@ func DialTCP(addr string) (*TCPLink, error) {
 func WrapTCP(conn net.Conn) *TCPLink {
 	return &TCPLink{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
 }
+
+// Listener accepts successive peer connections on one bound address,
+// letting a producer survive consumer disconnects: after a link fault,
+// the consumer redials and the producer re-accepts on the same port.
+type Listener struct {
+	ln net.Listener
+	// Wrap, if set, decorates each accepted conn (e.g. with a fault
+	// injector) before it is framed into a TCPLink.
+	Wrap func(net.Conn) net.Conn
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") for repeated Accept calls.
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept blocks for the next peer connection. It is unblocked with an
+// error by Close.
+func (l *Listener) Accept() (*TCPLink, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	if l.Wrap != nil {
+		conn = l.Wrap(conn)
+	}
+	return WrapTCP(conn), nil
+}
+
+// Close stops the listener; a blocked Accept returns an error.
+func (l *Listener) Close() error { return l.ln.Close() }
 
 // ListenTCP accepts one peer connection on addr, invoking ready with the
 // bound address before blocking in Accept.
@@ -339,7 +399,19 @@ func (t *TCPLink) Send(f Frame) error {
 	if err := writeBytes(t.w, f.Payload); err != nil {
 		return err
 	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], frameChecksum(f.Key, f.Payload))
+	if _, err := t.w.Write(sum[:]); err != nil {
+		return err
+	}
 	return t.w.Flush()
+}
+
+// frameChecksum covers the fields whose corruption would poison a
+// restored model: the routing key and the checkpoint payload.
+func frameChecksum(key string, payload []byte) uint32 {
+	sum := crc32.ChecksumIEEE([]byte(key))
+	return crc32.Update(sum, crc32.IEEETable, payload)
 }
 
 const maxFrameField = 8 << 30
@@ -382,6 +454,13 @@ func (t *TCPLink) Recv() (Frame, error) {
 	payload, err := readBytes(t.r, maxFrameField)
 	if err != nil {
 		return Frame{}, err
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(t.r, sum[:]); err != nil {
+		return Frame{}, err
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != frameChecksum(string(key), payload) {
+		return Frame{}, fmt.Errorf("%w: key %q, %d payload bytes", ErrCorruptFrame, key, len(payload))
 	}
 	return Frame{
 		Key:         string(key),
