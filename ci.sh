@@ -8,6 +8,17 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> viper-vet ./..."
+go run ./cmd/viper-vet ./...
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -17,7 +28,7 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> bench smoke (transport + pubsub, 1x)"
-go test -run '^$' -bench . -benchtime 1x ./internal/transport/ ./internal/pubsub/
+echo "==> bench smoke (transport + pubsub + kvstore, 1x)"
+go test -run '^$' -bench . -benchtime 1x ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/
 
 echo "==> ci.sh: all green"

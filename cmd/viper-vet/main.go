@@ -1,0 +1,114 @@
+// Command viper-vet runs the project's static-analysis suite
+// (internal/analysis) over the given package patterns and exits
+// non-zero on any finding. It is the first gate in ci.sh.
+//
+// Usage:
+//
+//	viper-vet [-only a,b] [-skip a,b] [patterns...]
+//
+// Patterns default to ./... and accept plain directories or Go-style
+// "dir/..." wildcards, resolved within the enclosing module. Findings
+// print as "file:line: [analyzer] message". Individual lines can be
+// waived with a reviewed suppression comment:
+//
+//	//lint:ignore analyzer reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"viper/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: viper-vet [-only a,b] [-skip a,b] [patterns...]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "viper-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	selected := analysis.All()
+	if only != "" {
+		selected = nil
+		for _, name := range strings.Split(only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if skip == "" {
+		return selected, nil
+	}
+	skipped := make(map[string]bool)
+	for _, name := range strings.Split(skip, ",") {
+		if analysis.ByName(strings.TrimSpace(name)) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		skipped[strings.TrimSpace(name)] = true
+	}
+	var kept []*analysis.Analyzer
+	for _, a := range selected {
+		if !skipped[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	return kept, nil
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is incomplete", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("expected at least 5 analyzers, have %d", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "pkg/file.go", Line: 12, Column: 3},
+		Analyzer: "lockedsend",
+		Message:  "blocking send",
+	}
+	if got, want := d.String(), "pkg/file.go:12: [lockedsend] blocking send"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		payload string
+		ok      bool
+	}{
+		{"//lint:ignore lockedsend reason", "lockedsend reason", true},
+		{"//lint:ignore\tall reason", "all reason", true},
+		{"//lint:ignored something", "", false},
+		{"// lint:ignore lockedsend reason", "", false},
+		{"// regular comment", "", false},
+	}
+	for _, c := range cases {
+		payload, ok := directiveText(c.comment)
+		if ok != c.ok || payload != c.payload {
+			t.Errorf("directiveText(%q) = %q, %v; want %q, %v", c.comment, payload, ok, c.payload, c.ok)
+		}
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text    string
+		wantErr string
+		names   []string // nil means "all" when wantErr is empty
+	}{
+		{"lockedsend channel is fresh and buffered", "", []string{"lockedsend"}},
+		{"lockedsend,floateq shared reason", "", []string{"lockedsend", "floateq"}},
+		{"all trust me", "", nil},
+		{"lockedsend", "malformed lint:ignore directive (want //lint:ignore analyzer[,analyzer] reason)", nil},
+		{"", "malformed lint:ignore directive (want //lint:ignore analyzer[,analyzer] reason)", nil},
+		{"bogus some reason", "lint:ignore names unknown analyzer bogus", nil},
+	}
+	for _, c := range cases {
+		dir, errMsg := parseIgnore(c.text)
+		if errMsg != c.wantErr {
+			t.Errorf("parseIgnore(%q) error = %q, want %q", c.text, errMsg, c.wantErr)
+			continue
+		}
+		if c.wantErr != "" {
+			continue
+		}
+		if c.names == nil {
+			if dir.analyzers != nil {
+				t.Errorf("parseIgnore(%q) should mean all analyzers", c.text)
+			}
+			continue
+		}
+		if len(dir.analyzers) != len(c.names) {
+			t.Errorf("parseIgnore(%q) analyzers = %v, want %v", c.text, dir.analyzers, c.names)
+		}
+		for _, name := range c.names {
+			if !dir.analyzers[name] {
+				t.Errorf("parseIgnore(%q) missing analyzer %q", c.text, name)
+			}
+		}
+	}
+}
+
+// TestSuppressionEndToEnd loads a throwaway package exercising every
+// suppression outcome: a real finding, a suppressed finding, an
+// unknown-analyzer directive (finding survives, directive reported), and
+// a reason-less directive (same).
+func TestSuppressionEndToEnd(t *testing.T) {
+	src := `package tmpfix
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func (b *box) plain(ch chan int) {
+	b.mu.Lock()
+	ch <- 1
+	b.mu.Unlock()
+}
+
+func (b *box) waived(ch chan int) {
+	b.mu.Lock()
+	//lint:ignore lockedsend exercising the suppression path in a test fixture
+	ch <- 2
+	b.mu.Unlock()
+}
+
+func (b *box) unknown(ch chan int) {
+	b.mu.Lock()
+	//lint:ignore bogus this analyzer does not exist
+	ch <- 3
+	b.mu.Unlock()
+}
+
+func (b *box) reasonless(ch chan int) {
+	b.mu.Lock()
+	//lint:ignore lockedsend
+	ch <- 4
+	b.mu.Unlock()
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tmpfix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(dir, "fixture/tmpfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{LockedSend})
+
+	count := make(map[string]int)
+	for _, d := range diags {
+		count[d.Analyzer]++
+	}
+	// plain, unknown, reasonless each keep their lockedsend finding; the
+	// waived one is suppressed; both bad directives surface as lint.
+	if count["lockedsend"] != 3 || count["lint"] != 2 || len(diags) != 5 {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("diagnostic counts = %v, want lockedsend:3 lint:2", count)
+	}
+}
+
+func TestLoadPatterns(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "viper/internal/analysis" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.ImportPath)
+		}
+		t.Fatalf("Load(./...) from internal/analysis = %v; want exactly [viper/internal/analysis] (testdata must be skipped)", paths)
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("analysis package has type errors: %v", pkgs[0].TypeErrors)
+	}
+}

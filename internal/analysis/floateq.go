@@ -1,0 +1,65 @@
+// floateq flags == and != between floating-point operands in the
+// numeric packages (tensor, nn, ipp). Exact float equality is almost
+// always a latent bug in gradient/loss arithmetic — two mathematically
+// equal expressions routinely differ in the last ulp — and the paper's
+// loss-curve machinery (ipp) makes decisions on these comparisons.
+//
+// One idiom is exempt: comparison against an exact constant zero
+// (`x == 0`). Skip-zero sparsity fast paths (tensor.MatMul, nn.Conv1d)
+// and "feature disabled" checks (Dropout.rate) test for the one float
+// value that is exactly representable and meaningfully special.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports exact floating-point equality comparisons.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "== or != on floating-point operands in tensor/nn/ipp (comparison with literal 0 is allowed)",
+	Run:  runFloatEq,
+}
+
+// floatEqScope lists the numeric packages the check applies to.
+var floatEqScope = map[string]bool{
+	"viper/internal/tensor": true,
+	"viper/internal/nn":     true,
+	"viper/internal/ipp":    true,
+}
+
+func runFloatEq(pass *Pass) {
+	if !floatEqScope[pass.ImportPath] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			if isExactZero(x) || isExactZero(y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "floating-point %s comparison; compare with an epsilon tolerance (math.Abs(a-b) <= eps) — only comparison against literal 0 is exact", bin.Op)
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether tv is a compile-time constant equal to 0.
+func isExactZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() == constant.Float && constant.Sign(v) == 0
+}

@@ -1,0 +1,72 @@
+// layering enforces the repository's import DAG so the numeric core can
+// never grow a dependency on the networked delivery layers:
+//
+//   - tensor, nn, dataset, and curvefit (the math/model layer) must
+//     never import transport, kvstore, pubsub, or remote (the delivery
+//     layer) — models stay usable without any networking linked in;
+//   - simclock imports no internal package at all — every layer charges
+//     time against it, so any internal import would be a cycle risk and
+//     would let wall-clock behaviour leak into the virtual-time root;
+//   - core is the in-process composition root and stays leaf-only: only
+//     the top-level composition layers (coupled, experiments, remote)
+//     may import it, keeping "depends on core" equivalent to "is a
+//     deployment harness".
+
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Layering reports imports that violate the repository's layer rules.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "import violates the repo's layer DAG (math layer -> delivery layer, simclock leaf, core leaf-only)",
+	Run:  runLayering,
+}
+
+const internalPrefix = "viper/internal/"
+
+// mathLayer must never depend on deliveryLayer.
+var mathLayer = map[string]bool{
+	"tensor": true, "nn": true, "dataset": true, "curvefit": true,
+}
+
+var deliveryLayer = map[string]bool{
+	"transport": true, "kvstore": true, "pubsub": true, "remote": true,
+}
+
+// coreImporters are the only internal packages allowed to import core.
+var coreImporters = map[string]bool{
+	"coupled": true, "experiments": true, "remote": true,
+}
+
+func runLayering(pass *Pass) {
+	if !strings.HasPrefix(pass.ImportPath, internalPrefix) {
+		return // cmd/, examples/, and the root package may compose freely
+	}
+	self := strings.TrimPrefix(pass.ImportPath, internalPrefix)
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if self == "simclock" && strings.HasPrefix(path, "viper/") {
+				pass.Reportf(imp.Pos(), "simclock must not import %s: it is the virtual-time root every layer depends on", path)
+				continue
+			}
+			target := strings.TrimPrefix(path, internalPrefix)
+			if target == path {
+				continue // not an internal import
+			}
+			if mathLayer[self] && deliveryLayer[target] {
+				pass.Reportf(imp.Pos(), "math-layer package %s must not import delivery-layer package %s; move the shared code down or invert the dependency", self, target)
+			}
+			if target == "core" && !coreImporters[self] {
+				pass.Reportf(imp.Pos(), "core is leaf-only: only coupled, experiments, and remote may import it, not %s", self)
+			}
+		}
+	}
+}

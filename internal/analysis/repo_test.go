@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsViperVetClean is the regression gate behind the whole PR:
+// the entire repository must type-check and produce zero diagnostics
+// under every analyzer. Any future reintroduction of a locked send, a
+// busy-spin, a raw wall-clock call in a simclock-aware package, a
+// layering violation, or an exact float comparison fails this test (and
+// `go run ./cmd/viper-vet ./...` in ci.sh).
+func TestRepoIsViperVetClean(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load(filepath.Join(l.ModuleRoot(), "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages from %s; pattern expansion is broken", len(pkgs), l.ModuleRoot())
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

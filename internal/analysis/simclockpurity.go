@@ -1,0 +1,57 @@
+// simclockpurity enforces Viper's virtual-time discipline: a package
+// that participates in the simclock.Clock machinery (it depends on
+// viper/internal/simclock, directly or transitively) must not read or
+// wait on the wall clock directly in non-test code. Direct time.Now /
+// time.Sleep / time.After calls in such packages make chaos and
+// discrete-event tests wall-clock-slow and nondeterministic — the exact
+// violations PR 2 fixed at remote.go:210/384 and pubsub.go:128.
+//
+// Intentional wall-clock measurements (e.g. the Fig. 6 interference
+// experiment, which exists to measure real hardware time) carry a
+// //lint:ignore simclockpurity comment stating why.
+
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SimclockPurity reports direct wall-clock calls in clock-aware packages.
+var SimclockPurity = &Analyzer{
+	Name: "simclockpurity",
+	Doc:  "direct time.Now/Sleep/After in a package wired for simclock.Clock; use the injected clock",
+	Run:  runSimclockPurity,
+}
+
+const simclockPath = "viper/internal/simclock"
+
+// wallClockFuncs are the package-level time functions that read or wait
+// on the wall clock. Pure conversions (time.Duration, time.Unix, ...)
+// stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+	"Since": true, "Until": true,
+}
+
+func runSimclockPurity(pass *Pass) {
+	if !strings.HasPrefix(pass.ImportPath, "viper/internal/") || pass.ImportPath == simclockPath {
+		return // simclock itself is the wall-clock boundary
+	}
+	if pass.Dep(simclockPath) == nil {
+		return // package is not part of the virtual-time machinery
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFunc(pass.Info, call, "time", wallClockFuncs); ok {
+				pass.Reportf(call.Pos(), "direct time.%s in a simclock-aware package; thread the injected simclock.Clock instead (or lint:ignore with the reason wall time is intentional)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,278 @@
+// spinloop flags for-loops that can complete an iteration without ever
+// blocking, sleeping, or otherwise yielding — busy-spins. This is the
+// PR-1 transport.Link.SendLatest bug class: a loop of non-blocking
+// selects (send attempt, evict attempt) could be kept spinning forever
+// by a racing consumer, burning a core that the paper's interference
+// results (Fig. 6) assume is available for training.
+//
+// Two spin shapes are recognized:
+//
+//  1. A select with a default case whose non-blocking continuation (the
+//     default body plus the loop-body tail after the select) reaches the
+//     loop's back edge without any blocking operation.
+//  2. A `continue` taken after a failed non-blocking attempt (a Try*/
+//     CompareAndSwap call) with no blocking operation on that path.
+//
+// The blocking-operation test is deliberately generous — any ordinary
+// function call is presumed able to block — so the analyzer only fires
+// on loops whose spin path is pure channel-polling and bookkeeping, the
+// shape both PR-1 bugs shared. Bounded numeric loops and range loops
+// are never flagged (range over a channel blocks; other ranges are
+// finite).
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SpinLoop reports busy-wait loops with a non-blocking fast path.
+var SpinLoop = &Analyzer{
+	Name: "spinloop",
+	Doc:  "for-loop can take a non-blocking path back to its start without blocking or yielding (busy-spin)",
+	Run:  runSpinLoop,
+}
+
+func runSpinLoop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkSpin(pass, loop)
+			return true
+		})
+	}
+}
+
+func checkSpin(pass *Pass, loop *ast.ForStmt) {
+	body := loop.Body.List
+	sawTry := false
+	for i, s := range body {
+		// Shape 1: select with default at the top level of the loop body.
+		if sel, ok := s.(*ast.SelectStmt); ok {
+			if def := defaultClause(sel); def != nil {
+				if spinContinuation(def.Body, body[i+1:]) &&
+					!assignsAny(append(append([]ast.Stmt{}, def.Body...), body[i+1:]...), condVars(loop.Cond)) {
+					pass.Reportf(sel.Pos(), "busy-spin: the select default path reaches the loop's next iteration without blocking (the PR-1 SendLatest bug class); block in a select arm, wait on a clock, or back off")
+					return
+				}
+			}
+		}
+		// Shape 2: continue guarded by a failed Try*/CAS attempt.
+		if ifs, ok := s.(*ast.IfStmt); ok {
+			tryHere := (ifs.Init != nil && containsTryCall(ifs.Init)) || containsTryCall(ifs.Cond)
+			if (sawTry || tryHere) && endsInContinue(ifs.Body.List) && !hasBlockingOp(ifs.Body.List) {
+				pass.Reportf(ifs.Pos(), "busy-spin: continue after a failed non-blocking attempt with no blocking operation on the retry path; add a blocking wait or backoff before retrying")
+				return
+			}
+		}
+		if containsTryCall(s) {
+			sawTry = true
+		}
+		if hasBlockingOp([]ast.Stmt{s}) {
+			return // the shared prefix blocks; every path is paced
+		}
+	}
+}
+
+// spinContinuation decides whether the default body plus the loop tail
+// can reach the back edge without blocking.
+func spinContinuation(def []ast.Stmt, tail []ast.Stmt) bool {
+	if hasBlockingOp(def) || terminates(def) {
+		return false
+	}
+	if endsInContinue(def) {
+		return true
+	}
+	return !hasBlockingOp(tail) && !terminates(tail)
+}
+
+// condVars collects the identifiers a loop condition reads: a spin path
+// that assigns one of them can terminate the loop, so it makes progress.
+func condVars(cond ast.Expr) map[string]bool {
+	vars := make(map[string]bool)
+	if cond == nil {
+		return vars
+	}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			vars[id.Name] = true
+		}
+		return true
+	})
+	return vars
+}
+
+// assignsAny reports whether stmts assign (or address) any of the named
+// variables.
+func assignsAny(stmts []ast.Stmt, vars map[string]bool) bool {
+	if len(vars) == 0 {
+		return false
+	}
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && vars[id.Name] {
+						found = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := n.X.(*ast.Ident); ok && vars[id.Name] {
+					found = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if id, ok := n.X.(*ast.Ident); ok && vars[id.Name] {
+						found = true // address taken: assume it can be written
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func defaultClause(sel *ast.SelectStmt) *ast.CommClause {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return cc
+		}
+	}
+	return nil
+}
+
+func endsInContinue(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false // an empty body falls through to whatever follows
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return endsInContinue(s.List)
+	}
+	return false
+}
+
+// hasBlockingOp reports whether stmts contain anything that can block,
+// sleep, or yield. Ordinary function and method calls are presumed
+// blocking; only builtins, Try*/CompareAndSwap attempts, and sync/atomic
+// accessors are known non-blocking. Channel operations inside a select
+// that has a default case never block and are skipped, as are nested
+// function literals (not executed on this path) and nested for-loops
+// (judged on their own).
+func hasBlockingOp(stmts []ast.Stmt) bool {
+	blocking := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if blocking {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				if defaultClause(n) == nil {
+					blocking = true
+					return false
+				}
+				// Non-blocking select: its comm clauses cannot block;
+				// clause bodies only run after progress was made, so
+				// they do not pace the spin path either way.
+				return false
+			case *ast.SendStmt:
+				blocking = true
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocking = true
+					return false
+				}
+			case *ast.RangeStmt:
+				blocking = true // channel ranges block; others are finite work
+				return false
+			case *ast.CallExpr:
+				if !nonBlockingCall(n) {
+					blocking = true
+					return false
+				}
+			}
+			return true
+		})
+		if blocking {
+			return true
+		}
+	}
+	return blocking
+}
+
+// knownNonBlockingBuiltins are builtins that complete without yielding.
+var knownNonBlockingBuiltins = map[string]bool{
+	"append": true, "cap": true, "copy": true, "delete": true, "len": true,
+	"make": true, "max": true, "min": true, "new": true,
+}
+
+func nonBlockingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return knownNonBlockingBuiltins[fun.Name] || isTryName(fun.Name)
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if isTryName(name) {
+			return true
+		}
+		// sync/atomic accessors (atomic.AddInt64, v.Load, ...).
+		if pkg, ok := fun.X.(*ast.Ident); ok && pkg.Name == "atomic" {
+			return true
+		}
+		switch name {
+		case "Load", "Store", "Add", "Swap":
+			return true
+		}
+	}
+	return false
+}
+
+func isTryName(name string) bool {
+	return strings.HasPrefix(name, "Try") && len(name) > len("Try") ||
+		strings.HasPrefix(name, "CompareAndSwap")
+}
+
+// containsTryCall reports whether n contains a Try*/CompareAndSwap call.
+func containsTryCall(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			found = found || isTryName(fun.Name)
+		case *ast.SelectorExpr:
+			found = found || isTryName(fun.Sel.Name)
+		}
+		return !found
+	})
+	return found
+}

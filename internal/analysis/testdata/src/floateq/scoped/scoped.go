@@ -1,0 +1,29 @@
+// Package fl is a golden fixture loaded under the synthetic import path
+// viper/internal/tensor, putting it inside the floateq scope.
+package fl
+
+func eqBad(a, b float64) bool { return a == b } // want "floating-point == comparison"
+
+func neqBad(a, b float32) bool { return a != b } // want "floating-point != comparison"
+
+type celsius float64
+
+func namedBad(a, b celsius) bool { return a == b } // want "floating-point == comparison"
+
+func litBad(a float64) bool { return a == 1.5 } // want "floating-point == comparison"
+
+// Comparison against exact constant zero is the sanctioned sparsity /
+// feature-disabled idiom.
+func zeroOK(a float64) bool { return a == 0 }
+
+func zeroFloatOK(a float32) bool { return a != 0.0 }
+
+func intsOK(a, b int) bool { return a == b }
+
+func stringsOK(a, b string) bool { return a == b }
+
+// suppressedEq shows the reviewed-waiver escape hatch.
+func suppressedEq(a, b float64) bool {
+	//lint:ignore floateq comparing canonical bit patterns copied from the same buffer
+	return a == b
+}

@@ -1,0 +1,6 @@
+// Package fl2 is a golden fixture loaded under the synthetic import
+// path viper/internal/trace — outside the floateq scope, so exact float
+// comparisons are not flagged here.
+package fl2
+
+func Eq(a, b float64) bool { return a == b }

@@ -1,0 +1,17 @@
+// Package remotefix is a golden fixture for the allowed side of the
+// layering rules. Loaded as viper/internal/remote it is a whitelisted
+// core importer; loaded as viper/cmd/demo it is outside internal/ and
+// may compose freely. Either way: zero diagnostics.
+package remotefix
+
+import (
+	"viper/internal/core"
+	"viper/internal/simclock"
+	"viper/internal/tensor"
+)
+
+var (
+	_ = core.NewDoubleBuffer
+	_ = simclock.NewWall
+	_ = tensor.New
+)

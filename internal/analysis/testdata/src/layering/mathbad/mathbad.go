@@ -1,0 +1,10 @@
+// Package tensor is a golden fixture loaded under the synthetic import
+// path viper/internal/tensor: a math-layer package reaching into the
+// delivery layer, which the layering analyzer must reject.
+package tensor
+
+import (
+	"viper/internal/pubsub" // want "math-layer package tensor must not import delivery-layer package pubsub"
+)
+
+var _ = pubsub.NewBroker

@@ -1,0 +1,10 @@
+// Package simclock is a golden fixture loaded under the synthetic
+// import path viper/internal/simclock: the virtual-time root importing
+// any other internal package is a layering violation.
+package simclock
+
+import (
+	"viper/internal/tensor" // want "simclock must not import viper/internal/tensor"
+)
+
+var _ = tensor.New

@@ -1,0 +1,117 @@
+// Package lockedfix holds golden cases for the lockedsend analyzer. The
+// publishHeld method deliberately reintroduces the PR-1 pubsub bug — a
+// blocking channel send performed while holding the broker mutex — which
+// the analyzer must flag.
+package lockedfix
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type broker struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs map[string]chan int
+}
+
+// publishHeld is the PR-1 pubsub bug, verbatim in shape: iterate the
+// subscriber map under the lock and block on each subscriber's channel.
+func (b *broker) publishHeld(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		ch <- v // want "blocking channel send on ch while holding b\.mu"
+	}
+}
+
+func (b *broker) recvHeld(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // want "blocking channel receive from ch while holding b\.mu"
+}
+
+func (b *broker) selectHeld(ch chan int) {
+	b.mu.Lock()
+	select { // want "blocking select \(no default case\) while holding b\.mu"
+	case ch <- 1:
+	case <-ch:
+	}
+	b.mu.Unlock()
+}
+
+func (b *broker) sleepHeld() {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time\.Sleep while holding b\.rw"
+	b.rw.RUnlock()
+}
+
+func (b *broker) connHeld(conn net.Conn, buf []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	conn.Write(buf) // want "net\.Conn Write on conn while holding b\.mu"
+}
+
+// earlyReturnKeepsHeld: the guard returns, so the fall-through path
+// still holds the lock at the send.
+func (b *broker) earlyReturnKeepsHeld(ch chan int, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v < 1 {
+		return
+	}
+	ch <- v // want "blocking channel send on ch while holding b\.mu"
+}
+
+// nonBlockingSelect is the PR-1 fix shape: every send under the lock has
+// a default case, so nothing can block while the lock is held.
+func (b *broker) nonBlockingSelect(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+// unlockedSend is clean: the send happens after the critical section.
+func (b *broker) unlockedSend(ch chan int, v int) {
+	b.mu.Lock()
+	n := len(b.subs)
+	b.mu.Unlock()
+	ch <- n + v
+}
+
+// branchUnlock releases the lock on every fall-through path before the
+// send.
+func (b *broker) branchUnlock(ch chan int, v int) {
+	b.mu.Lock()
+	if v > 0 {
+		b.mu.Unlock()
+	} else {
+		b.mu.Unlock()
+	}
+	ch <- v
+}
+
+// goroutineSend is clean: the function literal runs on its own
+// goroutine, which does not hold the lock.
+func (b *broker) goroutineSend(ch chan int, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() { ch <- v }()
+}
+
+// suppressedSend demonstrates a reviewed waiver: the channel is fresh,
+// buffered, and invisible to other goroutines, so the send cannot block.
+func (b *broker) suppressedSend(v int) int {
+	ch := make(chan int, 1)
+	b.mu.Lock()
+	//lint:ignore lockedsend fresh buffered channel with no other reference; the send cannot block
+	ch <- v
+	b.mu.Unlock()
+	return <-ch
+}

@@ -1,0 +1,46 @@
+// Package simfix is a golden fixture loaded under the synthetic import
+// path viper/internal/simfix: it imports simclock, so it is inside the
+// virtual-time machinery and wall-clock calls must go through the
+// injected clock.
+package simfix
+
+import (
+	"time"
+
+	"viper/internal/simclock"
+)
+
+type pacer struct{ clock simclock.Clock }
+
+func (p *pacer) stampBad() time.Time {
+	return time.Now() // want "direct time\.Now in a simclock-aware package"
+}
+
+func (p *pacer) waitBad(d time.Duration) {
+	time.Sleep(d) // want "direct time\.Sleep in a simclock-aware package"
+}
+
+func (p *pacer) afterBad(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "direct time\.After in a simclock-aware package"
+}
+
+func (p *pacer) tickBad() *time.Ticker {
+	return time.NewTicker(time.Second) // want "direct time\.NewTicker in a simclock-aware package"
+}
+
+func (p *pacer) stampGood() time.Time { return p.clock.Now() }
+
+func (p *pacer) waitGood(d time.Duration) { p.clock.Sleep(d) }
+
+// Pure time arithmetic and conversions stay legal.
+func span(a, b time.Time) time.Duration { return b.Sub(a).Round(time.Millisecond) }
+
+// benchmark shows the reviewed-waiver escape hatch for intentional
+// wall-clock measurement.
+func (p *pacer) benchmark() time.Duration {
+	//lint:ignore simclockpurity this helper measures real scheduler latency on purpose
+	start := time.Now()
+	p.clock.Sleep(time.Millisecond)
+	//lint:ignore simclockpurity same: real elapsed wall time is the quantity under test
+	return time.Since(start)
+}

@@ -1,0 +1,13 @@
+// Package plainfix is a golden fixture loaded under the synthetic
+// import path viper/internal/plainfix: it does NOT depend on simclock,
+// so direct wall-clock use is outside the analyzer's scope and nothing
+// here is flagged.
+package plainfix
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Nap() { time.Sleep(time.Millisecond) }
+
+func Deadline(d time.Duration) <-chan time.Time { return time.After(d) }

@@ -1,0 +1,127 @@
+// Package spinfix holds golden cases for the spinloop analyzer. The
+// pollSelect function reintroduces the PR-1 transport.SendLatest bug
+// shape: a loop of non-blocking selects with nothing on the retry path
+// that blocks, sleeps, or yields.
+package spinfix
+
+import "time"
+
+type clock interface {
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}
+
+type link struct{ q chan int }
+
+func (l *link) TryRecv() (int, bool) {
+	select {
+	case v := <-l.q:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// pollSelect is the PR-1 SendLatest bug shape: the first select's
+// default falls through to a second non-blocking select and back to the
+// loop head without ever blocking.
+func pollSelect(q chan int, v int) {
+	for {
+		select { // want "busy-spin: the select default path reaches the loop's next iteration without blocking"
+		case q <- v:
+			return
+		default:
+		}
+		select {
+		case <-q:
+		default:
+		}
+	}
+}
+
+// spinEmptyDefault spins through an empty default with nothing after it.
+func spinEmptyDefault(q chan int) {
+	for {
+		select { // want "busy-spin: the select default path reaches the loop's next iteration without blocking"
+		case <-q:
+			return
+		default:
+		}
+	}
+}
+
+// spinContinue retries a failed non-blocking attempt with no backoff.
+func spinContinue(l *link) int {
+	for {
+		v, ok := l.TryRecv()
+		if !ok { // want "busy-spin: continue after a failed non-blocking attempt"
+			continue
+		}
+		return v
+	}
+}
+
+// pacedSelect is the PR-1 fix shape: the second select has no default,
+// so the retry path parks until a peer makes progress.
+func pacedSelect(q, closed chan int, v int) {
+	for {
+		select {
+		case q <- v:
+			return
+		default:
+		}
+		select {
+		case q <- v:
+			return
+		case <-q:
+		case <-closed:
+			return
+		}
+	}
+}
+
+// pacedContinue backs off on the clock before retrying.
+func pacedContinue(l *link, clk clock) int {
+	for {
+		v, ok := l.TryRecv()
+		if !ok {
+			clk.Sleep(time.Millisecond)
+			continue
+		}
+		return v
+	}
+}
+
+// condProgress assigns the loop-condition variable on the default path:
+// the "spin" makes progress toward termination, so it is a drain loop,
+// not a busy-wait.
+func condProgress(q chan int) int {
+	n := 0
+	for done := false; !done; {
+		select {
+		case v := <-q:
+			n += v
+		default:
+			done = true
+		}
+	}
+	return n
+}
+
+// boundedLoop: plain bounded computation is never flagged.
+func boundedLoop(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// rangeDrain: range loops are exempt (a channel range blocks).
+func rangeDrain(q chan int) int {
+	total := 0
+	for v := range q {
+		total += v
+	}
+	return total
+}

@@ -62,16 +62,20 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	batches := dataset.BatchIndices(rng, task.NumSamples(), 2)
 	for i := 0; i < cfg.Iterations; i++ {
 		rows := batches[i%len(batches)]
+		//lint:ignore simclockpurity Fig. 6 exists to measure real hardware time per training step; a virtual clock would measure nothing
 		start := time.Now()
 		task.Step(rows)
+		//lint:ignore simclockpurity same: real wall-clock duration of the step is the experiment's output
 		res.TrainTimes = append(res.TrainTimes, time.Since(start))
 	}
 	// Inference requests: single-sample predicts, the serving pattern.
 	xr := data.X
 	for i := 0; i < cfg.Inferences; i++ {
 		row := dataset.Gather(xr, []int{i % xr.Dim(0)})
+		//lint:ignore simclockpurity real per-request inference latency is the quantity Fig. 6 plots
 		start := time.Now()
 		net.Predict(row)
+		//lint:ignore simclockpurity same: real wall-clock duration of the request is the experiment's output
 		res.InferTimes = append(res.InferTimes, time.Since(start))
 	}
 	res.TrainMean, res.TrainCV = meanCV(res.TrainTimes)

@@ -1,0 +1,64 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+
+	"viper/internal/simclock"
+)
+
+// TestPublishStampsFromInjectedClock pins Message.At to the injected
+// clock: with a manual virtual clock every timestamp is exact, including
+// the retained message replayed to a late subscriber.
+func TestPublishStampsFromInjectedClock(t *testing.T) {
+	clk := simclock.NewVirtualManual()
+	epoch := time.Unix(0, 0)
+	b := NewBrokerClock(2, clk)
+
+	sub := b.Subscribe("model")
+	defer sub.Close()
+	if n := b.Publish("model", "v1"); n != 1 {
+		t.Fatalf("Publish delivered to %d subscribers, want 1", n)
+	}
+	msg := <-sub.C
+	if !msg.At.Equal(epoch) {
+		t.Fatalf("first message At = %v, want %v", msg.At, epoch)
+	}
+
+	clk.Advance(5 * time.Second)
+	b.Publish("model", "v2")
+	msg = <-sub.C
+	want := epoch.Add(5 * time.Second)
+	if !msg.At.Equal(want) {
+		t.Fatalf("second message At = %v, want %v", msg.At, want)
+	}
+
+	// A reconnecting subscriber replays the retained message with its
+	// original publish timestamp, even after more virtual time passed.
+	clk.Advance(time.Minute)
+	late, replayed := b.SubscribeReplay("model")
+	defer late.Close()
+	if !replayed {
+		t.Fatal("SubscribeReplay found no retained message")
+	}
+	msg = <-late.C
+	if msg.Payload != "v2" || !msg.At.Equal(want) {
+		t.Fatalf("replayed message = %q at %v, want %q at %v", msg.Payload, msg.At, "v2", want)
+	}
+}
+
+// TestNewBrokerDefaultsToWallClock keeps the zero-config path on real
+// time: stamps must be sandwiched by time.Now readings.
+func TestNewBrokerDefaultsToWallClock(t *testing.T) {
+	b := NewBroker(1)
+	before := time.Now()
+	b.Publish("model", "v1")
+	after := time.Now()
+	msg, ok := b.Latest("model")
+	if !ok {
+		t.Fatal("Latest found nothing after Publish")
+	}
+	if msg.At.Before(before) || msg.At.After(after) {
+		t.Fatalf("wall-clock At = %v outside [%v, %v]", msg.At, before, after)
+	}
+}

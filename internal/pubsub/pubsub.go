@@ -11,6 +11,8 @@ package pubsub
 import (
 	"sync"
 	"time"
+
+	"viper/internal/simclock"
 )
 
 // Message is one published event.
@@ -52,18 +54,30 @@ type Broker struct {
 	latest  map[string]Message
 	dropped int64
 	bufSize int
+	clock   simclock.Clock
 }
 
 // NewBroker constructs a broker with the given per-subscriber buffer size
-// (minimum 1).
+// (minimum 1), stamping Message.At from the wall clock.
 func NewBroker(bufSize int) *Broker {
+	return NewBrokerClock(bufSize, nil)
+}
+
+// NewBrokerClock is NewBroker with an injectable clock for Message.At
+// timestamps (nil selects the wall clock). Virtual-clock tests assert
+// retained-message redelivery timestamps exactly.
+func NewBrokerClock(bufSize int, clock simclock.Clock) *Broker {
 	if bufSize < 1 {
 		bufSize = 1
+	}
+	if clock == nil {
+		clock = simclock.NewWall()
 	}
 	return &Broker{
 		subs:    make(map[string]map[*Subscription]struct{}),
 		latest:  make(map[string]Message),
 		bufSize: bufSize,
+		clock:   clock,
 	}
 }
 
@@ -95,7 +109,8 @@ func (b *Broker) subscribe(channel string, replay bool) (*Subscription, bool) {
 	replayed := false
 	if replay {
 		if msg, ok := b.latest[channel]; ok {
-			ch <- msg // fresh buffer with capacity >= 1: never blocks
+			//lint:ignore lockedsend ch was made above with capacity >= 1 and is not yet visible to any other goroutine, so this send cannot block
+			ch <- msg
 			replayed = true
 		}
 	}
@@ -125,7 +140,7 @@ func (b *Broker) unsubscribe(s *Subscription) {
 // Publish sends payload to every subscriber of channel and returns the
 // number of subscribers that received (or were queued) the message.
 func (b *Broker) Publish(channel, payload string) int {
-	msg := Message{Channel: channel, Payload: payload, At: time.Now()}
+	msg := Message{Channel: channel, Payload: payload, At: b.clock.Now()}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.latest[channel] = msg

@@ -27,6 +27,7 @@ import (
 	"viper/internal/nn"
 	"viper/internal/pubsub"
 	"viper/internal/retry"
+	"viper/internal/simclock"
 	"viper/internal/transport"
 	"viper/internal/vformat"
 )
@@ -85,6 +86,7 @@ type Producer struct {
 	ln     *transport.Listener
 	link   *transport.ReconnectLink
 	policy retry.Policy
+	clock  simclock.Clock
 	stage  bool
 
 	mu      sync.Mutex
@@ -99,6 +101,17 @@ func policyOrDefault(p retry.Policy) retry.Policy {
 		return retry.Default(nil)
 	}
 	return p
+}
+
+// policyClock extracts the retry policy's injected clock, falling back
+// to the wall clock. Every latency-bearing wait in this package charges
+// against it, so chaos tests that inject a virtual clock never burn
+// wall time in backoffs (see viper-vet's simclockpurity analyzer).
+func policyClock(p retry.Policy) simclock.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return simclock.NewWall()
 }
 
 // NewProducer connects to the metadata and notification services, then
@@ -136,7 +149,7 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 	}
 	return &Producer{
 		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
-		policy: pol, stage: !cfg.DisableStaging,
+		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
 	}, nil
 }
 
@@ -207,7 +220,7 @@ func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64)
 		Path:      key,
 		Size:      int64(len(payload)),
 		Format:    "vformat",
-		SavedAt:   time.Now(),
+		SavedAt:   p.clock.Now(),
 	}
 	encoded, err := meta.Encode()
 	if err != nil {
@@ -296,6 +309,7 @@ type Consumer struct {
 	serving  nn.Model
 	linkWait time.Duration
 	policy   retry.Policy
+	clock    simclock.Clock
 
 	frames chan transport.Frame
 	stash  *transport.Frame // link frame that overshot its notification
@@ -353,7 +367,7 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 	c := &Consumer{
 		model: cfg.Model, kv: kv, ps: ps, link: link,
 		events: events, serving: cfg.Serving,
-		linkWait: linkWait, policy: pol,
+		linkWait: linkWait, policy: pol, clock: policyClock(pol),
 		frames: make(chan transport.Frame, 32),
 		closed: make(chan struct{}),
 	}
@@ -363,13 +377,12 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 
 // pump moves frames from the (reconnecting) link into c.frames until
 // the consumer closes. When the link is persistently unavailable it
-// backs off and keeps trying; deliveries continue through the staging
-// fallback meanwhile.
+// backs off on the retry policy's schedule — charged against the
+// injected clock, so virtual-time tests cover the full backoff curve
+// without burning wall time — and keeps trying; deliveries continue
+// through the staging fallback meanwhile.
 func (c *Consumer) pump() {
-	backoff := c.policy.BaseDelay
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
+	backoff := initialBackoff(c.policy)
 	for {
 		f, err := c.link.Recv()
 		if err != nil {
@@ -381,15 +394,38 @@ func (c *Consumer) pump() {
 			if errors.Is(err, transport.ErrClosed) {
 				return
 			}
-			time.Sleep(backoff)
+			c.clock.Sleep(backoff)
+			backoff = nextBackoff(c.policy, backoff)
 			continue
 		}
+		backoff = initialBackoff(c.policy)
 		select {
 		case c.frames <- f:
 		case <-c.closed:
 			return
 		}
 	}
+}
+
+// initialBackoff is the pump's first retry delay under policy.
+func initialBackoff(p retry.Policy) time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+// nextBackoff grows cur by the policy's multiplier, capped at MaxDelay.
+func nextBackoff(p retry.Policy, cur time.Duration) time.Duration {
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	next := time.Duration(float64(cur) * mult)
+	if p.MaxDelay > 0 && next > p.MaxDelay {
+		next = p.MaxDelay
+	}
+	return next
 }
 
 // ErrTimeout is returned by Next when no update arrives in time.
@@ -408,7 +444,7 @@ func frameVersion(f *transport.Frame) uint64 {
 // reconnect) are ignored; notified versions that are unrecoverable on
 // both paths are skipped, since a newer update supersedes them.
 func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
-	deadline := time.After(timeout)
+	deadline := c.clock.After(timeout)
 	for {
 		select {
 		case msg, ok := <-c.events:
@@ -474,7 +510,7 @@ func (c *Consumer) fetch(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
 			c.bump(func(s *ConsumerStats) { s.DiscardedFrames++ })
 		}
 	}
-	timer := time.After(c.linkWait)
+	timer := c.clock.After(c.linkWait)
 	for {
 		select {
 		case f := <-c.frames:

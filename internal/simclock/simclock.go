@@ -132,6 +132,7 @@ func (v *Virtual) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	v.mu.Lock()
 	if d <= 0 {
+		//lint:ignore lockedsend ch was made above with capacity 1 and has no other reference yet, so this send cannot block
 		ch <- v.now
 		v.mu.Unlock()
 		return ch
