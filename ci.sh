@@ -28,7 +28,28 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The leakcheck-gated packages rerun uncached: a cached 'ok' would skip
+# the TestMain goroutine-leak check entirely, so -count=1 forces the
+# binaries to actually execute.
+echo "==> leakcheck packages (-race -count=1)"
+go test -race -count=1 \
+    ./internal/transport/ ./internal/pubsub/ ./internal/remote/ \
+    ./internal/kvstore/ ./internal/coupled/
+
 echo "==> bench smoke (transport + pubsub + kvstore, 1x)"
-go test -run '^$' -bench . -benchtime 1x ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/
+bench_out=$(go test -run '^$' -bench . -benchtime 1x \
+    ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/)
+echo "$bench_out"
+
+# Record the smoke pass as machine-readable evidence for this PR.
+echo "$bench_out" | awk '
+    BEGIN { print "["; n = 0 }
+    /^Benchmark/ && NF >= 4 {
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", $1, $2, $3
+    }
+    END { if (n) printf "\n"; print "]" }
+' > BENCH_3.json
+echo "wrote BENCH_3.json ($(grep -c '"name"' BENCH_3.json) benchmarks)"
 
 echo "==> ci.sh: all green"

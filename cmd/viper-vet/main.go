@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	viper-vet [-only a,b] [-skip a,b] [patterns...]
+//	viper-vet [-only a,b] [-skip a,b] [-json] [patterns...]
 //
 // Patterns default to ./... and accept plain directories or Go-style
 // "dir/..." wildcards, resolved within the enclosing module. Findings
@@ -12,9 +12,16 @@
 // waived with a reviewed suppression comment:
 //
 //	//lint:ignore analyzer reason
+//
+// With -json, every finding — including waived ones — prints as one
+// JSON object per line ({file, line, analyzer, message, suppressed}),
+// the format ci.sh archives as an artifact. The exit code still reflects
+// only unsuppressed findings, so a waiver keeps the gate green while the
+// artifact records what was waived.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +31,20 @@ import (
 	"viper/internal/analysis"
 )
 
+// jsonFinding is the -json wire form of one diagnostic, one per line.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (including suppressed ones)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: viper-vet [-only a,b] [-skip a,b] [patterns...]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
@@ -65,19 +82,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags := analysis.RunAll(pkgs, analyzers)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
+	unsuppressed := 0
 	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed++
+		}
 		name := d.Pos.Filename
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+		switch {
+		case *jsonOut:
+			enc.Encode(jsonFinding{
+				File:       name,
+				Line:       d.Pos.Line,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		case !d.Suppressed:
+			fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "viper-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "viper-vet: %d finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
 		os.Exit(1)
 	}
 }

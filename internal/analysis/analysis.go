@@ -27,6 +27,10 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the violation.
 	Message string
+	// Suppressed marks a finding covered by a well-formed lint:ignore
+	// waiver. Run drops suppressed findings; RunAll keeps them (marked)
+	// so viper-vet -json can archive waived findings alongside live ones.
+	Suppressed bool
 }
 
 // String renders the canonical "file:line: [analyzer] message" form.
@@ -81,11 +85,14 @@ type Analyzer struct {
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CloseLeak,
 		FloatEq,
+		GoLeak,
 		Layering,
 		LockedSend,
 		SimclockPurity,
 		SpinLoop,
+		WaitMisuse,
 	}
 }
 
@@ -105,6 +112,19 @@ func ByName(name string) *Analyzer {
 // still run on them with whatever partial information survived, and are
 // written to tolerate incomplete type info).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range RunAll(pkgs, analyzers) {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// RunAll is Run without the suppression filter: waived findings come
+// back marked Suppressed instead of dropped, so callers (viper-vet
+// -json) can archive the full picture.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, err := range pkg.TypeErrors {

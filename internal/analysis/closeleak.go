@@ -1,0 +1,410 @@
+// closeleak tracks OS-resource values — anything whose static type is a
+// net or os type with a Close() error method (net.Conn, net.Listener,
+// *os.File, …) — from the `x, err := ...` that creates them to every
+// return of the enclosing function, and reports the returns the value
+// can reach neither closed nor handed off. Each such value wraps a file
+// descriptor; leaking descriptors on the chaos/retry paths from PR 1 is
+// how a long-running Viper deployment hits EMFILE days in.
+//
+// Ownership transfer ends tracking: passing the value to another
+// function, storing it in a struct field / map / composite literal,
+// sending it on a channel, returning it, capturing it in a function
+// literal, or taking its address all hand the close obligation to
+// someone else, and the analyzer trusts the transfer. Likewise a
+// `defer x.Close()` (or any reachable x.Close()) discharges the
+// obligation. The early-return idiom
+//
+//	x, err := net.Dial(...)
+//	if err != nil { return err }   // x is nil here — nothing to close
+//
+// is recognized: returns inside an `err != nil` branch testing the error
+// from the same assignment are exempt.
+//
+// The check is intra-procedural and linear per branch — close-on-one-
+// path-only counts as closed (a false negative), because the gate's
+// contract is zero unsuppressed findings on honest code, not exhaustive
+// path coverage.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseLeak reports net/os Closer values that can reach a return neither
+// closed nor ownership-transferred.
+var CloseLeak = &Analyzer{
+	Name: "closeleak",
+	Doc:  "net.Conn/net.Listener/os.File reaches a return without Close or ownership transfer (fd leak)",
+	Run:  runCloseLeak,
+}
+
+func runCloseLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncForCloseLeaks(pass, fn.Body)
+			// Function literals get the same treatment, independently: a
+			// value created inside a literal must be closed inside it.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFuncForCloseLeaks(pass, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// closerVar is one tracked resource: the variable object, the err object
+// from the same assignment (nil if none), and the defining statement.
+type closerVar struct {
+	obj    types.Object
+	errObj types.Object
+	decl   *ast.AssignStmt
+}
+
+// checkFuncForCloseLeaks finds the resource-creating := statements
+// directly inside body (not in nested literals) and reports leaks.
+func checkFuncForCloseLeaks(pass *Pass, body *ast.BlockStmt) {
+	for _, cv := range collectCloserVars(pass, body) {
+		if ownershipTransferred(pass, body, cv) {
+			continue
+		}
+		reportUnclosedPaths(pass, body, cv)
+	}
+}
+
+// collectCloserVars returns the `x, err := call()` statements in body
+// whose x is an os-resource type. Nested function literals are skipped —
+// they are analyzed as their own scope.
+func collectCloserVars(pass *Pass, body *ast.BlockStmt) []closerVar {
+	var vars []closerVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		// Only call results create fresh resources; `y := x` aliases are
+		// handled as ownership transfers of x instead.
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+			return true
+		}
+		var errObj types.Object
+		if len(as.Lhs) == 2 {
+			if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.Info.Defs[id]; obj != nil && obj.Type() != nil && obj.Type().String() == "error" {
+					errObj = obj
+				}
+			}
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil || !isOSResourceType(obj.Type()) {
+				continue
+			}
+			vars = append(vars, closerVar{obj: obj, errObj: errObj, decl: as})
+		}
+		return true
+	})
+	return vars
+}
+
+// isOSResourceType reports whether t is a named type (or pointer to one)
+// declared in package net or os whose method set includes Close() error.
+func isOSResourceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	base := t
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if p := obj.Pkg().Path(); p != "net" && p != "os" {
+		return false
+	}
+	return hasCloseMethod(t)
+}
+
+// hasCloseMethod reports whether t's method set contains Close() error.
+func hasCloseMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Close" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 && sig.Results().At(0).Type().String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// ownershipTransferred prescans the function for any use of cv that
+// hands the close obligation elsewhere: argument position, composite
+// literal, RHS of an assignment, channel send, return value, function-
+// literal capture, or address-of.
+func ownershipTransferred(pass *Pass, body *ast.BlockStmt, cv closerVar) bool {
+	transferred := false
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if transferred {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Any use inside a literal is a capture.
+			if usesObject(pass, n.Body, cv.obj) {
+				transferred = true
+			}
+			return false
+		case *ast.CallExpr:
+			// x.Close() / x.Read(...) keep ownership; x as an *argument*
+			// transfers it.
+			for _, arg := range n.Args {
+				if isObjectExpr(pass, arg, cv.obj) {
+					transferred = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isObjectExpr(pass, e, cv.obj) {
+					transferred = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if n == cv.decl {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if isObjectExpr(pass, rhs, cv.obj) {
+					transferred = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if isObjectExpr(pass, n.Value, cv.obj) {
+				transferred = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isObjectExpr(pass, res, cv.obj) {
+					transferred = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isObjectExpr(pass, n.X, cv.obj) {
+				transferred = true
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return transferred
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isObjectExpr reports whether e (possibly parenthesized) is exactly the
+// identifier bound to obj.
+func isObjectExpr(pass *Pass, e ast.Expr, obj types.Object) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// reportUnclosedPaths walks body linearly and reports every return the
+// resource can reach unclosed, plus falling off the end of the function.
+func reportUnclosedPaths(pass *Pass, body *ast.BlockStmt, cv closerVar) {
+	live := false // becomes true after the defining statement
+	closed := false
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, stmt := range stmts {
+			if as, ok := stmt.(*ast.AssignStmt); ok && as == cv.decl {
+				live = true
+				continue
+			}
+			if !live {
+				continue
+			}
+			if closesObject(pass, stmt, cv.obj) {
+				closed = true
+				continue
+			}
+			switch s := stmt.(type) {
+			case *ast.ReturnStmt:
+				if !closed && !isNilErrReturn(pass, body, s, cv) {
+					pass.Reportf(s.Pos(), "%s (%s) can reach this return without being closed: close it on this path, defer %s.Close(), or hand ownership to something that will", cv.obj.Name(), cv.obj.Type(), cv.obj.Name())
+				}
+			case *ast.BlockStmt:
+				walk(s.List)
+			case *ast.IfStmt:
+				wasClosed := closed
+				walk(s.Body.List)
+				closedInThen := closed
+				closed = wasClosed
+				if s.Else != nil {
+					switch e := s.Else.(type) {
+					case *ast.BlockStmt:
+						walk(e.List)
+					case *ast.IfStmt:
+						walk([]ast.Stmt{e})
+					}
+				}
+				// After the branch, stay conservative toward no-report:
+				// closed if either arm closed.
+				closed = closed || closedInThen
+			case *ast.ForStmt:
+				walk(s.Body.List)
+			case *ast.RangeStmt:
+				walk(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt})
+			}
+		}
+	}
+	walk(body.List)
+	if live && !closed {
+		pass.Reportf(cv.decl.Pos(), "%s (%s) is never closed on the fall-through path of this function: defer %s.Close() after creating it", cv.obj.Name(), cv.obj.Type(), cv.obj.Name())
+	}
+}
+
+// closesObject reports whether stmt contains obj.Close() — as an
+// expression statement, a defer, or an assignment capturing the error.
+// Function literals are not descended into (a Close inside a callback
+// does not discharge this scope's obligation — but registering the
+// callback already counted as a transfer upstream).
+func closesObject(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		if isObjectExpr(pass, sel.X, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilErrReturn recognizes the `if err != nil { return ... }` guard on
+// the error produced by the same assignment that created the resource:
+// on that path the resource is nil and there is nothing to close.
+func isNilErrReturn(pass *Pass, body *ast.BlockStmt, ret *ast.ReturnStmt, cv closerVar) bool {
+	if cv.errObj == nil {
+		return false
+	}
+	exempt := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exempt {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if ifs.Body.Pos() > ret.Pos() || ret.End() > ifs.Body.End() {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		x, y := cond.X, cond.Y
+		if isNilIdent(y) && isObjectExpr(pass, x, cv.errObj) ||
+			isNilIdent(x) && isObjectExpr(pass, y, cv.errObj) {
+			exempt = true
+			return false
+		}
+		return true
+	})
+	return exempt
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -60,6 +60,22 @@ func TestGoldenLayering(t *testing.T) {
 	runGolden(t, Layering, "testdata/src/layering/clean", "viper/cmd/demo")
 }
 
+func TestGoldenGoLeak(t *testing.T) {
+	// inscope is loaded under a long-lived delivery path where unstoppable
+	// goroutines are findings; outscope holds the same shape under a path
+	// goleak does not police.
+	runGolden(t, GoLeak, "testdata/src/goleak/inscope", "viper/internal/transport")
+	runGolden(t, GoLeak, "testdata/src/goleak/outscope", "fixture/goleakout")
+}
+
+func TestGoldenCloseLeak(t *testing.T) {
+	runGolden(t, CloseLeak, "testdata/src/closeleak", "fixture/closeleak")
+}
+
+func TestGoldenWaitMisuse(t *testing.T) {
+	runGolden(t, WaitMisuse, "testdata/src/waitmisuse", "fixture/waitmisuse")
+}
+
 func TestGoldenFloatEq(t *testing.T) {
 	runGolden(t, FloatEq, "testdata/src/floateq/scoped", "viper/internal/tensor")
 	runGolden(t, FloatEq, "testdata/src/floateq/unscoped", "viper/internal/trace")

@@ -1,0 +1,222 @@
+// goleak flags goroutine launches in the long-lived delivery packages
+// (transport, pubsub, remote, kvstore, coupled) that have no shutdown
+// path. In those packages a `go` statement outlives a single request:
+// accept loops, reader pumps, and per-subscriber writers run until the
+// process — or their owner — stops them, and PR 1's chaos/retry paths
+// mean owners really do stop them mid-flight. A goroutine nobody can
+// stop accumulates under sustained traffic until the process dies; the
+// runtime side of this gate is internal/leakcheck, which fails any test
+// binary whose goroutines outlive its tests.
+//
+// A launch is considered stoppable when either
+//
+//  1. the spawned body can observe a shutdown signal: it receives from
+//     a done/closed/quit/stop-named channel or from ctx.Done() (directly,
+//     in a select arm, or via an assignment), or it ranges over a
+//     channel (ranges end when the owner closes the channel); or
+//  2. the launch is joined: a sync.WaitGroup.Add call precedes the `go`
+//     statement in the same enclosing function body (the owner's
+//     Close/Stop then Waits; waitmisuse checks the Add/Done discipline
+//     itself).
+//
+// The body is resolved through go/types for both function literals and
+// same-package named functions/methods (`go c.pump()`), so moving a
+// goroutine body out of line does not blind the analyzer. Calls whose
+// body lives outside the package are skipped rather than flagged: the
+// analyzer prefers false negatives over waiver noise.
+//
+// Test files are not loaded by the driver, so test scaffolding is the
+// runtime harness's job, not this analyzer's.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoLeak reports goroutine launches without a shutdown path in
+// long-lived packages.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine in a long-lived package with no shutdown path (no done/closed/ctx select, no WaitGroup join)",
+	Run:  runGoLeak,
+}
+
+// goLeakScope lists the long-lived packages whose goroutines must be
+// stoppable: every one of them owns connections or pumps that survive
+// individual operations.
+var goLeakScope = map[string]bool{
+	"viper/internal/transport": true,
+	"viper/internal/pubsub":    true,
+	"viper/internal/remote":    true,
+	"viper/internal/kvstore":   true,
+	"viper/internal/coupled":   true,
+}
+
+// shutdownChanName matches channel identifiers conventionally used as
+// shutdown signals.
+var shutdownChanName = regexp.MustCompile(`(?i)^(done|closed?|quit|stop(ped)?|exit|shutdown|dying)$`)
+
+func runGoLeak(pass *Pass) {
+	if !goLeakScope[pass.ImportPath] {
+		return
+	}
+	decls := packageFuncBodies(pass)
+	for _, file := range pass.Files {
+		// Each `go` statement is checked against its nearest enclosing
+		// function body, so the WaitGroup.Add-before-launch test sees the
+		// statements that actually precede the launch.
+		var walkBody func(body *ast.BlockStmt)
+		walkBody = func(body *ast.BlockStmt) {
+			if body == nil {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					walkBody(n.Body)
+					return false
+				case *ast.GoStmt:
+					checkGoStmt(pass, decls, body, n)
+				}
+				return true
+			})
+		}
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				walkBody(fn.Body)
+			}
+		}
+	}
+}
+
+// checkGoStmt reports g when its goroutine has no shutdown path.
+func checkGoStmt(pass *Pass, decls map[types.Object]*ast.FuncDecl, enclosing *ast.BlockStmt, g *ast.GoStmt) {
+	if waitGroupAddBefore(pass, enclosing, g) {
+		return
+	}
+	body, known := spawnedBody(pass, decls, g)
+	if !known {
+		return // out-of-package body: prefer a false negative
+	}
+	if body == nil || hasShutdownPath(pass, body) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine in long-lived package %s has no shutdown path: no done/closed/quit channel or ctx.Done() receive in its body and no WaitGroup.Add join before the launch; give the owner a way to stop it (close a done channel it selects on, or Add/Done/Wait it)", lastPathElem(pass.ImportPath))
+}
+
+// waitGroupAddBefore reports whether a sync.WaitGroup.Add call occurs in
+// the enclosing body before the go statement — the launch-then-join
+// idiom (wg.Add(1); go ...; owner Waits).
+func waitGroupAddBefore(pass *Pass, enclosing *ast.BlockStmt, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= g.Pos() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if methodOnType(pass.Info.Uses[sel.Sel], "sync", "WaitGroup") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal's own body, or the declaration body of a same-package
+// function/method. known is false when the callee's body is outside the
+// package.
+func spawnedBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (body *ast.BlockStmt, known bool) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if decl, ok := decls[pass.Info.Uses[fun]]; ok {
+			return decl.Body, true
+		}
+	case *ast.SelectorExpr:
+		if decl, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return decl.Body, true
+		}
+	}
+	return nil, false
+}
+
+// packageFuncBodies indexes the package's function and method
+// declarations by their types.Object, so `go c.pump()` resolves to
+// pump's body.
+func packageFuncBodies(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fn.Name]; obj != nil {
+				decls[obj] = fn
+			}
+		}
+	}
+	return decls
+}
+
+// hasShutdownPath reports whether body can observe a shutdown signal:
+// a receive from a shutdown-named channel or ctx.Done(), or a range
+// over a channel (which ends when the owner closes it). Nested function
+// literals are included — a signal observed there still belongs to this
+// goroutine's dynamic extent.
+func hasShutdownPath(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isShutdownChan(n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isShutdownChan reports whether e names a conventional shutdown signal:
+// a done/closed/quit/stop-style identifier or field, or a ctx.Done()
+// call.
+func isShutdownChan(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return shutdownChanName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return shutdownChanName.MatchString(e.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.ParenExpr:
+		return isShutdownChan(e.X)
+	}
+	return false
+}

@@ -21,8 +21,10 @@ type ignoreDirective struct {
 	analyzers map[string]bool // nil means "all"
 }
 
-// applySuppressions drops diagnostics covered by well-formed lint:ignore
-// directives and appends a "lint" diagnostic for each malformed one.
+// applySuppressions marks diagnostics covered by well-formed lint:ignore
+// directives as Suppressed and appends a "lint" diagnostic for each
+// malformed one. Dropping suppressed findings is Run's job, so that
+// RunAll can expose the waived ones too.
 func applySuppressions(diags []Diagnostic, pkgs []*Package) []Diagnostic {
 	byFile := make(map[string][]ignoreDirective)
 	for _, pkg := range pkgs {
@@ -45,13 +47,13 @@ func applySuppressions(diags []Diagnostic, pkgs []*Package) []Diagnostic {
 			}
 		}
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if d.Analyzer == "lint" || !suppressed(d, byFile[d.Pos.Filename]) {
-			kept = append(kept, d)
+	for i := range diags {
+		d := &diags[i]
+		if d.Analyzer != "lint" && suppressed(*d, byFile[d.Pos.Filename]) {
+			d.Suppressed = true
 		}
 	}
-	return kept
+	return diags
 }
 
 // directiveText extracts the payload of a "//lint:ignore" comment.

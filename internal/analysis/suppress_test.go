@@ -1,0 +1,158 @@
+// Edge cases for the lint:ignore suppression machinery: directives at
+// file boundaries, directives in comment forms that are not directives,
+// and directives mixing valid and unknown analyzer names.
+
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet writes src to a temp package and loads it under a
+// throwaway import path.
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader(t).LoadDir(dir, "fixture/suppressedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// TestSuppressWaiverOnLastLineOfFile covers a trailing waiver on the
+// file's final line, with no newline after it: the position math
+// (directive line == finding line) must still suppress, and nothing may
+// read past the end of the file.
+func TestSuppressWaiverOnLastLineOfFile(t *testing.T) {
+	src := "package fix\n\n" +
+		"import \"sync\"\n\n" +
+		"type box struct{ mu sync.Mutex }\n\n" +
+		"func send(b *box, ch chan int) { b.mu.Lock(); ch <- 1 } //lint:ignore lockedsend waiver on the unterminated last line"
+	diags := Run([]*Package{loadSnippet(t, src)}, []*Analyzer{LockedSend})
+	if len(diags) != 0 {
+		t.Fatalf("last-line waiver did not suppress: %v", diags)
+	}
+}
+
+// TestSuppressStandaloneWaiverAsFinalLine covers a well-formed
+// standalone directive as the file's last line: it covers the
+// (nonexistent) line below, so it suppresses nothing, but it must not
+// be reported as malformed either.
+func TestSuppressStandaloneWaiverAsFinalLine(t *testing.T) {
+	src := "package fix\n\n" +
+		"import \"sync\"\n\n" +
+		"type box struct{ mu sync.Mutex }\n\n" +
+		"func send(b *box, ch chan int) { b.mu.Lock(); ch <- 1 }\n" +
+		"//lint:ignore lockedsend dangling directive with nothing underneath"
+	diags := Run([]*Package{loadSnippet(t, src)}, []*Analyzer{LockedSend})
+	if len(diags) != 1 || diags[0].Analyzer != "lockedsend" {
+		t.Fatalf("want the lockedsend finding to survive a dangling final-line directive, got %v", diags)
+	}
+}
+
+// TestSuppressBlockCommentIsNotADirective covers /*lint:ignore ...*/:
+// only line comments are directives, so the finding survives — and the
+// block comment is not reported as malformed, because it never parses
+// as a directive at all.
+func TestSuppressBlockCommentIsNotADirective(t *testing.T) {
+	src := `package fix
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func send(b *box, ch chan int) {
+	b.mu.Lock()
+	/*lint:ignore lockedsend block comments are not directives*/
+	ch <- 1
+	b.mu.Unlock()
+}
+`
+	diags := Run([]*Package{loadSnippet(t, src)}, []*Analyzer{LockedSend})
+	if len(diags) != 1 || diags[0].Analyzer != "lockedsend" {
+		t.Fatalf("want exactly the surviving lockedsend finding, got %v", diags)
+	}
+}
+
+// TestSuppressMixedKnownAndUnknownAnalyzers covers a directive naming a
+// real analyzer alongside a typo: the whole directive is rejected (so
+// the finding survives) and the typo is reported, keeping the gate
+// un-disableable by near-miss waivers.
+func TestSuppressMixedKnownAndUnknownAnalyzers(t *testing.T) {
+	src := `package fix
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func send(b *box, ch chan int) {
+	b.mu.Lock()
+	//lint:ignore lockedsend,lockedsned one real name and one typo
+	ch <- 1
+	b.mu.Unlock()
+}
+`
+	diags := Run([]*Package{loadSnippet(t, src)}, []*Analyzer{LockedSend})
+	count := make(map[string]int)
+	var lintMsg string
+	for _, d := range diags {
+		count[d.Analyzer]++
+		if d.Analyzer == "lint" {
+			lintMsg = d.Message
+		}
+	}
+	if count["lockedsend"] != 1 || count["lint"] != 1 || len(diags) != 2 {
+		t.Fatalf("diagnostic counts = %v (want lockedsend:1 lint:1), diags: %v", count, diags)
+	}
+	if !strings.Contains(lintMsg, "lockedsned") {
+		t.Fatalf("lint diagnostic does not name the typo: %q", lintMsg)
+	}
+}
+
+// TestRunAllMarksSuppressed covers the RunAll/-json contract: waived
+// findings come back marked rather than dropped, and Run filters
+// exactly those.
+func TestRunAllMarksSuppressed(t *testing.T) {
+	src := `package fix
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func send(b *box, ch chan int) {
+	b.mu.Lock()
+	//lint:ignore lockedsend waived on purpose
+	ch <- 1
+	ch <- 2
+	b.mu.Unlock()
+}
+`
+	pkg := loadSnippet(t, src)
+	all := RunAll([]*Package{pkg}, []*Analyzer{LockedSend})
+	if len(all) != 2 {
+		t.Fatalf("RunAll returned %d diagnostics, want 2 (one waived, one live): %v", len(all), all)
+	}
+	suppressedCount := 0
+	for _, d := range all {
+		if d.Suppressed {
+			suppressedCount++
+		}
+	}
+	if suppressedCount != 1 {
+		t.Fatalf("RunAll marked %d diagnostics suppressed, want 1: %v", suppressedCount, all)
+	}
+	live := Run([]*Package{pkg}, []*Analyzer{LockedSend})
+	if len(live) != 1 || live[0].Suppressed {
+		t.Fatalf("Run must return only the unsuppressed finding, got %v", live)
+	}
+}

@@ -1,0 +1,119 @@
+// Package closeleakfix holds golden cases for the closeleak analyzer:
+// net/os resources that reach a return unclosed are flagged; deferred
+// closes, err!=nil guard returns, and every form of ownership transfer
+// are not.
+package closeleakfix
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+// leakOnSuccess opens a file and falls out without closing it.
+func leakOnSuccess(path string) error {
+	f, err := os.Open(path) // want "f \(\*os\.File\) is never closed on the fall-through path"
+	if err != nil {
+		return err // exempt: f is nil when err != nil
+	}
+	fmt.Println(f.Name())
+	return nil // want "f \(\*os\.File\) can reach this return without being closed"
+}
+
+// leakOnEarlyReturn closes on the happy path but leaks on a non-error
+// early return.
+func leakOnEarlyReturn(addr string, skip bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // want "conn \(net\.Conn\) can reach this return without being closed"
+	}
+	return conn.Close()
+}
+
+// deferredClose is the idiom the analyzer wants.
+func deferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Println(f.Name())
+	return nil
+}
+
+// closedOnEveryPath closes explicitly before each return.
+func closedOnEveryPath(addr string, ping bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ping {
+		conn.Close()
+		return nil
+	}
+	return conn.Close()
+}
+
+// returnedToCaller transfers ownership by returning the value.
+func returnedToCaller(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ln, nil
+}
+
+type wrapper struct {
+	conn net.Conn
+}
+
+// storedInStruct transfers ownership into a composite literal.
+func storedInStruct(addr string) (*wrapper, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapper{conn: conn}, nil
+}
+
+// assignedToField transfers ownership by assignment.
+func (w *wrapper) assignedToField(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	w.conn = conn
+	return nil
+}
+
+// passedAlong transfers ownership as a call argument.
+func passedAlong(path string, consume func(*os.File)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+// capturedByLiteral transfers ownership into a closure.
+func capturedByLiteral(path string) (func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return f.Close() }, nil
+}
+
+// sentOnChannel transfers ownership through a channel.
+func sentOnChannel(addr string, sink chan net.Conn) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sink <- conn
+	return nil
+}

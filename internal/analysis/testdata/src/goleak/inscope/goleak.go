@@ -1,0 +1,129 @@
+// Package goleakfix holds golden cases for the goleak analyzer, loaded
+// under a long-lived import path (viper/internal/transport). The
+// afterShim function reproduces, in shape, the real pre-fix leak in
+// internal/simclock: VirtualClock.After once spawned a relay goroutine
+// per call that blocked forever on a wakeup channel whenever the wakeup
+// never fired (the leak internal/leakcheck catches at runtime and this
+// PR removes).
+package goleakfix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type pumpOwner struct {
+	closed chan struct{}
+	frames chan int
+	wg     sync.WaitGroup
+}
+
+// leakyLoop spawns a worker with no way to stop it: no shutdown channel,
+// no join. This is the canonical finding.
+func leakyLoop(work func()) {
+	go func() { // want "goroutine in long-lived package transport has no shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// afterShim is the pre-fix simclock.VirtualClock.After relay: the
+// goroutine blocks on a plain wakeup channel that may never fire, and
+// nothing can stop it.
+func afterShim(ch chan int) <-chan int {
+	out := make(chan int, 1)
+	go func() { // want "goroutine in long-lived package transport has no shutdown path"
+		v := <-ch
+		out <- v
+	}()
+	return out
+}
+
+// leakyMethod launches a named method whose body has no shutdown path;
+// the analyzer resolves the body through go/types.
+func (p *pumpOwner) leakyMethod() {
+	go p.drain() // want "goroutine in long-lived package transport has no shutdown path"
+}
+
+func (p *pumpOwner) drain() {
+	for {
+		fmt.Println(<-p.frames)
+	}
+}
+
+// selectDone is stoppable: the body selects on a closed channel.
+func (p *pumpOwner) selectDone() {
+	go func() {
+		for {
+			select {
+			case f := <-p.frames:
+				fmt.Println(f)
+			case <-p.closed:
+				return
+			}
+		}
+	}()
+}
+
+// namedWithShutdown launches a named method that observes p.closed; the
+// body is resolved and found stoppable.
+func (p *pumpOwner) namedWithShutdown() {
+	go p.pump()
+}
+
+func (p *pumpOwner) pump() {
+	for {
+		select {
+		case f := <-p.frames:
+			fmt.Println(f)
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// rangeWorker is stoppable: ranging over a channel ends when the owner
+// closes it.
+func rangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			fmt.Println(j)
+		}
+	}()
+}
+
+// joinedWorker is stoppable via the WaitGroup join idiom: Add before the
+// launch, owner Waits.
+func (p *pumpOwner) joinedWorker() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			if _, ok := <-p.frames; !ok {
+				return
+			}
+		}
+	}()
+}
+
+// ctxWorker is stoppable via context cancellation.
+func ctxWorker(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// externalCallee spawns a function whose body lives outside the package;
+// the analyzer skips it rather than guess.
+func externalCallee() {
+	go fmt.Println("fire and forget")
+}

@@ -1,0 +1,13 @@
+// Package goleakout holds the same unstoppable-goroutine shape as the
+// in-scope fixture but is loaded under a short-lived import path, where
+// goleak stays silent: one-shot commands and examples may fire and
+// forget.
+package goleakout
+
+func leakyLoopOutOfScope(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

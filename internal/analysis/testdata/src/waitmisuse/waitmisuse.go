@@ -1,0 +1,93 @@
+// Package waitmisusefix holds golden cases for the waitmisuse analyzer:
+// the three WaitGroup disciplines — Add before the launch (with the
+// hierarchical exemption), deferred Done, Wait outside locks.
+package waitmisusefix
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// addInsideGoroutine is the classic self-registration race: the owner's
+// Wait can observe zero before the goroutine adds itself.
+func addInsideGoroutine(wg *sync.WaitGroup, work func()) {
+	go func() {
+		wg.Add(1) // want "WaitGroup\.Add inside the spawned goroutine races with Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// hierarchicalAdd is exempt: the accept-loop goroutine was registered by
+// the spawner's Add, so it holds a counter unit while adding children.
+func (p *pool) hierarchicalAdd(accept func() (func(), bool)) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			job, ok := accept()
+			if !ok {
+				return
+			}
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				job()
+			}()
+		}
+	}()
+}
+
+// plainDone is one panic away from a stuck Wait.
+func plainDone(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want "WaitGroup\.Done as a plain statement"
+	}()
+}
+
+// deferredDone is the required placement.
+func deferredDone(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// waitUnderLock deadlocks when the waited goroutines need p.mu.
+func (p *pool) waitUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wg.Wait() // want "WaitGroup\.Wait on p\.wg while holding p\.mu"
+}
+
+// waitUnderExplicitLock is the same bug without defer.
+func (p *pool) waitUnderExplicitLock() {
+	p.mu.Lock()
+	p.wg.Wait() // want "WaitGroup\.Wait on p\.wg while holding p\.mu"
+	p.mu.Unlock()
+}
+
+// unlockThenWait is the fix: release the lock, then join.
+func (p *pool) unlockThenWait() {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// waitAfterBranchUnlock: both branches unlock before the Wait, so the
+// intersection merge clears the lock set.
+func (p *pool) waitAfterBranchUnlock(flag bool) {
+	p.mu.Lock()
+	if flag {
+		p.mu.Unlock()
+	} else {
+		p.mu.Unlock()
+	}
+	p.wg.Wait()
+}

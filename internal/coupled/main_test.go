@@ -1,0 +1,16 @@
+package coupled
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene. The coupled-run
+// simulator is single-goroutine by design, but it drives the virtual
+// clock hard — this gate is what caught simclock's After() relay
+// goroutines piling up behind wakeups that never fire.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

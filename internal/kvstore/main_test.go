@@ -1,0 +1,14 @@
+package kvstore
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: server accept/serve
+// loops and retrying clients must be joined by the time the tests end.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

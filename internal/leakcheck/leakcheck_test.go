@@ -1,0 +1,98 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckCleanAfterGoroutineExits proves the retry window rides out a
+// goroutine that is already winding down when check starts.
+func TestCheckCleanAfterGoroutineExits(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	leaked := check(config{deadline: 2 * time.Second})
+	if len(leaked) != 0 {
+		t.Fatalf("check reported %d leaks for a goroutine that exits within the window:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}
+
+// TestCheckReportsStuckGoroutine proves a genuinely stuck goroutine is
+// reported with its stack.
+func TestCheckReportsStuckGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release // parked here for the whole check window
+	}()
+	<-started
+	leaked := check(config{deadline: 50 * time.Millisecond})
+	close(release)
+	if len(leaked) == 0 {
+		t.Fatal("check missed a goroutine parked on a channel receive")
+	}
+	found := false
+	for _, stack := range leaked {
+		if strings.Contains(stack, "TestCheckReportsStuckGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the offending frame:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestCheckHonorsIgnoreFunc proves the per-package escape hatch works.
+func TestCheckHonorsIgnoreFunc(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	cfg := config{deadline: 50 * time.Millisecond}
+	IgnoreFunc("TestCheckHonorsIgnoreFunc")(&cfg)
+	leaked := check(cfg)
+	close(release)
+	if len(leaked) != 0 {
+		t.Fatalf("ignored goroutine still reported:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestStableStackFiltersRunner spot-checks the frame filter against
+// representative stack texts.
+func TestStableStackFiltersRunner(t *testing.T) {
+	cases := []struct {
+		name   string
+		stack  string
+		stable bool
+	}{
+		{"empty", "", true},
+		{"test runner", "goroutine 1 [chan receive]:\ntesting.(*T).Run(...)\n\t/usr/lib/go/src/testing/testing.go:1750", true},
+		{"main in M.Run", "goroutine 1 [running]:\ntesting.(*M).Run(...)", true},
+		{"signal loop", "goroutine 5 [syscall]:\nos/signal.loop()", true},
+		{"leakcheck itself", "goroutine 1 [running]:\nviper/internal/leakcheck.allStacks(...)", true},
+		{"server goroutine", "goroutine 9 [IO wait]:\nviper/internal/pubsub.(*Server).serveConn(...)", false},
+	}
+	for _, tc := range cases {
+		if got := stableStack(tc.stack); got != tc.stable {
+			t.Errorf("%s: stableStack = %v, want %v", tc.name, got, tc.stable)
+		}
+	}
+}
+
+// TestDeadlineOption proves Deadline reaches the config.
+func TestDeadlineOption(t *testing.T) {
+	cfg := config{deadline: 5 * time.Second}
+	Deadline(123 * time.Millisecond)(&cfg)
+	if cfg.deadline != 123*time.Millisecond {
+		t.Fatalf("deadline = %v, want 123ms", cfg.deadline)
+	}
+}

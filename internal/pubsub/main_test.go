@@ -1,0 +1,15 @@
+package pubsub
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: broker subscriber
+// writers, server accept/serve loops, and client read loops must all be
+// joined by the time the tests end.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -107,12 +107,12 @@ func TestPubSubSubscriberReceivesOwnPublishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	t.Cleanup(func() { srv.Close() })
 	c, err := DialClient(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	t.Cleanup(func() { c.Close() })
 	ch, err := c.Subscribe("loop")
 	if err != nil {
 		t.Fatal(err)

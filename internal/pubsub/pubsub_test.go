@@ -213,12 +213,12 @@ func TestTCPConcurrentPublishers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	t.Cleanup(func() { srv.Close() })
 	subC, err := DialClient(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer subC.Close()
+	t.Cleanup(func() { subC.Close() })
 	ch, err := subC.Subscribe("c")
 	if err != nil {
 		t.Fatal(err)

@@ -157,17 +157,21 @@ func TestTCPReconnectingSubscriberGetsLatest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	t.Cleanup(func() { srv.Close() })
 	pub, err := DialClient(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pub.Close()
-	// First subscriber connects, receives v1, then drops.
+	t.Cleanup(func() { pub.Close() })
+	// First subscriber connects, receives v1, then drops. Its mid-test
+	// Close below is the happy path; the Cleanup (Close is idempotent)
+	// covers the Fatal paths before it, where the client's readLoop
+	// would otherwise outlive the test.
 	sub1, err := DialClient(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { sub1.Close() })
 	ch1, err := sub1.Subscribe("m")
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +198,7 @@ func TestTCPReconnectingSubscriberGetsLatest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sub2.Close()
+	t.Cleanup(func() { sub2.Close() })
 	ch2, err := sub2.Subscribe("m")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,15 @@
+package remote
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: producer/consumer
+// pumps and their reconnect loops — including the chaos tests' killed
+// and redialed links — must not outlive the tests that started them.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

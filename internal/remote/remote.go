@@ -394,7 +394,14 @@ func (c *Consumer) pump() {
 			if errors.Is(err, transport.ErrClosed) {
 				return
 			}
-			c.clock.Sleep(backoff)
+			// The backoff wait must stay interruptible: a plain
+			// clock.Sleep here kept the pump alive (and leakcheck-visible)
+			// for a full backoff period after Close.
+			select {
+			case <-c.clock.After(backoff):
+			case <-c.closed:
+				return
+			}
 			backoff = nextBackoff(c.policy, backoff)
 			continue
 		}

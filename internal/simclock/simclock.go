@@ -141,20 +141,7 @@ func (v *Virtual) After(d time.Duration) <-chan time.Time {
 	v.sleepers++
 	v.maybeAutoAdvanceLocked()
 	v.mu.Unlock()
-	return wrapAfter(v, ch)
-}
-
-// wrapAfter decrements the sleeper count when the wakeup is delivered.
-func wrapAfter(v *Virtual, ch chan time.Time) <-chan time.Time {
-	out := make(chan time.Time, 1)
-	go func() {
-		t := <-ch
-		v.mu.Lock()
-		v.sleepers--
-		v.mu.Unlock()
-		out <- t
-	}()
-	return out
+	return ch
 }
 
 // Advance moves virtual time forward by d, firing any wakeups that fall due
@@ -175,11 +162,7 @@ func (v *Virtual) AdvanceTo(t time.Time) {
 
 func (v *Virtual) advanceToLocked(target time.Time) {
 	for len(v.wakeups) > 0 && !v.wakeups[0].at.After(target) {
-		w := heap.Pop(&v.wakeups).(wakeup)
-		if w.at.After(v.now) {
-			v.now = w.at
-		}
-		w.ch <- v.now
+		v.fireLocked(heap.Pop(&v.wakeups).(wakeup))
 	}
 	if target.After(v.now) {
 		v.now = target
@@ -195,10 +178,21 @@ func (v *Virtual) maybeAutoAdvanceLocked() {
 	if v.workers > 0 && v.sleepers < v.workers {
 		return
 	}
-	w := heap.Pop(&v.wakeups).(wakeup)
+	v.fireLocked(heap.Pop(&v.wakeups).(wakeup))
+}
+
+// fireLocked delivers one due wakeup and retires its sleeper. Sleeper
+// accounting happens here, at fire time, rather than in a per-After
+// relay goroutine: the old relay (`go func() { t := <-ch; ... }`)
+// leaked one goroutine for every wakeup that never fired — exactly the
+// class internal/leakcheck and the goleak analyzer now police. The
+// wakeup channel has capacity 1 and receives exactly this one send, so
+// delivering under v.mu cannot block.
+func (v *Virtual) fireLocked(w wakeup) {
 	if w.at.After(v.now) {
 		v.now = w.at
 	}
+	v.sleepers--
 	w.ch <- v.now
 }
 

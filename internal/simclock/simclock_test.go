@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -177,5 +178,37 @@ func TestVirtualWorkersCoordinate(t *testing.T) {
 	}
 	if got := v.Elapsed(); got != 300*time.Millisecond {
 		t.Fatalf("Elapsed() = %v, want 300ms", got)
+	}
+}
+
+func TestAfterAbandonedWakeupLeaksNoGoroutine(t *testing.T) {
+	// Regression: After once spawned a relay goroutine per call that
+	// blocked forever on wakeups that never fired. Sleeper accounting now
+	// happens at fire time, so abandoned timers cost no goroutines.
+	v := NewVirtualManual()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		v.After(time.Hour) // never fired, channel never read
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("200 abandoned After() calls grew the goroutine count from %d to %d", before, after)
+	}
+	if got := v.Pending(); got != 200 {
+		t.Fatalf("Pending() = %d, want 200", got)
+	}
+}
+
+func TestAfterDeliveryStillDecrementsSleepers(t *testing.T) {
+	// The fire-time accounting must keep auto-advance's sleeper math
+	// intact: a worker sleeping through two timers in sequence still sees
+	// both fire.
+	v := NewVirtual()
+	v.RegisterWorker()
+	defer v.UnregisterWorker()
+	start := v.Now()
+	v.Sleep(10 * time.Millisecond)
+	v.Sleep(20 * time.Millisecond)
+	if got := v.Now().Sub(start); got != 30*time.Millisecond {
+		t.Fatalf("two sleeps advanced %v, want 30ms", got)
 	}
 }

@@ -1,0 +1,14 @@
+package transport
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: links, listeners, and
+// reconnect loops spawned by any test must be gone when it ends.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -177,12 +177,18 @@ func (f *flipConn) Write(p []byte) (int, error) {
 	return f.Conn.Write(p)
 }
 
-func TestTCPRecvRejectsCorruptFrame(t *testing.T) {
+// acceptedPair spawns a listener, accepts one link, and dials the raw
+// client side, registering shutdown for all three via t.Cleanup: these
+// tests Fatal mid-flight, and anything closed only by a trailing
+// statement would outlive them (the leakcheck TestMain polices exactly
+// that).
+func acceptedPair(t *testing.T) (server *TCPLink, clientConn net.Conn) {
+	t.Helper()
 	ln, err := Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	t.Cleanup(func() { ln.Close() })
 	accepted := make(chan *TCPLink, 1)
 	go func() {
 		l, err := ln.Accept()
@@ -194,12 +200,18 @@ func TestTCPRecvRejectsCorruptFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := <-accepted
-	defer server.Close()
+	t.Cleanup(func() { conn.Close() })
+	server = <-accepted
+	t.Cleanup(func() { server.Close() })
+	return server, conn
+}
+
+func TestTCPRecvRejectsCorruptFrame(t *testing.T) {
+	server, conn := acceptedPair(t)
 	// Wire layout for key "k", no meta: keylen(8) key(1) metacount(8)
 	// vsize(8) payloadlen(8) payload... — offset 40 is payload byte 7.
 	faulty := WrapTCP(&flipConn{Conn: conn, offset: 40})
-	defer faulty.Close()
+	t.Cleanup(func() { faulty.Close() })
 	if err := faulty.Send(Frame{Key: "k", Payload: []byte("weights-blob-weights-blob")}); err != nil {
 		t.Fatal(err)
 	}
@@ -213,32 +225,20 @@ func TestTCPRecvRejectsCorruptFrame(t *testing.T) {
 func TestTCPRecvNeverDeliversCorruptedBytes(t *testing.T) {
 	payload := []byte("model-weights-model-weights-model-weights")
 	for seed := int64(0); seed < 8; seed++ {
-		ln, err := Listen("127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		inj := faults.New(faults.Config{Seed: seed, CorruptRate: 1})
-		accepted := make(chan *TCPLink, 1)
-		go func() {
-			l, err := ln.Accept()
-			if err == nil {
-				accepted <- l
+		// Each seed is a subtest so acceptedPair's cleanups run at the end
+		// of every round, not only when the whole test finishes — and run
+		// even when the corruption assertion Fatals mid-round.
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			server, conn := acceptedPair(t)
+			inj := faults.New(faults.Config{Seed: seed, CorruptRate: 1})
+			faulty := WrapTCP(faults.WrapConn(conn, inj))
+			t.Cleanup(func() { faulty.Close() })
+			if err := faulty.Send(Frame{Key: "k", Payload: payload}); err == nil {
+				if got, err := server.Recv(); err == nil {
+					t.Fatalf("seed %d: corrupted frame delivered: %+v", seed, got)
+				}
 			}
-		}()
-		conn, err := net.Dial("tcp", ln.Addr())
-		if err != nil {
-			t.Fatal(err)
-		}
-		server := <-accepted
-		faulty := WrapTCP(faults.WrapConn(conn, inj))
-		if err := faulty.Send(Frame{Key: "k", Payload: payload}); err == nil {
-			if got, err := server.Recv(); err == nil {
-				t.Fatalf("seed %d: corrupted frame delivered: %+v", seed, got)
-			}
-		}
-		faulty.Close()
-		server.Close()
-		ln.Close()
+		})
 	}
 }
 
