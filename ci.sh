@@ -52,4 +52,46 @@ echo "$bench_out" | awk '
 ' > BENCH_3.json
 echo "wrote BENCH_3.json ($(grep -c '"name"' BENCH_3.json) benchmarks)"
 
+# PR 4's gate: the chunked transfer pipeline must not regress against
+# the monolithic wire format. 5 iterations keeps the signal stable on a
+# loaded runner while staying fast; the 16 MiB case is the paper-scale
+# representative. The chunked path is expected to WIN (see BENCH_4.json
+# for the measured speedup); the hard floor only rejects a >10%
+# regression so CI stays robust to runner noise.
+echo "==> transfer bench (monolithic vs chunked, 5x)"
+bench4_out=$(go test -run '^$' -bench 'BenchmarkTransfer' -benchtime 5x \
+    ./internal/transport/)
+echo "$bench4_out"
+
+mono_ns=$(echo "$bench4_out" | awk '$1 ~ /TransferMonolithic\/16MiB/ { print $3; exit }')
+chunk_ns=$(echo "$bench4_out" | awk '$1 ~ /TransferChunked\/16MiB/ { print $3; exit }')
+if [ -z "$mono_ns" ] || [ -z "$chunk_ns" ]; then
+    echo "ci.sh: missing 16MiB transfer benchmark results" >&2
+    exit 1
+fi
+
+{
+    echo "{"
+    echo "  \"benchmarks\": ["
+    echo "$bench4_out" | awk '
+        /^Benchmark/ && NF >= 4 {
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", $1, $2, $3
+        }
+        END { if (n) printf "\n" }
+    '
+    echo "  ],"
+    echo "  \"mono_16mib_ns\": $mono_ns,"
+    echo "  \"chunk_16mib_ns\": $chunk_ns,"
+    awk "BEGIN { printf \"  \\\"chunked_speedup_16mib\\\": %.3f\\n\", $mono_ns / $chunk_ns }"
+    echo "}"
+} > BENCH_4.json
+echo "wrote BENCH_4.json (16MiB: monolithic ${mono_ns}ns, chunked ${chunk_ns}ns)"
+
+if ! awk "BEGIN { exit !($mono_ns >= $chunk_ns * 0.9) }"; then
+    echo "ci.sh: chunked transfer regressed >10% vs monolithic on 16MiB" >&2
+    echo "       (monolithic ${mono_ns}ns/op, chunked ${chunk_ns}ns/op)" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

@@ -1,15 +1,25 @@
 // Command viper-inspect dumps the contents of a serialized Viper
 // checkpoint file in any of the reproduction's wire formats: the lean
-// vformat, quantized (vquant), delta (vdelta), or the h5lite baseline
-// container. It auto-detects the format from the file's magic.
+// vformat, quantized (vquant), delta (vdelta), chunked v2 (vchunk), or
+// the h5lite baseline container. It auto-detects the format from the
+// file's magic.
 //
 // Usage:
 //
-//	viper-inspect checkpoint.bin        # summary
-//	viper-inspect -stats checkpoint.bin # per-tensor statistics
+//	viper-inspect checkpoint.bin         # summary
+//	viper-inspect -stats checkpoint.bin  # per-tensor statistics
+//	viper-inspect -json checkpoint.bin   # machine-readable dump
+//
+// With -json, output is one JSON object per line (the same NDJSON
+// convention as viper-vet -json): a "checkpoint" summary object first,
+// then one "tensor" object per tensor, and — for chunked v2 files — one
+// "chunk" object per chunk record describing the container layout
+// (offset, size, element span, CRC status).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -21,9 +31,10 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print per-tensor min/max/mean/std")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per line (summary, tensors, chunk layout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] <checkpoint-file>")
+		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] [-json] <checkpoint-file>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -32,88 +43,263 @@ func main() {
 		fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
 		os.Exit(1)
 	}
-	if err := inspect(blob, *stats); err != nil {
+	if err := inspect(blob, *stats, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func inspect(blob []byte, stats bool) error {
+// emitter renders either the human-readable report or the NDJSON dump.
+type emitter struct {
+	json  bool
+	enc   *json.Encoder
+	stats bool
+}
+
+func newEmitter(jsonOut, stats bool) *emitter {
+	return &emitter{json: jsonOut, enc: json.NewEncoder(os.Stdout), stats: stats}
+}
+
+// jsonSummary is the leading "checkpoint" object of an NDJSON dump.
+type jsonSummary struct {
+	Kind      string  `json:"kind"` // "checkpoint"
+	Format    string  `json:"format"`
+	Model     string  `json:"model,omitempty"`
+	Version   uint64  `json:"version,omitempty"`
+	Iteration uint64  `json:"iteration,omitempty"`
+	Loss      float64 `json:"loss,omitempty"`
+	Tensors   int     `json:"tensors"`
+	Bytes     int64   `json:"payload_bytes,omitempty"`
+	// Chunked-container fields (format "vchunk" only).
+	Precision  string `json:"precision,omitempty"`
+	ChunkElems int    `json:"chunk_elems,omitempty"`
+	TotalElems int64  `json:"total_elems,omitempty"`
+	NumChunks  int    `json:"num_chunks,omitempty"`
+	// Delta fields (format "vdelta" only).
+	BaseVersion uint64 `json:"base_version,omitempty"`
+	Changed     int    `json:"changed_elements,omitempty"`
+}
+
+// jsonTensor is one per-tensor NDJSON line.
+type jsonTensor struct {
+	Kind     string   `json:"kind"` // "tensor"
+	Name     string   `json:"name"`
+	Shape    []int    `json:"shape,omitempty"`
+	Elements int      `json:"elements"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+	Mean     *float64 `json:"mean,omitempty"`
+	Std      *float64 `json:"std,omitempty"`
+}
+
+// jsonChunk is one per-chunk layout NDJSON line (chunked v2 files).
+type jsonChunk struct {
+	Kind      string `json:"kind"` // "chunk"
+	Index     int    `json:"index"`
+	StartElem int64  `json:"start_elem"`
+	Elements  int    `json:"elements"`
+	Offset    int    `json:"offset"`
+	Size      int    `json:"size"`
+	CRCOK     bool   `json:"crc_ok"`
+}
+
+func inspect(blob []byte, stats, jsonOut bool) error {
 	if len(blob) < 8 {
 		return fmt.Errorf("file too short (%d bytes)", len(blob))
 	}
+	e := newEmitter(jsonOut, stats)
 	switch string(blob[:8]) {
 	case "VPRF0001":
 		ckpt, err := vformat.Decode(blob)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("format:    vformat (lean full checkpoint)\n")
-		printCheckpoint(ckpt, stats)
+		if !e.json {
+			fmt.Printf("format:    vformat (lean full checkpoint)\n")
+		}
+		e.checkpoint(ckpt, jsonSummary{Format: "vformat"})
 	case "VPRQ0001":
 		ckpt, prec, err := vformat.DecodeQuantized(blob)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("format:    vquant (wire precision %s)\n", prec)
-		printCheckpoint(ckpt, stats)
+		if !e.json {
+			fmt.Printf("format:    vquant (wire precision %s)\n", prec)
+		}
+		e.checkpoint(ckpt, jsonSummary{Format: "vquant", Precision: prec.String()})
+	case "VPRC0002":
+		return e.chunked(blob)
 	case "VPRD0001":
 		delta, err := vformat.DecodeDelta(blob)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("format:    vdelta (incremental checkpoint)\n")
-		fmt.Printf("model:     %s\n", delta.ModelName)
-		fmt.Printf("version:   %d (applies to v%d)\n", delta.Version, delta.BaseVersion)
-		fmt.Printf("iteration: %d\n", delta.Iteration)
-		fmt.Printf("loss:      %g\n", delta.TrainLoss)
-		fmt.Printf("tensors:   %d, changed elements: %d\n", len(delta.Deltas), delta.ChangedElements())
-		if stats {
-			for _, td := range delta.Deltas {
-				if td.Dense != nil {
-					fmt.Printf("  %-32s dense replacement of %d elements\n", td.Name, len(td.Dense))
-				} else {
-					fmt.Printf("  %-32s sparse update of %d elements\n", td.Name, len(td.Indices))
-				}
-			}
-		}
+		return e.delta(delta)
 	case "H5LT0001":
 		f, err := h5lite.Decode(blob)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("format:    h5lite (baseline container)\n")
-		printGroup(f.Root(), "", stats)
+		if e.json {
+			e.enc.Encode(jsonSummary{Kind: "checkpoint", Format: "h5"})
+		} else {
+			fmt.Printf("format:    h5lite (baseline container)\n")
+		}
+		e.group(f.Root(), "")
 	default:
 		return fmt.Errorf("unknown magic %q", blob[:8])
 	}
 	return nil
 }
 
-func printCheckpoint(ckpt *vformat.Checkpoint, stats bool) {
-	fmt.Printf("model:     %s\n", ckpt.ModelName)
+// chunked reports a chunked v2 container: the decoded checkpoint plus
+// the per-chunk wire layout (offsets, sizes, CRC status).
+func (e *emitter) chunked(blob []byte) error {
+	layout, hdr, _, err := vformat.ParseChunkHeader(blob)
+	if err != nil {
+		return err
+	}
+	_, _, recs, err := vformat.ChunkRecords(blob)
+	if err != nil {
+		return err
+	}
+	ckpt, err := vformat.DecodeChunked(context.Background(), blob, 0)
+	if err != nil {
+		return err
+	}
+	if e.json {
+		e.enc.Encode(jsonSummary{
+			Kind: "checkpoint", Format: "vchunk",
+			Model: ckpt.ModelName, Version: ckpt.Version,
+			Iteration: ckpt.Iteration, Loss: ckpt.TrainLoss,
+			Tensors: len(ckpt.Weights), Bytes: int64(len(blob)),
+			Precision:  layout.Precision.String(),
+			ChunkElems: layout.ChunkElems, TotalElems: layout.TotalElems,
+			NumChunks: layout.NumChunks,
+		})
+		for _, nt := range ckpt.Weights {
+			e.tensor(nt.Name, nt.Shape, nt.Data)
+		}
+		for _, r := range recs {
+			e.enc.Encode(jsonChunk{
+				Kind: "chunk", Index: r.Index, StartElem: r.Start,
+				Elements: r.Elems, Offset: r.Offset, Size: r.Size, CRCOK: r.CRCOK,
+			})
+		}
+		return nil
+	}
+	fmt.Printf("format:    vchunk (chunked v2 container, wire precision %s)\n", layout.Precision)
+	fmt.Printf("model:     %s\n", hdr.ModelName)
 	fmt.Printf("version:   %d\n", ckpt.Version)
 	fmt.Printf("iteration: %d\n", ckpt.Iteration)
 	fmt.Printf("loss:      %g\n", ckpt.TrainLoss)
 	fmt.Printf("tensors:   %d, payload: %d bytes\n", len(ckpt.Weights), ckpt.Weights.NumBytes())
 	for _, nt := range ckpt.Weights {
-		if stats {
-			mn, mx, mean, std := tensorStats(nt.Data)
-			fmt.Printf("  %-32s %-12v min=%+.4g max=%+.4g mean=%+.4g std=%.4g\n",
-				nt.Name, nt.Shape, mn, mx, mean, std)
-		} else {
-			fmt.Printf("  %-32s %v (%d elements)\n", nt.Name, nt.Shape, len(nt.Data))
+		e.tensor(nt.Name, nt.Shape, nt.Data)
+	}
+	fmt.Printf("chunks:    %d x %d elements (%d total)\n",
+		layout.NumChunks, layout.ChunkElems, layout.TotalElems)
+	for _, r := range recs {
+		status := "ok"
+		if !r.CRCOK {
+			status = "CORRUPT"
 		}
+		fmt.Printf("  chunk %-4d elems [%d, %d)  bytes [%d, %d)  crc %s\n",
+			r.Index, r.Start, r.Start+int64(r.Elems), r.Offset, r.Offset+r.Size, status)
+	}
+	return nil
+}
+
+func (e *emitter) delta(delta *vformat.DeltaCheckpoint) error {
+	if e.json {
+		e.enc.Encode(jsonSummary{
+			Kind: "checkpoint", Format: "vdelta",
+			Model: delta.ModelName, Version: delta.Version,
+			Iteration: delta.Iteration, Loss: delta.TrainLoss,
+			Tensors: len(delta.Deltas), BaseVersion: delta.BaseVersion,
+			Changed: delta.ChangedElements(),
+		})
+		for _, td := range delta.Deltas {
+			n := len(td.Indices)
+			if td.Dense != nil {
+				n = len(td.Dense)
+			}
+			e.enc.Encode(jsonTensor{Kind: "tensor", Name: td.Name, Elements: n})
+		}
+		return nil
+	}
+	fmt.Printf("format:    vdelta (incremental checkpoint)\n")
+	fmt.Printf("model:     %s\n", delta.ModelName)
+	fmt.Printf("version:   %d (applies to v%d)\n", delta.Version, delta.BaseVersion)
+	fmt.Printf("iteration: %d\n", delta.Iteration)
+	fmt.Printf("loss:      %g\n", delta.TrainLoss)
+	fmt.Printf("tensors:   %d, changed elements: %d\n", len(delta.Deltas), delta.ChangedElements())
+	if e.stats {
+		for _, td := range delta.Deltas {
+			if td.Dense != nil {
+				fmt.Printf("  %-32s dense replacement of %d elements\n", td.Name, len(td.Dense))
+			} else {
+				fmt.Printf("  %-32s sparse update of %d elements\n", td.Name, len(td.Indices))
+			}
+		}
+	}
+	return nil
+}
+
+// checkpoint emits a full-checkpoint summary plus its tensors.
+func (e *emitter) checkpoint(ckpt *vformat.Checkpoint, s jsonSummary) {
+	if e.json {
+		s.Kind = "checkpoint"
+		s.Model = ckpt.ModelName
+		s.Version = ckpt.Version
+		s.Iteration = ckpt.Iteration
+		s.Loss = ckpt.TrainLoss
+		s.Tensors = len(ckpt.Weights)
+		s.Bytes = ckpt.Weights.NumBytes()
+		e.enc.Encode(s)
+	} else {
+		fmt.Printf("model:     %s\n", ckpt.ModelName)
+		fmt.Printf("version:   %d\n", ckpt.Version)
+		fmt.Printf("iteration: %d\n", ckpt.Iteration)
+		fmt.Printf("loss:      %g\n", ckpt.TrainLoss)
+		fmt.Printf("tensors:   %d, payload: %d bytes\n", len(ckpt.Weights), ckpt.Weights.NumBytes())
+	}
+	for _, nt := range ckpt.Weights {
+		e.tensor(nt.Name, nt.Shape, nt.Data)
 	}
 }
 
-func printGroup(g *h5lite.Group, indent string, stats bool) {
+// tensor emits one tensor line in the active mode.
+func (e *emitter) tensor(name string, shape []int, data []float64) {
+	switch {
+	case e.json && e.stats:
+		mn, mx, mean, std := tensorStats(data)
+		e.enc.Encode(jsonTensor{Kind: "tensor", Name: name, Shape: shape,
+			Elements: len(data), Min: &mn, Max: &mx, Mean: &mean, Std: &std})
+	case e.json:
+		e.enc.Encode(jsonTensor{Kind: "tensor", Name: name, Shape: shape, Elements: len(data)})
+	case e.stats:
+		mn, mx, mean, std := tensorStats(data)
+		fmt.Printf("  %-32s %-12v min=%+.4g max=%+.4g mean=%+.4g std=%.4g\n",
+			name, shape, mn, mx, mean, std)
+	default:
+		fmt.Printf("  %-32s %v (%d elements)\n", name, shape, len(data))
+	}
+}
+
+func (e *emitter) group(g *h5lite.Group, indent string) {
 	for k, v := range g.Attrs {
-		fmt.Printf("%s@%s = %q\n", indent, k, v)
+		if !e.json {
+			fmt.Printf("%s@%s = %q\n", indent, k, v)
+		}
 	}
 	for _, name := range g.Datasets() {
 		ds, _ := g.Dataset(name)
-		if stats {
+		if e.json {
+			e.tensor(name, ds.Shape, ds.Data)
+			continue
+		}
+		if e.stats {
 			mn, mx, mean, std := tensorStats(ds.Data)
 			fmt.Printf("%s%-32s %-12v min=%+.4g max=%+.4g mean=%+.4g std=%.4g\n",
 				indent, name, ds.Shape, mn, mx, mean, std)
@@ -123,8 +309,10 @@ func printGroup(g *h5lite.Group, indent string, stats bool) {
 	}
 	for _, name := range g.Groups() {
 		child, _ := g.Group(name)
-		fmt.Printf("%s%s/\n", indent, name)
-		printGroup(child, indent+"  ", stats)
+		if !e.json {
+			fmt.Printf("%s%s/\n", indent, name)
+		}
+		e.group(child, indent+"  ")
 	}
 }
 

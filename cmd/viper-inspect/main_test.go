@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"viper/internal/nn"
+	"viper/internal/vformat"
+)
+
+func testBlob(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewSequential("m", nn.NewDense("d1", 6, 10, rng), nn.NewTanh("t"), nn.NewDense("d2", 10, 3, rng))
+	ckpt := &vformat.Checkpoint{
+		ModelName: "m", Version: 3, Iteration: 30, TrainLoss: 0.25,
+		Weights: nn.TakeSnapshot(m),
+	}
+	blob, err := vformat.EncodeChunked(context.Background(), ckpt, vformat.ChunkOptions{ChunkBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestInspectChunked covers all four mode combinations over a chunked
+// v2 blob; the layout report must not error on any of them.
+func TestInspectChunked(t *testing.T) {
+	blob := testBlob(t)
+	for _, stats := range []bool{false, true} {
+		for _, jsonOut := range []bool{false, true} {
+			if err := inspect(blob, stats, jsonOut); err != nil {
+				t.Fatalf("inspect(stats=%v, json=%v): %v", stats, jsonOut, err)
+			}
+		}
+	}
+}
+
+// TestInspectCorruptChunkedRejected: a corrupted chunk container is
+// reported as an error, not silently dumped.
+func TestInspectCorruptChunkedRejected(t *testing.T) {
+	blob := testBlob(t)
+	blob[len(blob)-3] ^= 0xFF // inside the last chunk's payload/CRC area
+	if err := inspect(blob, false, false); err == nil {
+		t.Fatal("inspect accepted a corrupt chunked blob")
+	}
+}
+
+// TestInspectTooShort keeps the pre-existing short-file guard.
+func TestInspectTooShort(t *testing.T) {
+	if err := inspect([]byte("VPRC"), false, true); err == nil {
+		t.Fatal("inspect accepted a 4-byte file")
+	}
+}

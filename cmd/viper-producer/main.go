@@ -23,6 +23,7 @@ import (
 	"viper/internal/nn"
 	"viper/internal/remote"
 	"viper/internal/train"
+	"viper/internal/vformat"
 )
 
 func main() {
@@ -32,15 +33,17 @@ func main() {
 	epochs := flag.Int("epochs", 6, "total training epochs")
 	warmup := flag.Int("warmup", 2, "warm-up epochs before adaptive checkpointing")
 	seed := flag.Int64("seed", 1, "training seed")
+	chunk := flag.Int("chunk", vformat.DefaultChunkBytes,
+		"chunk size in bytes for the streamed wire format (0 = legacy monolithic frames)")
 	flag.Parse()
 
-	if err := run(*metaAddr, *notifyAddr, *listenAddr, *epochs, *warmup, *seed); err != nil {
+	if err := run(*metaAddr, *notifyAddr, *listenAddr, *epochs, *warmup, *seed, *chunk); err != nil {
 		fmt.Fprintf(os.Stderr, "viper-producer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64) error {
+func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64, chunk int) error {
 	if epochs <= warmup {
 		return fmt.Errorf("epochs (%d) must exceed warmup (%d)", epochs, warmup)
 	}
@@ -61,6 +64,7 @@ func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64
 		NotifyAddr: notifyAddr,
 		ListenAddr: listenAddr,
 		OnListen:   func(a string) { fmt.Printf("viper-producer: link bound to %s\n", a) },
+		ChunkSize:  chunk,
 	})
 	if err != nil {
 		return err

@@ -43,7 +43,9 @@ func main() {
 	net := models.TC1(rng, 32)
 	task := &train.ClassificationTask{Net: net, Data: trainSet, Eval: testSet, Opt: nn.NewSGD(0.005, 0.5)}
 
-	producer, err := viper.NewProducer(env, viper.ProducerConfig{
+	// Deliberately on the deprecated config shim: this example doubles as
+	// the migration reference for pre-options callers.
+	producer, err := viper.NewProducerFromConfig(env, viper.ProducerConfig{
 		Model:       "tc1",
 		Strategy:    viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
 		VirtualSize: 47 << 30 / 10,

@@ -65,10 +65,9 @@ func runStream(trainSets, testSets []*dataset.Classification, useReplay bool) fl
 	net := modelFor(rng)
 	serving := modelFor(rand.New(rand.NewSource(11)))
 
-	producer, err := viper.NewProducer(env, viper.ProducerConfig{
-		Model:    "stream",
-		Strategy: viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
-	})
+	producer, err := viper.NewProducer(env, "stream",
+		viper.WithStrategy(viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

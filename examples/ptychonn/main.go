@@ -44,11 +44,10 @@ func main() {
 	net := models.PtychoNN(rng, inputLen)
 	task := &train.PtychoTask{Net: net, Data: trainSet, Eval: testSet, Opt: nn.NewAdam(5e-4)}
 
-	producer, err := viper.NewProducer(env, viper.ProducerConfig{
-		Model:       "ptychonn",
-		Strategy:    viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
-		VirtualSize: 45 << 30 / 10, // the paper's 4.5 GB PtychoNN checkpoint
-	})
+	producer, err := viper.NewProducer(env, "ptychonn",
+		viper.WithStrategy(viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync}),
+		viper.WithVirtualSize(45<<30/10), // the paper's 4.5 GB PtychoNN checkpoint
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

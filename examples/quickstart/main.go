@@ -28,11 +28,10 @@ func main() {
 	rng := rand.New(rand.NewSource(1))
 	trainModel := models.TC1(rng, 32)
 
-	producer, err := viper.NewProducer(env, viper.ProducerConfig{
-		Model:       "tc1",
-		Strategy:    viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
-		VirtualSize: 47 << 30 / 10, // account the paper's 4.7 GB checkpoint
-	})
+	producer, err := viper.NewProducer(env, "tc1",
+		viper.WithStrategy(viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync}),
+		viper.WithVirtualSize(47<<30/10), // account the paper's 4.7 GB checkpoint
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

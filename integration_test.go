@@ -39,7 +39,9 @@ func newPipeline(t *testing.T, cfg ProducerConfig) *pipelineFixture {
 	rng := rand.New(rand.NewSource(2))
 	net := models.NT3(rng, 32)
 	serving := models.NT3(rand.New(rand.NewSource(3)), 32)
-	producer, err := NewProducer(env, cfg)
+	// The deprecated config shim is exercised on purpose: these fixtures
+	// double as back-compat coverage for pre-options callers.
+	producer, err := NewProducerFromConfig(env, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"viper/internal/nn"
+	"viper/internal/vformat"
+)
+
+// chunkedHandlerConsumer wires a handler with the chunked pipeline
+// enabled to a consumer on a fresh environment.
+func chunkedHandlerConsumer(t *testing.T, cfg HandlerConfig) (*Env, *WeightsHandler, *Consumer) {
+	t.Helper()
+	env, _ := newTestEnv()
+	t.Cleanup(env.Close)
+	h, err := NewWeightsHandler(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConsumer(env, cfg.Model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, h, c
+}
+
+// TestSaveChunkedRoutes: with ChunkSize set, every non-baseline route
+// publishes "vchunk" and the consumer installs bit-identical weights.
+func TestSaveChunkedRoutes(t *testing.T) {
+	strategies := []Strategy{
+		{Route: RouteGPU, Mode: ModeSync},
+		{Route: RouteGPU, Mode: ModeAsync},
+		{Route: RouteHost, Mode: ModeSync},
+		{Route: RouteHost, Mode: ModeAsync},
+		{Route: RoutePFS},
+	}
+	for _, s := range strategies {
+		t.Run(s.String(), func(t *testing.T) {
+			_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+				Model:     "tc1",
+				Strategy:  s,
+				ChunkSize: 4 << 10,
+			})
+			sub := c.Subscribe()
+			defer sub.Close()
+			model := testModel(1)
+			snap := nn.TakeSnapshot(model)
+			rep, err := h.Save(snap, 10, 0.5)
+			if err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			if rep.Meta.Format != "vchunk" {
+				t.Fatalf("format = %q, want vchunk", rep.Meta.Format)
+			}
+			msg := <-sub.C
+			load, err := c.HandleNotification(msg)
+			if err != nil {
+				t.Fatalf("HandleNotification: %v", err)
+			}
+			if load == nil || load.Meta.Version != 1 {
+				t.Fatalf("load = %+v", load)
+			}
+			got := c.ActiveModel()
+			for i := range snap {
+				for j := range snap[i].Data {
+					if got.Weights[i].Data[j] != snap[i].Data[j] {
+						t.Fatalf("weights differ at tensor %d elem %d", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSaveChunkedQuantized folds precision conversion into the chunk
+// encoding: the consumer gets float16-rounded weights, and the virtual
+// size accounting shrinks with the stride.
+func TestSaveChunkedQuantized(t *testing.T) {
+	const virtual = int64(1 << 30)
+	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:       "tc1",
+		Strategy:    Strategy{Route: RouteGPU, Mode: ModeSync},
+		ChunkSize:   4 << 10,
+		Precision:   vformat.PrecFloat16,
+		VirtualSize: virtual,
+	})
+	sub := c.Subscribe()
+	defer sub.Close()
+	snap := nn.TakeSnapshot(testModel(2))
+	rep, err := h.Save(snap, 5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vchunk" {
+		t.Fatalf("format = %q, want vchunk", rep.Meta.Format)
+	}
+	if want := virtual / 4; rep.Meta.Size != want {
+		t.Fatalf("accounted size = %d, want %d (float16 quarter)", rep.Meta.Size, want)
+	}
+	if _, err := c.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+	got := c.ActiveModel()
+	for i := range snap {
+		for j, v := range snap[i].Data {
+			if diff := math.Abs(got.Weights[i].Data[j] - v); diff > 2e-2*(1+math.Abs(v)) {
+				t.Fatalf("tensor %d elem %d: %v vs %v beyond float16 tolerance", i, j, got.Weights[i].Data[j], v)
+			}
+		}
+	}
+}
+
+// TestSaveChunkedIncremental: the chunked pipeline still produces delta
+// frames between full refreshes, and the consumer follows the chain.
+func TestSaveChunkedIncremental(t *testing.T) {
+	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:       "tc1",
+		Strategy:    Strategy{Route: RouteHost, Mode: ModeSync},
+		ChunkSize:   2 << 10,
+		Incremental: true,
+		FullEvery:   4,
+	})
+	sub := c.Subscribe()
+	defer sub.Close()
+	model := testModel(3)
+	wantFormats := []string{"vchunk", "vdelta", "vdelta"}
+	for i, want := range wantFormats {
+		// Nudge one parameter so each delta is small but non-empty.
+		params := model.Params()
+		params[0].Value.Data()[i] += 0.125
+		snap := nn.TakeSnapshot(model)
+		rep, err := h.Save(snap, uint64(i), 0.5)
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		if rep.Meta.Format != want {
+			t.Fatalf("save %d format = %q, want %q", i, rep.Meta.Format, want)
+		}
+		if _, err := c.HandleNotification(<-sub.C); err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		got := c.ActiveModel()
+		for ti := range snap {
+			for tj := range snap[ti].Data {
+				if got.Weights[ti].Data[tj] != snap[ti].Data[tj] {
+					t.Fatalf("after save %d weights differ at %d/%d", i, ti, tj)
+				}
+			}
+		}
+	}
+}
+
+// TestSaveChunkedFlushRecover: vchunk checkpoints are self-contained, so
+// the PFS flush history can recover them after a consumer restart.
+func TestSaveChunkedFlushRecover(t *testing.T) {
+	env, h, _ := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:        "tc1",
+		Strategy:     Strategy{Route: RouteGPU, Mode: ModeSync},
+		ChunkSize:    4 << 10,
+		FlushHistory: true,
+	})
+	snap := nn.TakeSnapshot(testModel(4))
+	if _, err := h.Save(snap, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh consumer (post-crash) recovers from the PFS copy alone.
+	fresh, err := NewConsumer(env, "tc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fresh.RecoverFromPFS()
+	if err != nil {
+		t.Fatalf("RecoverFromPFS: %v", err)
+	}
+	if rep.Meta.Format != "vchunk" || rep.Meta.Location != RoutePFS {
+		t.Fatalf("recovered meta = %+v", rep.Meta)
+	}
+	if fresh.ActiveVersion() != 1 {
+		t.Fatalf("active version = %d", fresh.ActiveVersion())
+	}
+}
+
+// TestSaveContextCancelled: a cancelled save publishes nothing.
+func TestSaveContextCancelled(t *testing.T) {
+	env, h, _ := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:     "tc1",
+		Strategy:  Strategy{Route: RouteGPU, Mode: ModeSync},
+		ChunkSize: 1 << 10,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap := nn.TakeSnapshot(testModel(5))
+	if _, err := h.SaveContext(ctx, snap, 1, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SaveContext = %v, want context.Canceled", err)
+	}
+	if _, err := env.Meta.Get(MetaKey("tc1")); err == nil {
+		t.Fatal("metadata was published for a cancelled save")
+	}
+}
+
+// TestSubscribeContextCancel: cancelling the context closes the
+// subscription, unblocking receivers; closing early stops the relay.
+func TestSubscribeContextCancel(t *testing.T) {
+	_, _, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:    "tc1",
+		Strategy: Strategy{Route: RouteGPU, Mode: ModeSync},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	sub := c.SubscribeContext(ctx)
+	cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription channel still open after context cancel")
+	}
+	// The reverse order: Close first, the relay must exit on Done.
+	sub2 := c.SubscribeContext(context.Background())
+	sub2.Close()
+	select {
+	case <-sub2.Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
+}
+
+// TestLoadContextCancelled: a cancelled load fetches nothing.
+func TestLoadContextCancelled(t *testing.T) {
+	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:     "tc1",
+		Strategy:  Strategy{Route: RouteGPU, Mode: ModeSync},
+		ChunkSize: 1 << 10,
+	})
+	sub := c.Subscribe()
+	defer sub.Close()
+	snap := nn.TakeSnapshot(testModel(6))
+	if _, err := h.Save(snap, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.HandleNotificationContext(ctx, <-sub.C); !errors.Is(err, context.Canceled) {
+		t.Fatalf("HandleNotificationContext = %v, want context.Canceled", err)
+	}
+	if c.ActiveModel() != nil {
+		t.Fatal("model installed despite cancelled context")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,23 @@ func (c *Consumer) Subscribe() *pubsub.Subscription {
 	return c.env.Notify.Subscribe(UpdateChannel(c.model))
 }
 
+// SubscribeContext is Subscribe bound to ctx: when ctx is cancelled the
+// subscription closes itself (C is closed), unblocking any receiver.
+// The relay goroutine exits as soon as either the context is cancelled
+// or the subscription is closed by the caller, so it never outlives the
+// subscription.
+func (c *Consumer) SubscribeContext(ctx context.Context) *pubsub.Subscription {
+	sub := c.Subscribe()
+	go func() {
+		select {
+		case <-ctx.Done():
+			sub.Close()
+		case <-sub.Done():
+		}
+	}()
+	return sub
+}
+
 // LatestMeta reads the model's newest metadata from the KV store.
 func (c *Consumer) LatestMeta() (*ModelMeta, error) {
 	raw, err := c.env.Meta.Get(MetaKey(c.model))
@@ -157,6 +175,11 @@ func (c *Consumer) LatestMeta() (*ModelMeta, error) {
 // and loads it if present — the baseline pull-based path the paper
 // criticizes. It returns (nil, false, nil) when nothing new exists.
 func (c *Consumer) Poll() (*LoadReport, bool, error) {
+	return c.PollContext(context.Background())
+}
+
+// PollContext is Poll with cancellation.
+func (c *Consumer) PollContext(ctx context.Context) (*LoadReport, bool, error) {
 	meta, err := c.LatestMeta()
 	if err != nil {
 		if errors.Is(err, kvstore.ErrNotFound) {
@@ -170,7 +193,7 @@ func (c *Consumer) Poll() (*LoadReport, bool, error) {
 	if meta.Version <= last {
 		return nil, false, nil
 	}
-	rep, err := c.Load(meta)
+	rep, err := c.LoadContext(ctx, meta)
 	if err != nil {
 		return nil, false, err
 	}
@@ -181,11 +204,17 @@ func (c *Consumer) Poll() (*LoadReport, bool, error) {
 // It returns (nil, nil) when the notified version is already superseded
 // by the active one (a newer frame was applied earlier).
 func (c *Consumer) HandleNotification(msg pubsub.Message) (*LoadReport, error) {
+	return c.HandleNotificationContext(context.Background(), msg)
+}
+
+// HandleNotificationContext is HandleNotification with cancellation: a
+// cancelled context aborts the fetch/decode without installing anything.
+func (c *Consumer) HandleNotificationContext(ctx context.Context, msg pubsub.Message) (*LoadReport, error) {
 	meta, err := DecodeMeta(msg.Payload)
 	if err != nil {
 		return nil, err
 	}
-	return c.Load(meta)
+	return c.LoadContext(ctx, meta)
 }
 
 // Load pulls the checkpoint described by meta from its location,
@@ -197,6 +226,16 @@ func (c *Consumer) HandleNotification(msg pubsub.Message) (*LoadReport, error) {
 // always want the latest model). A notification for a version at or
 // below the active one is skipped, returning (nil, nil).
 func (c *Consumer) Load(meta *ModelMeta) (*LoadReport, error) {
+	return c.LoadContext(context.Background(), meta)
+}
+
+// LoadContext is Load with cancellation: the context is checked before
+// the fetch and threaded through the chunked decode, whose worker pool
+// drains before an abort returns.
+func (c *Consumer) LoadContext(ctx context.Context, meta *ModelMeta) (*LoadReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	stale := meta.Version <= c.lastVer
 	c.mu.Unlock()
@@ -227,7 +266,7 @@ func (c *Consumer) Load(meta *ModelMeta) (*LoadReport, error) {
 		return nil, fmt.Errorf("core: unknown checkpoint location %q", meta.Location)
 	}
 
-	ckpt, err := c.decodePayload(meta, payload)
+	ckpt, err := c.decodePayload(ctx, meta, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -349,13 +388,18 @@ func (c *Consumer) recvVia(link *transport.Link, local *memsim.Device, meta *Mod
 // payloads are applied to the currently active checkpoint (the chain
 // base); a broken chain is reported as an error so the caller can fall
 // back to a full pull.
-func (c *Consumer) decodePayload(meta *ModelMeta, payload []byte) (*vformat.Checkpoint, error) {
+func (c *Consumer) decodePayload(ctx context.Context, meta *ModelMeta, payload []byte) (*vformat.Checkpoint, error) {
 	switch meta.Format {
 	case "vformat":
 		return vformat.Decode(payload)
 	case "vquant":
 		ckpt, _, err := vformat.DecodeQuantized(payload)
 		return ckpt, err
+	case "vchunk":
+		// Chunked v2 blob: per-chunk CRC verification and decode fan out
+		// over the worker pool, writing straight into the preallocated
+		// snapshot.
+		return vformat.DecodeChunked(ctx, payload, 0)
 	case "vdelta":
 		delta, err := vformat.DecodeDelta(payload)
 		if err != nil {

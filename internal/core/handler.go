@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -134,6 +135,8 @@ type WeightsHandler struct {
 	incremental  bool
 	deltaEps     float64
 	fullEvery    int
+	chunkSize    int
+	parallelism  int
 
 	mu       sync.Mutex
 	version  uint64
@@ -167,6 +170,16 @@ type HandlerConfig struct {
 	// FullEvery is the full-refresh cadence for incremental mode
 	// (default 10).
 	FullEvery int
+	// ChunkSize enables the chunked pipeline (wire format v2): full
+	// checkpoints are split into ChunkSize-byte chunks encoded by a
+	// worker pool into one pooled blob, with precision conversion folded
+	// into the chunk encoding. 0 keeps the legacy monolithic formats
+	// ("vformat"/"vquant"); the functional-options public API defaults to
+	// vformat.DefaultChunkBytes. Ignored for the baseline strategy.
+	ChunkSize int
+	// Parallelism bounds the encode worker pool and parallel delta
+	// computation (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // NewWeightsHandler constructs a producer-side handler.
@@ -197,6 +210,12 @@ func NewWeightsHandler(env *Env, cfg HandlerConfig) (*WeightsHandler, error) {
 	if cfg.DeltaEps < 0 {
 		return nil, fmt.Errorf("core: negative delta threshold %v", cfg.DeltaEps)
 	}
+	if cfg.ChunkSize < 0 {
+		return nil, fmt.Errorf("core: negative chunk size %d", cfg.ChunkSize)
+	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism %d", cfg.Parallelism)
+	}
 	fullEvery := cfg.FullEvery
 	if fullEvery <= 0 {
 		fullEvery = 10
@@ -211,6 +230,8 @@ func NewWeightsHandler(env *Env, cfg HandlerConfig) (*WeightsHandler, error) {
 		incremental:  cfg.Incremental,
 		deltaEps:     cfg.DeltaEps,
 		fullEvery:    fullEvery,
+		chunkSize:    cfg.ChunkSize,
+		parallelism:  cfg.Parallelism,
 	}, nil
 }
 
@@ -246,9 +267,10 @@ func (h *WeightsHandler) ResumeFrom(version uint64) {
 
 // encode serializes the checkpoint in the strategy's format and returns
 // (payload, format, accounted size). Depending on configuration this is
-// the lean full format, the h5 baseline, a quantized encoding, or — in
-// incremental mode — a delta against the previously published weights.
-func (h *WeightsHandler) encode(ckpt *vformat.Checkpoint) ([]byte, string, int64, error) {
+// the lean full format, the h5 baseline, a quantized encoding, the
+// chunked v2 pipeline output, or — in incremental mode — a delta against
+// the previously published weights.
+func (h *WeightsHandler) encode(ctx context.Context, ckpt *vformat.Checkpoint) ([]byte, string, int64, error) {
 	if h.strategy.Baseline {
 		payload, err := encodeH5(ckpt)
 		if err != nil {
@@ -261,6 +283,9 @@ func (h *WeightsHandler) encode(ckpt *vformat.Checkpoint) ([]byte, string, int64
 		// The baseline pays for its fragmented metadata-heavy layout.
 		size = int64(float64(size) * H5FragmentationFactor)
 		return payload, "h5", size, nil
+	}
+	if h.chunkSize > 0 {
+		return h.encodeChunked(ctx, ckpt)
 	}
 	full, err := ckpt.Encode()
 	if err != nil {
@@ -277,31 +302,10 @@ func (h *WeightsHandler) encode(ckpt *vformat.Checkpoint) ([]byte, string, int64
 		}
 		return s
 	}
-	if h.incremental {
-		h.mu.Lock()
-		last := h.lastSent
-		h.mu.Unlock()
-		// Full refresh on the first version and every fullEvery-th one,
-		// bounding how long a consumer can be stuck on a broken chain.
-		if last != nil && (ckpt.Version-1)%uint64(h.fullEvery) != 0 {
-			delta, err := vformat.ComputeDelta(last, ckpt.Weights, h.deltaEps)
-			if err != nil {
-				return nil, "", 0, fmt.Errorf("core: computing delta: %w", err)
-			}
-			delta.ModelName = ckpt.ModelName
-			delta.Version = ckpt.Version
-			delta.BaseVersion = ckpt.Version - 1
-			delta.Iteration = ckpt.Iteration
-			delta.TrainLoss = ckpt.TrainLoss
-			payload, err := delta.Encode()
-			if err != nil {
-				return nil, "", 0, err
-			}
-			if len(payload) < len(full) {
-				return payload, "vdelta", scale(len(payload)), nil
-			}
-			// Dense changes: the delta saves nothing, ship the full.
-		}
+	if payload, ok, err := h.encodeDelta(ckpt, len(full)); err != nil {
+		return nil, "", 0, err
+	} else if ok {
+		return payload, "vdelta", scale(len(payload)), nil
 	}
 	if h.precision != vformat.PrecFloat64 {
 		payload, err := vformat.EncodeQuantized(ckpt, h.precision)
@@ -313,9 +317,105 @@ func (h *WeightsHandler) encode(ckpt *vformat.Checkpoint) ([]byte, string, int64
 	return full, "vformat", baseSize, nil
 }
 
+// encodeDelta attempts the incremental encoding: when a base exists and
+// this version is not a scheduled full refresh, it computes the delta
+// (fanned over the handler's worker budget) and reports whether the
+// sparse form actually beats a full encode of fullLen bytes.
+func (h *WeightsHandler) encodeDelta(ckpt *vformat.Checkpoint, fullLen int) ([]byte, bool, error) {
+	if !h.incremental {
+		return nil, false, nil
+	}
+	h.mu.Lock()
+	last := h.lastSent
+	h.mu.Unlock()
+	// Full refresh on the first version and every fullEvery-th one,
+	// bounding how long a consumer can be stuck on a broken chain.
+	if last == nil || (ckpt.Version-1)%uint64(h.fullEvery) == 0 {
+		return nil, false, nil
+	}
+	delta, err := vformat.ComputeDeltaParallel(last, ckpt.Weights, h.deltaEps, h.parallelism)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: computing delta: %w", err)
+	}
+	delta.ModelName = ckpt.ModelName
+	delta.Version = ckpt.Version
+	delta.BaseVersion = ckpt.Version - 1
+	delta.Iteration = ckpt.Iteration
+	delta.TrainLoss = ckpt.TrainLoss
+	payload, err := delta.Encode()
+	if err != nil {
+		return nil, false, err
+	}
+	if len(payload) >= fullLen {
+		// Dense changes: the delta saves nothing, ship the full.
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+// encodeChunked is the chunked-pipeline encode: full checkpoints become
+// one wire-format-v2 blob built by the worker pool in a single pass over
+// the weights (precision conversion folded in), with incremental deltas
+// still encoded sparsely when they beat a full chunk stream. In-process
+// routes ship the blob as one frame to preserve the links' latest-wins
+// queue semantics; multi-frame streaming lives in the remote transport.
+func (h *WeightsHandler) encodeChunked(ctx context.Context, ckpt *vformat.Checkpoint) ([]byte, string, int64, error) {
+	// The payload-equivalent of a lean full encode (8 bytes/element),
+	// the reference both for virtual-size scaling and the delta-vs-full
+	// decision — computed without actually doing a monolithic encode.
+	physFull := ckpt.Weights.NumBytes()
+	if physFull < 1 {
+		physFull = 1
+	}
+	baseSize := h.virtualSize
+	if baseSize <= 0 {
+		baseSize = physFull
+	}
+	if payload, ok, err := h.encodeDelta(ckpt, int(physFull)); err != nil {
+		return nil, "", 0, err
+	} else if ok {
+		size := int64(float64(baseSize) * float64(len(payload)) / float64(physFull))
+		if size < 1 {
+			size = 1
+		}
+		return payload, "vdelta", size, nil
+	}
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{
+		Precision:   h.precision,
+		ChunkBytes:  h.chunkSize,
+		Parallelism: h.parallelism,
+	})
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("core: chunked encode: %w", err)
+	}
+	// The blob's ownership transfers to the storage tiers/links below, so
+	// it is never returned to the buffer pool here.
+	size := baseSize
+	if h.virtualSize > 0 {
+		// Reduced precision shrinks the wire payload proportionally.
+		size = baseSize * int64(h.precision.BytesPerElement()) / 8
+		if size < 1 {
+			size = 1
+		}
+	} else {
+		size = int64(len(blob))
+	}
+	return blob, "vchunk", size, nil
+}
+
 // Save checkpoints the given snapshot taken at iteration with the
 // observed training loss, executing the configured transfer strategy.
 func (h *WeightsHandler) Save(snapshot nn.Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
+	return h.SaveContext(context.Background(), snapshot, iteration, loss)
+}
+
+// SaveContext is Save with cancellation: a cancelled context aborts the
+// save (draining the chunk pipeline's workers before returning) and no
+// metadata or notification is published for the abandoned version.
+func (h *WeightsHandler) SaveContext(ctx context.Context, snapshot nn.Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h.mu.Lock()
 	h.version++
 	version := h.version
@@ -328,8 +428,11 @@ func (h *WeightsHandler) Save(snapshot nn.Snapshot, iteration uint64, loss float
 		TrainLoss: loss,
 		Weights:   snapshot,
 	}
-	payload, format, size, err := h.encode(ckpt)
+	payload, format, size, err := h.encode(ctx, ckpt)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	key := CheckpointKey(h.model, version)

@@ -100,7 +100,8 @@ type ModelMeta struct {
 	Path string `json:"path"`
 	// Size is the accounted (virtual) checkpoint size in bytes.
 	Size int64 `json:"size"`
-	// Format is the serialization ("vformat", "vquant", "vdelta", "h5").
+	// Format is the serialization ("vformat", "vquant", "vdelta",
+	// "vchunk", "h5").
 	Format string `json:"format"`
 	// Incremental marks checkpoints from an incremental (delta-chain)
 	// producer: consumers must consume frames strictly in order instead

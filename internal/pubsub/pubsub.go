@@ -33,6 +33,7 @@ type Subscription struct {
 	broker  *Broker
 	channel string
 	ch      chan Message
+	done    chan struct{}
 	once    sync.Once
 }
 
@@ -41,8 +42,14 @@ func (s *Subscription) Close() {
 	s.once.Do(func() {
 		s.broker.unsubscribe(s)
 		close(s.ch)
+		close(s.done)
 	})
 }
+
+// Done returns a channel closed when the subscription is closed, letting
+// watcher goroutines (e.g. a context-cancellation relay) terminate
+// without polling C.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
 
 // Broker routes published messages to channel subscribers. Delivery is
 // asynchronous with a bounded per-subscriber buffer; if a subscriber's
@@ -98,7 +105,7 @@ func (b *Broker) SubscribeReplay(channel string) (*Subscription, bool) {
 
 func (b *Broker) subscribe(channel string, replay bool) (*Subscription, bool) {
 	ch := make(chan Message, b.bufSize)
-	sub := &Subscription{C: ch, broker: b, channel: channel, ch: ch}
+	sub := &Subscription{C: ch, broker: b, channel: channel, ch: ch, done: make(chan struct{})}
 	b.mu.Lock()
 	m, ok := b.subs[channel]
 	if !ok {

@@ -15,6 +15,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -65,6 +66,16 @@ type ProducerConfig struct {
 	// LinkWrap, if set, decorates each accepted link connection (fault
 	// injection hooks in here).
 	LinkWrap func(net.Conn) net.Conn
+	// ChunkSize, when positive, publishes checkpoints through the chunked
+	// pipeline: the payload travels the direct link as a header frame plus
+	// one frame per chunk (chunk N on the wire while N+1 is still being
+	// encoded), the staging copy holds the chunked blob, and metadata
+	// reports the "vchunk" format. Zero keeps the legacy monolithic
+	// "vformat" frames.
+	ChunkSize int
+	// Parallelism bounds the chunk-encode worker pool (0 = GOMAXPROCS).
+	// Only meaningful with ChunkSize set.
+	Parallelism int
 }
 
 // ProducerStats counts producer-side delivery activity.
@@ -80,14 +91,16 @@ type ProducerStats struct {
 
 // Producer publishes checkpoints to a remote consumer.
 type Producer struct {
-	model  string
-	kv     *kvstore.Client
-	ps     *pubsub.Client
-	ln     *transport.Listener
-	link   *transport.ReconnectLink
-	policy retry.Policy
-	clock  simclock.Clock
-	stage  bool
+	model     string
+	kv        *kvstore.Client
+	ps        *pubsub.Client
+	ln        *transport.Listener
+	link      *transport.ReconnectLink
+	policy    retry.Policy
+	clock     simclock.Clock
+	stage     bool
+	chunkSize int
+	workers   int
 
 	mu      sync.Mutex
 	version uint64
@@ -120,6 +133,12 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 	if cfg.Model == "" {
 		return nil, errors.New("remote: empty model name")
 	}
+	if cfg.ChunkSize < 0 {
+		return nil, fmt.Errorf("remote: negative chunk size %d", cfg.ChunkSize)
+	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("remote: negative parallelism %d", cfg.Parallelism)
+	}
 	pol := policyOrDefault(cfg.Retry)
 	kv, err := kvstore.DialOptions(cfg.MetaAddr, kvstore.Options{Retry: pol})
 	if err != nil {
@@ -150,15 +169,43 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 	return &Producer{
 		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
 		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
+		chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
 	}, nil
 }
 
-// Publish serializes and ships a checkpoint: frame over the direct link
-// (reconnecting and retrying on faults), a staging copy plus metadata
-// into the KV store, then a push notification. If the link stays dead
-// the checkpoint still reaches the consumer through the staging copy,
-// with the metadata marking the degraded PFS-style route.
+// linkMeta decorates every frame sent through a Conn with fixed
+// metadata: chunk-stream frames gain the same model/version tags as
+// monolithic frames, so the consumer can order, stash, and discard them
+// uniformly.
+type linkMeta struct {
+	transport.Conn
+	extra map[string]string
+}
+
+func (l linkMeta) Send(f transport.Frame) error {
+	for k, v := range l.extra {
+		f.Meta[k] = v
+	}
+	return l.Conn.Send(f)
+}
+
+// Publish serializes and ships a checkpoint: frame(s) over the direct
+// link (reconnecting and retrying on faults), a staging copy plus
+// metadata into the KV store, then a push notification. If the link
+// stays dead the checkpoint still reaches the consumer through the
+// staging copy, with the metadata marking the degraded PFS-style route.
 func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64) (*core.ModelMeta, error) {
+	return p.PublishContext(context.Background(), snapshot, iteration, loss)
+}
+
+// PublishContext is Publish bounded by a context: cancellation aborts
+// between link frames (draining the chunk-encode workers) and before
+// the metadata/notification writes, so a cancelled publish never
+// announces a checkpoint it did not deliver.
+func (p *Producer) PublishContext(ctx context.Context, snapshot nn.Snapshot, iteration uint64, loss float64) (*core.ModelMeta, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	p.version++
 	version := p.version
@@ -170,17 +217,55 @@ func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64)
 		TrainLoss: loss,
 		Weights:   snapshot,
 	}
+	key := core.CheckpointKey(p.model, version)
+	tags := map[string]string{"model": p.model, "version": strconv.FormatUint(version, 10)}
+	if p.chunkSize > 0 {
+		return p.publishChunked(ctx, ckpt, key, tags)
+	}
 	payload, err := ckpt.Encode()
 	if err != nil {
 		return nil, err
 	}
-	key := core.CheckpointKey(p.model, version)
-	location := core.RouteHost
-	sendErr := p.link.Send(transport.Frame{
-		Key:     key,
-		Payload: payload,
-		Meta:    map[string]string{"model": p.model, "version": strconv.FormatUint(version, 10)},
+	sendErr := p.link.Send(transport.Frame{Key: key, Payload: payload, Meta: tags})
+	return p.finishPublish(ctx, ckpt, key, payload, "vformat", sendErr)
+}
+
+// publishChunked streams ckpt over the direct link through the chunked
+// pipeline: the encoder's worker pool encodes chunk N+1 while chunk N
+// is on the wire, and the completed blob (one buffer-pool allocation)
+// doubles as the KV staging copy.
+func (p *Producer) publishChunked(ctx context.Context, ckpt *vformat.Checkpoint, key string, tags map[string]string) (*core.ModelMeta, error) {
+	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{
+		ChunkBytes:  p.chunkSize,
+		Parallelism: p.workers,
 	})
+	if err != nil {
+		return nil, err
+	}
+	defer enc.Release()
+	sendErr := transport.SendChunked(ctx, linkMeta{Conn: p.link, extra: tags}, key, enc, 0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	blob, err := enc.Blob()
+	if errors.Is(err, vformat.ErrIncompleteStream) {
+		// The header frame never left, so the stream encode never ran;
+		// finish it for the staging copy and the metadata size.
+		if err = enc.EncodeStream(ctx, nil); err == nil {
+			blob, err = enc.Blob()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.finishPublish(ctx, ckpt, key, blob, "vchunk", sendErr)
+}
+
+// finishPublish completes a publish after the link attempt: delivery
+// stats, the KV staging copy (mandatory when the link failed), then
+// metadata and the push notification.
+func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, key string, payload []byte, format string, sendErr error) (*core.ModelMeta, error) {
+	version := ckpt.Version
 	p.mu.Lock()
 	if sendErr != nil {
 		p.stats.LinkFailures++
@@ -188,10 +273,14 @@ func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64)
 		p.stats.LinkSends++
 	}
 	p.mu.Unlock()
+	location := core.RouteHost
 	if sendErr != nil {
 		// Degrade to the staging path, as the in-process engine falls
 		// back from memory tiers to the PFS.
 		location = core.RoutePFS
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if p.stage || sendErr != nil {
 		if err := p.kv.Set(core.StagingKey(p.model, version), string(payload)); err != nil {
@@ -214,12 +303,12 @@ func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64)
 	meta := core.ModelMeta{
 		Name:      p.model,
 		Version:   version,
-		Iteration: iteration,
-		TrainLoss: loss,
+		Iteration: ckpt.Iteration,
+		TrainLoss: ckpt.TrainLoss,
 		Location:  location,
 		Path:      key,
 		Size:      int64(len(payload)),
-		Format:    "vformat",
+		Format:    format,
 		SavedAt:   p.clock.Now(),
 	}
 	encoded, err := meta.Encode()
@@ -410,6 +499,23 @@ func (c *Consumer) pump() {
 		case c.frames <- f:
 		case <-c.closed:
 			return
+		default:
+			// A full buffer must never stall the pump: this Recv loop is
+			// what drives link reconnection, and a producer blocked in
+			// re-accept waits on the consumer to redial — a pump parked
+			// on a full channel deadlocks both sides (seen with chunked
+			// streams, whose many frames per version overflow the buffer
+			// far sooner than monolithic ones). Frames are superseding
+			// model updates, so shed the oldest buffered frame; a torn
+			// chunk stream or lost version backfills from KV staging.
+			select {
+			case <-c.frames:
+			default:
+			}
+			select {
+			case c.frames <- f:
+			default:
+			}
 		}
 	}
 }
@@ -451,6 +557,12 @@ func frameVersion(f *transport.Frame) uint64 {
 // reconnect) are ignored; notified versions that are unrecoverable on
 // both paths are skipped, since a newer update supersedes them.
 func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
+	return c.NextContext(context.Background(), timeout)
+}
+
+// NextContext is Next bounded by a context: cancellation aborts the
+// wait, a chunk-stream assembly in progress, and the staging backfill.
+func (c *Consumer) NextContext(ctx context.Context, timeout time.Duration) (*vformat.Checkpoint, error) {
 	deadline := c.clock.After(timeout)
 	for {
 		select {
@@ -469,7 +581,7 @@ func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
 				c.bump(func(s *ConsumerStats) { s.StaleNotifications++ })
 				continue
 			}
-			ckpt, err := c.fetch(meta)
+			ckpt, err := c.fetch(ctx, meta)
 			if err != nil {
 				return nil, err
 			}
@@ -484,6 +596,8 @@ func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
 			return ckpt, nil
 		case <-deadline:
 			return nil, ErrTimeout
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -497,21 +611,26 @@ func (c *Consumer) bump(f func(*ConsumerStats)) {
 // fetch obtains the checkpoint for meta from the direct link, falling
 // back to the KV staging area. A nil, nil return means the version is
 // lost on both paths (superseded updates may legitimately be).
-func (c *Consumer) fetch(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
+func (c *Consumer) fetch(ctx context.Context, meta *core.ModelMeta) (*vformat.Checkpoint, error) {
 	// A frame stashed by an earlier overshoot may already be the one.
 	if c.stash != nil {
 		f := c.stash
 		switch v := frameVersion(f); {
 		case f.Key == meta.Path:
 			c.stash = nil
-			if ckpt := c.decodeFrame(f, meta); ckpt != nil {
+			ckpt, foreign := c.resolveFrame(ctx, f, meta)
+			if ckpt != nil {
 				c.bump(func(s *ConsumerStats) { s.LinkLoads++ })
 				return ckpt, nil
+			}
+			if foreign != nil && frameVersion(foreign) > meta.Version {
+				c.stash = foreign
+				return c.fetchStaged(ctx, meta)
 			}
 		case v > meta.Version:
 			// The link is already past this version; its frame will
 			// never arrive. Keep the stash for its own notification.
-			return c.fetchStaged(meta)
+			return c.fetchStaged(ctx, meta)
 		default:
 			c.stash = nil
 			c.bump(func(s *ConsumerStats) { s.DiscardedFrames++ })
@@ -522,30 +641,79 @@ func (c *Consumer) fetch(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
 		select {
 		case f := <-c.frames:
 			if f.Key == meta.Path {
-				if ckpt := c.decodeFrame(&f, meta); ckpt != nil {
+				ckpt, foreign := c.resolveFrame(ctx, &f, meta)
+				if ckpt != nil {
 					c.bump(func(s *ConsumerStats) { s.LinkLoads++ })
 					return ckpt, nil
 				}
-				// Undecodable frame for our version: backfill.
-				return c.fetchStaged(meta)
+				if foreign != nil && frameVersion(foreign) > meta.Version {
+					// A newer stream tore this one mid-assembly; its
+					// opening frame serves the next notification.
+					c.stash = foreign
+				}
+				// Undecodable or torn for our version: backfill.
+				return c.fetchStaged(ctx, meta)
 			}
 			if frameVersion(&f) > meta.Version {
 				c.stash = &f
-				return c.fetchStaged(meta)
+				return c.fetchStaged(ctx, meta)
 			}
 			// An older, superseded frame (its notification was
 			// processed or skipped already): discard.
 			c.bump(func(s *ConsumerStats) { s.DiscardedFrames++ })
 		case <-timer:
-			return c.fetchStaged(meta)
+			return c.fetchStaged(ctx, meta)
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		case <-c.closed:
 			return nil, errors.New("remote: consumer closed")
 		}
 	}
 }
 
-// decodeFrame validates and decodes a link frame against its metadata,
-// returning nil on any mismatch (the caller falls back to staging).
+// resolveFrame turns a link frame addressed to meta into a checkpoint:
+// a chunk-stream header pulls the remaining chunk frames from the pump
+// and assembles them as they arrive, a monolithic frame decodes
+// directly. A nil checkpoint means the frame (or its stream) was
+// unusable and the caller should backfill from staging; a non-nil
+// foreign frame interrupted the chunk stream and still needs handling.
+func (c *Consumer) resolveFrame(ctx context.Context, f *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+	if transport.IsChunkHeader(*f) {
+		return c.collectChunkStream(ctx, f, meta)
+	}
+	return c.decodeFrame(f, meta), nil
+}
+
+// collectChunkStream assembles the chunk stream opened by header,
+// receiving successive frames from the pump under the link-wait bound.
+// Decode and CRC verification happen per chunk as frames arrive.
+func (c *Consumer) collectChunkStream(ctx context.Context, header *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+	timer := c.clock.After(c.linkWait)
+	recv := func() (transport.Frame, error) {
+		select {
+		case f := <-c.frames:
+			return f, nil
+		case <-timer:
+			return transport.Frame{}, ErrTimeout
+		case <-ctx.Done():
+			return transport.Frame{}, ctx.Err()
+		case <-c.closed:
+			return transport.Frame{}, errors.New("remote: consumer closed")
+		}
+	}
+	ckpt, foreign, err := transport.CollectChunked(ctx, *header, recv)
+	if err != nil {
+		return nil, foreign
+	}
+	if ckpt.ModelName != c.model || ckpt.Version != meta.Version {
+		return nil, nil
+	}
+	return ckpt, nil
+}
+
+// decodeFrame validates and decodes a monolithic link frame against its
+// metadata, returning nil on any mismatch (the caller falls back to
+// staging).
 func (c *Consumer) decodeFrame(f *transport.Frame, meta *core.ModelMeta) *vformat.Checkpoint {
 	ckpt, err := vformat.Decode(f.Payload)
 	if err != nil {
@@ -557,8 +725,10 @@ func (c *Consumer) decodeFrame(f *transport.Frame, meta *core.ModelMeta) *vforma
 	return ckpt
 }
 
-// fetchStaged backfills a checkpoint from the KV staging area.
-func (c *Consumer) fetchStaged(meta *core.ModelMeta) (*vformat.Checkpoint, error) {
+// fetchStaged backfills a checkpoint from the KV staging area. The
+// staged payload is whatever the producer shipped — monolithic vformat
+// or a chunked v2 blob — so decoding dispatches on the magic.
+func (c *Consumer) fetchStaged(ctx context.Context, meta *core.ModelMeta) (*vformat.Checkpoint, error) {
 	raw, err := c.kv.Get(core.StagingKey(c.model, meta.Version))
 	if errors.Is(err, kvstore.ErrNotFound) {
 		return nil, nil // lost on both paths
@@ -566,7 +736,7 @@ func (c *Consumer) fetchStaged(meta *core.ModelMeta) (*vformat.Checkpoint, error
 	if err != nil {
 		return nil, fmt.Errorf("remote: staged fetch: %w", err)
 	}
-	ckpt, err := vformat.Decode([]byte(raw))
+	ckpt, err := vformat.DecodeAuto(ctx, []byte(raw), 0)
 	if err != nil {
 		return nil, fmt.Errorf("remote: staged checkpoint: %w", err)
 	}

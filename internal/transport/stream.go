@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"viper/internal/vformat"
+)
+
+// Chunked streaming: a checkpoint in vformat's chunked v2 wire format
+// travels as one header frame followed by one frame per chunk, all under
+// the same key. Because the encoder emits records as their prefix
+// completes, chunk N is on the wire while chunk N+1 is still being
+// encoded, and the consumer assembles (and CRC-checks) chunks as they
+// arrive instead of waiting for one monolithic blob. No goroutines are
+// spawned here — the overlap comes from the encoder's worker pool and
+// from Send/Recv running on opposite endpoints.
+//
+// Frame metadata (string values, consistent with the existing Meta map):
+//
+//	vchunk:       "header" or "chunk"
+//	vchunk-count: total number of chunk frames to follow (header only)
+//	vchunk-idx:   this frame's chunk index (chunk frames only)
+
+// Chunk-stream Meta keys and roles.
+const (
+	// MetaChunkRole marks a frame as part of a chunk stream.
+	MetaChunkRole = "vchunk"
+	// MetaChunkCount carries the chunk count on the header frame.
+	MetaChunkCount = "vchunk-count"
+	// MetaChunkIndex carries the chunk index on chunk frames.
+	MetaChunkIndex = "vchunk-idx"
+	// ChunkRoleHeader is the MetaChunkRole value of a stream header frame.
+	ChunkRoleHeader = "header"
+	// ChunkRoleChunk is the MetaChunkRole value of a chunk frame.
+	ChunkRoleChunk = "chunk"
+)
+
+// ErrTornStream is returned by CollectChunked when a foreign frame
+// interrupts a chunk stream before it completes (e.g. the producer
+// abandoned the version and started streaming a newer one).
+var ErrTornStream = errors.New("transport: chunk stream torn")
+
+// IsChunkHeader reports whether f opens a chunk stream.
+func IsChunkHeader(f Frame) bool { return f.Meta[MetaChunkRole] == ChunkRoleHeader }
+
+// IsChunkFrame reports whether f is a chunk-data frame.
+func IsChunkFrame(f Frame) bool { return f.Meta[MetaChunkRole] == ChunkRoleChunk }
+
+// splitVirtual apportions a whole-checkpoint virtual size across a
+// stream's frames in proportion to their physical sizes, so the
+// bandwidth-modelled Link charges the same total transfer time as a
+// single monolithic frame would. virtualSize <= 0 disables scaling.
+func splitVirtual(virtualSize int64, physTotal, physFrame int) int64 {
+	if virtualSize <= 0 || physTotal <= 0 {
+		return 0
+	}
+	return virtualSize * int64(physFrame) / int64(physTotal)
+}
+
+// SendChunked streams enc's checkpoint over conn as a header frame plus
+// one frame per chunk, pipelining: while Send blocks on chunk N, the
+// encoder's workers keep encoding chunks N+1…. Frames alias the
+// encoder's blob, which is safe because every Conn implementation copies
+// or fully writes the payload before Send returns. The caller retains
+// ownership of enc (and must Release it).
+func SendChunked(ctx context.Context, conn Conn, key string, enc *vformat.ChunkEncoder, virtualSize int64) error {
+	total := enc.EncodedSize()
+	header := enc.Header()
+	hf := Frame{
+		Key:         key,
+		Payload:     header,
+		VirtualSize: splitVirtual(virtualSize, total, len(header)),
+		Meta: map[string]string{
+			MetaChunkRole:  ChunkRoleHeader,
+			MetaChunkCount: strconv.Itoa(enc.NumChunks()),
+		},
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := conn.Send(hf); err != nil {
+		return fmt.Errorf("transport: chunk stream header: %w", err)
+	}
+	return enc.EncodeStream(ctx, func(idx int, rec []byte) error {
+		return conn.Send(Frame{
+			Key:         key,
+			Payload:     rec,
+			VirtualSize: splitVirtual(virtualSize, total, len(rec)),
+			Meta: map[string]string{
+				MetaChunkRole:  ChunkRoleChunk,
+				MetaChunkIndex: strconv.Itoa(idx),
+			},
+		})
+	})
+}
+
+// CollectChunked assembles the chunk stream opened by header, calling
+// recv for successive frames until the checkpoint is complete. Chunks
+// are verified and decoded as they arrive. If a frame not belonging to
+// the stream arrives first, assembly aborts with ErrTornStream and the
+// foreign frame is returned so the caller can process it (typically the
+// header of a newer version). Cancelling ctx aborts between frames; a
+// blocked recv is unblocked by closing the underlying conn.
+func CollectChunked(ctx context.Context, header Frame, recv func() (Frame, error)) (*vformat.Checkpoint, *Frame, error) {
+	if !IsChunkHeader(header) {
+		return nil, nil, fmt.Errorf("transport: frame %q is not a chunk-stream header", header.Key)
+	}
+	asm, err := vformat.NewChunkAssembler(header.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	for !asm.Complete() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		f, err := recv()
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: chunk stream after %d missing: %w", asm.Missing(), err)
+		}
+		if !IsChunkFrame(f) || f.Key != header.Key {
+			foreign := f
+			return nil, &foreign, fmt.Errorf("%w: got frame %q mid-stream with %d chunks missing",
+				ErrTornStream, f.Key, asm.Missing())
+		}
+		if _, err := asm.Add(f.Payload); err != nil {
+			return nil, nil, err
+		}
+	}
+	ckpt, err := asm.Checkpoint()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ckpt, nil, nil
+}

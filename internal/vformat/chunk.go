@@ -1,0 +1,899 @@
+package vformat
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"viper/internal/nn"
+)
+
+// Chunked checkpoint format (wire format v2, magic VPRC0002): the
+// snapshot's tensors are flattened into one element stream and split
+// into fixed-size chunks that are encoded independently — each chunk
+// carries its own CRC and precision-converted payload, so a worker pool
+// can encode (and the consumer decode) chunks concurrently, and a
+// streaming sender can put chunk N on the wire while chunk N+1 is still
+// being encoded. The serial monolithic encode/CRC/send path this
+// replaces is the serialization-dominated checkpoint stall identified by
+// Gossman et al.; the overlap is the Dryden et al. pipelining argument
+// applied to checkpoint publication.
+//
+// Container layout (a "chunked blob" stores the stream back-to-back; on
+// the wire each piece travels as its own frame):
+//
+//	header:  "VPRC0002" | precision u8 | chunkElems u32 | totalElems u64 |
+//	         numChunks u32 | model str | version u64 | iteration u64 |
+//	         loss f64 | tensorCount u32 |
+//	         { name str | rank u32 | dims u64… } × tensorCount | crc u32
+//	chunk i: "VCHK" | index u32 | startElem u64 | elemCount u32 |
+//	         payload (elemCount × stride bytes) | crc u32
+//
+// The header CRC covers every preceding header byte; each chunk CRC
+// covers the chunk record from its magic through its payload. Strings
+// are u32-length-prefixed (see writeString/readString).
+
+const (
+	// chunkMagic is the v2 header magic.
+	chunkMagic = "VPRC0002"
+	// chunkRecMagic starts every chunk record.
+	chunkRecMagic = "VCHK"
+	// DefaultChunkBytes is the default chunk payload size (~256 KiB).
+	DefaultChunkBytes = 256 << 10
+	// chunkRecHeaderLen is magic + index + startElem + elemCount.
+	chunkRecHeaderLen = 4 + 4 + 8 + 4
+	// chunkRecOverhead is the non-payload size of one chunk record.
+	chunkRecOverhead = chunkRecHeaderLen + 4 // + trailing CRC
+)
+
+// Chunk-pipeline sentinel errors.
+var (
+	// ErrCorruptChunk marks a chunk whose CRC or framing does not match
+	// the stream's header (wire corruption, torn stream).
+	ErrCorruptChunk = errors.New("vformat: corrupt chunk")
+	// ErrIncompleteStream is returned when a chunked checkpoint is
+	// finalized before every chunk arrived.
+	ErrIncompleteStream = errors.New("vformat: incomplete chunk stream")
+)
+
+// ChunkOptions parameterize the chunk pipeline.
+type ChunkOptions struct {
+	// Precision is the on-wire element encoding (PrecFloat64 lossless).
+	Precision Precision
+	// ChunkBytes is the payload size per chunk (<=0 = DefaultChunkBytes).
+	ChunkBytes int
+	// Parallelism bounds the encode/decode worker pool (<=0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// normalized returns opts with defaults applied, validating Precision.
+func (o ChunkOptions) normalized() (ChunkOptions, error) {
+	switch o.Precision {
+	case PrecFloat64, PrecFloat32, PrecFloat16:
+	default:
+		return o, fmt.Errorf("vformat: unknown precision %d", o.Precision)
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// ChunkTensor is one tensor's entry in the chunk stream directory.
+type ChunkTensor struct {
+	// Name is the parameter name.
+	Name string
+	// Shape is the tensor shape.
+	Shape []int
+	// Elems is the element count (product of Shape).
+	Elems int64
+	// Start is the tensor's offset in the flattened element stream.
+	Start int64
+}
+
+// ChunkLayout describes how a snapshot is split into chunks.
+type ChunkLayout struct {
+	// Precision is the payload element encoding.
+	Precision Precision
+	// ChunkElems is the element count per chunk (the last chunk may be
+	// shorter).
+	ChunkElems int
+	// TotalElems is the flattened element count.
+	TotalElems int64
+	// NumChunks is the chunk count: ceil(TotalElems / ChunkElems).
+	NumChunks int
+	// Tensors is the directory, in snapshot order.
+	Tensors []ChunkTensor
+}
+
+// planLayout computes the chunk layout for a snapshot.
+func planLayout(weights nn.Snapshot, opts ChunkOptions) *ChunkLayout {
+	l := &ChunkLayout{Precision: opts.Precision, Tensors: make([]ChunkTensor, len(weights))}
+	var off int64
+	for i, nt := range weights {
+		l.Tensors[i] = ChunkTensor{Name: nt.Name, Shape: nt.Shape, Elems: int64(len(nt.Data)), Start: off}
+		off += int64(len(nt.Data))
+	}
+	l.TotalElems = off
+	stride := opts.Precision.BytesPerElement()
+	l.ChunkElems = opts.ChunkBytes / stride
+	if l.ChunkElems < 1 {
+		l.ChunkElems = 1
+	}
+	l.NumChunks = int((l.TotalElems + int64(l.ChunkElems) - 1) / int64(l.ChunkElems))
+	return l
+}
+
+// chunkSpan returns chunk idx's element range [start, start+count).
+func (l *ChunkLayout) chunkSpan(idx int) (start int64, count int) {
+	start = int64(idx) * int64(l.ChunkElems)
+	n := l.TotalElems - start
+	if n > int64(l.ChunkElems) {
+		n = int64(l.ChunkElems)
+	}
+	return start, int(n)
+}
+
+// recordSize returns the encoded size of chunk idx's record.
+func (l *ChunkLayout) recordSize(idx int) int {
+	_, count := l.chunkSpan(idx)
+	return chunkRecOverhead + count*l.Precision.BytesPerElement()
+}
+
+// EncodedSize returns the exact size of the chunked blob (header +
+// every chunk record) for a header of headerLen bytes.
+func (l *ChunkLayout) encodedSize(headerLen int) int {
+	size := headerLen
+	if l.NumChunks > 0 {
+		full := chunkRecOverhead + l.ChunkElems*l.Precision.BytesPerElement()
+		size += (l.NumChunks - 1) * full      // all but the last are full...
+		size += l.recordSize(l.NumChunks - 1) // ...which may be shorter
+	}
+	return size
+}
+
+// tensorAt returns the index of the tensor containing flat element pos.
+func (l *ChunkLayout) tensorAt(pos int64) int {
+	i := sort.Search(len(l.Tensors), func(i int) bool {
+		return l.Tensors[i].Start+l.Tensors[i].Elems > pos
+	})
+	return i
+}
+
+// putElems encodes vals into dst at precision p (len(dst) must be
+// len(vals) × stride).
+func putElems(dst []byte, p Precision, vals []float64) {
+	switch p {
+	case PrecFloat32:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(v)))
+		}
+	case PrecFloat16:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint16(dst[2*i:], Float16FromFloat64(v))
+		}
+	default:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+		}
+	}
+}
+
+// getElems decodes src at precision p into dst, re-expanding to float64.
+func getElems(dst []float64, p Precision, src []byte) {
+	switch p {
+	case PrecFloat32:
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:])))
+		}
+	case PrecFloat16:
+		for i := range dst {
+			dst[i] = Float16ToFloat64(binary.LittleEndian.Uint16(src[2*i:]))
+		}
+	default:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	}
+}
+
+// encodeChunkInto writes chunk idx's full record into dst (whose length
+// must be recordSize(idx)) in a single pass over the weights.
+func (l *ChunkLayout) encodeChunkInto(dst []byte, weights nn.Snapshot, idx int) {
+	start, count := l.chunkSpan(idx)
+	copy(dst, chunkRecMagic)
+	binary.LittleEndian.PutUint32(dst[4:], uint32(idx))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(start))
+	binary.LittleEndian.PutUint32(dst[16:], uint32(count))
+	stride := l.Precision.BytesPerElement()
+	off := chunkRecHeaderLen
+	pos := start
+	end := start + int64(count)
+	ti := l.tensorAt(pos)
+	for pos < end {
+		t := &l.Tensors[ti]
+		lo := pos - t.Start
+		if lo >= t.Elems { // zero-length or exhausted tensor
+			ti++
+			continue
+		}
+		n := t.Elems - lo
+		if n > end-pos {
+			n = end - pos
+		}
+		putElems(dst[off:off+int(n)*stride], l.Precision, weights[ti].Data[lo:lo+n])
+		off += int(n) * stride
+		pos += n
+		ti++
+	}
+	binary.LittleEndian.PutUint32(dst[off:], crc32.ChecksumIEEE(dst[:off]))
+}
+
+// decodeChunkInto verifies rec against the layout and decodes its
+// payload into the preallocated weights, returning the chunk index.
+// Writes for distinct chunks land in disjoint element ranges, so
+// concurrent calls with different chunks are safe.
+func (l *ChunkLayout) decodeChunkInto(weights nn.Snapshot, rec []byte) (int, error) {
+	if len(rec) < chunkRecOverhead || string(rec[:4]) != chunkRecMagic {
+		return 0, fmt.Errorf("%w: bad record framing", ErrCorruptChunk)
+	}
+	idx := int(binary.LittleEndian.Uint32(rec[4:]))
+	if idx < 0 || idx >= l.NumChunks {
+		return 0, fmt.Errorf("%w: chunk index %d of %d", ErrCorruptChunk, idx, l.NumChunks)
+	}
+	start, count := l.chunkSpan(idx)
+	if binary.LittleEndian.Uint64(rec[8:]) != uint64(start) ||
+		binary.LittleEndian.Uint32(rec[16:]) != uint32(count) {
+		return 0, fmt.Errorf("%w: chunk %d span mismatch", ErrCorruptChunk, idx)
+	}
+	stride := l.Precision.BytesPerElement()
+	if len(rec) != chunkRecOverhead+count*stride {
+		return 0, fmt.Errorf("%w: chunk %d is %d bytes, want %d",
+			ErrCorruptChunk, idx, len(rec), chunkRecOverhead+count*stride)
+	}
+	body := len(rec) - 4
+	if binary.LittleEndian.Uint32(rec[body:]) != crc32.ChecksumIEEE(rec[:body]) {
+		return 0, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorruptChunk, idx)
+	}
+	off := chunkRecHeaderLen
+	pos := start
+	end := start + int64(count)
+	ti := l.tensorAt(pos)
+	for pos < end {
+		t := &l.Tensors[ti]
+		lo := pos - t.Start
+		if lo >= t.Elems {
+			ti++
+			continue
+		}
+		n := t.Elems - lo
+		if n > end-pos {
+			n = end - pos
+		}
+		getElems(weights[ti].Data[lo:lo+n], l.Precision, rec[off:off+int(n)*stride])
+		off += int(n) * stride
+		pos += n
+		ti++
+	}
+	return idx, nil
+}
+
+// encodeChunkHeader builds the v2 header bytes for ckpt under layout.
+func encodeChunkHeader(c *Checkpoint, l *ChunkLayout) []byte {
+	b := make([]byte, 0, 128+32*len(l.Tensors))
+	b = append(b, chunkMagic...)
+	b = append(b, byte(l.Precision))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.ChunkElems))
+	b = binary.LittleEndian.AppendUint64(b, uint64(l.TotalElems))
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.NumChunks))
+	b = appendString(b, c.ModelName)
+	b = binary.LittleEndian.AppendUint64(b, c.Version)
+	b = binary.LittleEndian.AppendUint64(b, c.Iteration)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.TrainLoss))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(l.Tensors)))
+	for _, t := range l.Tensors {
+		b = appendString(b, t.Name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Shape)))
+		for _, d := range t.Shape {
+			b = binary.LittleEndian.AppendUint64(b, uint64(d))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// appendString appends a u32-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// headerReader walks header bytes with bounds checks.
+type headerReader struct {
+	b   []byte
+	off int
+}
+
+func (r *headerReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorruptChunk)
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s, nil
+}
+
+func (r *headerReader) u32() (uint32, error) {
+	s, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s), nil
+}
+
+func (r *headerReader) u64() (uint64, error) {
+	s, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(s), nil
+}
+
+func (r *headerReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("%w: implausible string length %d", ErrCorruptChunk, n)
+	}
+	s, err := r.take(int(n))
+	return string(s), err
+}
+
+// ParseChunkHeader parses a v2 stream header, returning the layout, the
+// checkpoint skeleton (metadata set, weights preallocated to the
+// directory's shapes), and the header's encoded length.
+func ParseChunkHeader(b []byte) (*ChunkLayout, *Checkpoint, int, error) {
+	if len(b) < len(chunkMagic) || string(b[:len(chunkMagic)]) != chunkMagic {
+		return nil, nil, 0, fmt.Errorf("vformat: bad chunk-stream magic")
+	}
+	r := &headerReader{b: b, off: len(chunkMagic)}
+	pb, err := r.take(1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	l := &ChunkLayout{Precision: Precision(pb[0])}
+	switch l.Precision {
+	case PrecFloat64, PrecFloat32, PrecFloat16:
+	default:
+		return nil, nil, 0, fmt.Errorf("vformat: unknown precision byte %d", pb[0])
+	}
+	ce, err := r.u32()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	te, err := r.u64()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	nc, err := r.u32()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	l.ChunkElems, l.TotalElems, l.NumChunks = int(ce), int64(te), int(nc)
+	if l.ChunkElems < 1 {
+		return nil, nil, 0, fmt.Errorf("%w: zero chunk size", ErrCorruptChunk)
+	}
+	if want := (l.TotalElems + int64(l.ChunkElems) - 1) / int64(l.ChunkElems); want != int64(l.NumChunks) {
+		return nil, nil, 0, fmt.Errorf("%w: %d chunks cannot cover %d elements at %d/chunk",
+			ErrCorruptChunk, l.NumChunks, l.TotalElems, l.ChunkElems)
+	}
+	c := &Checkpoint{}
+	if c.ModelName, err = r.str(); err != nil {
+		return nil, nil, 0, err
+	}
+	if c.Version, err = r.u64(); err != nil {
+		return nil, nil, 0, err
+	}
+	if c.Iteration, err = r.u64(); err != nil {
+		return nil, nil, 0, err
+	}
+	lb, err := r.u64()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	c.TrainLoss = math.Float64frombits(lb)
+	tc, err := r.u32()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if tc > 1<<20 {
+		return nil, nil, 0, fmt.Errorf("%w: implausible tensor count %d", ErrCorruptChunk, tc)
+	}
+	l.Tensors = make([]ChunkTensor, tc)
+	c.Weights = make(nn.Snapshot, tc)
+	var off int64
+	for i := range l.Tensors {
+		name, err := r.str()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		rank, err := r.u32()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if rank > 64 {
+			return nil, nil, 0, fmt.Errorf("%w: implausible rank %d", ErrCorruptChunk, rank)
+		}
+		shape := make([]int, rank)
+		elems := int64(1)
+		for j := range shape {
+			d, err := r.u64()
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			shape[j] = int(d)
+			elems *= int64(d)
+		}
+		if elems < 0 || elems > l.TotalElems {
+			return nil, nil, 0, fmt.Errorf("%w: tensor %d claims %d elements of %d total",
+				ErrCorruptChunk, i, elems, l.TotalElems)
+		}
+		l.Tensors[i] = ChunkTensor{Name: name, Shape: shape, Elems: elems, Start: off}
+		c.Weights[i] = nn.NamedTensor{Name: name, Shape: shape, Data: make([]float64, elems)}
+		off += elems
+	}
+	if off != l.TotalElems {
+		return nil, nil, 0, fmt.Errorf("%w: directory covers %d elements, header says %d",
+			ErrCorruptChunk, off, l.TotalElems)
+	}
+	body := r.off
+	sum, err := r.u32()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if sum != crc32.ChecksumIEEE(b[:body]) {
+		return nil, nil, 0, fmt.Errorf("%w: header checksum mismatch", ErrCorruptChunk)
+	}
+	return l, c, r.off, nil
+}
+
+// ChunkEncoder drives the producer side of the chunk pipeline: it plans
+// the layout, then encodes every chunk with a bounded worker pool into
+// one pool-backed blob, emitting records in index order as their prefix
+// completes. While the emit callback blocks (a frame send, a PFS write),
+// the workers keep encoding later chunks — chunk N is on the wire while
+// chunk N+1 is converted — which is the overlap the monolithic
+// encode-then-send path lacked.
+type ChunkEncoder struct {
+	ckpt   *Checkpoint
+	opts   ChunkOptions
+	layout *ChunkLayout
+	header []byte
+	blob   []byte // header + records, pool-owned
+	offs   []int  // record offsets within blob
+	done   bool
+}
+
+// NewChunkEncoder plans the chunk layout for ckpt.
+func NewChunkEncoder(ckpt *Checkpoint, opts ChunkOptions) (*ChunkEncoder, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	layout := planLayout(ckpt.Weights, opts)
+	header := encodeChunkHeader(ckpt, layout)
+	blob := getBuf(layout.encodedSize(len(header)))
+	copy(blob, header)
+	offs := make([]int, layout.NumChunks)
+	off := len(header)
+	for i := range offs {
+		offs[i] = off
+		off += layout.recordSize(i)
+	}
+	return &ChunkEncoder{
+		ckpt: ckpt, opts: opts, layout: layout,
+		header: blob[:len(header)], blob: blob, offs: offs,
+	}, nil
+}
+
+// Layout returns the planned chunk layout.
+func (e *ChunkEncoder) Layout() *ChunkLayout { return e.layout }
+
+// Header returns the encoded v2 header (valid until Release).
+func (e *ChunkEncoder) Header() []byte { return e.header }
+
+// NumChunks returns the number of data chunks.
+func (e *ChunkEncoder) NumChunks() int { return e.layout.NumChunks }
+
+// EncodedSize returns the total encoded size (header + every record) in
+// bytes, known up front because the layout is fixed-size.
+func (e *ChunkEncoder) EncodedSize() int { return len(e.blob) }
+
+// record returns chunk idx's encoded record (valid after it is encoded).
+func (e *ChunkEncoder) record(idx int) []byte {
+	return e.blob[e.offs[idx] : e.offs[idx]+e.layout.recordSize(idx)]
+}
+
+// EncodeStream encodes every chunk and calls emit(idx, record) in strict
+// index order. The record slice aliases the encoder's blob: it is valid
+// until Release, and emit must not retain it past that. An emit error
+// stops further emission but the encode itself still completes (so
+// Blob() stays usable for staging/PFS fallbacks) and the error is
+// returned. Cancelling ctx aborts the encode, drains every worker before
+// returning, and leaves the blob unusable. emit may be nil to encode the
+// blob without streaming.
+func (e *ChunkEncoder) EncodeStream(ctx context.Context, emit func(idx int, record []byte) error) error {
+	if e.blob == nil {
+		return errors.New("vformat: encoder already released")
+	}
+	n := e.layout.NumChunks
+	workers := e.opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var emitErr error
+	doEmit := func(idx int) {
+		if emit != nil && emitErr == nil {
+			emitErr = emit(idx, e.record(idx))
+		}
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, just ordered encode+emit with
+		// cancellation checks between chunks.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.layout.encodeChunkInto(e.record(i), e.ckpt.Weights, i)
+			doEmit(i)
+		}
+		e.done = true
+		return emitErr
+	}
+	jobs := make(chan int)
+	completions := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without encoding
+				}
+				e.layout.encodeChunkInto(e.record(idx), e.ckpt.Weights, idx)
+				completions <- idx // buffered to n: never blocks
+			}
+		}()
+	}
+	ready := make([]bool, n)
+	sent, next := 0, 0
+	cancelled := false
+	handle := func(idx int) {
+		ready[idx] = true
+		for next < n && ready[next] {
+			doEmit(next)
+			next++
+		}
+	}
+	for next < n && !cancelled {
+		if sent < n {
+			select {
+			case jobs <- sent:
+				sent++
+			case idx := <-completions:
+				handle(idx)
+			case <-ctx.Done():
+				cancelled = true
+			}
+		} else {
+			select {
+			case idx := <-completions:
+				handle(idx)
+			case <-ctx.Done():
+				cancelled = true
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.done = true
+	return emitErr
+}
+
+// Blob returns the complete chunked container (header + every record)
+// after a successful EncodeStream. It is pool-owned: valid until Release.
+func (e *ChunkEncoder) Blob() ([]byte, error) {
+	if e.blob == nil {
+		return nil, errors.New("vformat: encoder already released")
+	}
+	if !e.done {
+		return nil, ErrIncompleteStream
+	}
+	return e.blob, nil
+}
+
+// Release returns the encoder's blob to the buffer pool. The header,
+// blob, and every emitted record become invalid.
+func (e *ChunkEncoder) Release() {
+	if e.blob != nil {
+		putBuf(e.blob)
+		e.blob, e.header = nil, nil
+	}
+}
+
+// EncodeChunked encodes ckpt as one chunked blob using a bounded worker
+// pool. The returned buffer is pool-owned: hand it back via
+// ReleaseBuffer when done, or keep it and let the GC have it.
+func EncodeChunked(ctx context.Context, ckpt *Checkpoint, opts ChunkOptions) ([]byte, error) {
+	enc, err := NewChunkEncoder(ckpt, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.EncodeStream(ctx, nil); err != nil {
+		enc.Release()
+		return nil, err
+	}
+	blob, err := enc.Blob()
+	if err != nil {
+		enc.Release()
+		return nil, err
+	}
+	// Ownership of the blob transfers to the caller; do not Release.
+	return blob, nil
+}
+
+// ChunkAssembler is the consumer side of the pipeline: seeded with the
+// stream header, it accepts chunk records in any order (concurrently —
+// distinct chunks write disjoint element ranges), verifies each CRC, and
+// decodes straight into the preallocated snapshot, so a model update is
+// assembled while later chunks are still on the wire. Duplicate chunks
+// (e.g. resent after a link reconnect) are ignored.
+type ChunkAssembler struct {
+	layout *ChunkLayout
+	ckpt   *Checkpoint
+
+	mu        sync.Mutex
+	got       []bool
+	remaining int
+}
+
+// NewChunkAssembler parses the v2 stream header and prepares the
+// assembly target.
+func NewChunkAssembler(header []byte) (*ChunkAssembler, error) {
+	layout, ckpt, _, err := ParseChunkHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkAssembler{
+		layout: layout, ckpt: ckpt,
+		got: make([]bool, layout.NumChunks), remaining: layout.NumChunks,
+	}, nil
+}
+
+// Layout returns the stream's chunk layout.
+func (a *ChunkAssembler) Layout() *ChunkLayout { return a.layout }
+
+// Add verifies and decodes one chunk record, reporting whether the
+// stream is now complete. Records may arrive in any order and from
+// concurrent goroutines; duplicates are ignored.
+func (a *ChunkAssembler) Add(rec []byte) (complete bool, err error) {
+	idx, err := a.layout.decodeChunkInto(a.ckpt.Weights, rec)
+	if err != nil {
+		return false, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.got[idx] {
+		a.got[idx] = true
+		a.remaining--
+	}
+	return a.remaining == 0, nil
+}
+
+// Complete reports whether every chunk has been assembled.
+func (a *ChunkAssembler) Complete() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remaining == 0
+}
+
+// Missing returns the number of chunks not yet assembled.
+func (a *ChunkAssembler) Missing() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remaining
+}
+
+// Checkpoint returns the assembled checkpoint, or ErrIncompleteStream if
+// chunks are missing.
+func (a *ChunkAssembler) Checkpoint() (*Checkpoint, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.remaining != 0 {
+		return nil, fmt.Errorf("%w: %d of %d chunks missing",
+			ErrIncompleteStream, a.remaining, a.layout.NumChunks)
+	}
+	return a.ckpt, nil
+}
+
+// splitRecords walks the chunk records packed after the header in a
+// chunked blob, calling fn with each record slice.
+func splitRecords(l *ChunkLayout, blob []byte, headerLen int, fn func(rec []byte) error) error {
+	off := headerLen
+	stride := l.Precision.BytesPerElement()
+	for i := 0; i < l.NumChunks; i++ {
+		if off+chunkRecHeaderLen > len(blob) {
+			return fmt.Errorf("%w: blob truncated at chunk %d", ErrIncompleteStream, i)
+		}
+		count := int(binary.LittleEndian.Uint32(blob[off+16:]))
+		size := chunkRecOverhead + count*stride
+		if count > l.ChunkElems || off+size > len(blob) {
+			return fmt.Errorf("%w: chunk %d record overruns blob", ErrCorruptChunk, i)
+		}
+		if err := fn(blob[off : off+size]); err != nil {
+			return err
+		}
+		off += size
+	}
+	if off != len(blob) {
+		return fmt.Errorf("%w: %d trailing bytes after last chunk", ErrCorruptChunk, len(blob)-off)
+	}
+	return nil
+}
+
+// DecodeChunked parses a chunked blob produced by EncodeChunked (or by
+// concatenating a streamed header and its records), decoding chunks with
+// a bounded worker pool. parallelism <= 0 selects GOMAXPROCS.
+func DecodeChunked(ctx context.Context, blob []byte, parallelism int) (*Checkpoint, error) {
+	asm, err := NewChunkAssembler(blob)
+	if err != nil {
+		return nil, err
+	}
+	_, _, headerLen, err := ParseChunkHeader(blob)
+	if err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism <= 1 || asm.layout.NumChunks <= 1 {
+		err = splitRecords(asm.layout, blob, headerLen, func(rec []byte) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			_, err := asm.Add(rec)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return asm.Checkpoint()
+	}
+	recs := make(chan []byte, parallelism)
+	errc := make(chan error, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range recs {
+				if ctx.Err() != nil {
+					continue
+				}
+				if _, err := asm.Add(rec); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	feedErr := splitRecords(asm.layout, blob, headerLen, func(rec []byte) error {
+		select {
+		case recs <- rec:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	close(recs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	return asm.Checkpoint()
+}
+
+// IsChunked reports whether blob starts with the v2 chunk-stream magic.
+func IsChunked(blob []byte) bool {
+	return len(blob) >= len(chunkMagic) && string(blob[:len(chunkMagic)]) == chunkMagic
+}
+
+// DecodeAuto decodes a self-contained checkpoint blob in any full-model
+// wire format — lean v1 (VPRF), quantized (VPRQ), or chunked v2 (VPRC) —
+// dispatching on the magic. Delta blobs are not self-contained and are
+// rejected.
+func DecodeAuto(ctx context.Context, blob []byte, parallelism int) (*Checkpoint, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("vformat: blob too short (%d bytes)", len(blob))
+	}
+	switch string(blob[:8]) {
+	case magic:
+		return Decode(blob)
+	case quantMagic:
+		ckpt, _, err := DecodeQuantized(blob)
+		return ckpt, err
+	case chunkMagic:
+		return DecodeChunked(ctx, blob, parallelism)
+	default:
+		return nil, fmt.Errorf("vformat: unknown checkpoint magic %q", blob[:8])
+	}
+}
+
+// ChunkRecordInfo describes one chunk record inside a chunked blob (the
+// per-chunk layout viper-inspect reports for v2 checkpoints).
+type ChunkRecordInfo struct {
+	// Index is the chunk index.
+	Index int
+	// Start is the first flattened element covered.
+	Start int64
+	// Elems is the element count.
+	Elems int
+	// Offset is the record's byte offset in the blob.
+	Offset int
+	// Size is the record's encoded size in bytes.
+	Size int
+	// CRCOK reports whether the record checksum verifies.
+	CRCOK bool
+}
+
+// ChunkRecords parses a chunked blob's header and enumerates its chunk
+// records without decoding payloads (beyond checksumming them).
+func ChunkRecords(blob []byte) (*ChunkLayout, *Checkpoint, []ChunkRecordInfo, error) {
+	layout, ckpt, headerLen, err := ParseChunkHeader(blob)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var recs []ChunkRecordInfo
+	off := headerLen
+	err = splitRecords(layout, blob, headerLen, func(rec []byte) error {
+		body := len(rec) - 4
+		recs = append(recs, ChunkRecordInfo{
+			Index:  int(binary.LittleEndian.Uint32(rec[4:])),
+			Start:  int64(binary.LittleEndian.Uint64(rec[8:])),
+			Elems:  int(binary.LittleEndian.Uint32(rec[16:])),
+			Offset: off,
+			Size:   len(rec),
+			CRCOK:  binary.LittleEndian.Uint32(rec[body:]) == crc32.ChecksumIEEE(rec[:body]),
+		})
+		off += len(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return layout, ckpt, recs, nil
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"viper/internal/nn"
 )
@@ -49,6 +51,29 @@ type DeltaCheckpoint struct {
 	Deltas []TensorDelta
 }
 
+// tensorDelta computes one tensor's delta entry (the per-tensor body of
+// ComputeDelta, shared with the parallel variant).
+func tensorDelta(i int, b, n nn.NamedTensor, eps float64) (TensorDelta, error) {
+	if b.Name != n.Name || len(b.Data) != len(n.Data) {
+		return TensorDelta{}, fmt.Errorf("vformat: delta tensor %d mismatch: %q(%d) vs %q(%d)",
+			i, b.Name, len(b.Data), n.Name, len(n.Data))
+	}
+	td := TensorDelta{Name: n.Name}
+	for j, v := range n.Data {
+		if math.Abs(v-b.Data[j]) > eps {
+			td.Indices = append(td.Indices, uint32(j))
+			td.Values = append(td.Values, v)
+		}
+	}
+	// A sparse entry costs 12 bytes/element vs 8 dense: switch when
+	// more than 2/3 of the tensor changed.
+	if len(td.Indices)*3 > len(n.Data)*2 {
+		td.Indices, td.Values = nil, nil
+		td.Dense = append([]float64(nil), n.Data...)
+	}
+	return td, nil
+}
+
 // ComputeDelta builds the incremental checkpoint that transforms base
 // into next, dropping element changes with |Δ| <= eps (eps = 0 keeps the
 // update exact). Tensors whose sparse form would exceed a dense copy are
@@ -62,25 +87,57 @@ func ComputeDelta(base, next nn.Snapshot, eps float64) (*DeltaCheckpoint, error)
 	}
 	out := &DeltaCheckpoint{Deltas: make([]TensorDelta, 0, len(base))}
 	for i := range base {
-		b, n := base[i], next[i]
-		if b.Name != n.Name || len(b.Data) != len(n.Data) {
-			return nil, fmt.Errorf("vformat: delta tensor %d mismatch: %q(%d) vs %q(%d)",
-				i, b.Name, len(b.Data), n.Name, len(n.Data))
-		}
-		td := TensorDelta{Name: n.Name}
-		for j, v := range n.Data {
-			if math.Abs(v-b.Data[j]) > eps {
-				td.Indices = append(td.Indices, uint32(j))
-				td.Values = append(td.Values, v)
-			}
-		}
-		// A sparse entry costs 12 bytes/element vs 8 dense: switch when
-		// more than 2/3 of the tensor changed.
-		if len(td.Indices)*3 > len(n.Data)*2 {
-			td.Indices, td.Values = nil, nil
-			td.Dense = append([]float64(nil), n.Data...)
+		td, err := tensorDelta(i, base[i], next[i], eps)
+		if err != nil {
+			return nil, err
 		}
 		out.Deltas = append(out.Deltas, td)
+	}
+	return out, nil
+}
+
+// ComputeDeltaParallel is ComputeDelta with the per-tensor comparison
+// fanned out over a bounded worker pool, so the incremental route shares
+// the chunk pipeline's parallelism budget. parallelism <= 0 selects
+// GOMAXPROCS; results are identical to ComputeDelta.
+func ComputeDeltaParallel(base, next nn.Snapshot, eps float64, parallelism int) (*DeltaCheckpoint, error) {
+	if len(base) != len(next) {
+		return nil, fmt.Errorf("vformat: delta base has %d tensors, next has %d", len(base), len(next))
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("vformat: negative delta threshold %v", eps)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(base) {
+		parallelism = len(base)
+	}
+	if parallelism <= 1 {
+		return ComputeDelta(base, next, eps)
+	}
+	out := &DeltaCheckpoint{Deltas: make([]TensorDelta, len(base))}
+	errs := make([]error, len(base))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out.Deltas[i], errs[i] = tensorDelta(i, base[i], next[i], eps)
+			}
+		}()
+	}
+	for i := range base {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,151 @@
+package viper
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"viper/internal/models"
+	"viper/internal/nn"
+)
+
+// optionsPair builds a producer through the functional-options API and
+// a consumer next to it.
+func optionsPair(t *testing.T, opts ...Option) (*Producer, *Consumer) {
+	t.Helper()
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(env, "nt3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prod, cons
+}
+
+// TestOptionsDefaultIsChunked: without options, NewProducer ships
+// checkpoints through the chunked pipeline.
+func TestOptionsDefaultIsChunked(t *testing.T) {
+	prod, cons := optionsPair(t)
+	sub := cons.Subscribe()
+	defer sub.Close()
+	m := models.NT3(rand.New(rand.NewSource(1)), 32)
+	rep, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vchunk" {
+		t.Fatalf("default format = %q, want vchunk", rep.Meta.Format)
+	}
+	if _, err := cons.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+	if cons.ActiveVersion() != 1 {
+		t.Fatalf("active version = %d", cons.ActiveVersion())
+	}
+}
+
+// TestOptionsChunkSizeZeroIsMonolithic: WithChunkSize(0) restores the
+// legacy monolithic wire format, as does the deprecated config shim's
+// zero value.
+func TestOptionsChunkSizeZeroIsMonolithic(t *testing.T) {
+	prod, cons := optionsPair(t, WithChunkSize(0))
+	sub := cons.Subscribe()
+	defer sub.Close()
+	m := models.NT3(rand.New(rand.NewSource(2)), 32)
+	rep, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vformat" {
+		t.Fatalf("format = %q, want vformat", rep.Meta.Format)
+	}
+	if _, err := cons.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionsCompose: the options land on the handler configuration
+// (incremental excludes precision by core's own validation, so that
+// pairing is covered separately).
+func TestOptionsCompose(t *testing.T) {
+	prod, cons := optionsPair(t,
+		WithStrategy(Strategy{Route: RouteHost, Mode: ModeSync}),
+		WithIncremental(1e-9, 3),
+		WithVirtualSize(1<<30),
+		WithFlushHistory(),
+		WithChunkSize(2<<10),
+		WithParallelism(2),
+	)
+	sub := cons.Subscribe()
+	defer sub.Close()
+	m := models.NT3(rand.New(rand.NewSource(3)), 32)
+	rep, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first incremental save is a full chunked refresh at the
+	// accounted virtual size.
+	if rep.Meta.Format != "vchunk" {
+		t.Fatalf("format = %q, want vchunk", rep.Meta.Format)
+	}
+	if want := int64(1 << 30); rep.Meta.Size != want {
+		t.Fatalf("accounted size = %d, want %d", rep.Meta.Size, want)
+	}
+	if _, err := cons.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+	// Second save rides the delta chain.
+	m.Params()[0].Value.Data()[0] += 1
+	rep2, err := prod.SaveWeights(nn.TakeSnapshot(m), 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Meta.Format != "vdelta" {
+		t.Fatalf("second format = %q, want vdelta", rep2.Meta.Format)
+	}
+}
+
+// TestOptionsPrecision: WithPrecision folds quantization into the chunk
+// encoding and shrinks the accounted size with the stride.
+func TestOptionsPrecision(t *testing.T) {
+	prod, cons := optionsPair(t,
+		WithPrecision(PrecFloat32),
+		WithVirtualSize(1<<30),
+		WithChunkSize(2<<10),
+	)
+	sub := cons.Subscribe()
+	defer sub.Close()
+	m := models.NT3(rand.New(rand.NewSource(5)), 32)
+	rep, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vchunk" {
+		t.Fatalf("format = %q, want vchunk", rep.Meta.Format)
+	}
+	if want := int64(1<<30) / 2; rep.Meta.Size != want {
+		t.Fatalf("accounted size = %d, want %d (float32 half)", rep.Meta.Size, want)
+	}
+	if _, err := cons.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveWeightsContextCancelled: the public context-aware save
+// surfaces cancellation and publishes nothing.
+func TestSaveWeightsContextCancelled(t *testing.T) {
+	prod, cons := optionsPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := models.NT3(rand.New(rand.NewSource(4)), 32)
+	if _, err := prod.SaveWeightsContext(ctx, nn.TakeSnapshot(m), 1, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SaveWeightsContext = %v, want context.Canceled", err)
+	}
+	if _, err := cons.LatestMeta(); err == nil {
+		t.Fatal("metadata published for a cancelled save")
+	}
+}

@@ -17,17 +17,21 @@
 //
 //	clock := viper.NewVirtualClock()
 //	env := viper.NewEnv(clock)
-//	prod, _ := viper.NewProducer(env, viper.ProducerConfig{
-//		Model:    "tc1",
-//		Strategy: viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync},
-//	})
+//	prod, _ := viper.NewProducer(env, "tc1",
+//		viper.WithStrategy(viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync}),
+//	)
 //	cons, _ := viper.NewConsumer(env, "tc1", nil)
 //	sub := cons.Subscribe()
 //	prod.SaveWeights(nn.TakeSnapshot(model), iter, loss)
 //	report, _ := cons.HandleNotification(<-sub.C)
+//
+// Producers built this way ship checkpoints through the chunked
+// pipeline (fixed-size chunks, per-chunk CRC, pooled buffers) by
+// default; WithChunkSize(0) restores the monolithic wire format.
 package viper
 
 import (
+	"context"
 	"time"
 
 	"viper/internal/core"
@@ -99,7 +103,13 @@ const (
 	PrecFloat16 = vformat.PrecFloat16
 )
 
-// ProducerConfig configures a Producer.
+// DefaultChunkSize is the chunk granularity NewProducer selects when
+// WithChunkSize is not given (vformat.DefaultChunkBytes).
+const DefaultChunkSize = vformat.DefaultChunkBytes
+
+// ProducerConfig configures a Producer built through the deprecated
+// NewProducerFromConfig shim. New code should use NewProducer with
+// functional options instead.
 type ProducerConfig struct {
 	// Model names the model (keys, channels).
 	Model string
@@ -121,6 +131,67 @@ type ProducerConfig struct {
 	DeltaEps float64
 	// FullEvery is the incremental full-refresh cadence (default 10).
 	FullEvery int
+	// ChunkSize, when positive, encodes checkpoints through the chunked
+	// pipeline in ChunkSize-byte chunks ("vchunk"); zero keeps the
+	// legacy monolithic formats. NewProducer defaults this to
+	// DefaultChunkSize; the zero-value config stays monolithic for
+	// backward compatibility.
+	ChunkSize int
+	// Parallelism bounds the chunk-encode/decode worker pool
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Option configures a Producer built by NewProducer.
+type Option func(*ProducerConfig)
+
+// WithStrategy selects the transfer route and mode (default GPU/async,
+// the paper's headline memory-first path).
+func WithStrategy(s Strategy) Option {
+	return func(c *ProducerConfig) { c.Strategy = s }
+}
+
+// WithPrecision selects the wire precision (default lossless float64).
+func WithPrecision(p Precision) Option {
+	return func(c *ProducerConfig) { c.Precision = p }
+}
+
+// WithIncremental enables Check-N-Run-style delta checkpoints: element
+// changes below eps are suppressed (0 = exact) and a self-contained
+// full refresh is forced every fullEvery versions (0 = the default
+// cadence).
+func WithIncremental(eps float64, fullEvery int) Option {
+	return func(c *ProducerConfig) {
+		c.Incremental = true
+		c.DeltaEps = eps
+		c.FullEvery = fullEvery
+	}
+}
+
+// WithVirtualSize makes transfer-time accounting charge for a
+// checkpoint of the given size in bytes instead of the real payload
+// (paper-scale simulations on small stand-in models).
+func WithVirtualSize(bytes int64) Option {
+	return func(c *ProducerConfig) { c.VirtualSize = bytes }
+}
+
+// WithFlushHistory enables background PFS flushes for fault tolerance
+// (and Consumer.RecoverFromPFS after crashes).
+func WithFlushHistory() Option {
+	return func(c *ProducerConfig) { c.FlushHistory = true }
+}
+
+// WithChunkSize sets the chunked pipeline's chunk granularity in bytes.
+// Zero disables chunking and restores the legacy monolithic wire
+// format; unset, NewProducer uses DefaultChunkSize.
+func WithChunkSize(bytes int) Option {
+	return func(c *ProducerConfig) { c.ChunkSize = bytes }
+}
+
+// WithParallelism bounds the chunk encode worker pool (default
+// GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(c *ProducerConfig) { c.Parallelism = n }
 }
 
 // Producer is the training-side runtime: it owns the weights handler and
@@ -129,8 +200,31 @@ type Producer struct {
 	handler *core.WeightsHandler
 }
 
-// NewProducer constructs a producer in the given environment.
-func NewProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
+// NewProducer constructs a producer for model in the given environment.
+// Without options it checkpoints over the GPU route in async mode,
+// lossless, through the chunked pipeline at DefaultChunkSize.
+func NewProducer(env *Env, model string, opts ...Option) (*Producer, error) {
+	cfg := ProducerConfig{
+		Model:     model,
+		Strategy:  Strategy{Route: RouteGPU, Mode: ModeAsync},
+		ChunkSize: DefaultChunkSize,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return newProducer(env, cfg)
+}
+
+// NewProducerFromConfig constructs a producer from a ProducerConfig.
+//
+// Deprecated: use NewProducer with functional options. This shim keeps
+// pre-options callers compiling; note its zero-value ChunkSize selects
+// the legacy monolithic wire format, unlike NewProducer.
+func NewProducerFromConfig(env *Env, cfg ProducerConfig) (*Producer, error) {
+	return newProducer(env, cfg)
+}
+
+func newProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
 	h, err := core.NewWeightsHandler(env, core.HandlerConfig{
 		Model:        cfg.Model,
 		Strategy:     cfg.Strategy,
@@ -140,6 +234,8 @@ func NewProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
 		Incremental:  cfg.Incremental,
 		DeltaEps:     cfg.DeltaEps,
 		FullEvery:    cfg.FullEvery,
+		ChunkSize:    cfg.ChunkSize,
+		Parallelism:  cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -151,6 +247,13 @@ func NewProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
 // its training loss — the paper's save_weights(model_name, weights).
 func (p *Producer) SaveWeights(snapshot Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
 	return p.handler.Save(snapshot, iteration, loss)
+}
+
+// SaveWeightsContext is SaveWeights bounded by a context: cancellation
+// aborts before publication and drains the chunk-encode workers, so a
+// cancelled save never announces a checkpoint.
+func (p *Producer) SaveWeightsContext(ctx context.Context, snapshot Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
+	return p.handler.SaveContext(ctx, snapshot, iteration, loss)
 }
 
 // Handler exposes the underlying weights handler (stats, version).

@@ -17,10 +17,9 @@ func TestPublicAPISaveLoadRoundTrip(t *testing.T) {
 	trainModel := models.NT3(rng, 32)
 	serving := models.NT3(rand.New(rand.NewSource(2)), 32)
 
-	prod, err := NewProducer(env, ProducerConfig{
-		Model:    "nt3",
-		Strategy: Strategy{Route: RouteGPU, Mode: ModeSync},
-	})
+	prod, err := NewProducer(env, "nt3",
+		WithStrategy(Strategy{Route: RouteGPU, Mode: ModeSync}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +134,8 @@ func TestTraceRecorderThroughFacade(t *testing.T) {
 	env.Trace = rec
 	rng := rand.New(rand.NewSource(50))
 	m := models.NT3(rng, 32)
-	prod, err := NewProducer(env, ProducerConfig{Model: "nt3", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
+	// Stays on the deprecated config shim as back-compat coverage.
+	prod, err := NewProducerFromConfig(env, ProducerConfig{Model: "nt3", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
 	if err != nil {
 		t.Fatal(err)
 	}
