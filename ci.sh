@@ -34,11 +34,12 @@ go test -race ./...
 echo "==> leakcheck packages (-race -count=1)"
 go test -race -count=1 \
     ./internal/transport/ ./internal/pubsub/ ./internal/remote/ \
-    ./internal/kvstore/ ./internal/coupled/
+    ./internal/kvstore/ ./internal/coupled/ ./internal/relay/
 
-echo "==> bench smoke (transport + pubsub + kvstore, 1x)"
+echo "==> bench smoke (transport + pubsub + kvstore + relay, 1x)"
 bench_out=$(go test -run '^$' -bench . -benchtime 1x \
-    ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/)
+    ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/ \
+    ./internal/relay/)
 echo "$bench_out"
 
 # Record the smoke pass as machine-readable evidence for this PR.
@@ -91,6 +92,53 @@ echo "wrote BENCH_4.json (16MiB: monolithic ${mono_ns}ns, chunked ${chunk_ns}ns)
 if ! awk "BEGIN { exit !($mono_ns >= $chunk_ns * 0.9) }"; then
     echo "ci.sh: chunked transfer regressed >10% vs monolithic on 16MiB" >&2
     echo "       (monolithic ${mono_ns}ns/op, chunked ${chunk_ns}ns/op)" >&2
+    exit 1
+fi
+
+# PR 5's gate: through the relay, producer-side publish cost must be
+# ~independent of the consumer count. Direct serial broadcast is the
+# baseline (it scales linearly and is expected to be far slower at 32);
+# the hard floor rejects relay-at-32 regressing >10% over relay-at-1 —
+# the encode-once/send-many flatness claim, on a 16 MiB model over real
+# TCP. 5 iterations for a stable signal on a loaded runner.
+echo "==> fan-out bench (direct vs relay at 1/8/32 consumers, 5x)"
+bench5_out=$(go test -run '^$' -bench 'BenchmarkFanOut' -benchtime 5x \
+    ./internal/relay/)
+echo "$bench5_out"
+
+direct1_ns=$(echo "$bench5_out" | awk '$1 ~ /FanOutDirect\/consumers=1(-|$)/ { print $3; exit }')
+direct32_ns=$(echo "$bench5_out" | awk '$1 ~ /FanOutDirect\/consumers=32(-|$)/ { print $3; exit }')
+relay1_ns=$(echo "$bench5_out" | awk '$1 ~ /FanOutRelay\/consumers=1(-|$)/ { print $3; exit }')
+relay32_ns=$(echo "$bench5_out" | awk '$1 ~ /FanOutRelay\/consumers=32(-|$)/ { print $3; exit }')
+if [ -z "$direct1_ns" ] || [ -z "$direct32_ns" ] || [ -z "$relay1_ns" ] || [ -z "$relay32_ns" ]; then
+    echo "ci.sh: missing fan-out benchmark results" >&2
+    exit 1
+fi
+
+{
+    echo "{"
+    echo "  \"benchmarks\": ["
+    echo "$bench5_out" | awk '
+        /^Benchmark/ && NF >= 4 {
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", $1, $2, $3
+        }
+        END { if (n) printf "\n" }
+    '
+    echo "  ],"
+    echo "  \"direct_1_ns\": $direct1_ns,"
+    echo "  \"direct_32_ns\": $direct32_ns,"
+    echo "  \"relay_1_ns\": $relay1_ns,"
+    echo "  \"relay_32_ns\": $relay32_ns,"
+    awk "BEGIN { printf \"  \\\"direct_scaling_32_over_1\\\": %.3f,\\n\", $direct32_ns / $direct1_ns }"
+    awk "BEGIN { printf \"  \\\"relay_scaling_32_over_1\\\": %.3f\\n\", $relay32_ns / $relay1_ns }"
+    echo "}"
+} > BENCH_5.json
+echo "wrote BENCH_5.json (relay@1 ${relay1_ns}ns, relay@32 ${relay32_ns}ns, direct@32 ${direct32_ns}ns)"
+
+if ! awk "BEGIN { exit !($relay32_ns <= $relay1_ns * 1.10) }"; then
+    echo "ci.sh: relay producer-side cost at 32 consumers regressed >10% vs 1 consumer" >&2
+    echo "       (relay@1 ${relay1_ns}ns/op, relay@32 ${relay32_ns}ns/op)" >&2
     exit 1
 fi
 

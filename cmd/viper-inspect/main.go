@@ -9,12 +9,18 @@
 //	viper-inspect checkpoint.bin         # summary
 //	viper-inspect -stats checkpoint.bin  # per-tensor statistics
 //	viper-inspect -json checkpoint.bin   # machine-readable dump
+//	viper-inspect -relay 127.0.0.1:7464  # live relay cache inventory
 //
 // With -json, output is one JSON object per line (the same NDJSON
 // convention as viper-vet -json): a "checkpoint" summary object first,
 // then one "tensor" object per tensor, and — for chunked v2 files — one
 // "chunk" object per chunk record describing the container layout
 // (offset, size, element span, CRC status).
+//
+// With -relay, instead of reading a file the tool queries a running
+// viper-relay node (its ingest address) and dumps the cached version
+// inventory: one line per (model, version) with chunk count, byte size,
+// and CRC status; with -json, one "relay-version" NDJSON object each.
 package main
 
 import (
@@ -26,15 +32,24 @@ import (
 	"os"
 
 	"viper/internal/h5lite"
+	"viper/internal/relay"
 	"viper/internal/vformat"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print per-tensor min/max/mean/std")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per line (summary, tensors, chunk layout)")
+	relayAddr := flag.String("relay", "", "dump a running relay's cached version inventory instead of reading a file (ingest address)")
 	flag.Parse()
+	if *relayAddr != "" {
+		if err := inspectRelay(*relayAddr, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] [-json] <checkpoint-file>")
+		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] [-json] <checkpoint-file> | viper-inspect -relay <addr> [-json]")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -148,6 +163,50 @@ func inspect(blob []byte, stats, jsonOut bool) error {
 		e.group(f.Root(), "")
 	default:
 		return fmt.Errorf("unknown magic %q", blob[:8])
+	}
+	return nil
+}
+
+// jsonRelayVersion is one cached-version NDJSON line of a -relay dump.
+type jsonRelayVersion struct {
+	Kind    string `json:"kind"` // "relay-version"
+	Model   string `json:"model"`
+	Version uint64 `json:"version"`
+	Key     string `json:"key"`
+	Chunks  int    `json:"chunks"`
+	Bytes   int64  `json:"bytes"`
+	CRCOK   bool   `json:"crc_ok"`
+}
+
+// inspectRelay queries a running relay node's cached version inventory
+// over its ingest protocol and renders it in the active mode.
+func inspectRelay(addr string, jsonOut bool) error {
+	inv, err := relay.FetchInventory(addr)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, v := range inv {
+			enc.Encode(jsonRelayVersion{
+				Kind: "relay-version", Model: v.Model, Version: v.Version,
+				Key: v.Key, Chunks: v.Chunks, Bytes: v.Bytes, CRCOK: v.CRCOK,
+			})
+		}
+		return nil
+	}
+	fmt.Printf("relay:     %s, cached versions: %d\n", addr, len(inv))
+	for _, v := range inv {
+		status := "ok"
+		if !v.CRCOK {
+			status = "CORRUPT"
+		}
+		chunks := fmt.Sprintf("%d chunks", v.Chunks)
+		if v.Chunks == 0 {
+			chunks = "monolithic"
+		}
+		fmt.Printf("  %s v%-6d %-14s %10d bytes  crc %s  (%s)\n",
+			v.Model, v.Version, chunks, v.Bytes, status, v.Key)
 	}
 	return nil
 }

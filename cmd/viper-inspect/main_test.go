@@ -4,8 +4,11 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"viper/internal/nn"
+	"viper/internal/relay"
+	"viper/internal/transport"
 	"viper/internal/vformat"
 )
 
@@ -51,5 +54,52 @@ func TestInspectCorruptChunkedRejected(t *testing.T) {
 func TestInspectTooShort(t *testing.T) {
 	if err := inspect([]byte("VPRC"), false, true); err == nil {
 		t.Fatal("inspect accepted a 4-byte file")
+	}
+}
+
+// TestInspectRelay pushes one chunked version into a live relay and
+// dumps its inventory in both output modes; an unreachable relay must
+// surface as an error.
+func TestInspectRelay(t *testing.T) {
+	r, err := relay.New(relay.Config{IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	link, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	rng := rand.New(rand.NewSource(2))
+	ckpt := &vformat.Checkpoint{
+		ModelName: "m", Version: 5,
+		Weights: nn.TakeSnapshot(nn.NewSequential("m", nn.NewDense("d", 4, 8, rng))),
+	}
+	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{ChunkBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Release()
+	tagged := transport.WithMeta(link, map[string]string{"model": "m", "version": "5"})
+	if err := transport.SendChunked(context.Background(), tagged, "m/v00000005", enc, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().CachedVersions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("relay never cached the pushed version")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for _, jsonOut := range []bool{false, true} {
+		if err := inspectRelay(r.IngestAddr(), jsonOut); err != nil {
+			t.Fatalf("inspectRelay(json=%v): %v", jsonOut, err)
+		}
+	}
+	if err := inspectRelay("127.0.0.1:1", false); err == nil {
+		t.Fatal("inspectRelay reached a dead address")
 	}
 }

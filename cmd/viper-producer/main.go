@@ -5,10 +5,17 @@
 // broker. Start viper-metasrv first, then this producer, then
 // viper-consumer.
 //
+// With -relay, instead of awaiting one consumer's direct link the
+// producer pushes each checkpoint once to a viper-relay node's ingest
+// address; the relay caches and fans the stream out to any number of
+// consumers (start viper-metasrv, then viper-relay, then this producer,
+// then consumers pointed at the relay's serve address).
+//
 // Usage:
 //
 //	viper-producer -meta 127.0.0.1:7461 -notify 127.0.0.1:7462 \
 //	    -listen 127.0.0.1:7463 -epochs 6 -warmup 2
+//	viper-producer -relay 127.0.0.1:7464   # fan out via viper-relay
 package main
 
 import (
@@ -30,6 +37,7 @@ func main() {
 	metaAddr := flag.String("meta", "127.0.0.1:7461", "metadata store address")
 	notifyAddr := flag.String("notify", "127.0.0.1:7462", "notification broker address")
 	listenAddr := flag.String("listen", "127.0.0.1:7463", "address to await the consumer link on")
+	relayAddr := flag.String("relay", "", "viper-relay ingest address; when set, push checkpoints to the relay instead of awaiting a consumer link")
 	epochs := flag.Int("epochs", 6, "total training epochs")
 	warmup := flag.Int("warmup", 2, "warm-up epochs before adaptive checkpointing")
 	seed := flag.Int64("seed", 1, "training seed")
@@ -37,13 +45,13 @@ func main() {
 		"chunk size in bytes for the streamed wire format (0 = legacy monolithic frames)")
 	flag.Parse()
 
-	if err := run(*metaAddr, *notifyAddr, *listenAddr, *epochs, *warmup, *seed, *chunk); err != nil {
+	if err := run(*metaAddr, *notifyAddr, *listenAddr, *relayAddr, *epochs, *warmup, *seed, *chunk); err != nil {
 		fmt.Fprintf(os.Stderr, "viper-producer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64, chunk int) error {
+func run(metaAddr, notifyAddr, listenAddr, relayAddr string, epochs, warmup int, seed int64, chunk int) error {
 	if epochs <= warmup {
 		return fmt.Errorf("epochs (%d) must exceed warmup (%d)", epochs, warmup)
 	}
@@ -57,12 +65,17 @@ func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64
 	net := models.TC1(rng, 32)
 	task := &train.ClassificationTask{Net: net, Data: data, Eval: data, Opt: nn.NewSGD(0.01, 0.5)}
 
-	fmt.Printf("viper-producer: awaiting consumer on %s ...\n", listenAddr)
+	if relayAddr != "" {
+		fmt.Printf("viper-producer: pushing checkpoints to relay %s\n", relayAddr)
+	} else {
+		fmt.Printf("viper-producer: awaiting consumer on %s ...\n", listenAddr)
+	}
 	prod, err := remote.NewProducer(remote.ProducerConfig{
 		Model:      "tc1",
 		MetaAddr:   metaAddr,
 		NotifyAddr: notifyAddr,
 		ListenAddr: listenAddr,
+		RelayAddr:  relayAddr,
 		OnListen:   func(a string) { fmt.Printf("viper-producer: link bound to %s\n", a) },
 		ChunkSize:  chunk,
 	})
@@ -70,7 +83,9 @@ func run(metaAddr, notifyAddr, listenAddr string, epochs, warmup int, seed int64
 		return err
 	}
 	defer prod.Close()
-	fmt.Println("viper-producer: consumer connected")
+	if relayAddr == "" {
+		fmt.Println("viper-producer: consumer connected")
+	}
 
 	// Warm-up: train and record losses, then derive the greedy threshold.
 	recorder := &train.LossRecorder{}

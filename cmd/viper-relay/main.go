@@ -1,0 +1,57 @@
+// Command viper-relay runs Viper's caching fan-out tier as a standalone
+// process: it accepts one producer's version pushes on the ingest port,
+// caches the encoded chunk frames per (model, version), and fans every
+// complete version out to any number of consumers connected on the
+// serve port — late joiners included, served straight from the cache.
+// Point a relay-mode viper-producer (-relay) at the ingest address and
+// any number of viper-consumer processes at the serve address.
+//
+// Usage:
+//
+//	viper-relay -meta 127.0.0.1:7461 -notify 127.0.0.1:7462 \
+//	    -ingest 127.0.0.1:7464 -serve 127.0.0.1:7465 -retain 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"viper/internal/relay"
+)
+
+func main() {
+	metaAddr := flag.String("meta", "127.0.0.1:7461", "metadata store address (empty disables relay metadata writes)")
+	notifyAddr := flag.String("notify", "127.0.0.1:7462", "notification broker address (empty disables relay republishing)")
+	ingestAddr := flag.String("ingest", "127.0.0.1:7464", "address to accept the producer's version pushes on")
+	serveAddr := flag.String("serve", "127.0.0.1:7465", "address to accept consumer links on")
+	retain := flag.Int("retain", relay.DefaultRetained, "cached versions kept per model (oldest evicted first)")
+	flag.Parse()
+
+	r, err := relay.New(relay.Config{
+		IngestAddr: *ingestAddr,
+		ServeAddr:  *serveAddr,
+		MetaAddr:   *metaAddr,
+		NotifyAddr: *notifyAddr,
+		Retained:   *retain,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viper-relay: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("viper-relay: ingest on %s, serving consumers on %s (retaining %d versions/model)\n",
+		r.IngestAddr(), r.ServeAddr(), *retain)
+	fmt.Println("viper-relay: press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("viper-relay: shutting down")
+	r.Close()
+	st := r.Stats()
+	fmt.Printf("viper-relay: cached %d versions, served %d fan-outs to %d sessions (%d superseded mid-stream)\n",
+		st.CachedVersions, st.ServedVersions, st.Sessions, st.AbandonedFanouts)
+}

@@ -54,6 +54,7 @@ var goLeakScope = map[string]bool{
 	"viper/internal/remote":    true,
 	"viper/internal/kvstore":   true,
 	"viper/internal/coupled":   true,
+	"viper/internal/relay":     true,
 }
 
 // shutdownChanName matches channel identifiers conventionally used as

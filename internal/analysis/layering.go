@@ -35,11 +35,12 @@ var mathLayer = map[string]bool{
 
 var deliveryLayer = map[string]bool{
 	"transport": true, "kvstore": true, "pubsub": true, "remote": true,
+	"relay": true,
 }
 
 // coreImporters are the only internal packages allowed to import core.
 var coreImporters = map[string]bool{
-	"coupled": true, "experiments": true, "remote": true,
+	"coupled": true, "experiments": true, "remote": true, "relay": true,
 }
 
 func runLayering(pass *Pass) {

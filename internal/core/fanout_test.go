@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	"viper/internal/nn"
 	"viper/internal/tensor"
+	"viper/internal/transport"
 )
 
 func TestMultiConsumerBroadcast(t *testing.T) {
@@ -229,5 +231,84 @@ func TestProducerResumeFrom(t *testing.T) {
 	}
 	if _, ok, err := pollViaMeta(cons); err != nil || !ok {
 		t.Fatalf("post-restart load: %v %v", ok, err)
+	}
+}
+
+// TestBroadcastSharesOnePayload pins the encode-once fix: after a Save
+// the frames sitting on the primary link and every extra link must
+// alias ONE payload backing array — the handler encodes the checkpoint
+// once and hands the same bytes to each link via SendShared, so
+// producer-side CPU/allocation is flat in the consumer count (only the
+// modelled wire time grows).
+func TestBroadcastSharesOnePayload(t *testing.T) {
+	env, _ := newTestEnv()
+	h, err := NewWeightsHandler(env, HandlerConfig{Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := env.AddConsumerLinks()
+	g2, _ := env.AddConsumerLinks()
+	if _, err := h.Save(nn.TakeSnapshot(testModel(260)), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	links := []*transport.Link{env.GPULink, g1, g2}
+	var first *byte
+	for i, l := range links {
+		f, ok := l.TryRecv()
+		if !ok {
+			t.Fatalf("link %d has no frame", i)
+		}
+		if len(f.Payload) == 0 {
+			t.Fatalf("link %d frame has empty payload", i)
+		}
+		if first == nil {
+			first = &f.Payload[0]
+		} else if &f.Payload[0] != first {
+			t.Fatalf("link %d received a copied payload; broadcast must share one encoding", i)
+		}
+	}
+}
+
+// BenchmarkBroadcastEncodeOnce measures the producer-side wall cost of
+// a Save as extra consumers are added. The virtual clock auto-advances,
+// so modelled wire time is free here and the measurement isolates real
+// CPU work: encode + per-link handoff. With SendShared the cost must
+// stay ~flat from 1 to 32 consumers; ci.sh's BENCH_5 gate checks the
+// relay-tier analogue of the same claim over real TCP.
+func BenchmarkBroadcastEncodeOnce(b *testing.B) {
+	for _, consumers := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			env, _ := newTestEnv()
+			h, err := NewWeightsHandler(env, HandlerConfig{Model: "m", Strategy: Strategy{Route: RouteGPU, Mode: ModeSync}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i < consumers; i++ {
+				env.AddConsumerLinks()
+			}
+			// ~2 MiB of weights: big enough that an accidental per-link
+			// deep copy would dominate the numbers.
+			rng := rand.New(rand.NewSource(270))
+			model := nn.NewSequential("m", nn.NewDense("d", 512, 512, rng))
+			snap := nn.TakeSnapshot(model)
+			drain := func() {
+				for _, l := range append([]*transport.Link{env.GPULink}, env.ExtraGPULinks...) {
+					for {
+						if _, ok := l.TryRecv(); !ok {
+							break
+						}
+					}
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := h.Save(snap, uint64(n+1), 0.5); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				drain()
+				b.StartTimer()
+			}
+		})
 	}
 }

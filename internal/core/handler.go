@@ -605,17 +605,23 @@ func (h *WeightsHandler) sendFrame(key string, payload []byte, size int64, locat
 		Meta:        map[string]string{"model": h.model},
 	}
 	// Broadcast: the primary consumer plus any extras, serialized on the
-	// producer's NIC (each send charges its own transfer time).
+	// producer's NIC (each send charges its own modelled transfer time).
+	// The checkpoint was encoded exactly once above; every link enqueues
+	// the same frame via the shared-send path, so the producer-side CPU
+	// cost (encode + copies) stays flat in the consumer count — only the
+	// modelled wire time grows. Sharing is safe because the payload's
+	// ownership transferred to the delivery tiers: nothing mutates it
+	// after this point, and consumers only read it.
 	for _, link := range links {
 		var err error
 		if h.incremental {
 			// Delta chains must arrive complete and in order: use
 			// ordered delivery (consumers are expected to keep up).
-			err = link.Send(frame)
+			err = link.SendShared(frame)
 		} else {
 			// Latest-wins semantics: if a consumer lags, superseded
 			// frames are evicted rather than stalling training.
-			err = link.SendLatest(frame)
+			err = link.SendLatestShared(frame)
 		}
 		if err != nil {
 			return fmt.Errorf("core: link send: %w", err)

@@ -23,6 +23,12 @@ const (
 	RouteHost Route = "host"
 	// RoutePFS stages the checkpoint through the parallel file system.
 	RoutePFS Route = "pfs"
+	// RouteRelay marks checkpoints delivered through a caching fan-out
+	// relay node (internal/relay): the producer pushed the encoded
+	// stream to the relay once, and consumers are served from the
+	// relay's chunk cache. It appears only in metadata Locations, never
+	// as a producer transfer Strategy.
+	RouteRelay Route = "relay"
 )
 
 // Mode selects blocking behaviour on the producer.
@@ -107,9 +113,21 @@ type ModelMeta struct {
 	// producer: consumers must consume frames strictly in order instead
 	// of draining to the newest.
 	Incremental bool `json:"incremental,omitempty"`
+	// Relay is the serve address of the relay node caching this version
+	// (Location == "relay" only; filled in by the relay itself, empty in
+	// the producer's optimistic pre-send copy).
+	Relay string `json:"relay,omitempty"`
 	// SavedAt is the clock time the save completed.
 	SavedAt time.Time `json:"saved_at"`
 }
+
+// RelayMetaTag is the frame-metadata key under which a relay-mode
+// producer attaches the encoded ModelMeta of the version it is pushing.
+// The relay decodes it when the version's stream completes, stamps its
+// own serve address into the Relay field, and republishes — so relay
+// metadata/notifications carry the producer's iteration and loss
+// without the relay ever decoding checkpoint payloads.
+const RelayMetaTag = "relay-meta"
 
 // MetaKey returns the KV key for a model's latest metadata.
 func MetaKey(model string) string { return "viper/meta/" + model }

@@ -1,0 +1,89 @@
+// fanout models the §6 multi-consumer question the relay tier answers:
+// how does the producer-side checkpoint cost and the per-consumer
+// delivery time scale with the consumer count, with and without a
+// caching relay node (internal/relay) between producer and consumers?
+//
+// Direct serial broadcast: the producer encodes once but pushes the
+// encoded stream over its own NIC once per consumer, so its publish
+// cost is Encode + N·Transfer and consumer i (0-based) waits behind i
+// earlier transfers. Through a relay the producer pushes exactly once —
+// Encode + Transfer, flat in N — and the per-consumer serialization
+// moves to the relay's NIC, off the training node's critical path.
+
+package coupled
+
+import (
+	"fmt"
+	"time"
+)
+
+// FanOutConfig describes one fan-out scaling sweep.
+type FanOutConfig struct {
+	// Encode is the producer-side cost of encoding one version.
+	Encode time.Duration
+	// Transfer is the wire time of one encoded copy on one NIC.
+	Transfer time.Duration
+	// Consumers lists the fan-out widths to evaluate (each must be >= 1).
+	Consumers []int
+}
+
+// Validate reports configuration errors.
+func (c FanOutConfig) Validate() error {
+	if c.Encode <= 0 || c.Transfer <= 0 {
+		return fmt.Errorf("coupled: Encode (%v) and Transfer (%v) must be positive", c.Encode, c.Transfer)
+	}
+	if len(c.Consumers) == 0 {
+		return fmt.Errorf("coupled: Consumers must list at least one width")
+	}
+	for _, n := range c.Consumers {
+		if n < 1 {
+			return fmt.Errorf("coupled: consumer width %d < 1", n)
+		}
+	}
+	return nil
+}
+
+// FanOutPoint is the modelled cost at one fan-out width.
+type FanOutPoint struct {
+	// Consumers is the fan-out width N.
+	Consumers int
+	// DirectProducer is the producer-side publish cost of the serial
+	// broadcast: Encode + N·Transfer, linear in N.
+	DirectProducer time.Duration
+	// DirectLastDelivery is when the last consumer holds the version
+	// under serial broadcast (same as DirectProducer: the producer's
+	// final transfer IS the last delivery).
+	DirectLastDelivery time.Duration
+	// RelayProducer is the producer-side publish cost through the relay:
+	// Encode + Transfer, independent of N.
+	RelayProducer time.Duration
+	// RelayLastDelivery is when the last consumer holds the version
+	// through the relay: the producer's single push plus N serialized
+	// transfers from the relay's NIC.
+	RelayLastDelivery time.Duration
+}
+
+// FanOutResult is one complete sweep.
+type FanOutResult struct {
+	Points []FanOutPoint
+}
+
+// RunFanOut evaluates the direct-vs-relay fan-out model at each
+// configured width.
+func RunFanOut(cfg FanOutConfig) (*FanOutResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &FanOutResult{Points: make([]FanOutPoint, 0, len(cfg.Consumers))}
+	for _, n := range cfg.Consumers {
+		direct := cfg.Encode + time.Duration(n)*cfg.Transfer
+		res.Points = append(res.Points, FanOutPoint{
+			Consumers:          n,
+			DirectProducer:     direct,
+			DirectLastDelivery: direct,
+			RelayProducer:      cfg.Encode + cfg.Transfer,
+			RelayLastDelivery:  cfg.Encode + cfg.Transfer + time.Duration(n)*cfg.Transfer,
+		})
+	}
+	return res, nil
+}

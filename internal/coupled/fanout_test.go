@@ -1,0 +1,57 @@
+package coupled
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunFanOutScaling(t *testing.T) {
+	res, err := RunFanOut(FanOutConfig{
+		Encode:    10 * time.Millisecond,
+		Transfer:  5 * time.Millisecond,
+		Consumers: []int{1, 8, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	p1, p32 := res.Points[0], res.Points[2]
+
+	// Producer-side: direct grows linearly, relay stays flat.
+	if p1.RelayProducer != p32.RelayProducer {
+		t.Fatalf("relay producer cost moved with consumer count: %v vs %v", p1.RelayProducer, p32.RelayProducer)
+	}
+	if p32.DirectProducer <= p1.DirectProducer {
+		t.Fatalf("direct producer cost did not grow: %v vs %v", p1.DirectProducer, p32.DirectProducer)
+	}
+	wantDirect32 := 10*time.Millisecond + 32*5*time.Millisecond
+	if p32.DirectProducer != wantDirect32 {
+		t.Fatalf("direct@32 = %v, want %v", p32.DirectProducer, wantDirect32)
+	}
+
+	// Last delivery: the relay pays one extra hop, so it loses at N=1...
+	if p1.RelayLastDelivery <= p1.DirectLastDelivery {
+		t.Fatalf("relay@1 should pay the extra hop: %v vs %v", p1.RelayLastDelivery, p1.DirectLastDelivery)
+	}
+	// ...but the training node's stall at N=32 is 31 transfers smaller.
+	saved := p32.DirectProducer - p32.RelayProducer
+	if saved != 31*5*time.Millisecond {
+		t.Fatalf("producer time reclaimed at 32 consumers = %v, want %v", saved, 31*5*time.Millisecond)
+	}
+}
+
+func TestFanOutConfigValidate(t *testing.T) {
+	bad := []FanOutConfig{
+		{Encode: 0, Transfer: time.Millisecond, Consumers: []int{1}},
+		{Encode: time.Millisecond, Transfer: 0, Consumers: []int{1}},
+		{Encode: time.Millisecond, Transfer: time.Millisecond},
+		{Encode: time.Millisecond, Transfer: time.Millisecond, Consumers: []int{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFanOut(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package relay
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viper/internal/nn"
+	"viper/internal/transport"
+	"viper/internal/vformat"
+)
+
+// benchSnapshot is a ~16 MiB single-tensor model state: 2M float64
+// elements, the scale ISSUE 5's fan-out claim is stated at.
+func benchSnapshot() nn.Snapshot {
+	data := make([]float64, 2<<20)
+	for i := range data {
+		data[i] = float64(i%977) * 0.001
+	}
+	return nn.Snapshot{{Name: "w", Shape: []int{2 << 20}, Data: data}}
+}
+
+// benchFrames encodes one chunked version into the frame sequence a
+// relay-mode producer puts on the wire. The frames alias the encoder's
+// pooled blob — callers must finish sending before enc.Release().
+func benchFrames(b *testing.B, version uint64, snap nn.Snapshot) (*vformat.ChunkEncoder, []transport.Frame) {
+	b.Helper()
+	ckpt := &vformat.Checkpoint{ModelName: "bench", Version: version, Weights: snap}
+	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{ChunkBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := fmt.Sprintf("bench/v%08d", version)
+	vtag := strconv.FormatUint(version, 10)
+	frames := make([]transport.Frame, 0, enc.NumChunks()+1)
+	frames = append(frames, transport.Frame{Key: key, Payload: enc.Header(), Meta: map[string]string{
+		"model": "bench", "version": vtag,
+		transport.MetaChunkRole:  transport.ChunkRoleHeader,
+		transport.MetaChunkCount: strconv.Itoa(enc.NumChunks()),
+	}})
+	err = enc.EncodeStream(context.Background(), func(idx int, rec []byte) error {
+		frames = append(frames, transport.Frame{Key: key, Payload: rec, Meta: map[string]string{
+			"model": "bench", "version": vtag,
+			transport.MetaChunkRole:  transport.ChunkRoleChunk,
+			transport.MetaChunkIndex: strconv.Itoa(idx),
+		}})
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc, frames
+}
+
+// drainConsumer reads raw bytes off conn into the void, counting them,
+// until the conn closes. The counter lets the benchmark wait (off the
+// timer) for full delivery without participating in framing.
+func drainConsumer(conn net.Conn, counter *int64) {
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := conn.Read(buf)
+		atomic.AddInt64(counter, int64(n))
+		if err != nil {
+			return
+		}
+	}
+}
+
+// waitDelivered blocks (off the benchmark timer) until every counter
+// has grown by at least want bytes since the before snapshot.
+func waitDelivered(b *testing.B, counters []*int64, before []int64, want int64) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for i, c := range counters {
+		for atomic.LoadInt64(c)-before[i] < want {
+			if time.Now().After(deadline) {
+				b.Fatalf("consumer %d received %d of %d bytes", i, atomic.LoadInt64(c)-before[i], want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkFanOutDirect measures the serial-broadcast baseline: the
+// producer encodes once but pushes the full frame sequence over its own
+// NIC once per consumer, so the timed producer-side cost grows linearly
+// in the consumer count.
+func BenchmarkFanOutDirect(b *testing.B) {
+	snap := benchSnapshot()
+	for _, consumers := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+
+			links := make([]*transport.TCPLink, consumers)
+			counters := make([]*int64, consumers)
+			accepted := make(chan *transport.TCPLink, consumers)
+			go func() {
+				for i := 0; i < consumers; i++ {
+					c, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					accepted <- transport.WrapTCP(c)
+				}
+			}()
+			for i := 0; i < consumers; i++ {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				counters[i] = new(int64)
+				go drainConsumer(conn, counters[i])
+				links[i] = <-accepted
+				defer links[i].Close()
+			}
+
+			before := make([]int64, consumers)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i, c := range counters {
+					before[i] = atomic.LoadInt64(c)
+				}
+				enc, frames := benchFrames(b, uint64(n+1), snap)
+				want := int64(enc.EncodedSize())
+				// Timed region: the producer's serial broadcast — every
+				// frame sent once per consumer from the producer's NIC.
+				for _, link := range links {
+					for _, f := range frames {
+						if err := link.Send(f); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				waitDelivered(b, counters, before, want)
+				enc.Release()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkFanOutRelay measures the relay path: the producer pushes the
+// frame sequence to the relay exactly once regardless of consumer
+// count; the relay's cache serves every consumer. The timed
+// producer-side cost must stay ~flat from 1 to 32 consumers — ci.sh
+// gates a >10% regression of relay-at-32 over relay-at-1.
+func BenchmarkFanOutRelay(b *testing.B) {
+	snap := benchSnapshot()
+	for _, consumers := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			r, err := New(Config{IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0", Retained: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+
+			counters := make([]*int64, consumers)
+			for i := 0; i < consumers; i++ {
+				conn, err := net.Dial("tcp", r.ServeAddr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				counters[i] = new(int64)
+				go drainConsumer(conn, counters[i])
+			}
+
+			up, err := transport.DialTCP(r.IngestAddr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer up.Close()
+
+			before := make([]int64, consumers)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i, c := range counters {
+					before[i] = atomic.LoadInt64(c)
+				}
+				enc, frames := benchFrames(b, uint64(n+1), snap)
+				want := int64(enc.EncodedSize())
+				// Timed region: the producer's single push to the relay.
+				for _, f := range frames {
+					if err := up.Send(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				waitDelivered(b, counters, before, want)
+				enc.Release()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,15 @@
+package relay
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: the relay spawns accept
+// loops, per-ingest handlers, and two goroutines per consumer session —
+// all of which must be gone after every test's Close.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,689 @@
+// Package relay implements Viper's caching fan-out tier: a standalone
+// node between one producer and N consumers that makes producer-side
+// publish cost independent of the consumer count (the paper's §6
+// multi-consumer broadcast, grown into a delivery layer of its own).
+//
+// The producer pushes each version's chunked v2 stream to the relay
+// exactly once (remote.ProducerConfig.RelayAddr); the relay caches the
+// already-encoded header+chunk frames verbatim per (model, version) —
+// it never decodes checkpoint payloads — and fans them out to every
+// connected consumer over the unchanged consumer wire protocol, so
+// remote.Consumer works against a relay serve address exactly as it
+// does against a producer's direct-link address. Each consumer session
+// has independent progress; a newly completed version supersedes an
+// in-flight fan-out of an older one (latest-wins, the consumer's torn-
+// stream machinery absorbs the cut); and late joiners are served the
+// newest complete version straight from the chunk cache, without any
+// producer involvement. A bounded number of versions is retained per
+// model (oldest evicted first).
+//
+// When a version's stream completes, the relay records relay-served
+// metadata in the KV store and republishes the model's update channel,
+// so notification flow and discovery work even if the producer dies
+// right after its push.
+package relay
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+
+	"viper/internal/core"
+	"viper/internal/kvstore"
+	"viper/internal/pubsub"
+	"viper/internal/retry"
+	"viper/internal/simclock"
+	"viper/internal/transport"
+	"viper/internal/vformat"
+)
+
+// DefaultRetained is the default number of cached versions per model.
+const DefaultRetained = 4
+
+// InventoryKey is the frame key of the inventory request/reply exchange
+// on the ingest address: a client sends an empty frame under this key
+// and receives one frame whose payload is the JSON-encoded []VersionInfo
+// (viper-inspect's -relay mode uses FetchInventory).
+const InventoryKey = "viper/relay/inventory"
+
+// Config configures a relay node.
+type Config struct {
+	// IngestAddr is where the producer dials to push version streams
+	// ("127.0.0.1:0" picks a free port; see Relay.IngestAddr).
+	IngestAddr string
+	// ServeAddr is where consumers dial their links ("127.0.0.1:0"
+	// picks a free port; see Relay.ServeAddr).
+	ServeAddr string
+	// MetaAddr is the kvstore server address; empty disables the
+	// relay's metadata writes.
+	MetaAddr string
+	// NotifyAddr is the pubsub server address; empty disables the
+	// relay's update republishing.
+	NotifyAddr string
+	// Retained bounds the cached versions per model (0 selects
+	// DefaultRetained). The oldest version is evicted first.
+	Retained int
+	// Retry bounds the metadata client's retries; its clock also stamps
+	// synthesized metadata. The zero value selects retry.Default over
+	// the wall clock.
+	Retry retry.Policy
+	// IngestWrap, if set, decorates each accepted ingest connection
+	// (fault injection hooks in here).
+	IngestWrap func(net.Conn) net.Conn
+	// ServeWrap, if set, decorates each accepted consumer connection.
+	ServeWrap func(net.Conn) net.Conn
+}
+
+// Stats counts relay activity.
+type Stats struct {
+	// IngestFrames counts frames received on the ingest side.
+	IngestFrames int64
+	// CachedVersions counts version streams that completed and entered
+	// the cache.
+	CachedVersions int64
+	// SupersededBuilds counts partial streams replaced by a newer
+	// stream's header before completing.
+	SupersededBuilds int64
+	// AbandonedBuilds counts partial streams dropped because their
+	// ingest connection died.
+	AbandonedBuilds int64
+	// CorruptChunks counts chunk records rejected by CRC verification
+	// (the whole pending version is dropped).
+	CorruptChunks int64
+	// StrayFrames counts frames that belonged to no pending stream.
+	StrayFrames int64
+	// Sessions counts consumer connections accepted.
+	Sessions int64
+	// ServedVersions counts complete version fan-outs to one consumer.
+	ServedVersions int64
+	// AbandonedFanouts counts fan-outs cut short because a newer
+	// version completed mid-stream (latest-wins).
+	AbandonedFanouts int64
+	// MetaErrors counts failed metadata writes / notifications.
+	MetaErrors int64
+}
+
+// version is one cached (model, version): the encoded frames exactly as
+// the producer sent them. Frames are immutable once the version is
+// committed; sessions borrow them read-only, and eviction simply drops
+// the reference (in-flight fan-outs keep theirs until done).
+type version struct {
+	model  string
+	vnum   uint64
+	key    string
+	frames []transport.Frame
+	chunks int
+	bytes  int64
+	crcOK  bool
+	meta   *core.ModelMeta
+}
+
+// modelCache holds one model's retained versions, ascending by vnum.
+type modelCache struct {
+	versions []*version
+}
+
+func (mc *modelCache) newest() *version {
+	if len(mc.versions) == 0 {
+		return nil
+	}
+	return mc.versions[len(mc.versions)-1]
+}
+
+// building is one in-progress stream assembly on an ingest connection.
+type building struct {
+	v    *version
+	want int
+}
+
+// Relay is a running relay node.
+type Relay struct {
+	retained int
+	kv       *kvstore.Client
+	ps       *pubsub.Client
+	clock    simclock.Clock
+
+	ingestLn *transport.Listener
+	serveLn  *transport.Listener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+
+	mu       sync.Mutex
+	models   map[string]*modelCache
+	ingests  map[*transport.TCPLink]struct{}
+	sessions map[*session]struct{}
+	wake     chan struct{}
+	stats    Stats
+}
+
+// policyClock extracts the retry policy's injected clock, falling back
+// to the wall clock (see viper-vet's simclockpurity analyzer).
+func policyClock(p retry.Policy) simclock.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return simclock.NewWall()
+}
+
+// New binds the ingest and serve listeners, connects to the metadata
+// and notification services (when configured), and starts serving.
+func New(cfg Config) (*Relay, error) {
+	retained := cfg.Retained
+	if retained <= 0 {
+		retained = DefaultRetained
+	}
+	pol := cfg.Retry
+	if pol.MaxAttempts == 0 {
+		pol = retry.Default(nil)
+	}
+	r := &Relay{
+		retained: retained,
+		clock:    policyClock(pol),
+		closed:   make(chan struct{}),
+		models:   make(map[string]*modelCache),
+		ingests:  make(map[*transport.TCPLink]struct{}),
+		sessions: make(map[*session]struct{}),
+		wake:     make(chan struct{}),
+	}
+	if cfg.MetaAddr != "" {
+		kv, err := kvstore.DialOptions(cfg.MetaAddr, kvstore.Options{Retry: pol})
+		if err != nil {
+			return nil, fmt.Errorf("relay: metadata: %w", err)
+		}
+		r.kv = kv
+	}
+	if cfg.NotifyAddr != "" {
+		ps, err := pubsub.DialClient(cfg.NotifyAddr)
+		if err != nil {
+			r.closeClients()
+			return nil, fmt.Errorf("relay: notify: %w", err)
+		}
+		r.ps = ps
+	}
+	ingestLn, err := transport.Listen(cfg.IngestAddr)
+	if err != nil {
+		r.closeClients()
+		return nil, fmt.Errorf("relay: ingest: %w", err)
+	}
+	ingestLn.Wrap = cfg.IngestWrap
+	serveLn, err := transport.Listen(cfg.ServeAddr)
+	if err != nil {
+		ingestLn.Close()
+		r.closeClients()
+		return nil, fmt.Errorf("relay: serve: %w", err)
+	}
+	serveLn.Wrap = cfg.ServeWrap
+	r.ingestLn, r.serveLn = ingestLn, serveLn
+	r.wg.Add(2)
+	go r.acceptIngest()
+	go r.acceptServe()
+	return r, nil
+}
+
+func (r *Relay) closeClients() {
+	if r.kv != nil {
+		r.kv.Close()
+	}
+	if r.ps != nil {
+		r.ps.Close()
+	}
+}
+
+// IngestAddr returns the bound producer-push address.
+func (r *Relay) IngestAddr() string { return r.ingestLn.Addr() }
+
+// ServeAddr returns the bound consumer-link address.
+func (r *Relay) ServeAddr() string { return r.serveLn.Addr() }
+
+// Stats returns a snapshot of the relay counters.
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Relay) bump(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// Close stops both listeners, tears down every connection, and waits
+// for all relay goroutines to exit.
+func (r *Relay) Close() {
+	r.once.Do(func() {
+		close(r.closed)
+		r.ingestLn.Close()
+		r.serveLn.Close()
+		r.mu.Lock()
+		links := make([]*transport.TCPLink, 0, len(r.ingests))
+		for l := range r.ingests {
+			links = append(links, l)
+		}
+		sess := make([]*session, 0, len(r.sessions))
+		for s := range r.sessions {
+			sess = append(sess, s)
+		}
+		r.mu.Unlock()
+		for _, l := range links {
+			l.Close()
+		}
+		for _, s := range sess {
+			s.close()
+		}
+	})
+	r.wg.Wait()
+	r.closeClients()
+}
+
+// acceptIngest accepts successive producer connections. The producer's
+// ReconnectLink redials after faults, so each accepted conn is one link
+// incarnation.
+func (r *Relay) acceptIngest() {
+	defer r.wg.Done()
+	for {
+		link, err := r.ingestLn.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		select {
+		case <-r.closed:
+			r.mu.Unlock()
+			link.Close()
+			return
+		default:
+		}
+		r.ingests[link] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.handleIngest(link)
+	}
+}
+
+// handleIngest drains one producer connection, assembling version
+// streams frame by frame and committing them to the cache as they
+// complete. Partial streams die with the connection (the producer's
+// staging fallback covers the loss).
+func (r *Relay) handleIngest(link *transport.TCPLink) {
+	defer r.wg.Done()
+	pending := make(map[string]*building)
+	defer func() {
+		link.Close()
+		r.mu.Lock()
+		delete(r.ingests, link)
+		r.stats.AbandonedBuilds += int64(len(pending))
+		r.mu.Unlock()
+	}()
+	for {
+		f, err := link.Recv()
+		if err != nil {
+			return
+		}
+		r.bump(func(s *Stats) { s.IngestFrames++ })
+		if f.Key == InventoryKey {
+			payload, err := json.Marshal(r.Inventory())
+			if err != nil || link.Send(transport.Frame{Key: InventoryKey, Payload: payload}) != nil {
+				return
+			}
+			continue
+		}
+		r.handleFrame(f, pending)
+	}
+}
+
+// handleFrame routes one ingest frame into the per-connection stream
+// assembly state.
+func (r *Relay) handleFrame(f transport.Frame, pending map[string]*building) {
+	model := f.Meta["model"]
+	if model == "" {
+		r.bump(func(s *Stats) { s.StrayFrames++ })
+		return
+	}
+	vnum, _ := strconv.ParseUint(f.Meta["version"], 10, 64)
+	switch {
+	case transport.IsChunkHeader(f):
+		want, err := strconv.Atoi(f.Meta[transport.MetaChunkCount])
+		if err != nil || want < 0 {
+			r.bump(func(s *Stats) { s.StrayFrames++ })
+			return
+		}
+		if old := pending[model]; old != nil {
+			r.bump(func(s *Stats) { s.SupersededBuilds++ })
+		}
+		v := &version{
+			model: model, vnum: vnum, key: f.Key,
+			frames: []transport.Frame{f},
+			chunks: want, bytes: int64(len(f.Payload)), crcOK: true,
+		}
+		if want == 0 {
+			delete(pending, model)
+			r.commit(v)
+			return
+		}
+		pending[model] = &building{v: v, want: want}
+	case transport.IsChunkFrame(f):
+		b := pending[model]
+		if b == nil || f.Key != b.v.key {
+			r.bump(func(s *Stats) { s.StrayFrames++ })
+			return
+		}
+		if !vformat.VerifyChunkRecord(f.Payload) {
+			// One corrupt chunk poisons the whole version: drop the
+			// build rather than cache (and fan out) a stream consumers
+			// would reject chunk-by-chunk.
+			delete(pending, model)
+			r.bump(func(s *Stats) { s.CorruptChunks++ })
+			return
+		}
+		b.v.frames = append(b.v.frames, f)
+		b.v.bytes += int64(len(f.Payload))
+		if len(b.v.frames) == b.want+1 {
+			delete(pending, model)
+			r.commit(b.v)
+		}
+	default:
+		// A monolithic (non-chunked) frame is a complete single-frame
+		// version; the frame-level CRC already vouched for it.
+		v := &version{
+			model: model, vnum: vnum, key: f.Key,
+			frames: []transport.Frame{f},
+			bytes:  int64(len(f.Payload)), crcOK: true,
+		}
+		r.commit(v)
+	}
+}
+
+// commit inserts a completed version into the cache, wakes every
+// consumer session, and — when the version is the model's newest —
+// records relay-served metadata and republishes the update channel.
+func (r *Relay) commit(v *version) {
+	v.meta = r.metaFor(v)
+	r.mu.Lock()
+	mc := r.models[v.model]
+	if mc == nil {
+		mc = &modelCache{}
+		r.models[v.model] = mc
+	}
+	// Insert sorted by version; a re-pushed version replaces its entry.
+	i := sort.Search(len(mc.versions), func(i int) bool { return mc.versions[i].vnum >= v.vnum })
+	if i < len(mc.versions) && mc.versions[i].vnum == v.vnum {
+		mc.versions[i] = v
+	} else {
+		mc.versions = append(mc.versions, nil)
+		copy(mc.versions[i+1:], mc.versions[i:])
+		mc.versions[i] = v
+	}
+	if len(mc.versions) > r.retained {
+		evict := len(mc.versions) - r.retained
+		mc.versions = append(mc.versions[:0:0], mc.versions[evict:]...)
+	}
+	newest := mc.newest() == v
+	r.stats.CachedVersions++
+	// Wake consumer sessions parked in next(): close-and-replace, so
+	// every session holding the old channel observes the commit.
+	close(r.wake)
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+	if newest {
+		r.announce(v)
+	}
+}
+
+// metaFor builds the metadata the relay records for v: the producer's
+// own metadata when the stream carried it (core.RelayMetaTag),
+// synthesized otherwise, with the location and serve address stamped in
+// either case.
+func (r *Relay) metaFor(v *version) *core.ModelMeta {
+	var meta *core.ModelMeta
+	if raw := v.frames[0].Meta[core.RelayMetaTag]; raw != "" {
+		if m, err := core.DecodeMeta(raw); err == nil {
+			meta = m
+		}
+	}
+	if meta == nil {
+		format := "vformat"
+		if v.chunks > 0 || transport.IsChunkHeader(v.frames[0]) {
+			format = "vchunk"
+		}
+		meta = &core.ModelMeta{
+			Name: v.model, Version: v.vnum, Path: v.key,
+			Size: v.bytes, Format: format, SavedAt: r.clock.Now(),
+		}
+	}
+	meta.Location = core.RouteRelay
+	meta.Relay = r.ServeAddr()
+	return meta
+}
+
+// announce writes v's metadata and republishes the update notification.
+// Failures are counted, not fatal: consumers still converge through the
+// producer's own notify/staging path.
+func (r *Relay) announce(v *version) {
+	encoded, err := v.meta.Encode()
+	if err != nil {
+		r.bump(func(s *Stats) { s.MetaErrors++ })
+		return
+	}
+	if r.kv != nil {
+		if err := r.kv.Set(core.MetaKey(v.model), encoded); err != nil {
+			r.bump(func(s *Stats) { s.MetaErrors++ })
+		}
+	}
+	if r.ps != nil {
+		if _, err := r.ps.Publish(core.UpdateChannel(v.model), encoded); err != nil {
+			r.bump(func(s *Stats) { s.MetaErrors++ })
+		}
+	}
+}
+
+// newestVnum returns the newest cached version number for model (0 if
+// none).
+func (r *Relay) newestVnum(model string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mc := r.models[model]; mc != nil {
+		if v := mc.newest(); v != nil {
+			return v.vnum
+		}
+	}
+	return 0
+}
+
+// next finds a model whose newest complete version is ahead of what the
+// session already fanned out, or parks the caller on the wake channel
+// current at lookup time (returned under the same lock acquisition, so
+// a commit between the lookup and the select cannot be missed).
+func (r *Relay) next(sent map[string]uint64) (*version, <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for model, mc := range r.models {
+		if v := mc.newest(); v != nil && v.vnum > sent[model] {
+			return v, nil
+		}
+	}
+	return nil, r.wake
+}
+
+// acceptServe accepts successive consumer connections.
+func (r *Relay) acceptServe() {
+	defer r.wg.Done()
+	for {
+		link, err := r.serveLn.Accept()
+		if err != nil {
+			return
+		}
+		s := &session{r: r, link: link, done: make(chan struct{})}
+		r.mu.Lock()
+		select {
+		case <-r.closed:
+			r.mu.Unlock()
+			link.Close()
+			return
+		default:
+		}
+		r.sessions[s] = struct{}{}
+		r.stats.Sessions++
+		r.mu.Unlock()
+		r.wg.Add(2)
+		go s.run()
+		go s.watch()
+	}
+}
+
+// session is one connected consumer: a writer goroutine fanning cached
+// versions out (run) and a reader goroutine detecting disconnects
+// (watch). Progress is per-session, so a slow consumer never stalls the
+// others or the producer.
+type session struct {
+	r    *Relay
+	link *transport.TCPLink
+	done chan struct{}
+	once sync.Once
+}
+
+// close tears the session down (idempotent; called by either goroutine
+// and by Relay.Close).
+func (s *session) close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.link.Close()
+		s.r.mu.Lock()
+		delete(s.r.sessions, s)
+		s.r.mu.Unlock()
+	})
+}
+
+// watch drains the consumer side of the link. Consumers never send
+// frames; a Recv return means the peer disconnected (or the relay is
+// closing), which must cancel the writer promptly.
+func (s *session) watch() {
+	defer s.r.wg.Done()
+	defer s.close()
+	for {
+		if _, err := s.link.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// run is the session's writer loop: catch the consumer up on the newest
+// complete version of every model (straight from the cache — no
+// producer involvement), then follow new commits as they land.
+func (s *session) run() {
+	defer s.r.wg.Done()
+	defer s.close()
+	sent := make(map[string]uint64)
+	for {
+		v, wake := s.r.next(sent)
+		if v == nil {
+			select {
+			case <-wake:
+			case <-s.done:
+				return
+			case <-s.r.closed:
+				return
+			}
+			continue
+		}
+		if !s.send(v) {
+			return
+		}
+		sent[v.model] = v.vnum
+	}
+}
+
+// send fans one cached version out to the consumer. A newer complete
+// version superseding v mid-stream aborts the fan-out (latest-wins);
+// the consumer's torn-stream handling copes with the cut, and the outer
+// loop immediately starts on the newer version. Returns false when the
+// connection is gone.
+func (s *session) send(v *version) bool {
+	for i, f := range v.frames {
+		if i > 0 && s.r.newestVnum(v.model) > v.vnum {
+			s.r.bump(func(st *Stats) { st.AbandonedFanouts++ })
+			return true
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-s.r.closed:
+			return false
+		default:
+		}
+		if s.link.Send(f) != nil {
+			return false
+		}
+	}
+	s.r.bump(func(st *Stats) { st.ServedVersions++ })
+	return true
+}
+
+// VersionInfo is one cached version's inventory entry.
+type VersionInfo struct {
+	// Model is the model name.
+	Model string `json:"model"`
+	// Version is the checkpoint version.
+	Version uint64 `json:"version"`
+	// Key is the frame key the version travels under.
+	Key string `json:"key"`
+	// Chunks is the chunk-frame count (0 for a monolithic version).
+	Chunks int `json:"chunks"`
+	// Bytes is the cached payload size across all frames.
+	Bytes int64 `json:"bytes"`
+	// CRCOK reports whether every chunk record passed CRC verification
+	// at ingest.
+	CRCOK bool `json:"crc_ok"`
+}
+
+// Inventory snapshots the cache, sorted by model then version.
+func (r *Relay) Inventory() []VersionInfo {
+	r.mu.Lock()
+	inv := make([]VersionInfo, 0, 8)
+	for _, mc := range r.models {
+		for _, v := range mc.versions {
+			inv = append(inv, VersionInfo{
+				Model: v.model, Version: v.vnum, Key: v.key,
+				Chunks: v.chunks, Bytes: v.bytes, CRCOK: v.crcOK,
+			})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(inv, func(i, j int) bool {
+		if inv[i].Model != inv[j].Model {
+			return inv[i].Model < inv[j].Model
+		}
+		return inv[i].Version < inv[j].Version
+	})
+	return inv
+}
+
+// FetchInventory dials a relay's ingest address and retrieves its
+// cached version inventory.
+func FetchInventory(addr string) ([]VersionInfo, error) {
+	link, err := transport.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer link.Close()
+	if err := link.Send(transport.Frame{Key: InventoryKey}); err != nil {
+		return nil, fmt.Errorf("relay: inventory request: %w", err)
+	}
+	f, err := link.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("relay: inventory reply: %w", err)
+	}
+	if f.Key != InventoryKey {
+		return nil, fmt.Errorf("relay: unexpected inventory reply key %q", f.Key)
+	}
+	var inv []VersionInfo
+	if err := json.Unmarshal(f.Payload, &inv); err != nil {
+		return nil, fmt.Errorf("relay: inventory payload: %w", err)
+	}
+	return inv, nil
+}

@@ -51,11 +51,25 @@ type ProducerConfig struct {
 	// NotifyAddr is the pubsub server address.
 	NotifyAddr string
 	// ListenAddr is where to await the consumer's direct link (use
-	// "127.0.0.1:0" to pick a free port).
+	// "127.0.0.1:0" to pick a free port). Ignored when RelayAddr is set.
 	ListenAddr string
 	// OnListen, if set, receives the bound link address before the
 	// producer blocks waiting for the consumer.
 	OnListen func(addr string)
+	// RelayAddr selects relay target mode: instead of listening for one
+	// consumer's direct link, the producer dials the relay node's ingest
+	// address (internal/relay) and pushes each version's stream there
+	// exactly once; the relay caches the encoded frames and fans them
+	// out to every connected consumer (encode-once/send-many),
+	// recording relay-served metadata and republishing the update
+	// notification when a version is fully cached. The producer's own
+	// staging copy, metadata write, and notification are unchanged, so
+	// delivery degrades exactly like the direct path when the relay is
+	// unreachable (consumers backfill from KV staging).
+	RelayAddr string
+	// RelayDial, if set, replaces the relay-link dial (fault injection
+	// hooks in here). Only meaningful with RelayAddr.
+	RelayDial func(addr string) (net.Conn, error)
 	// Retry bounds reconnect/resend attempts on the networked paths.
 	// The zero value selects retry.Default over the wall clock.
 	Retry retry.Policy
@@ -94,11 +108,12 @@ type Producer struct {
 	model     string
 	kv        *kvstore.Client
 	ps        *pubsub.Client
-	ln        *transport.Listener
+	ln        *transport.Listener // nil in relay target mode
 	link      *transport.ReconnectLink
 	policy    retry.Policy
 	clock     simclock.Clock
 	stage     bool
+	relay     bool
 	chunkSize int
 	workers   int
 
@@ -149,44 +164,48 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 		kv.Close()
 		return nil, fmt.Errorf("remote: notify: %w", err)
 	}
-	ln, err := transport.Listen(cfg.ListenAddr)
-	if err != nil {
-		kv.Close()
-		ps.Close()
-		return nil, fmt.Errorf("remote: link: %w", err)
+	var ln *transport.Listener
+	var link *transport.ReconnectLink
+	if cfg.RelayAddr != "" {
+		// Relay target mode: dial the relay's ingest address (the
+		// link direction inverts — the producer is the client).
+		dial := cfg.RelayDial
+		if dial == nil {
+			dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
+		link = transport.NewReconnectLink(func() (*transport.TCPLink, error) {
+			conn, err := dial(cfg.RelayAddr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.WrapTCP(conn), nil
+		}, pol)
+	} else {
+		ln, err = transport.Listen(cfg.ListenAddr)
+		if err != nil {
+			kv.Close()
+			ps.Close()
+			return nil, fmt.Errorf("remote: link: %w", err)
+		}
+		ln.Wrap = cfg.LinkWrap
+		if cfg.OnListen != nil {
+			cfg.OnListen(ln.Addr())
+		}
+		link = transport.NewReconnectLink(ln.Accept, pol)
 	}
-	ln.Wrap = cfg.LinkWrap
-	if cfg.OnListen != nil {
-		cfg.OnListen(ln.Addr())
-	}
-	link := transport.NewReconnectLink(ln.Accept, pol)
 	if err := link.Connect(); err != nil {
 		kv.Close()
 		ps.Close()
-		ln.Close()
+		if ln != nil {
+			ln.Close()
+		}
 		return nil, fmt.Errorf("remote: link: %w", err)
 	}
 	return &Producer{
 		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
 		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
-		chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
+		relay: cfg.RelayAddr != "", chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
 	}, nil
-}
-
-// linkMeta decorates every frame sent through a Conn with fixed
-// metadata: chunk-stream frames gain the same model/version tags as
-// monolithic frames, so the consumer can order, stash, and discard them
-// uniformly.
-type linkMeta struct {
-	transport.Conn
-	extra map[string]string
-}
-
-func (l linkMeta) Send(f transport.Frame) error {
-	for k, v := range l.extra {
-		f.Meta[k] = v
-	}
-	return l.Conn.Send(f)
 }
 
 // Publish serializes and ships a checkpoint: frame(s) over the direct
@@ -226,8 +245,33 @@ func (p *Producer) PublishContext(ctx context.Context, snapshot nn.Snapshot, ite
 	if err != nil {
 		return nil, err
 	}
+	p.attachRelayMeta(tags, ckpt, key, int64(len(payload)), "vformat")
 	sendErr := p.link.Send(transport.Frame{Key: key, Payload: payload, Meta: tags})
 	return p.finishPublish(ctx, ckpt, key, payload, "vformat", sendErr)
+}
+
+// attachRelayMeta adds the encoded checkpoint metadata to a relay-mode
+// stream's frame tags (core.RelayMetaTag), so the relay can record and
+// republish full metadata — iteration, loss, size — without decoding
+// payloads. The relay stamps its own serve address in before writing.
+func (p *Producer) attachRelayMeta(tags map[string]string, ckpt *vformat.Checkpoint, key string, size int64, format string) {
+	if !p.relay {
+		return
+	}
+	meta := core.ModelMeta{
+		Name:      p.model,
+		Version:   ckpt.Version,
+		Iteration: ckpt.Iteration,
+		TrainLoss: ckpt.TrainLoss,
+		Location:  core.RouteRelay,
+		Path:      key,
+		Size:      size,
+		Format:    format,
+		SavedAt:   p.clock.Now(),
+	}
+	if encoded, err := meta.Encode(); err == nil {
+		tags[core.RelayMetaTag] = encoded
+	}
 }
 
 // publishChunked streams ckpt over the direct link through the chunked
@@ -243,7 +287,8 @@ func (p *Producer) publishChunked(ctx context.Context, ckpt *vformat.Checkpoint,
 		return nil, err
 	}
 	defer enc.Release()
-	sendErr := transport.SendChunked(ctx, linkMeta{Conn: p.link, extra: tags}, key, enc, 0)
+	p.attachRelayMeta(tags, ckpt, key, int64(enc.EncodedSize()), "vchunk")
+	sendErr := transport.SendChunked(ctx, transport.WithMeta(p.link, tags), key, enc, 0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -274,6 +319,9 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 	}
 	p.mu.Unlock()
 	location := core.RouteHost
+	if p.relay {
+		location = core.RouteRelay
+	}
 	if sendErr != nil {
 		// Degrade to the staging path, as the in-process engine falls
 		// back from memory tiers to the PFS.
@@ -340,7 +388,9 @@ func (p *Producer) Stats() ProducerStats {
 
 // Close tears down all connections.
 func (p *Producer) Close() {
-	p.ln.Close()
+	if p.ln != nil {
+		p.ln.Close()
+	}
 	p.link.Close()
 	p.ps.Close()
 	p.kv.Close()

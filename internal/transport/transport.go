@@ -132,17 +132,9 @@ func (l *Link) Spec() LinkSpec { return l.spec }
 // TransferTime reports the modelled duration for size bytes.
 func (l *Link) TransferTime(size int64) time.Duration { return l.spec.Model.Time(size) }
 
-// Send implements Conn: it sleeps for the modelled transfer time, then
-// enqueues a deep copy of the frame.
-func (l *Link) Send(f Frame) error {
-	select {
-	case <-l.closed:
-		return ErrClosed
-	default:
-	}
-	size := f.accountedSize()
-	cost := l.spec.Model.Time(size)
-	l.clock.Sleep(cost)
+// cloneFrame deep-copies a frame's payload and metadata, isolating the
+// enqueued frame from later mutation by the sender.
+func cloneFrame(f Frame) Frame {
 	cp := Frame{Key: f.Key, VirtualSize: f.VirtualSize, Payload: make([]byte, len(f.Payload))}
 	copy(cp.Payload, f.Payload)
 	if f.Meta != nil {
@@ -151,8 +143,37 @@ func (l *Link) Send(f Frame) error {
 			cp.Meta[k] = v
 		}
 	}
+	return cp
+}
+
+// Send implements Conn: it sleeps for the modelled transfer time, then
+// enqueues a deep copy of the frame.
+func (l *Link) Send(f Frame) error {
+	return l.send(cloneFrame(f))
+}
+
+// SendShared is Send without the defensive deep copy: the enqueued
+// frame aliases f's payload and metadata, so the caller must not mutate
+// either after the call. It exists for the broadcast path — encoding a
+// checkpoint once and fanning the same frame out to every consumer link
+// costs one encode regardless of link count, where per-link Send would
+// deep-copy (and so re-touch) the full payload per consumer.
+func (l *Link) SendShared(f Frame) error {
+	return l.send(f)
+}
+
+// send charges the modelled transfer time and enqueues f as given.
+func (l *Link) send(f Frame) error {
 	select {
-	case l.queue <- cp:
+	case <-l.closed:
+		return ErrClosed
+	default:
+	}
+	size := f.accountedSize()
+	cost := l.spec.Model.Time(size)
+	l.clock.Sleep(cost)
+	select {
+	case l.queue <- f:
 	case <-l.closed:
 		return ErrClosed
 	}
@@ -186,22 +207,26 @@ func (l *Link) Recv() (Frame, error) {
 // a slow consumer observes a skip in versions rather than stalling the
 // producer (mirroring the paper's "only buffer the latest model" policy).
 func (l *Link) SendLatest(f Frame) error {
+	return l.sendLatest(cloneFrame(f))
+}
+
+// SendLatestShared is SendLatest without the defensive deep copy; the
+// same aliasing contract as SendShared applies.
+func (l *Link) SendLatestShared(f Frame) error {
+	return l.sendLatest(f)
+}
+
+// sendLatest charges the modelled transfer time and enqueues f as
+// given, evicting the oldest pending frame instead of blocking.
+func (l *Link) sendLatest(cp Frame) error {
 	select {
 	case <-l.closed:
 		return ErrClosed
 	default:
 	}
-	size := f.accountedSize()
+	size := cp.accountedSize()
 	cost := l.spec.Model.Time(size)
 	l.clock.Sleep(cost)
-	cp := Frame{Key: f.Key, VirtualSize: f.VirtualSize, Payload: make([]byte, len(f.Payload))}
-	copy(cp.Payload, f.Payload)
-	if f.Meta != nil {
-		cp.Meta = make(map[string]string, len(f.Meta))
-		for k, v := range f.Meta {
-			cp.Meta[k] = v
-		}
-	}
 	for {
 		// Fast path: room available (or just freed by a consumer).
 		select {
@@ -472,6 +497,30 @@ func (t *TCPLink) Recv() (Frame, error) {
 
 // Close implements Conn.
 func (t *TCPLink) Close() error { return t.conn.Close() }
+
+// WithMeta decorates a Conn so every frame sent through it carries the
+// given fixed metadata entries in addition to its own: chunk-stream
+// frames gain the same model/version tags as monolithic frames, so
+// receivers can order, stash, and discard them uniformly. The extra map
+// must not be mutated after the call.
+func WithMeta(c Conn, extra map[string]string) Conn {
+	return metaConn{Conn: c, extra: extra}
+}
+
+type metaConn struct {
+	Conn
+	extra map[string]string
+}
+
+func (m metaConn) Send(f Frame) error {
+	if f.Meta == nil {
+		f.Meta = make(map[string]string, len(m.extra))
+	}
+	for k, v := range m.extra {
+		f.Meta[k] = v
+	}
+	return m.Conn.Send(f)
+}
 
 // Broadcast sends one frame over several connections (the documented
 // extension point toward the paper's future multi-consumer topology).

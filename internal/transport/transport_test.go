@@ -271,3 +271,82 @@ func TestPropTCPRoundTripArbitraryPayload(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSendSharedAliasesPayload pins the encode-once/send-many contract:
+// SendShared must put the caller's exact payload backing array on every
+// link (zero copies — what core's broadcast loop relies on), while the
+// plain Send keeps its defensive deep copy.
+func TestSendSharedAliasesPayload(t *testing.T) {
+	clock := simclock.NewVirtual()
+	a := NewLink(GPUDirectSpec, clock, 4)
+	b := NewLink(GPUDirectSpec, clock, 4)
+	payload := []byte{1, 2, 3, 4}
+	f := Frame{Key: "k", Payload: payload, Meta: map[string]string{"model": "m"}}
+
+	if err := a.SendShared(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SendShared(f); err != nil {
+		t.Fatal(err)
+	}
+	ga, ok := a.TryRecv()
+	if !ok {
+		t.Fatal("no frame on link a")
+	}
+	gb, ok := b.TryRecv()
+	if !ok {
+		t.Fatal("no frame on link b")
+	}
+	if &ga.Payload[0] != &payload[0] || &gb.Payload[0] != &payload[0] {
+		t.Fatal("SendShared copied the payload; both links must alias the caller's array")
+	}
+
+	if err := a.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	gc, ok := a.TryRecv()
+	if !ok {
+		t.Fatal("no frame after Send")
+	}
+	if &gc.Payload[0] == &payload[0] {
+		t.Fatal("Send must deep-copy the payload (callers may mutate after it returns)")
+	}
+}
+
+// TestSendLatestSharedAliasesPayload covers the latest-wins variant the
+// broadcast loop uses for RouteRelay/latest-mode consumers.
+func TestSendLatestSharedAliasesPayload(t *testing.T) {
+	l := NewLink(GPUDirectSpec, simclock.NewVirtual(), 4)
+	payload := []byte{9, 8, 7}
+	if err := l.SendLatestShared(Frame{Key: "k", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := l.TryRecv()
+	if !ok {
+		t.Fatal("no frame")
+	}
+	if &g.Payload[0] != &payload[0] {
+		t.Fatal("SendLatestShared copied the payload")
+	}
+}
+
+// TestWithMetaStampsEveryFrame checks the decorator relay-mode
+// producers use to tag model/version onto each outgoing frame.
+func TestWithMetaStampsEveryFrame(t *testing.T) {
+	l := NewLink(GPUDirectSpec, simclock.NewVirtual(), 4)
+	c := WithMeta(l, map[string]string{"model": "m", "version": "3"})
+	if err := c.Send(Frame{Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(Frame{Key: "b", Meta: map[string]string{"x": "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := l.TryRecv()
+	f2, _ := l.TryRecv()
+	if f1.Meta["model"] != "m" || f1.Meta["version"] != "3" {
+		t.Fatalf("frame 1 missing stamped meta: %v", f1.Meta)
+	}
+	if f2.Meta["model"] != "m" || f2.Meta["x"] != "y" {
+		t.Fatalf("frame 2 lost stamped or original meta: %v", f2.Meta)
+	}
+}

@@ -897,3 +897,16 @@ func ChunkRecords(blob []byte) (*ChunkLayout, *Checkpoint, []ChunkRecordInfo, er
 	}
 	return layout, ckpt, recs, nil
 }
+
+// VerifyChunkRecord reports whether rec is a well-framed chunk record
+// with a matching trailing CRC32. It checks only record integrity, not
+// membership in any particular stream — callers that cache or forward
+// records without assembling them (e.g. the fan-out relay) use it to
+// reject corrupt chunks without decoding payloads.
+func VerifyChunkRecord(rec []byte) bool {
+	if len(rec) < chunkRecOverhead || string(rec[:4]) != chunkRecMagic {
+		return false
+	}
+	body := len(rec) - 4
+	return binary.LittleEndian.Uint32(rec[body:]) == crc32.ChecksumIEEE(rec[:body])
+}
