@@ -7,33 +7,45 @@
 //	viper-bench -exp fig8         # one experiment
 //	viper-bench -exp fig10 -quick # reduced inference counts / epochs
 //
-// Experiments: fig5, fig6, fig8, fig9, fig10, table1, all.
+// Experiments: fig5, fig6, fig8, fig9, fig10, table1, ablations,
+// slowconsumer, all.
+//
+// The slowconsumer experiment compares the blind drop-oldest shedding
+// baseline against credit-based flow control with whole-group shedding
+// on a mixed fast/slow consumer fleet; with -json it emits the
+// machine-readable comparison ci.sh records as BENCH_6.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"viper/internal/coupled"
 	"viper/internal/experiments"
 )
 
+var jsonOut *bool
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|all")
+	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|slowconsumer|all")
 	quick := flag.Bool("quick", false, "run reduced-scale configurations")
+	jsonOut = flag.Bool("json", false, "emit machine-readable JSON (slowconsumer only)")
 	flag.Parse()
 
 	runners := map[string]func(bool) error{
-		"fig5":      runFig5,
-		"fig6":      runFig6,
-		"fig8":      runFig8,
-		"fig9":      runFig9,
-		"fig10":     runFig10,
-		"table1":    runTable1,
-		"ablations": runAblations,
+		"fig5":         runFig5,
+		"fig6":         runFig6,
+		"fig8":         runFig8,
+		"fig9":         runFig9,
+		"fig10":        runFig10,
+		"table1":       runTable1,
+		"ablations":    runAblations,
+		"slowconsumer": runSlowConsumer,
 	}
-	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations"}
+	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations", "slowconsumer"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -41,7 +53,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "viper-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		// With -json, stdout is the machine-readable document; keep the
+		// human timing banner off it.
+		banner := os.Stdout
+		if *jsonOut {
+			banner = os.Stderr
+		}
+		fmt.Fprintf(banner, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
@@ -169,5 +187,64 @@ func runAblations(quick bool) error {
 		return err
 	}
 	fmt.Println(fanout.Format())
+	return nil
+}
+
+// bench6 is the machine-readable slowconsumer comparison (BENCH_6.json).
+// The flat gate fields at the end are what ci.sh extracts: credits must
+// tear nothing, converge every consumer, and leave the fast consumer's
+// tail latency no worse than the drop-oldest baseline's.
+type bench6 struct {
+	Results          []*coupled.SlowConsumerResult `json:"results"`
+	CreditTornTotal  int                           `json:"credit_torn_total"`
+	CreditConverged  bool                          `json:"credit_converged"`
+	BaselineSlowTorn int                           `json:"baseline_slow_torn"`
+	BaselineFastP99  int64                         `json:"baseline_fast_p99_ns"`
+	CreditFastP99    int64                         `json:"credit_fast_p99_ns"`
+}
+
+func runSlowConsumer(quick bool) error {
+	cfg := coupled.DefaultSlowConsumerConfig()
+	if quick {
+		cfg.Versions = 16
+	}
+	baseline, err := coupled.RunSlowConsumer(cfg, coupled.PolicyDropOldest)
+	if err != nil {
+		return err
+	}
+	credit, err := coupled.RunSlowConsumer(cfg, coupled.PolicyCreditGroup)
+	if err != nil {
+		return err
+	}
+	out := bench6{
+		Results:          []*coupled.SlowConsumerResult{baseline, credit},
+		CreditConverged:  true,
+		BaselineSlowTorn: baseline.Outcome("slow").TornStreams,
+		BaselineFastP99:  int64(baseline.Outcome("fast").P99),
+		CreditFastP99:    int64(credit.Outcome("fast").P99),
+	}
+	for _, o := range credit.Outcomes {
+		out.CreditTornTotal += o.TornStreams
+		if o.FinalVersion != cfg.Versions {
+			out.CreditConverged = false
+		}
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Printf("slow-consumer fleet: %d versions x %d frames, publish %v, wire %v/frame, depth %d, window %d\n",
+		cfg.Versions, cfg.Frames, cfg.PublishEvery, cfg.FrameTime, cfg.Depth, cfg.Window)
+	for _, res := range out.Results {
+		fmt.Printf("  policy %s:\n", res.Policy)
+		for _, o := range res.Outcomes {
+			fmt.Printf("    %-6s torn=%-4d completed=%-4d final=v%-4d p50=%-10v p99=%v\n",
+				o.Name, o.TornStreams, o.Completed, o.FinalVersion, o.P50, o.P99)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,105 @@
+// Command viper-top renders a running relay node's live metrics — the
+// first-class observability surface over internal/metrics. It dials the
+// relay's ingest address (the same wire viper-inspect -relay uses) and
+// renders every registry the relay process exposes: transport link and
+// TCP counters, relay cache/session/admission state, and whichever of
+// remote/pubsub/kvstore are linked into the node.
+//
+// Usage:
+//
+//	viper-top -relay 127.0.0.1:7464               # refresh every 2s
+//	viper-top -relay 127.0.0.1:7464 -interval 5s  # custom refresh
+//	viper-top -relay 127.0.0.1:7464 -once         # one snapshot, exit
+//	viper-top -relay 127.0.0.1:7464 -once -json   # NDJSON snapshot
+//
+// With -json, each tick emits one NDJSON object per registry
+// ({"kind":"metrics","registry":...,"points":[...]}) followed by one
+// {"kind":"inventory",...} summary object — the same one-object-per-line
+// convention as viper-inspect and viper-vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"viper/internal/metrics"
+	"viper/internal/relay"
+)
+
+func main() {
+	relayAddr := flag.String("relay", "", "relay ingest address to watch (required)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	jsonOut := flag.Bool("json", false, "emit NDJSON instead of the text table")
+	flag.Parse()
+	if *relayAddr == "" {
+		fmt.Fprintln(os.Stderr, "usage: viper-top -relay <ingest-addr> [-interval 2s] [-once] [-json]")
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "viper-top: -interval must be positive")
+		os.Exit(2)
+	}
+	for tick := 1; ; tick++ {
+		if err := render(os.Stdout, *relayAddr, tick, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "viper-top: %v\n", err)
+			os.Exit(1)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// jsonMetrics is one registry's NDJSON line.
+type jsonMetrics struct {
+	Kind     string          `json:"kind"` // "metrics"
+	Registry string          `json:"registry"`
+	Points   []metrics.Point `json:"points"`
+}
+
+// jsonInventory is the cache-summary NDJSON line.
+type jsonInventory struct {
+	Kind     string `json:"kind"` // "inventory"
+	Versions int    `json:"versions"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// render fetches one snapshot pair (metrics + inventory) and writes it.
+func render(w io.Writer, addr string, tick int, jsonOut bool) error {
+	snaps, err := relay.FetchMetrics(addr)
+	if err != nil {
+		return err
+	}
+	inv, err := relay.FetchInventory(addr)
+	if err != nil {
+		return err
+	}
+	var cachedBytes int64
+	for _, v := range inv {
+		cachedBytes += v.Bytes
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		for _, s := range snaps {
+			if err := enc.Encode(jsonMetrics{Kind: "metrics", Registry: s.Registry, Points: s.Points}); err != nil {
+				return err
+			}
+		}
+		return enc.Encode(jsonInventory{Kind: "inventory", Versions: len(inv), Bytes: cachedBytes})
+	}
+	fmt.Fprintf(w, "=== viper-top  relay %s  tick %d ===\n", addr, tick)
+	fmt.Fprintf(w, "cache: %d versions, %d bytes\n\n", len(inv), cachedBytes)
+	for _, s := range snaps {
+		if len(s.Points) == 0 {
+			continue
+		}
+		fmt.Fprintln(w, s.Format())
+	}
+	return nil
+}

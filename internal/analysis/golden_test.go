@@ -53,6 +53,7 @@ func TestGoldenSimclockPurity(t *testing.T) {
 func TestGoldenLayering(t *testing.T) {
 	runGolden(t, Layering, "testdata/src/layering/mathbad", "viper/internal/tensor")
 	runGolden(t, Layering, "testdata/src/layering/simclockbad", "viper/internal/simclock")
+	runGolden(t, Layering, "testdata/src/layering/metricsbad", "viper/internal/metrics")
 	runGolden(t, Layering, "testdata/src/layering/corebad", "viper/internal/vformat")
 	// The same clean fixture is legal both as a whitelisted core importer
 	// and as a cmd/ package outside the internal layering rules.

@@ -1,6 +1,6 @@
 // goleak flags goroutine launches in the long-lived delivery packages
-// (transport, pubsub, remote, kvstore, coupled) that have no shutdown
-// path. In those packages a `go` statement outlives a single request:
+// (transport, pubsub, remote, kvstore, coupled, relay, metrics) that
+// have no shutdown path. In those packages a `go` statement outlives a single request:
 // accept loops, reader pumps, and per-subscriber writers run until the
 // process — or their owner — stops them, and PR 1's chaos/retry paths
 // mean owners really do stop them mid-flight. A goroutine nobody can
@@ -55,6 +55,7 @@ var goLeakScope = map[string]bool{
 	"viper/internal/kvstore":   true,
 	"viper/internal/coupled":   true,
 	"viper/internal/relay":     true,
+	"viper/internal/metrics":   true,
 }
 
 // shutdownChanName matches channel identifiers conventionally used as

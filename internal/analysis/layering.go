@@ -7,6 +7,10 @@
 //   - simclock imports no internal package at all — every layer charges
 //     time against it, so any internal import would be a cycle risk and
 //     would let wall-clock behaviour leak into the virtual-time root;
+//   - metrics is a leaf for the same reason: every subsystem registers
+//     its instruments there, so an internal import from metrics would be
+//     one hop from a cycle and would couple the observability surface to
+//     the code it observes;
 //   - core is the in-process composition root and stays leaf-only: only
 //     the top-level composition layers (coupled, experiments, remote)
 //     may import it, keeping "depends on core" equivalent to "is a
@@ -56,6 +60,10 @@ func runLayering(pass *Pass) {
 			}
 			if self == "simclock" && strings.HasPrefix(path, "viper/") {
 				pass.Reportf(imp.Pos(), "simclock must not import %s: it is the virtual-time root every layer depends on", path)
+				continue
+			}
+			if self == "metrics" && strings.HasPrefix(path, "viper/") {
+				pass.Reportf(imp.Pos(), "metrics must not import %s: it is the observability leaf every subsystem registers into", path)
 				continue
 			}
 			target := strings.TrimPrefix(path, internalPrefix)

@@ -1,0 +1,10 @@
+// Package metrics is a golden fixture loaded under the synthetic
+// import path viper/internal/metrics: the observability leaf importing
+// any other internal package is a layering violation.
+package metrics
+
+import (
+	"viper/internal/tensor" // want "metrics must not import viper/internal/tensor"
+)
+
+var _ = tensor.New

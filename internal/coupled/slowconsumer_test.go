@@ -1,0 +1,141 @@
+package coupled
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlowConsumerConfigValidate(t *testing.T) {
+	base := DefaultSlowConsumerConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*SlowConsumerConfig){
+		func(c *SlowConsumerConfig) { c.Versions = 0 },
+		func(c *SlowConsumerConfig) { c.Frames = 1 },
+		func(c *SlowConsumerConfig) { c.PublishEvery = 0 },
+		func(c *SlowConsumerConfig) { c.FrameTime = -time.Millisecond },
+		func(c *SlowConsumerConfig) { c.Depth = 0 },
+		func(c *SlowConsumerConfig) { c.Window = 0 },
+		func(c *SlowConsumerConfig) { c.Consumers = nil },
+		func(c *SlowConsumerConfig) { c.Consumers = []ConsumerSpec{{Name: ""}} },
+		func(c *SlowConsumerConfig) { c.Consumers = []ConsumerSpec{{Name: "x", Drain: -1}} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSlowConsumerConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := RunSlowConsumer(base, Policy("bogus")); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestSlowConsumerPoliciesDiverge is the model's core claim: under the
+// same overloaded scenario the blind baseline tears the slow consumer's
+// streams, while credit/group flow control never tears any stream and
+// still converges every consumer to the final version.
+func TestSlowConsumerPoliciesDiverge(t *testing.T) {
+	cfg := DefaultSlowConsumerConfig()
+	baseline, err := RunSlowConsumer(cfg, PolicyDropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	credit, err := RunSlowConsumer(cfg, PolicyCreditGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if torn := baseline.Outcome("slow").TornStreams; torn == 0 {
+		t.Fatal("baseline slow consumer tore no streams; the scenario is not overloaded enough to mean anything")
+	}
+	for _, o := range credit.Outcomes {
+		if o.TornStreams != 0 {
+			t.Fatalf("credit policy tore %d streams for %s; group shedding must make tearing impossible", o.TornStreams, o.Name)
+		}
+		if o.FinalVersion != cfg.Versions {
+			t.Fatalf("%s converged to v%d under credits, want v%d", o.Name, o.FinalVersion, cfg.Versions)
+		}
+		if o.Completed < 1 {
+			t.Fatalf("%s completed nothing under credits", o.Name)
+		}
+	}
+
+	// The fast consumer must not pay for the slow one's discipline: its
+	// tail latency under credits stays within the baseline's.
+	fastBase, fastCredit := baseline.Outcome("fast"), credit.Outcome("fast")
+	if fastBase.Completed == 0 || fastCredit.Completed == 0 {
+		t.Fatalf("fast consumer completed nothing (baseline %d, credit %d)", fastBase.Completed, fastCredit.Completed)
+	}
+	if fastCredit.P99 > fastBase.P99 {
+		t.Fatalf("fast-consumer p99 regressed under credits: %v > baseline %v", fastCredit.P99, fastBase.P99)
+	}
+}
+
+// TestSlowConsumerDeterminism: the model is exact arithmetic — repeated
+// runs must agree to the nanosecond.
+func TestSlowConsumerDeterminism(t *testing.T) {
+	cfg := DefaultSlowConsumerConfig()
+	for _, pol := range []Policy{PolicyDropOldest, PolicyCreditGroup} {
+		a, err := RunSlowConsumer(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSlowConsumer(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i] != b.Outcomes[i] {
+				t.Fatalf("%s run diverged: %+v vs %+v", pol, a.Outcomes[i], b.Outcomes[i])
+			}
+		}
+	}
+}
+
+// TestSlowConsumerUnderloadedIsLossless: when every consumer keeps pace
+// there is nothing to shed and both policies deliver every version.
+func TestSlowConsumerUnderloadedIsLossless(t *testing.T) {
+	cfg := SlowConsumerConfig{
+		Versions: 16, Frames: 4,
+		PublishEvery: 10 * time.Millisecond,
+		FrameTime:    50 * time.Microsecond,
+		Depth:        8, Window: 8,
+		Consumers: []ConsumerSpec{{Name: "fast", Drain: 60 * time.Microsecond}},
+	}
+	for _, pol := range []Policy{PolicyDropOldest, PolicyCreditGroup} {
+		res, err := RunSlowConsumer(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := res.Outcome("fast")
+		if o.TornStreams != 0 || o.Completed != cfg.Versions || o.FinalVersion != cfg.Versions {
+			t.Fatalf("%s underloaded run lost data: %+v", pol, o)
+		}
+		if o.P99 < o.P50 || o.P50 <= 0 {
+			t.Fatalf("%s latency quantiles inconsistent: %+v", pol, o)
+		}
+	}
+}
+
+func TestDurationQuantile(t *testing.T) {
+	if got := durationQuantile(nil, 0.99); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	ds := []time.Duration{4, 1, 3, 2}
+	if got := durationQuantile(ds, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := durationQuantile(ds, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := durationQuantile(ds, 0.5); got != 2 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	// The input must not be reordered.
+	if ds[0] != 4 || ds[3] != 2 {
+		t.Fatalf("input mutated: %v", ds)
+	}
+}

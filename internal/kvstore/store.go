@@ -11,10 +11,38 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"viper/internal/metrics"
 )
 
 // ErrNotFound is returned when a key does not exist.
 var ErrNotFound = errors.New("kvstore: key not found")
+
+// registry is the package's metrics surface, fed by every store in the
+// process. Operations are per-key (metadata-sized, never per-byte), so
+// direct atomic increments are cheap.
+var registry = metrics.NewRegistry("kvstore")
+
+// Metrics returns the package's metrics registry.
+func Metrics() *metrics.Registry { return registry }
+
+var inst = struct {
+	sets    *metrics.Counter
+	gets    *metrics.Counter
+	misses  *metrics.Counter
+	dels    *metrics.Counter
+	incrs   *metrics.Counter
+	keyLen  *metrics.Gauge
+	version *metrics.Gauge
+}{
+	sets:    registry.Counter("sets"),
+	gets:    registry.Counter("gets"),
+	misses:  registry.Counter("get_misses"),
+	dels:    registry.Counter("dels"),
+	incrs:   registry.Counter("incrs"),
+	keyLen:  registry.Gauge("keys"),
+	version: registry.Gauge("version"),
+}
 
 // Store is an in-memory string key/value store with atomic counters,
 // safe for concurrent use.
@@ -34,7 +62,16 @@ func (s *Store) Set(key, value string) {
 	s.mu.Lock()
 	s.data[key] = value
 	s.version++
+	s.syncGaugesLocked()
 	s.mu.Unlock()
+	inst.sets.Inc()
+}
+
+// syncGaugesLocked refreshes the registry gauges from the store state.
+// Callers hold s.mu for writing.
+func (s *Store) syncGaugesLocked() {
+	inst.keyLen.Set(int64(len(s.data)))
+	inst.version.Set(int64(s.version))
 }
 
 // Get returns the value for key or ErrNotFound.
@@ -42,7 +79,9 @@ func (s *Store) Get(key string) (string, error) {
 	s.mu.RLock()
 	v, ok := s.data[key]
 	s.mu.RUnlock()
+	inst.gets.Inc()
 	if !ok {
+		inst.misses.Inc()
 		return "", ErrNotFound
 	}
 	return v, nil
@@ -55,8 +94,10 @@ func (s *Store) Del(key string) bool {
 	if ok {
 		delete(s.data, key)
 		s.version++
+		s.syncGaugesLocked()
 	}
 	s.mu.Unlock()
+	inst.dels.Inc()
 	return ok
 }
 
@@ -76,6 +117,8 @@ func (s *Store) Incr(key string) (int64, error) {
 	cur++
 	s.data[key] = strconv.FormatInt(cur, 10)
 	s.version++
+	s.syncGaugesLocked()
+	inst.incrs.Inc()
 	return cur, nil
 }
 
@@ -115,7 +158,9 @@ func (s *Store) SetMulti(kv map[string]string) {
 		s.data[k] = v
 	}
 	s.version++
+	s.syncGaugesLocked()
 	s.mu.Unlock()
+	inst.sets.Add(int64(len(kv)))
 }
 
 // GetMulti fetches several keys atomically; missing keys are omitted from

@@ -1,0 +1,14 @@
+package metrics
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+// Metrics instruments are shared by every long-lived delivery package,
+// so the package runs under the same goroutine-leak gate they do.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -12,8 +12,31 @@ import (
 	"sync"
 	"time"
 
+	"viper/internal/metrics"
 	"viper/internal/simclock"
 )
+
+// registry is the package's metrics surface, fed by every broker in the
+// process. Publish/subscribe rates are per-notification (no per-byte
+// paths), so direct increments are cheap.
+var registry = metrics.NewRegistry("pubsub")
+
+// Metrics returns the package's metrics registry.
+func Metrics() *metrics.Registry { return registry }
+
+var inst = struct {
+	published  *metrics.Counter
+	delivered  *metrics.Counter
+	dropped    *metrics.Counter
+	subscribes *metrics.Counter
+	replays    *metrics.Counter
+}{
+	published:  registry.Counter("published"),
+	delivered:  registry.Counter("delivered"),
+	dropped:    registry.Counter("dropped"),
+	subscribes: registry.Counter("subscribes"),
+	replays:    registry.Counter("replays"),
+}
 
 // Message is one published event.
 type Message struct {
@@ -122,6 +145,10 @@ func (b *Broker) subscribe(channel string, replay bool) (*Subscription, bool) {
 		}
 	}
 	b.mu.Unlock()
+	inst.subscribes.Inc()
+	if replayed {
+		inst.replays.Inc()
+	}
 	return sub, replayed
 }
 
@@ -149,7 +176,7 @@ func (b *Broker) unsubscribe(s *Subscription) {
 func (b *Broker) Publish(channel, payload string) int {
 	msg := Message{Channel: channel, Payload: payload, At: b.clock.Now()}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	dropsBefore := b.dropped
 	b.latest[channel] = msg
 	n := 0
 	for sub := range b.subs[channel] {
@@ -179,6 +206,11 @@ func (b *Broker) Publish(channel, payload string) int {
 			// anyone else while b.mu is held.
 		}
 	}
+	drops := b.dropped - dropsBefore
+	b.mu.Unlock()
+	inst.published.Inc()
+	inst.delivered.Add(int64(n))
+	inst.dropped.Add(drops)
 	return n
 }
 

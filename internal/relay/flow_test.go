@@ -1,0 +1,342 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"viper/internal/nn"
+	"viper/internal/simclock"
+	"viper/internal/transport"
+)
+
+// gatedConn lets the first Write through and blocks every later one
+// until the gate is released, freezing a fan-out mid-stream with the
+// header already delivered.
+type gatedConn struct {
+	net.Conn
+	release chan struct{}
+
+	mu      sync.Mutex
+	writes  int
+	blocked bool
+}
+
+func (g *gatedConn) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	g.writes++
+	wait := g.writes > 1
+	if wait {
+		g.blocked = true
+	}
+	g.mu.Unlock()
+	if wait {
+		<-g.release
+	}
+	return g.Conn.Write(p)
+}
+
+func (g *gatedConn) isBlocked() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.blocked
+}
+
+// TestServePinsBorrowedVersionAcrossRelease is the regression for the
+// serve-during-eviction race: a session fanning a version out borrows
+// its cached frames, and ingest churn (here a same-vnum re-push, which
+// releases the replaced object exactly like an eviction) must not free
+// the borrowed storage mid-stream. The pin defers the release to the
+// end of the fan-out, so the consumer collects the original version
+// bit-for-bit even though the cache replaced it while the stream was
+// frozen after frame one.
+func TestServePinsBorrowedVersionAcrossRelease(t *testing.T) {
+	gate := &gatedConn{release: make(chan struct{})}
+	r, err := New(Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		Retained: 1, Retry: quickPolicy(7),
+		ServeWrap: func(c net.Conn) net.Conn {
+			gate.Conn = c
+			return gate
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	prod, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	snapA := nn.TakeSnapshot(testModel(70))
+	pushChunked(t, prod, "m", 1, snapA, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 1 }, "v1 cached")
+
+	cons, err := transport.DialTCP(r.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	// The session sends the header (write one) and freezes on chunk one.
+	waitFor(t, 5*time.Second, gate.isBlocked, "fan-out frozen mid-stream")
+
+	// Re-push version 1 with different weights: the cache replaces the
+	// borrowed object and wants its storage back — while it is pinned.
+	snapB := nn.TakeSnapshot(testModel(71))
+	pushChunked(t, prod, "m", 1, snapB, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 2 }, "replacement cached")
+	if got := r.Stats(); got.PinnedEvictions != 1 || got.ReleasedVersions != 0 {
+		t.Fatalf("release not deferred while pinned: %+v", got)
+	}
+
+	// Thaw the stream. The session must finish serving the *borrowed*
+	// frames (snapA), not the replacement, and not freed storage.
+	close(gate.release)
+	first, err := cons.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !transport.IsChunkHeader(first) {
+		t.Fatalf("first frame %q is not a chunk header", first.Key)
+	}
+	ckpt, _, err := transport.CollectChunked(context.Background(), first, cons.Recv)
+	if err != nil {
+		t.Fatalf("frozen fan-out did not survive the release: %v", err)
+	}
+	if !snapshotsEqual(ckpt.Weights, snapA) {
+		t.Fatal("borrowed version mutated mid-fanout")
+	}
+	// The deferred release lands at unpin, once the fan-out ends.
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().ReleasedVersions == 1 }, "deferred release at unpin")
+}
+
+// TestEvictionReleasesUnpinnedVersions: normal retention churn frees
+// the evicted versions' storage immediately and the cache-bytes gauge
+// tracks only what is retained.
+func TestEvictionReleasesUnpinnedVersions(t *testing.T) {
+	r := testRelay(t, 2)
+	prod, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	snap := nn.TakeSnapshot(testModel(72))
+	for v := uint64(1); v <= 5; v++ {
+		pushChunked(t, prod, "m", v, snap, 128)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 5 }, "5 versions cached")
+	st := r.Stats()
+	if st.ReleasedVersions != 3 || st.PinnedEvictions != 0 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+	inv, err := FetchInventory(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained int64
+	for _, vi := range inv {
+		retained += vi.Bytes
+	}
+	snaps := r.MetricsSnapshots()
+	var cacheBytes int64
+	for _, s := range snaps {
+		if s.Registry == "relay" {
+			cacheBytes = s.Get("cache_bytes").Value
+		}
+	}
+	if cacheBytes != retained {
+		t.Fatalf("cache_bytes gauge %d != retained inventory bytes %d", cacheBytes, retained)
+	}
+}
+
+// TestMaxSessionsAdmission: the MaxSessions bound refuses the excess
+// consumer with a typed rejection notice, and a slot freed by a
+// disconnect re-admits the next dial.
+func TestMaxSessionsAdmission(t *testing.T) {
+	r, err := New(Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		Retained: 2, Retry: quickPolicy(8), MaxSessions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	first, err := transport.DialTCP(r.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().Sessions == 1 }, "first session admitted")
+
+	second, err := transport.DialTCP(r.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	f, err := second.Recv()
+	if err != nil {
+		t.Fatalf("expected a rejection notice, got recv error %v", err)
+	}
+	rerr := RejectionError(f)
+	if !errors.Is(rerr, ErrAdmissionRejected) || !errors.Is(rerr, ErrOverloaded) {
+		t.Fatalf("rejection error = %v, want ErrAdmissionRejected wrapping ErrOverloaded", rerr)
+	}
+	if got := r.Stats().AdmissionRejected; got != 1 {
+		t.Fatalf("AdmissionRejected = %d, want 1", got)
+	}
+
+	// Freeing the slot re-admits: the replacement session receives data,
+	// not a rejection.
+	first.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return len(r.sessions) == 0
+	}, "slot freed")
+	third, err := transport.DialTCP(r.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().Sessions == 2 }, "replacement admitted")
+
+	prod, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	pushChunked(t, prod, "m", 1, nn.TakeSnapshot(testModel(73)), 128)
+	hf, err := third.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RejectionError(hf); err != nil {
+		t.Fatalf("admitted session was rejected: %v", err)
+	}
+	if !transport.IsChunkHeader(hf) {
+		t.Fatalf("admitted session got %q, want the version header", hf.Key)
+	}
+}
+
+// TestIngestRateLimitRefusesWholeVersions: a dry token bucket refuses a
+// pushed version at its header — whole, with a typed notice, with the
+// trailing chunks dropped silently rather than counted as strays — and
+// clock advance refills admission.
+func TestIngestRateLimitRefusesWholeVersions(t *testing.T) {
+	clk := simclock.NewVirtualManual()
+	pol := quickPolicy(9)
+	pol.Clock = clk
+	r, err := New(Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		Retained: 4, Retry: pol, IngestRate: 1, IngestBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	prod, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	snap := nn.TakeSnapshot(testModel(74))
+
+	// The bucket starts full: the first version is admitted.
+	pushChunked(t, prod, "m", 1, snap, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 1 }, "v1 admitted")
+
+	// Dry bucket: the next version is refused whole at the header, and
+	// its chunks must not surface as stray frames.
+	pushChunked(t, prod, "m", 2, snap, 128)
+	f, err := prod.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := RejectionError(f)
+	if !errors.Is(rerr, ErrRateLimited) || !errors.Is(rerr, ErrOverloaded) {
+		t.Fatalf("rejection error = %v, want ErrRateLimited wrapping ErrOverloaded", rerr)
+	}
+	if f.Meta["model"] != "m" || f.Meta["version"] != "2" {
+		t.Fatalf("rejection names %v, want model m version 2", f.Meta)
+	}
+	st := r.Stats()
+	if st.RejectedVersions != 1 || st.CachedVersions != 1 {
+		t.Fatalf("refusal accounting: %+v", st)
+	}
+	if st.StrayFrames != 0 {
+		t.Fatalf("refused version's chunks counted as %d strays, want 0", st.StrayFrames)
+	}
+
+	// A refill's worth of virtual time re-admits.
+	clk.Advance(2 * time.Second)
+	pushChunked(t, prod, "m", 3, snap, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 2 }, "v3 admitted after refill")
+	inv, err := FetchInventory(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != 2 || inv[0].Version != 1 || inv[1].Version != 3 {
+		t.Fatalf("inventory = %+v, want exactly v1 and v3", inv)
+	}
+}
+
+// TestFetchMetricsRoundTrip: the MetricsKey exchange serves every
+// registry in the process, with the relay's own counters synced.
+func TestFetchMetricsRoundTrip(t *testing.T) {
+	r := testRelay(t, 2)
+	prod, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	pushChunked(t, prod, "m", 1, nn.TakeSnapshot(testModel(75)), 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().CachedVersions == 1 }, "version cached")
+
+	snaps, err := FetchMetrics(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bool{}
+	for _, s := range snaps {
+		byName[s.Registry] = true
+	}
+	for _, want := range []string{"relay", "transport"} {
+		if !byName[want] {
+			t.Fatalf("metrics snapshots missing registry %q (got %v)", want, byName)
+		}
+	}
+	for _, s := range snaps {
+		if s.Registry != "relay" {
+			continue
+		}
+		// Counters aggregate process-wide across tests, so bound from
+		// below only.
+		if s.Get("cached_versions").Value < 1 {
+			t.Fatalf("relay cached_versions = %+v, want >= 1", s.Get("cached_versions"))
+		}
+		if s.Get("ingest_frames").Value < 1 {
+			t.Fatalf("relay ingest_frames = %+v, want >= 1", s.Get("ingest_frames"))
+		}
+	}
+}
+
+// TestRejectionErrorClassification: only RejectKey frames classify, and
+// unknown reasons still land inside the ErrOverloaded family.
+func TestRejectionErrorClassification(t *testing.T) {
+	if err := RejectionError(transport.Frame{Key: "other"}); err != nil {
+		t.Fatalf("non-rejection frame classified as %v", err)
+	}
+	f := rejectFrame("unforeseen", "m", strconv.FormatUint(42, 10))
+	err := RejectionError(f)
+	if !errors.Is(err, ErrOverloaded) || errors.Is(err, ErrRateLimited) || errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("unknown reason classified as %v, want bare ErrOverloaded", err)
+	}
+}

@@ -25,14 +25,17 @@ package relay
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"viper/internal/core"
 	"viper/internal/kvstore"
+	"viper/internal/metrics"
 	"viper/internal/pubsub"
 	"viper/internal/retry"
 	"viper/internal/simclock"
@@ -48,6 +51,105 @@ const DefaultRetained = 4
 // and receives one frame whose payload is the JSON-encoded []VersionInfo
 // (viper-inspect's -relay mode uses FetchInventory).
 const InventoryKey = "viper/relay/inventory"
+
+// MetricsKey is the frame key of the metrics request/reply exchange on
+// the ingest address: the reply payload is the JSON-encoded
+// []metrics.Snapshot of the node's registries (viper-top uses
+// FetchMetrics).
+const MetricsKey = "viper/relay/metrics"
+
+// RejectKey is the frame key of admission-rejection notices. The frame's
+// "reason" Meta entry maps into the error taxonomy via RejectionError.
+const RejectKey = "viper/relay/reject"
+
+const (
+	rejectReasonSessions = "sessions"
+	rejectReasonRate     = "rate"
+)
+
+// Overload error taxonomy. ErrOverloaded is the base every admission
+// failure wraps, so callers can match the family with one errors.Is and
+// still distinguish the specific causes.
+var (
+	// ErrOverloaded is the base class of every admission failure.
+	ErrOverloaded = errors.New("relay: overloaded")
+	// ErrAdmissionRejected reports a consumer session refused because the
+	// relay is at its MaxSessions bound.
+	ErrAdmissionRejected = fmt.Errorf("%w: session admission rejected", ErrOverloaded)
+	// ErrRateLimited reports a version push refused by the per-model
+	// ingest rate limiter.
+	ErrRateLimited = fmt.Errorf("%w: ingest rate limited", ErrOverloaded)
+)
+
+// rejectFrame builds the wire notice for a refused admission.
+func rejectFrame(reason, model, version string) transport.Frame {
+	return transport.Frame{Key: RejectKey, Meta: map[string]string{
+		"reason": reason, "model": model, "version": version,
+	}}
+}
+
+// RejectionError classifies a relay rejection notice into the error
+// taxonomy. It returns nil when f is not a rejection frame.
+func RejectionError(f transport.Frame) error {
+	if f.Key != RejectKey {
+		return nil
+	}
+	switch f.Meta["reason"] {
+	case rejectReasonSessions:
+		return ErrAdmissionRejected
+	case rejectReasonRate:
+		return fmt.Errorf("%w (model %q version %s)", ErrRateLimited, f.Meta["model"], f.Meta["version"])
+	default:
+		return fmt.Errorf("%w: reason %q", ErrOverloaded, f.Meta["reason"])
+	}
+}
+
+// registry is the package's metrics surface. Every Relay in the process
+// feeds the counters (they aggregate, like transport's link counters);
+// gauges reflect the most recently synced node. Counters mirror Stats
+// and are synced on commit and on every Stats/MetricsSnapshots read.
+var registry = metrics.NewRegistry("relay")
+
+// Metrics returns the package's metrics registry.
+func Metrics() *metrics.Registry { return registry }
+
+var inst = struct {
+	ingestFrames      *metrics.Counter
+	cachedVersions    *metrics.Counter
+	supersededBuilds  *metrics.Counter
+	abandonedBuilds   *metrics.Counter
+	corruptChunks     *metrics.Counter
+	strayFrames       *metrics.Counter
+	sessions          *metrics.Counter
+	servedVersions    *metrics.Counter
+	abandonedFanouts  *metrics.Counter
+	metaErrors        *metrics.Counter
+	admissionRejected *metrics.Counter
+	rejectedVersions  *metrics.Counter
+	pinnedEvictions   *metrics.Counter
+	releasedVersions  *metrics.Counter
+	cacheBytes        *metrics.Gauge
+	openSessions      *metrics.Gauge
+	modelCount        *metrics.Gauge
+}{
+	ingestFrames:      registry.Counter("ingest_frames"),
+	cachedVersions:    registry.Counter("cached_versions"),
+	supersededBuilds:  registry.Counter("superseded_builds"),
+	abandonedBuilds:   registry.Counter("abandoned_builds"),
+	corruptChunks:     registry.Counter("corrupt_chunks"),
+	strayFrames:       registry.Counter("stray_frames"),
+	sessions:          registry.Counter("sessions_total"),
+	servedVersions:    registry.Counter("served_versions"),
+	abandonedFanouts:  registry.Counter("abandoned_fanouts"),
+	metaErrors:        registry.Counter("meta_errors"),
+	admissionRejected: registry.Counter("admission_rejected"),
+	rejectedVersions:  registry.Counter("rejected_versions"),
+	pinnedEvictions:   registry.Counter("pinned_evictions"),
+	releasedVersions:  registry.Counter("released_versions"),
+	cacheBytes:        registry.Gauge("cache_bytes"),
+	openSessions:      registry.Gauge("open_sessions"),
+	modelCount:        registry.Gauge("models"),
+}
 
 // Config configures a relay node.
 type Config struct {
@@ -75,6 +177,21 @@ type Config struct {
 	IngestWrap func(net.Conn) net.Conn
 	// ServeWrap, if set, decorates each accepted consumer connection.
 	ServeWrap func(net.Conn) net.Conn
+	// MaxSessions bounds concurrently connected consumer sessions. A
+	// consumer beyond the bound receives a rejection notice (RejectKey,
+	// reason "sessions" — ErrAdmissionRejected) and is disconnected.
+	// 0 means unlimited.
+	MaxSessions int
+	// IngestRate, when positive, is the per-model admission rate for
+	// version pushes, in versions per second (a token bucket of
+	// IngestBurst capacity refilled on the Retry clock). A version
+	// pushed while its model's bucket is dry is refused whole at its
+	// header: the producer link receives a rejection notice (reason
+	// "rate" — ErrRateLimited) and the stream's frames are dropped, so
+	// admitted streams are never torn by the limiter.
+	IngestRate float64
+	// IngestBurst is the rate limiter's bucket capacity (default 1).
+	IngestBurst int
 }
 
 // Stats counts relay activity.
@@ -104,12 +221,27 @@ type Stats struct {
 	AbandonedFanouts int64
 	// MetaErrors counts failed metadata writes / notifications.
 	MetaErrors int64
+	// AdmissionRejected counts consumer sessions refused at the
+	// MaxSessions bound.
+	AdmissionRejected int64
+	// RejectedVersions counts version pushes refused by the per-model
+	// ingest rate limiter.
+	RejectedVersions int64
+	// PinnedEvictions counts evictions whose storage release was
+	// deferred because a session held the version pinned mid-fanout.
+	PinnedEvictions int64
+	// ReleasedVersions counts versions whose cached frames were freed.
+	ReleasedVersions int64
 }
 
 // version is one cached (model, version): the encoded frames exactly as
 // the producer sent them. Frames are immutable once the version is
-// committed; sessions borrow them read-only, and eviction simply drops
-// the reference (in-flight fan-outs keep theirs until done).
+// committed; sessions borrow them read-only via a Relay.framesOf
+// snapshot after pinning. Eviction releases the frame storage (returning the bytes to
+// the cache budget) — but never while a session holds a pin: the
+// release is deferred to the last unpin, so a mid-fanout borrow can
+// never observe freed storage. pins/evicted/released are guarded by
+// Relay.mu.
 type version struct {
 	model  string
 	vnum   uint64
@@ -119,6 +251,10 @@ type version struct {
 	bytes  int64
 	crcOK  bool
 	meta   *core.ModelMeta
+
+	pins     int
+	evicted  bool
+	released bool
 }
 
 // modelCache holds one model's retained versions, ascending by vnum.
@@ -139,12 +275,22 @@ type building struct {
 	want int
 }
 
+// tokenBucket is one model's ingest admission state (guarded by
+// Relay.mu).
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
 // Relay is a running relay node.
 type Relay struct {
-	retained int
-	kv       *kvstore.Client
-	ps       *pubsub.Client
-	clock    simclock.Clock
+	retained    int
+	maxSessions int
+	rate        float64
+	burst       float64
+	kv          *kvstore.Client
+	ps          *pubsub.Client
+	clock       simclock.Clock
 
 	ingestLn *transport.Listener
 	serveLn  *transport.Listener
@@ -153,12 +299,15 @@ type Relay struct {
 	closed chan struct{}
 	once   sync.Once
 
-	mu       sync.Mutex
-	models   map[string]*modelCache
-	ingests  map[*transport.TCPLink]struct{}
-	sessions map[*session]struct{}
-	wake     chan struct{}
-	stats    Stats
+	mu         sync.Mutex
+	models     map[string]*modelCache
+	ingests    map[*transport.TCPLink]struct{}
+	sessions   map[*session]struct{}
+	buckets    map[string]*tokenBucket
+	cacheBytes int64
+	wake       chan struct{}
+	stats      Stats
+	synced     Stats // last values pushed to the metrics registry
 }
 
 // policyClock extracts the retry policy's injected clock, falling back
@@ -181,14 +330,22 @@ func New(cfg Config) (*Relay, error) {
 	if pol.MaxAttempts == 0 {
 		pol = retry.Default(nil)
 	}
+	burst := cfg.IngestBurst
+	if burst <= 0 {
+		burst = 1
+	}
 	r := &Relay{
-		retained: retained,
-		clock:    policyClock(pol),
-		closed:   make(chan struct{}),
-		models:   make(map[string]*modelCache),
-		ingests:  make(map[*transport.TCPLink]struct{}),
-		sessions: make(map[*session]struct{}),
-		wake:     make(chan struct{}),
+		retained:    retained,
+		maxSessions: cfg.MaxSessions,
+		rate:        cfg.IngestRate,
+		burst:       float64(burst),
+		clock:       policyClock(pol),
+		closed:      make(chan struct{}),
+		models:      make(map[string]*modelCache),
+		ingests:     make(map[*transport.TCPLink]struct{}),
+		sessions:    make(map[*session]struct{}),
+		buckets:     make(map[string]*tokenBucket),
+		wake:        make(chan struct{}),
 	}
 	if cfg.MetaAddr != "" {
 		kv, err := kvstore.DialOptions(cfg.MetaAddr, kvstore.Options{Retry: pol})
@@ -240,17 +397,124 @@ func (r *Relay) IngestAddr() string { return r.ingestLn.Addr() }
 // ServeAddr returns the bound consumer-link address.
 func (r *Relay) ServeAddr() string { return r.serveLn.Addr() }
 
-// Stats returns a snapshot of the relay counters.
+// Stats returns a snapshot of the relay counters (and syncs them to the
+// metrics registry, so a Stats read doubles as a flush point).
 func (r *Relay) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.syncMetricsLocked()
 	return r.stats
+}
+
+// syncMetricsLocked pushes the delta between the relay's Stats and the
+// last synced values into the package registry, and refreshes the
+// gauges. Callers hold r.mu. Counters are deltas so several relays in
+// one process aggregate; gauges reflect this node's latest sync.
+func (r *Relay) syncMetricsLocked() {
+	cur, prev := r.stats, r.synced
+	inst.ingestFrames.Add(cur.IngestFrames - prev.IngestFrames)
+	inst.cachedVersions.Add(cur.CachedVersions - prev.CachedVersions)
+	inst.supersededBuilds.Add(cur.SupersededBuilds - prev.SupersededBuilds)
+	inst.abandonedBuilds.Add(cur.AbandonedBuilds - prev.AbandonedBuilds)
+	inst.corruptChunks.Add(cur.CorruptChunks - prev.CorruptChunks)
+	inst.strayFrames.Add(cur.StrayFrames - prev.StrayFrames)
+	inst.sessions.Add(cur.Sessions - prev.Sessions)
+	inst.servedVersions.Add(cur.ServedVersions - prev.ServedVersions)
+	inst.abandonedFanouts.Add(cur.AbandonedFanouts - prev.AbandonedFanouts)
+	inst.metaErrors.Add(cur.MetaErrors - prev.MetaErrors)
+	inst.admissionRejected.Add(cur.AdmissionRejected - prev.AdmissionRejected)
+	inst.rejectedVersions.Add(cur.RejectedVersions - prev.RejectedVersions)
+	inst.pinnedEvictions.Add(cur.PinnedEvictions - prev.PinnedEvictions)
+	inst.releasedVersions.Add(cur.ReleasedVersions - prev.ReleasedVersions)
+	r.synced = cur
+	inst.cacheBytes.Set(r.cacheBytes)
+	inst.openSessions.Set(int64(len(r.sessions)))
+	inst.modelCount.Set(int64(len(r.models)))
 }
 
 func (r *Relay) bump(f func(*Stats)) {
 	r.mu.Lock()
 	f(&r.stats)
 	r.mu.Unlock()
+}
+
+// admitVersion consults model's ingest token bucket. When no rate is
+// configured every push is admitted. The clock read happens outside the
+// lock (it may be a wall read; see viper-vet's lockedsend analyzer).
+func (r *Relay) admitVersion(model string) bool {
+	if r.rate <= 0 {
+		return true
+	}
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.buckets[model]
+	if b == nil {
+		// A fresh bucket starts full: the first burst is always admitted.
+		b = &tokenBucket{tokens: r.burst, last: now}
+		r.buckets[model] = b
+	}
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * r.rate
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		r.stats.RejectedVersions++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// unpin releases a fan-out's borrow (taken by next() under the catalog
+// lock), freeing the frames of a version whose eviction was deferred
+// while pinned.
+func (r *Relay) unpin(v *version) {
+	r.mu.Lock()
+	v.pins--
+	if v.pins == 0 && v.evicted && !v.released {
+		r.freeLocked(v)
+	}
+	r.mu.Unlock()
+}
+
+// releaseLocked retires an evicted (or replaced) version: immediately
+// when unpinned, deferred to the last unpin otherwise. Callers hold
+// r.mu.
+func (r *Relay) releaseLocked(v *version) {
+	v.evicted = true
+	if v.pins > 0 {
+		r.stats.PinnedEvictions++
+		return
+	}
+	r.freeLocked(v)
+}
+
+// freeLocked drops v's frame storage and returns its bytes to the cache
+// accounting. Callers hold r.mu and have ensured pins == 0.
+func (r *Relay) freeLocked(v *version) {
+	if v.released {
+		return
+	}
+	v.released = true
+	v.frames = nil
+	r.cacheBytes -= v.bytes
+	r.stats.ReleasedVersions++
+}
+
+// framesOf snapshots v's frame slice under the relay lock. The caller
+// must hold a pin: pinned storage is never freed (freeLocked is the
+// only writer of the slice header and it defers to the last unpin), and
+// the frames themselves are immutable after commit, so one synchronized
+// read of the header keeps the whole fan-out lock-free — per-frame
+// locking here serializes 32-way fan-out against ingest.
+func (r *Relay) framesOf(v *version) []transport.Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return v.frames
 }
 
 // Close stops both listeners, tears down every connection, and waits
@@ -313,6 +577,10 @@ func (r *Relay) acceptIngest() {
 func (r *Relay) handleIngest(link *transport.TCPLink) {
 	defer r.wg.Done()
 	pending := make(map[string]*building)
+	// rejected maps model → frame key of a version the rate limiter
+	// refused at its header, so the stream's trailing chunks are dropped
+	// silently instead of counting as strays.
+	rejected := make(map[string]string)
 	defer func() {
 		link.Close()
 		r.mu.Lock()
@@ -326,20 +594,28 @@ func (r *Relay) handleIngest(link *transport.TCPLink) {
 			return
 		}
 		r.bump(func(s *Stats) { s.IngestFrames++ })
-		if f.Key == InventoryKey {
+		switch f.Key {
+		case InventoryKey:
 			payload, err := json.Marshal(r.Inventory())
 			if err != nil || link.Send(transport.Frame{Key: InventoryKey, Payload: payload}) != nil {
 				return
 			}
-			continue
+		case MetricsKey:
+			payload, err := json.Marshal(r.MetricsSnapshots())
+			if err != nil || link.Send(transport.Frame{Key: MetricsKey, Payload: payload}) != nil {
+				return
+			}
+		default:
+			r.handleFrame(link, f, pending, rejected)
 		}
-		r.handleFrame(f, pending)
 	}
 }
 
 // handleFrame routes one ingest frame into the per-connection stream
-// assembly state.
-func (r *Relay) handleFrame(f transport.Frame, pending map[string]*building) {
+// assembly state. Version pushes face the per-model rate limiter at
+// their header: a refused version is dropped whole (header and trailing
+// chunks), never torn, and the producer link is told why.
+func (r *Relay) handleFrame(link *transport.TCPLink, f transport.Frame, pending map[string]*building, rejected map[string]string) {
 	model := f.Meta["model"]
 	if model == "" {
 		r.bump(func(s *Stats) { s.StrayFrames++ })
@@ -356,6 +632,13 @@ func (r *Relay) handleFrame(f transport.Frame, pending map[string]*building) {
 		if old := pending[model]; old != nil {
 			r.bump(func(s *Stats) { s.SupersededBuilds++ })
 		}
+		delete(rejected, model)
+		if !r.admitVersion(model) {
+			delete(pending, model)
+			rejected[model] = f.Key
+			link.Send(rejectFrame(rejectReasonRate, model, f.Meta["version"]))
+			return
+		}
 		v := &version{
 			model: model, vnum: vnum, key: f.Key,
 			frames: []transport.Frame{f},
@@ -368,6 +651,9 @@ func (r *Relay) handleFrame(f transport.Frame, pending map[string]*building) {
 		}
 		pending[model] = &building{v: v, want: want}
 	case transport.IsChunkFrame(f):
+		if rejected[model] == f.Key {
+			return
+		}
 		b := pending[model]
 		if b == nil || f.Key != b.v.key {
 			r.bump(func(s *Stats) { s.StrayFrames++ })
@@ -390,6 +676,10 @@ func (r *Relay) handleFrame(f transport.Frame, pending map[string]*building) {
 	default:
 		// A monolithic (non-chunked) frame is a complete single-frame
 		// version; the frame-level CRC already vouched for it.
+		if !r.admitVersion(model) {
+			link.Send(rejectFrame(rejectReasonRate, model, f.Meta["version"]))
+			return
+		}
 		v := &version{
 			model: model, vnum: vnum, key: f.Key,
 			frames: []transport.Frame{f},
@@ -410,21 +700,29 @@ func (r *Relay) commit(v *version) {
 		mc = &modelCache{}
 		r.models[v.model] = mc
 	}
-	// Insert sorted by version; a re-pushed version replaces its entry.
+	// Insert sorted by version; a re-pushed version replaces its entry
+	// (the replaced object is released like an eviction — a session may
+	// still be fanning it out, so the pin protocol applies).
 	i := sort.Search(len(mc.versions), func(i int) bool { return mc.versions[i].vnum >= v.vnum })
 	if i < len(mc.versions) && mc.versions[i].vnum == v.vnum {
+		r.releaseLocked(mc.versions[i])
 		mc.versions[i] = v
 	} else {
 		mc.versions = append(mc.versions, nil)
 		copy(mc.versions[i+1:], mc.versions[i:])
 		mc.versions[i] = v
 	}
+	r.cacheBytes += v.bytes
 	if len(mc.versions) > r.retained {
 		evict := len(mc.versions) - r.retained
+		for _, old := range mc.versions[:evict] {
+			r.releaseLocked(old)
+		}
 		mc.versions = append(mc.versions[:0:0], mc.versions[evict:]...)
 	}
 	newest := mc.newest() == v
 	r.stats.CachedVersions++
+	r.syncMetricsLocked()
 	// Wake consumer sessions parked in next(): close-and-replace, so
 	// every session holding the old channel observes the commit.
 	close(r.wake)
@@ -504,6 +802,11 @@ func (r *Relay) next(sent map[string]uint64) (*version, <-chan struct{}) {
 	defer r.mu.Unlock()
 	for model, mc := range r.models {
 		if v := mc.newest(); v != nil && v.vnum > sent[model] {
+			// Pin under the same lock acquisition that found v in the
+			// catalog: there is no window in which eviction could free
+			// the frames before the session's borrow begins. The
+			// session's send owns the pin and releases it.
+			v.pins++
 			return v, nil
 		}
 	}
@@ -526,6 +829,20 @@ func (r *Relay) acceptServe() {
 			link.Close()
 			return
 		default:
+		}
+		if r.maxSessions > 0 && len(r.sessions) >= r.maxSessions {
+			r.stats.AdmissionRejected++
+			r.mu.Unlock()
+			// The rejection notice travels on a goroutine of its own: the
+			// accept loop must not block on a consumer's receive window
+			// (see viper-vet's lockedsend rationale).
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				link.Send(rejectFrame(rejectReasonSessions, "", ""))
+				link.Close()
+			}()
+			continue
 		}
 		r.sessions[s] = struct{}{}
 		r.stats.Sessions++
@@ -598,13 +915,18 @@ func (s *session) run() {
 	}
 }
 
-// send fans one cached version out to the consumer. A newer complete
-// version superseding v mid-stream aborts the fan-out (latest-wins);
-// the consumer's torn-stream handling copes with the cut, and the outer
-// loop immediately starts on the newer version. Returns false when the
-// connection is gone.
+// send fans one cached version out to the consumer. The version is
+// pinned for the duration of the borrow: eviction (or a same-vnum
+// replacement) concurrent with the fan-out defers its storage release
+// to the unpin, so the stream is sent intact even when ingest churn
+// pushes v out of the retained window mid-serve. A newer complete
+// version superseding v mid-stream still aborts the fan-out
+// (latest-wins); the consumer's torn-stream handling copes with the
+// cut, and the outer loop immediately starts on the newer version.
+// Returns false when the connection is gone.
 func (s *session) send(v *version) bool {
-	for i, f := range v.frames {
+	defer s.r.unpin(v) // next() pinned v under the catalog lock
+	for i, f := range s.r.framesOf(v) {
 		if i > 0 && s.r.newestVnum(v.model) > v.vnum {
 			s.r.bump(func(st *Stats) { st.AbandonedFanouts++ })
 			return true
@@ -686,4 +1008,43 @@ func FetchInventory(addr string) ([]VersionInfo, error) {
 		return nil, fmt.Errorf("relay: inventory payload: %w", err)
 	}
 	return inv, nil
+}
+
+// MetricsSnapshots syncs this relay's counters into the registry and
+// snapshots every metrics registry in the process (transport, relay,
+// remote, pubsub, kvstore — whichever are linked in). This is the
+// payload of the MetricsKey exchange.
+func (r *Relay) MetricsSnapshots() []metrics.Snapshot {
+	r.mu.Lock()
+	r.syncMetricsLocked()
+	r.mu.Unlock()
+	return metrics.AllSnapshots()
+}
+
+// FetchMetrics dials a relay's ingest address and retrieves the node's
+// metrics snapshots (viper-top's data source).
+func FetchMetrics(addr string) ([]metrics.Snapshot, error) {
+	link, err := transport.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer link.Close()
+	if err := link.Send(transport.Frame{Key: MetricsKey}); err != nil {
+		return nil, fmt.Errorf("relay: metrics request: %w", err)
+	}
+	f, err := link.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("relay: metrics reply: %w", err)
+	}
+	if err := RejectionError(f); err != nil {
+		return nil, err
+	}
+	if f.Key != MetricsKey {
+		return nil, fmt.Errorf("relay: unexpected metrics reply key %q", f.Key)
+	}
+	var snaps []metrics.Snapshot
+	if err := json.Unmarshal(f.Payload, &snaps); err != nil {
+		return nil, fmt.Errorf("relay: metrics payload: %w", err)
+	}
+	return snaps, nil
 }

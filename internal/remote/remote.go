@@ -25,6 +25,7 @@ import (
 
 	"viper/internal/core"
 	"viper/internal/kvstore"
+	"viper/internal/metrics"
 	"viper/internal/nn"
 	"viper/internal/pubsub"
 	"viper/internal/retry"
@@ -90,6 +91,37 @@ type ProducerConfig struct {
 	// Parallelism bounds the chunk-encode worker pool (0 = GOMAXPROCS).
 	// Only meaningful with ChunkSize set.
 	Parallelism int
+}
+
+// registry is the package's metrics surface: delivery-path counters for
+// every producer and consumer in the process. All record sites are
+// per-checkpoint (never per-byte), so direct atomic increments cost
+// nothing measurable.
+var registry = metrics.NewRegistry("remote")
+
+// Metrics returns the package's metrics registry.
+func Metrics() *metrics.Registry { return registry }
+
+var inst = struct {
+	linkSends          *metrics.Counter
+	linkFailures       *metrics.Counter
+	staged             *metrics.Counter
+	installs           *metrics.Counter
+	linkLoads          *metrics.Counter
+	stagedLoads        *metrics.Counter
+	skippedVersions    *metrics.Counter
+	staleNotifications *metrics.Counter
+	discardedFrames    *metrics.Counter
+}{
+	linkSends:          registry.Counter("producer_link_sends"),
+	linkFailures:       registry.Counter("producer_link_failures"),
+	staged:             registry.Counter("producer_staged"),
+	installs:           registry.Counter("consumer_installs"),
+	linkLoads:          registry.Counter("consumer_link_loads"),
+	stagedLoads:        registry.Counter("consumer_staged_loads"),
+	skippedVersions:    registry.Counter("consumer_skipped_versions"),
+	staleNotifications: registry.Counter("consumer_stale_notifications"),
+	discardedFrames:    registry.Counter("consumer_discarded_frames"),
 }
 
 // ProducerStats counts producer-side delivery activity.
@@ -314,8 +346,10 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 	p.mu.Lock()
 	if sendErr != nil {
 		p.stats.LinkFailures++
+		inst.linkFailures.Inc()
 	} else {
 		p.stats.LinkSends++
+		inst.linkSends.Inc()
 	}
 	p.mu.Unlock()
 	location := core.RouteHost
@@ -340,6 +374,7 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 		} else {
 			p.mu.Lock()
 			p.stats.Staged++
+			inst.staged.Inc()
 			p.mu.Unlock()
 			if version > stagedHistory {
 				_, _ = p.kv.Del(core.StagingKey(p.model, version-stagedHistory))
@@ -652,10 +687,20 @@ func (c *Consumer) NextContext(ctx context.Context, timeout time.Duration) (*vfo
 	}
 }
 
+// bump applies one stats mutation and mirrors the delta into the
+// package registry (bump is the single funnel every consumer counter
+// moves through, and it fires at most once per checkpoint).
 func (c *Consumer) bump(f func(*ConsumerStats)) {
 	c.mu.Lock()
+	before := c.stats
 	f(&c.stats)
+	after := c.stats
 	c.mu.Unlock()
+	inst.linkLoads.Add(after.LinkLoads - before.LinkLoads)
+	inst.stagedLoads.Add(after.StagedLoads - before.StagedLoads)
+	inst.skippedVersions.Add(after.SkippedVersions - before.SkippedVersions)
+	inst.staleNotifications.Add(after.StaleNotifications - before.StaleNotifications)
+	inst.discardedFrames.Add(after.DiscardedFrames - before.DiscardedFrames)
 }
 
 // fetch obtains the checkpoint for meta from the direct link, falling
@@ -806,6 +851,7 @@ func (c *Consumer) install(ckpt *vformat.Checkpoint) error {
 	c.loads++
 	c.applied = ckpt.Version
 	c.mu.Unlock()
+	inst.installs.Inc()
 	if c.serving != nil {
 		if err := nn.RestoreSnapshot(c.serving, ckpt.Weights); err != nil {
 			return fmt.Errorf("remote: restore: %w", err)

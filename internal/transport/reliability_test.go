@@ -36,7 +36,8 @@ func TestSendLatestRacingConsumerTerminatesWithExactAccounting(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < n; i++ {
-			if err := l.SendLatest(Frame{Key: fmt.Sprintf("f%d", i)}); err != nil {
+			// Varied payload sizes make the byte invariant meaningful.
+			if err := l.SendLatest(Frame{Key: fmt.Sprintf("f%d", i), Payload: make([]byte, 8+i%13)}); err != nil {
 				t.Errorf("SendLatest %d: %v", i, err)
 				return
 			}
@@ -46,11 +47,13 @@ func TestSendLatestRacingConsumerTerminatesWithExactAccounting(t *testing.T) {
 	// sometimes after letting the queue fill.
 	var last Frame
 	drained := 0
+	var drainedBytes int64
 	for {
 		f, ok := l.TryRecv()
 		if ok {
 			last = f
 			drained++
+			drainedBytes += int64(len(f.Payload))
 			continue
 		}
 		select {
@@ -63,6 +66,7 @@ func TestSendLatestRacingConsumerTerminatesWithExactAccounting(t *testing.T) {
 				}
 				last = f
 				drained++
+				drainedBytes += int64(len(f.Payload))
 			}
 		default:
 		}
@@ -73,6 +77,11 @@ out:
 	s := l.Stats()
 	if int(s.FramesSent) != drained+int(s.FramesDropped) {
 		t.Fatalf("accounting: sent %d != drained %d + dropped %d", s.FramesSent, drained, s.FramesDropped)
+	}
+	// The same invariant must hold for bytes: evicted frames may not
+	// stay counted as delivered throughput.
+	if s.BytesSent != drainedBytes+s.BytesDropped {
+		t.Fatalf("byte accounting: sent %d != drained %d + dropped %d", s.BytesSent, drainedBytes, s.BytesDropped)
 	}
 	// The newest frame can never be evicted (nothing supersedes it),
 	// so the consumer's last observation must be the final send.
