@@ -17,6 +17,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "==> viper-vet ./..."
+# The full analyzer suite must be registered: a refactor that silently
+# drops an analyzer from All() would otherwise pass this gate forever.
+analyzer_count=$(go run ./cmd/viper-vet -list | wc -l)
+if [ "$analyzer_count" -ne 13 ]; then
+    echo "ci.sh: viper-vet registers $analyzer_count analyzers, expected 13" >&2
+    exit 1
+fi
 go run ./cmd/viper-vet ./...
 
 echo "==> go vet ./..."
@@ -36,6 +43,21 @@ go test -race -count=1 \
     ./internal/transport/ ./internal/pubsub/ ./internal/remote/ \
     ./internal/kvstore/ ./internal/coupled/ ./internal/relay/ \
     ./internal/metrics/
+
+# PR 7's visibility smoke: one timed pass of the full 13-analyzer suite
+# (and the dataflow subset) over the repository. The dataflow analyzers
+# run a per-function fixpoint, so a pathological slowdown there should
+# surface as a number here, not as a mysteriously slow viper-vet gate.
+echo "==> analysis suite bench smoke (full suite + dataflow subset, 1x)"
+bench7_out=$(go test -run '^$' -bench 'BenchmarkSuite' -benchtime 1x \
+    ./internal/analysis/)
+echo "$bench7_out"
+suite_ns=$(echo "$bench7_out" | awk '$1 ~ /SuiteFull/ { print $3; exit }')
+if [ -z "$suite_ns" ]; then
+    echo "ci.sh: missing analysis suite benchmark result" >&2
+    exit 1
+fi
+awk "BEGIN { printf \"analysis suite wall-time: %.1f ms per full pass\\n\", $suite_ns / 1000000 }"
 
 echo "==> bench smoke (transport + pubsub + kvstore + relay + metrics, 1x)"
 bench_out=$(go test -run '^$' -bench . -benchtime 1x \

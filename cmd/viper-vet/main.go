@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	viper-vet [-only a,b] [-skip a,b] [-json] [patterns...]
+//	viper-vet [-only a,b] [-skip a,b] [-pkgs p1,p2] [-json] [patterns...]
 //
 // Patterns default to ./... and accept plain directories or Go-style
-// "dir/..." wildcards, resolved within the enclosing module. Findings
-// print as "file:line: [analyzer] message". Individual lines can be
-// waived with a reviewed suppression comment:
+// "dir/..." wildcards, resolved within the enclosing module.
+// Alternatively -pkgs takes a comma-separated package list (import
+// paths like viper/internal/core, or module-relative like
+// internal/core) and scopes the run to exactly those packages — the
+// changed-packages mode CI uses to vet a diff without reloading the
+// whole module. Findings print as "file:line: [analyzer] message".
+// Individual lines can be waived with a reviewed suppression comment:
 //
 //	//lint:ignore analyzer reason
 //
@@ -24,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,50 +46,73 @@ type jsonFinding struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
-	skip := flag.String("skip", "", "comma-separated analyzers to skip")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (including suppressed ones)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: viper-vet [-only a,b] [-skip a,b] [patterns...]\n\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an exit code, testable in-process. dir
+// "." semantics (module discovery, pattern resolution) come from the
+// process working directory.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("viper-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	pkgsFlag := fs.String("pkgs", "", "comma-separated packages to analyze (import paths or module-relative; overrides patterns)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (including suppressed ones)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: viper-vet [-only a,b] [-skip a,b] [-pkgs p1,p2] [patterns...]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := selectAnalyzers(*only, *skip)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "viper-vet: %v\n", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "viper-vet: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if *pkgsFlag != "" {
+		if len(patterns) > 0 {
+			fmt.Fprintf(stderr, "viper-vet: -pkgs and positional patterns are mutually exclusive\n")
+			return 2
+		}
+		patterns, err = pkgDirs(loader, *pkgsFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "viper-vet: %v\n", err)
+			return 2
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	loader, err := analysis.NewLoader(".")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
-		os.Exit(2)
-	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "viper-vet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "viper-vet: %v\n", err)
+		return 2
 	}
 
 	diags := analysis.RunAll(pkgs, analyzers)
 	cwd, _ := os.Getwd()
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	unsuppressed := 0
 	for _, d := range diags {
 		if !d.Suppressed {
@@ -106,13 +134,46 @@ func main() {
 				Suppressed: d.Suppressed,
 			})
 		case !d.Suppressed:
-			fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
 		}
 	}
 	if unsuppressed > 0 {
-		fmt.Fprintf(os.Stderr, "viper-vet: %d finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "viper-vet: %d finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// pkgDirs resolves a comma-separated -pkgs list to package directories
+// inside the loader's module. Entries may be full import paths
+// ("viper/internal/core"), module-relative slash paths
+// ("internal/core"), or the module path itself.
+func pkgDirs(loader *analysis.Loader, pkgs string) ([]string, error) {
+	var dirs []string
+	for _, entry := range strings.Split(pkgs, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		rel := entry
+		if entry == loader.ModulePath() {
+			rel = "."
+		} else if rest, ok := strings.CutPrefix(entry, loader.ModulePath()+"/"); ok {
+			rel = rest
+		}
+		if filepath.IsAbs(rel) || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %q is outside module %s", entry, loader.ModulePath())
+		}
+		dir := filepath.Join(loader.ModuleRoot(), filepath.FromSlash(rel))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("package %q: no directory %s in module %s", entry, dir, loader.ModulePath())
+		}
+		dirs = append(dirs, dir)
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("-pkgs given but no packages listed")
+	}
+	return dirs, nil
 }
 
 func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {

@@ -86,10 +86,15 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		CloseLeak,
+		CtxFlow,
+		ErrorEq,
 		FloatEq,
 		GoLeak,
 		Layering,
 		LockedSend,
+		MetricReg,
+		PairBalance,
+		PoolOwn,
 		SimclockPurity,
 		SpinLoop,
 		WaitMisuse,

@@ -1,0 +1,50 @@
+// Benchmarks for the analysis suite itself. ci.sh smoke-runs these so
+// the reported wall-time of a full 13-analyzer pass over the repository
+// stays visible: the dataflow analyzers (poolown, pairbalance) do
+// per-function fixpoint iteration, and a pathological regression there
+// would otherwise only show up as a mysteriously slow CI gate.
+
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadRepo loads every package of the enclosing module once.
+func loadRepo(b *testing.B) []*Package {
+	b.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.Load(filepath.Join(l.ModuleRoot(), "..."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pkgs
+}
+
+// BenchmarkSuiteFull runs all registered analyzers over the whole
+// repository (load cost excluded — parsing and type-checking happen
+// once outside the timer, matching how the CLI amortizes them across
+// analyzers).
+func BenchmarkSuiteFull(b *testing.B) {
+	pkgs := loadRepo(b)
+	analyzers := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAll(pkgs, analyzers)
+	}
+}
+
+// BenchmarkSuiteDataflow isolates the CFG+fixpoint analyzers, the only
+// ones whose cost is superlinear in function size.
+func BenchmarkSuiteDataflow(b *testing.B) {
+	pkgs := loadRepo(b)
+	analyzers := []*Analyzer{PoolOwn, PairBalance}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAll(pkgs, analyzers)
+	}
+}

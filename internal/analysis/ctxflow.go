@@ -1,0 +1,145 @@
+// ctxflow polices context threading in the delivery packages (PR 5
+// made every blocking public API context-first): non-main, non-test
+// code under viper/internal/ must not mint its own root context with
+// context.Background() / context.TODO() — it should accept one and
+// thread it through. The single structural exemption is the
+// constructor-default idiom,
+//
+//	if cfg.Ctx == nil {
+//		cfg.Ctx = context.Background()
+//	}
+//
+// where a nil guard on a context-typed variable makes Background the
+// explicit, documented default rather than a dropped caller context.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow flags root-context creation in internal packages.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "internal packages must thread a caller context, not mint context.Background()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !strings.HasPrefix(pass.ImportPath, "viper/internal/") {
+		return
+	}
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFunc(pass.Info, call, "context", map[string]bool{"Background": true, "TODO": true})
+			if !ok {
+				return true
+			}
+			if nilDefaultExempt(pass.Info, call, stack) {
+				return true
+			}
+			if enclosingFuncHasCtx(pass.Info, stack) {
+				pass.Reportf(call.Pos(), "context.%s() drops the context this function already has: thread the existing ctx to the callee", name)
+			} else {
+				pass.Reportf(call.Pos(), "context.%s() mints a root context in an internal package: accept a context.Context and thread it instead", name)
+			}
+			return true
+		})
+	}
+}
+
+// nilDefaultExempt recognizes `if x == nil { x = context.Background() }`
+// (and the x != nil else-branch spelling): the assignment target must be
+// context-typed and structurally identical to the nil-checked operand.
+func nilDefaultExempt(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	// Walk outward: the call must be the sole RHS of an assignment.
+	var assign *ast.AssignStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) == 1 && ast.Unparen(n.Rhs[0]) == call {
+				assign = n
+			}
+		case *ast.IfStmt:
+			if assign == nil {
+				return false
+			}
+			return nilGuardMatches(info, n, assign.Lhs[0])
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// nilGuardMatches reports whether ifStmt's condition nil-checks target,
+// which must be context-typed.
+func nilGuardMatches(info *types.Info, ifStmt *ast.IfStmt, target ast.Expr) bool {
+	if !isContextType(info.TypeOf(target)) {
+		return false
+	}
+	bin, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op.String() != "==" && bin.Op.String() != "!=") {
+		return false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if !isNilIdent(y) {
+		x, y = y, x
+		if !isNilIdent(y) {
+			return false
+		}
+	}
+	return exprString(x) == exprString(target)
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// enclosingFuncHasCtx reports whether any enclosing function in the
+// stack declares a context.Context parameter the call could have used.
+func enclosingFuncHasCtx(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if isContextType(info.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}

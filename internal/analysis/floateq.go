@@ -1,5 +1,5 @@
 // floateq flags == and != between floating-point operands in the
-// numeric packages (tensor, nn, ipp). Exact float equality is almost
+// numeric packages (tensor, nn, ipp, curvefit). Exact float equality is almost
 // always a latent bug in gradient/loss arithmetic — two mathematically
 // equal expressions routinely differ in the last ulp — and the paper's
 // loss-curve machinery (ipp) makes decisions on these comparisons.
@@ -21,15 +21,16 @@ import (
 // FloatEq reports exact floating-point equality comparisons.
 var FloatEq = &Analyzer{
 	Name: "floateq",
-	Doc:  "== or != on floating-point operands in tensor/nn/ipp (comparison with literal 0 is allowed)",
+	Doc:  "== or != on floating-point operands in tensor/nn/ipp/curvefit (comparison with literal 0 is allowed)",
 	Run:  runFloatEq,
 }
 
 // floatEqScope lists the numeric packages the check applies to.
 var floatEqScope = map[string]bool{
-	"viper/internal/tensor": true,
-	"viper/internal/nn":     true,
-	"viper/internal/ipp":    true,
+	"viper/internal/tensor":   true,
+	"viper/internal/nn":       true,
+	"viper/internal/ipp":      true,
+	"viper/internal/curvefit": true,
 }
 
 func runFloatEq(pass *Pass) {

@@ -79,7 +79,33 @@ func TestGoldenWaitMisuse(t *testing.T) {
 
 func TestGoldenFloatEq(t *testing.T) {
 	runGolden(t, FloatEq, "testdata/src/floateq/scoped", "viper/internal/tensor")
+	// curvefit entered the scope in PR 7; the same fixture flags there.
+	runGolden(t, FloatEq, "testdata/src/floateq/scoped", "viper/internal/curvefit")
 	runGolden(t, FloatEq, "testdata/src/floateq/unscoped", "viper/internal/trace")
+}
+
+func TestGoldenPoolOwn(t *testing.T) {
+	runGolden(t, PoolOwn, "testdata/src/poolown", "viper/internal/core")
+}
+
+func TestGoldenPairBalance(t *testing.T) {
+	runGolden(t, PairBalance, "testdata/src/pairbalance/pin", "viper/internal/relay")
+	runGolden(t, PairBalance, "testdata/src/pairbalance/credit", "viper/internal/core")
+}
+
+func TestGoldenCtxFlow(t *testing.T) {
+	runGolden(t, CtxFlow, "testdata/src/ctxflow/inscope", "viper/internal/ctxfix")
+	// package main is exempt under both a cmd/ path and an internal path.
+	runGolden(t, CtxFlow, "testdata/src/ctxflow/outscope", "viper/cmd/ctxtool")
+	runGolden(t, CtxFlow, "testdata/src/ctxflow/outscope", "viper/internal/ctxout")
+}
+
+func TestGoldenErrorEq(t *testing.T) {
+	runGolden(t, ErrorEq, "testdata/src/erroreq", "viper/internal/errfix")
+}
+
+func TestGoldenMetricReg(t *testing.T) {
+	runGolden(t, MetricReg, "testdata/src/metricreg", "viper/internal/metfix")
 }
 
 // runGolden loads dir under importPath, runs exactly one analyzer, and

@@ -130,7 +130,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		if len(pkg.TypeErrors) > 0 {
-			return nil, fmt.Errorf("analysis: %s did not type-check: %v", path, pkg.TypeErrors[0])
+			return nil, fmt.Errorf("analysis: %s did not type-check: %w", path, pkg.TypeErrors[0])
 		}
 		return pkg.Pkg, nil
 	}

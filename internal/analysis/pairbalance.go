@@ -1,0 +1,67 @@
+// pairbalance enforces table-driven acquire/release pairing on the two
+// protocol pairs PRs 5–6 introduced:
+//
+//   - relay pin/unpin: a cache version pinned for a send must be
+//     unpinned on every path, or eviction blocks forever; and a version
+//     born in-function (composite literal) must not be unpinned without
+//     a dominating pin — the pre-PR-6 unpinned-eviction bug class.
+//   - credit Recv/Grant (DESIGN §10): a consumer that receives frames
+//     over a windowed link must re-mint the spent credit via Grant
+//     before returning, or the producer's Send/Grant window drains and
+//     stalls. The link handle is the token, so an initial
+//     Grant(window) with no prior Recv is deliberately not flagged.
+//
+// Both rules ride the ownership engine in dataflow.go; selector-field
+// receivers (c.link) are untracked by design — false negatives over
+// false positives.
+
+package analysis
+
+var pairbalanceRules = []*ownRule{
+	{
+		what: "pin",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/relay", typeName: "Relay", funcName: "pin", token: tokenArg},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/relay", typeName: "Relay", funcName: "unpin", token: tokenArg},
+		},
+		scope: map[string]bool{
+			"viper/internal/relay": true,
+		},
+		reportUnacquired: true,
+		leakMsg:          "pinned version %s is not unpinned on this return path: eviction of its generation blocks until the pin count drains",
+		doubleMsg:        "version %s unpinned twice: the pin count goes negative and eviction may free it while still in use",
+		useAfterMsg:      "version %s used after unpin: eviction may have freed it already",
+		unacquiredMsg:    "version %s unpinned without a dominating pin: it was created in this function and never pinned",
+	},
+	{
+		what: "credit",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/transport", typeName: "Link", funcName: "Recv", token: tokenRecv},
+			{pkgPath: "viper/internal/transport", typeName: "Link", funcName: "TryRecv", token: tokenRecv},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/transport", typeName: "Link", funcName: "Grant", token: tokenRecv},
+		},
+		scope: map[string]bool{
+			"viper/internal/core":    true,
+			"viper/internal/relay":   true,
+			"viper/internal/remote":  true,
+			"viper/internal/coupled": true,
+		},
+		handleToken: true,
+		leakMsg:     "frames received on %s but no credit granted back on this return path: a windowed producer stalls once the credit window drains (DESIGN §10)",
+		doubleMsg:   "credit granted twice on %s for a single receive: the window inflates past its cap",
+		useAfterMsg: "link %s used after its credit was granted back", // unreachable for handle tokens; kept for the template contract
+	},
+}
+
+// PairBalance flags unbalanced acquire/release protocol pairs.
+var PairBalance = &Analyzer{
+	Name: "pairbalance",
+	Doc:  "relay pin/unpin and credit Recv/Grant pairs must balance on every path",
+	Run: func(pass *Pass) {
+		runOwnership(pass, pairbalanceRules)
+	},
+}

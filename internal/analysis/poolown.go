@@ -1,0 +1,61 @@
+// poolown enforces the DESIGN §8 buffer-pool ownership contract on the
+// encode path: a pooled exact-size blob returned by
+// vformat.EncodeChunked (or drawn via getBuf inside vformat itself) must
+// be released exactly once — vformat.ReleaseBuffer / putBuf — or have
+// its ownership transferred (sent, returned, stored, captured). The
+// historical bug class is PR 4's header-send-failure recovery: an error
+// return between encode and send that leaks the blob back to the GC
+// instead of the pool. The analyzer flags leak-on-return paths,
+// double-release, and use-after-release; see dataflow.go for the engine
+// and DESIGN.md §7b for its limits.
+
+package analysis
+
+var poolownScope = map[string]bool{
+	"viper/internal/vformat": true,
+	"viper/internal/core":    true,
+	"viper/internal/remote":  true,
+	"viper/internal/relay":   true,
+	"viper/internal/coupled": true,
+}
+
+var poolownRules = []*ownRule{
+	{
+		what: "pooled blob",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/vformat", funcName: "EncodeChunked", token: tokenResult},
+			{pkgPath: "viper/internal/vformat", funcName: "getBuf", token: tokenResult},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/vformat", funcName: "ReleaseBuffer", token: tokenArg},
+			{pkgPath: "viper/internal/vformat", funcName: "putBuf", token: tokenArg},
+		},
+		scope:       poolownScope,
+		leakMsg:     "pooled blob %s leaks on this return path: release it (vformat.ReleaseBuffer) or transfer ownership before returning (DESIGN §8)",
+		doubleMsg:   "pooled blob %s released twice: the pool would hand the same backing array to two owners (DESIGN §8)",
+		useAfterMsg: "pooled blob %s used after release: the pool may already have re-issued its backing array (DESIGN §8)",
+	},
+	{
+		what: "chunk encoder",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/vformat", funcName: "NewChunkEncoder", token: tokenResult},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/vformat", typeName: "ChunkEncoder", funcName: "Release", token: tokenRecv},
+		},
+		scope:       poolownScope,
+		handleToken: true,
+		leakMsg:     "chunk encoder %s leaks on this return path: call its Release to return the pooled blob (DESIGN §8)",
+		doubleMsg:   "chunk encoder %s released twice (DESIGN §8)",
+		useAfterMsg: "chunk encoder %s used after Release: its blob is back in the pool (DESIGN §8)",
+	},
+}
+
+// PoolOwn flags violations of the pooled-blob ownership protocol.
+var PoolOwn = &Analyzer{
+	Name: "poolown",
+	Doc:  "pooled encode-path blobs must be released exactly once or ownership-transferred (DESIGN §8)",
+	Run: func(pass *Pass) {
+		runOwnership(pass, poolownRules)
+	},
+}

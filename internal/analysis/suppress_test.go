@@ -14,12 +14,18 @@ import (
 // loadSnippet writes src to a temp package and loads it under a
 // throwaway import path.
 func loadSnippet(t *testing.T, src string) *Package {
+	return loadSnippetAs(t, src, "fixture/suppressedge")
+}
+
+// loadSnippetAs is loadSnippet under an explicit (possibly synthetic
+// module-internal) import path, for path-scoped analyzers.
+func loadSnippetAs(t *testing.T, src, importPath string) *Package {
 	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := sharedLoader(t).LoadDir(dir, "fixture/suppressedge")
+	pkg, err := sharedLoader(t).LoadDir(dir, importPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,5 +160,136 @@ func send(b *box, ch chan int) {
 	live := Run([]*Package{pkg}, []*Analyzer{LockedSend})
 	if len(live) != 1 || live[0].Suppressed {
 		t.Fatalf("Run must return only the unsuppressed finding, got %v", live)
+	}
+}
+
+// TestSuppressAndRunAllDataflowAnalyzers covers the waiver + RunAll
+// (-json) contract for every analyzer added in the dataflow wave: each
+// snippet contains the same finding twice, one under a lint:ignore
+// directive. Run must return only the live one; RunAll must return both
+// with exactly the waived one marked Suppressed.
+func TestSuppressAndRunAllDataflowAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer   *Analyzer
+		importPath string
+		src        string
+	}{
+		{PoolOwn, "viper/internal/core", `package fix
+
+import (
+	"context"
+	"errors"
+
+	"viper/internal/vformat"
+)
+
+var errSend = errors.New("send failed")
+
+func waived(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	_ = blob[0]
+	//lint:ignore poolown reviewed: the leak is intentional in this fixture
+	return errSend
+}
+
+func live(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	_ = blob[0]
+	return errSend
+}
+`},
+		{PairBalance, "viper/internal/core", `package fix
+
+import "viper/internal/transport"
+
+func waived(link *transport.Link) error {
+	if _, err := link.Recv(); err != nil {
+		return err
+	}
+	//lint:ignore pairbalance reviewed: grant happens at the call site
+	return nil
+}
+
+func live(link *transport.Link) error {
+	if _, err := link.Recv(); err != nil {
+		return err
+	}
+	return nil
+}
+`},
+		{CtxFlow, "viper/internal/ctxfix", `package fix
+
+import "context"
+
+func waived() {
+	//lint:ignore ctxflow reviewed: root context is deliberate here
+	_ = context.Background()
+}
+
+func live() {
+	_ = context.Background()
+}
+`},
+		{ErrorEq, "viper/internal/errfix", `package fix
+
+import "errors"
+
+var ErrOverloaded = errors.New("overloaded")
+
+func waived(err error) bool {
+	//lint:ignore erroreq reviewed: identity compare is intentional
+	return err == ErrOverloaded
+}
+
+func live(err error) bool {
+	return err == ErrOverloaded
+}
+`},
+		{MetricReg, "viper/internal/metfix", `package fix
+
+import "viper/internal/metrics"
+
+var reg = metrics.NewRegistry("fix")
+
+func waived() {
+	//lint:ignore metricreg reviewed: legacy dashboard name
+	reg.Counter("BadName")
+}
+
+func live() {
+	reg.Counter("BadName")
+}
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			pkg := loadSnippetAs(t, c.src, c.importPath)
+			live := Run([]*Package{pkg}, []*Analyzer{c.analyzer})
+			if len(live) != 1 || live[0].Analyzer != c.analyzer.Name || live[0].Suppressed {
+				t.Fatalf("Run = %v, want exactly the one live %s finding", live, c.analyzer.Name)
+			}
+			all := RunAll([]*Package{pkg}, []*Analyzer{c.analyzer})
+			if len(all) != 2 {
+				t.Fatalf("RunAll returned %d diagnostics, want 2 (one waived, one live): %v", len(all), all)
+			}
+			suppressed := 0
+			for _, d := range all {
+				if d.Analyzer != c.analyzer.Name {
+					t.Fatalf("unexpected analyzer %q in %v", d.Analyzer, all)
+				}
+				if d.Suppressed {
+					suppressed++
+				}
+			}
+			if suppressed != 1 {
+				t.Fatalf("RunAll marked %d of %d findings suppressed, want exactly 1: %v", suppressed, len(all), all)
+			}
+		})
 	}
 }

@@ -1,0 +1,57 @@
+// Golden fixture for ctxflow, loaded under viper/internal/ctxfix (an
+// internal non-main package, so root-context creation is policed).
+package ctxfix
+
+import "context"
+
+type Config struct {
+	Ctx context.Context
+}
+
+func blockingCall(ctx context.Context) error { return ctx.Err() }
+
+// mintsRoot has no context to thread, which is exactly the API bug:
+// it should accept one.
+func mintsRoot() error {
+	return blockingCall(context.Background()) // want "mints a root context in an internal package"
+}
+
+// dropsCtx has a perfectly good context and ignores it.
+func dropsCtx(ctx context.Context) error {
+	return blockingCall(context.Background()) // want "drops the context this function already has"
+}
+
+// todoCounts flags context.TODO the same way.
+func todoCounts() error {
+	return blockingCall(context.TODO()) // want "mints a root context in an internal package"
+}
+
+// nilDefault is the one exempt idiom: Background as the documented
+// default when the caller supplied none.
+func nilDefault(cfg Config) error {
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	return blockingCall(cfg.Ctx)
+}
+
+// nilDefaultVar is the same idiom on a local.
+func nilDefaultVar(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return blockingCall(ctx)
+}
+
+// threaded is the clean shape.
+func threaded(ctx context.Context) error {
+	return blockingCall(ctx)
+}
+
+// litDropsCtx: a closure inside a ctx-bearing function still has that
+// context in scope.
+func litDropsCtx(ctx context.Context) func() error {
+	return func() error {
+		return blockingCall(context.Background()) // want "drops the context this function already has"
+	}
+}

@@ -1,0 +1,11 @@
+// Out-of-scope fixture for ctxflow: package main is where root
+// contexts are legitimately born, so nothing here is flagged.
+package main
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func main() {
+	_ = run(context.Background())
+}

@@ -1,0 +1,76 @@
+// Golden fixture for erroreq: sentinel comparison and %w-wrapping
+// discipline for the wrapped error taxonomy (PR 5). The sentinels here
+// mirror the ErrOverloaded family's shape.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrOverloaded = errors.New("overloaded")
+	errInternal   = errors.New("internal")
+)
+
+func work() error { return ErrOverloaded }
+
+func compareEq(err error) bool {
+	return err == ErrOverloaded // want "ErrOverloaded compared with =="
+}
+
+func compareNeq(err error) bool {
+	return ErrOverloaded != err // want "ErrOverloaded compared with !="
+}
+
+func compareUnexported(err error) bool {
+	return err == errInternal // want "errInternal compared with =="
+}
+
+// nilChecks stay legal: they test presence, not identity.
+func nilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+// errorsIs is the idiomatic form.
+func errorsIs(err error) bool {
+	return errors.Is(err, ErrOverloaded)
+}
+
+// localCompare of two plain error values is not a sentinel match.
+func localCompare(a, b error) bool {
+	return a == b
+}
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("relay overloaded: %v", err) // want "error err formatted with %v"
+}
+
+func wrapWithS(err error) error {
+	return fmt.Errorf("relay overloaded: %s", err) // want "error err formatted with %s"
+}
+
+// historicBugShape is the in-tree bug class this analyzer caught: two
+// failures in one message, only one of them wrapped.
+func historicBugShape(sendErr, stageErr error) error {
+	return fmt.Errorf("send failed (%v) and staging failed: %w", sendErr, stageErr) // want "error sendErr formatted with %v"
+}
+
+func wrapWithW(err error) error {
+	return fmt.Errorf("relay overloaded: %w", err)
+}
+
+// doubleWrap is legal since Go 1.20.
+func doubleWrap(sendErr, stageErr error) error {
+	return fmt.Errorf("send failed (%w) and staging failed: %w", sendErr, stageErr)
+}
+
+// typeVerb prints the dynamic type, deliberately not the chain.
+func typeVerb(err error) string {
+	return fmt.Sprintf("%T", err)
+}
+
+// nonErrorArgs are fmt.Errorf business as usual.
+func nonErrorArgs(n int, name string) error {
+	return fmt.Errorf("chunk %d of %s lost", n, name)
+}

@@ -1,0 +1,74 @@
+// Golden fixture for pairbalance's credit rule, loaded under
+// viper/internal/core and using the real transport.Link. The leak case
+// mirrors the recvVia bug class: frames received on a windowed link
+// with no Grant re-minting the spent credits, so the producer's window
+// drains and Send blocks forever (DESIGN §10).
+package creditfix
+
+import (
+	"viper/internal/transport"
+)
+
+// recvWithoutGrant consumes a frame and the drained backlog but never
+// grants the credits back.
+func recvWithoutGrant(link *transport.Link) (transport.Frame, error) {
+	frame, err := link.Recv()
+	if err != nil {
+		return transport.Frame{}, err // refined: failed receive owes nothing
+	}
+	for {
+		next, ok := link.TryRecv()
+		if !ok {
+			break
+		}
+		frame = next
+	}
+	return frame, nil // want "frames received on link but no credit granted back"
+}
+
+// recvWithGrant re-mints one credit per delivered frame before
+// returning.
+func recvWithGrant(link *transport.Link) (transport.Frame, error) {
+	frame, err := link.Recv()
+	if err != nil {
+		return transport.Frame{}, err
+	}
+	acked := 1
+	for {
+		next, ok := link.TryRecv()
+		if !ok {
+			break
+		}
+		frame = next
+		acked++
+	}
+	link.Grant(acked)
+	return frame, nil
+}
+
+// initialWindow grants the starting window with no prior receive: this
+// is how a consumer opens the flow and must stay silent.
+func initialWindow(link *transport.Link, window int) {
+	link.Grant(window)
+}
+
+// deferredGrant is clean: the grant is scheduled before the receive
+// loop's early returns.
+func deferredGrant(link *transport.Link) (transport.Frame, error) {
+	frame, err := link.Recv()
+	if err != nil {
+		return transport.Frame{}, err
+	}
+	defer link.Grant(1)
+	return frame, nil
+}
+
+// doubleGrant re-mints the same credit twice, inflating the window.
+func doubleGrant(link *transport.Link) error {
+	if _, err := link.Recv(); err != nil {
+		return err
+	}
+	link.Grant(1)
+	link.Grant(1) // want "credit granted twice on link"
+	return nil
+}

@@ -1,0 +1,89 @@
+// Golden fixture for pairbalance's pin/unpin rule, loaded under
+// viper/internal/relay. The real Relay's pin/unpin are unexported, so
+// the fixture declares stand-ins under the same import path — matching
+// is by package path + receiver type + method name, exactly how the
+// real sites resolve. leakOnWriteFailure reproduces the pre-PR-6
+// historical bug class: a pinned version left pinned on an error path
+// blocks eviction of its generation forever.
+package relayfix
+
+import "errors"
+
+var errWrite = errors.New("write failed")
+
+type version struct {
+	pins int
+	blob []byte
+}
+
+type Relay struct {
+	byKey map[string]*version
+}
+
+func (r *Relay) pin(v *version)   { v.pins++ }
+func (r *Relay) unpin(v *version) { v.pins-- }
+
+func write(b []byte) error { return errWrite }
+
+// leakOnWriteFailure is the pre-PR-6 bug: the error return exits with
+// the pin still held.
+func (r *Relay) leakOnWriteFailure(v *version) error {
+	r.pin(v)
+	if err := write(v.blob); err != nil {
+		return err // want "pinned version v is not unpinned on this return path"
+	}
+	r.unpin(v)
+	return nil
+}
+
+// balanced releases on every path via defer — the PR-6 fix shape.
+func (r *Relay) balanced(v *version) error {
+	r.pin(v)
+	defer r.unpin(v)
+	return write(v.blob)
+}
+
+func (r *Relay) doubleUnpin(v *version) {
+	r.pin(v)
+	r.unpin(v)
+	r.unpin(v) // want "version v unpinned twice"
+}
+
+// useAfterUnpin reads the version after dropping the pin: eviction may
+// already have freed it.
+func (r *Relay) useAfterUnpin(v *version) []byte {
+	r.pin(v)
+	r.unpin(v)
+	return v.blob // want "version v used after unpin"
+}
+
+// unpinFresh releases a version born in this function that was never
+// pinned: the pin count goes negative.
+func (r *Relay) unpinFresh() {
+	v := &version{}
+	r.unpin(v) // want "version v unpinned without a dominating pin"
+}
+
+// unpinHandedIn is clean: the version came from elsewhere, so its pin
+// may be held by the caller — not ours to judge intra-procedurally.
+func (r *Relay) unpinHandedIn(key string) {
+	v := r.byKey[key]
+	if v != nil {
+		r.unpin(v)
+	}
+}
+
+// pinnedSwitch balances across switch arms.
+func (r *Relay) pinnedSwitch(v *version, mode int) error {
+	r.pin(v)
+	switch mode {
+	case 0:
+		r.unpin(v)
+		return nil
+	case 1:
+		defer r.unpin(v)
+		return write(v.blob)
+	default:
+		return errWrite // want "pinned version v is not unpinned on this return path"
+	}
+}

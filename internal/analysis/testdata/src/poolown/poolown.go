@@ -1,0 +1,124 @@
+// Golden fixture for poolown, loaded under viper/internal/core (an
+// in-scope delivery package). The first case reproduces the PR-4
+// historical bug class: the header send fails and the error return
+// leaks the pooled blob instead of putting it back.
+package poolfix
+
+import (
+	"context"
+	"errors"
+
+	"viper/internal/vformat"
+)
+
+var errSend = errors.New("send failed")
+
+func sendHeader() error { return errSend }
+
+func send(b []byte) error { return nil }
+
+// leakOnHeaderSendFailure is the PR-4 bug: encode succeeds, the header
+// send fails, and the early error return drops the pooled blob.
+func leakOnHeaderSendFailure(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err // refined: the acquire failed, nothing to release
+	}
+	if err := sendHeader(); err != nil {
+		return err // want "pooled blob blob leaks on this return path"
+	}
+	return send(blob) // ownership transferred to send
+}
+
+// recoveredHeaderSendFailure is the PR-4 fix shape: the failure path
+// releases before returning.
+func recoveredHeaderSendFailure(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	if err := sendHeader(); err != nil {
+		vformat.ReleaseBuffer(blob)
+		return err
+	}
+	return send(blob)
+}
+
+func doubleRelease(ctx context.Context, ckpt *vformat.Checkpoint) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return
+	}
+	vformat.ReleaseBuffer(blob)
+	vformat.ReleaseBuffer(blob) // want "pooled blob blob released twice"
+}
+
+func useAfterRelease(ctx context.Context, ckpt *vformat.Checkpoint) byte {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return 0
+	}
+	vformat.ReleaseBuffer(blob)
+	return blob[0] // want "pooled blob blob used after release"
+}
+
+// deferredRelease is clean: the deferred release discharges every path.
+func deferredRelease(ctx context.Context, ckpt *vformat.Checkpoint) (int, error) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return 0, err
+	}
+	defer vformat.ReleaseBuffer(blob)
+	if len(blob) == 0 {
+		return 0, errSend
+	}
+	return len(blob), nil
+}
+
+// transferByReturn is clean: returning the blob hands ownership to the
+// caller (the §8 encode path itself has this shape).
+func transferByReturn(ctx context.Context, ckpt *vformat.Checkpoint) ([]byte, error) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// encoderLeak loses a ChunkEncoder on the error path after Layout
+// succeeds; the encoder holds a pooled blob until Release.
+func encoderLeak(ckpt *vformat.Checkpoint) error {
+	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	if enc.NumChunks() == 0 {
+		return errSend // want "chunk encoder enc leaks on this return path"
+	}
+	enc.Release()
+	return nil
+}
+
+// encoderClean releases on every path via defer.
+func encoderClean(ckpt *vformat.Checkpoint) error {
+	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	defer enc.Release()
+	if enc.NumChunks() == 0 {
+		return errSend
+	}
+	return nil
+}
+
+// waived shows a lint:ignore directive suppressing a real finding.
+func waived(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	_ = blob[0]
+	//lint:ignore poolown fixture demonstrates a waived leak
+	return errSend
+}

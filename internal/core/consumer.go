@@ -175,6 +175,7 @@ func (c *Consumer) LatestMeta() (*ModelMeta, error) {
 // and loads it if present — the baseline pull-based path the paper
 // criticizes. It returns (nil, false, nil) when nothing new exists.
 func (c *Consumer) Poll() (*LoadReport, bool, error) {
+	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of PollContext
 	return c.PollContext(context.Background())
 }
 
@@ -204,6 +205,7 @@ func (c *Consumer) PollContext(ctx context.Context) (*LoadReport, bool, error) {
 // It returns (nil, nil) when the notified version is already superseded
 // by the active one (a newer frame was applied earlier).
 func (c *Consumer) HandleNotification(msg pubsub.Message) (*LoadReport, error) {
+	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of HandleNotificationContext
 	return c.HandleNotificationContext(context.Background(), msg)
 }
 
@@ -226,6 +228,7 @@ func (c *Consumer) HandleNotificationContext(ctx context.Context, msg pubsub.Mes
 // always want the latest model). A notification for a version at or
 // below the active one is skipped, returning (nil, nil).
 func (c *Consumer) Load(meta *ModelMeta) (*LoadReport, error) {
+	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of LoadContext
 	return c.LoadContext(context.Background(), meta)
 }
 
@@ -359,17 +362,24 @@ func (c *Consumer) recvVia(link *transport.Link, local *memsim.Device, meta *Mod
 	// deltas between them) that must be consumed one frame per
 	// notification; otherwise full checkpoints are superseding, so drain
 	// to the newest.
+	acked := 1
 	if !meta.Incremental {
 		for {
 			next, ok := link.TryRecv()
 			if !ok {
 				break
 			}
+			acked++
 			if next.Key > frame.Key {
 				frame = next
 			}
 		}
 	}
+	// Re-mint every consumed frame's credit before any validation can
+	// bail out: the frames are off the wire either way, and a windowed
+	// producer stalls once the unacked count reaches the window
+	// (DESIGN §10).
+	link.Grant(acked)
 	if frame.Key < meta.Path {
 		return nil, fmt.Errorf("core: received stale frame %q, expected at least %q", frame.Key, meta.Path)
 	}

@@ -406,6 +406,7 @@ func (h *WeightsHandler) encodeChunked(ctx context.Context, ckpt *vformat.Checkp
 // Save checkpoints the given snapshot taken at iteration with the
 // observed training loss, executing the configured transfer strategy.
 func (h *WeightsHandler) Save(snapshot nn.Snapshot, iteration uint64, loss float64) (*SaveReport, error) {
+	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of SaveContext
 	return h.SaveContext(context.Background(), snapshot, iteration, loss)
 }
 

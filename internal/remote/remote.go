@@ -91,6 +91,11 @@ type ProducerConfig struct {
 	// Parallelism bounds the chunk-encode worker pool (0 = GOMAXPROCS).
 	// Only meaningful with ChunkSize set.
 	Parallelism int
+	// BaseContext is the root of the producer's lifecycle context: the
+	// context-free Publish runs under it, and Close cancels it, so an
+	// in-flight publish aborts instead of outliving the producer. Nil
+	// defaults to context.Background().
+	BaseContext context.Context
 }
 
 // registry is the package's metrics surface: delivery-path counters for
@@ -148,6 +153,11 @@ type Producer struct {
 	relay     bool
 	chunkSize int
 	workers   int
+
+	// lifeCtx is the lifecycle context minted from
+	// ProducerConfig.BaseContext; lifeCancel fires in Close.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 
 	mu      sync.Mutex
 	version uint64
@@ -233,10 +243,15 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 		}
 		return nil, fmt.Errorf("remote: link: %w", err)
 	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	lifeCtx, lifeCancel := context.WithCancel(cfg.BaseContext)
 	return &Producer{
 		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
 		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
 		relay: cfg.RelayAddr != "", chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
+		lifeCtx: lifeCtx, lifeCancel: lifeCancel,
 	}, nil
 }
 
@@ -246,7 +261,7 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 // stays dead the checkpoint still reaches the consumer through the
 // staging copy, with the metadata marking the degraded PFS-style route.
 func (p *Producer) Publish(snapshot nn.Snapshot, iteration uint64, loss float64) (*core.ModelMeta, error) {
-	return p.PublishContext(context.Background(), snapshot, iteration, loss)
+	return p.PublishContext(p.lifeCtx, snapshot, iteration, loss)
 }
 
 // PublishContext is Publish bounded by a context: cancellation aborts
@@ -367,7 +382,7 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 	if p.stage || sendErr != nil {
 		if err := p.kv.Set(core.StagingKey(p.model, version), string(payload)); err != nil {
 			if sendErr != nil {
-				return nil, fmt.Errorf("remote: link send failed (%v) and staging failed: %w", sendErr, err)
+				return nil, fmt.Errorf("remote: link send failed (%w) and staging failed: %w", sendErr, err)
 			}
 			// The link carried the frame; a failed staging copy only
 			// costs redundancy.
@@ -421,8 +436,9 @@ func (p *Producer) Stats() ProducerStats {
 	return p.stats
 }
 
-// Close tears down all connections.
+// Close cancels the lifecycle context and tears down all connections.
 func (p *Producer) Close() {
+	p.lifeCancel()
 	if p.ln != nil {
 		p.ln.Close()
 	}
@@ -455,6 +471,11 @@ type ConsumerConfig struct {
 	LinkDial func(addr string) (net.Conn, error)
 	// MetaDial, if set, replaces the metadata client dial.
 	MetaDial func(addr string) (net.Conn, error)
+	// BaseContext is the root of the consumer's lifecycle context: the
+	// context-free Next runs under it, and Close cancels it, so a
+	// blocked wait aborts instead of outliving the consumer. Nil
+	// defaults to context.Background().
+	BaseContext context.Context
 }
 
 // ConsumerStats counts consumer-side delivery activity.
@@ -488,6 +509,11 @@ type Consumer struct {
 	frames chan transport.Frame
 	stash  *transport.Frame // link frame that overshot its notification
 	closed chan struct{}
+
+	// lifeCtx is the lifecycle context minted from
+	// ConsumerConfig.BaseContext; lifeCancel fires in Close.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 
 	mu      sync.Mutex
 	active  *vformat.Checkpoint
@@ -538,12 +564,17 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 	if linkWait <= 0 {
 		linkWait = defaultLinkWait
 	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	lifeCtx, lifeCancel := context.WithCancel(cfg.BaseContext)
 	c := &Consumer{
 		model: cfg.Model, kv: kv, ps: ps, link: link,
 		events: events, serving: cfg.Serving,
 		linkWait: linkWait, policy: pol, clock: policyClock(pol),
-		frames: make(chan transport.Frame, 32),
-		closed: make(chan struct{}),
+		frames:  make(chan transport.Frame, 32),
+		closed:  make(chan struct{}),
+		lifeCtx: lifeCtx, lifeCancel: lifeCancel,
 	}
 	go c.pump()
 	return c, nil
@@ -642,7 +673,7 @@ func frameVersion(f *transport.Frame) uint64 {
 // reconnect) are ignored; notified versions that are unrecoverable on
 // both paths are skipped, since a newer update supersedes them.
 func (c *Consumer) Next(timeout time.Duration) (*vformat.Checkpoint, error) {
-	return c.NextContext(context.Background(), timeout)
+	return c.NextContext(c.lifeCtx, timeout)
 }
 
 // NextContext is Next bounded by a context: cancellation aborts the
@@ -891,8 +922,9 @@ func (c *Consumer) LatestMeta() (*core.ModelMeta, error) {
 	return core.DecodeMeta(raw)
 }
 
-// Close tears down all connections.
+// Close cancels the lifecycle context and tears down all connections.
 func (c *Consumer) Close() {
+	c.lifeCancel()
 	select {
 	case <-c.closed:
 	default:

@@ -653,6 +653,7 @@ func EncodeChunked(ctx context.Context, ckpt *Checkpoint, opts ChunkOptions) ([]
 		return nil, err
 	}
 	// Ownership of the blob transfers to the caller; do not Release.
+	//lint:ignore poolown Blob() handed the pooled buffer to the caller; Release here would double-issue it
 	return blob, nil
 }
 
