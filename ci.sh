@@ -20,8 +20,8 @@ echo "==> viper-vet ./..."
 # The full analyzer suite must be registered: a refactor that silently
 # drops an analyzer from All() would otherwise pass this gate forever.
 analyzer_count=$(go run ./cmd/viper-vet -list | wc -l)
-if [ "$analyzer_count" -ne 13 ]; then
-    echo "ci.sh: viper-vet registers $analyzer_count analyzers, expected 13" >&2
+if [ "$analyzer_count" -ne 16 ]; then
+    echo "ci.sh: viper-vet registers $analyzer_count analyzers, expected 16" >&2
     exit 1
 fi
 go run ./cmd/viper-vet ./...
@@ -44,10 +44,14 @@ go test -race -count=1 \
     ./internal/kvstore/ ./internal/coupled/ ./internal/relay/ \
     ./internal/metrics/
 
-# PR 7's visibility smoke: one timed pass of the full 13-analyzer suite
-# (and the dataflow subset) over the repository. The dataflow analyzers
-# run a per-function fixpoint, so a pathological slowdown there should
-# surface as a number here, not as a mysteriously slow viper-vet gate.
+# PR 7's visibility smoke, hardened in PR 8 into a hard gate: one timed
+# pass of the full 16-analyzer suite (and the dataflow subset) over the
+# repository. The dataflow analyzers run a per-function fixpoint and the
+# PR 8 summary layer adds a bottom-up pass over the module call graph,
+# so a pathological slowdown should fail CI as a number, not surface as
+# a mysteriously slow viper-vet gate. 250 ms is ~10x the measured cost
+# of a full pass, so the bound rejects accidental quadratic blowups
+# without flaking on a loaded runner.
 echo "==> analysis suite bench smoke (full suite + dataflow subset, 1x)"
 bench7_out=$(go test -run '^$' -bench 'BenchmarkSuite' -benchtime 1x \
     ./internal/analysis/)
@@ -58,6 +62,10 @@ if [ -z "$suite_ns" ]; then
     exit 1
 fi
 awk "BEGIN { printf \"analysis suite wall-time: %.1f ms per full pass\\n\", $suite_ns / 1000000 }"
+if ! awk "BEGIN { exit !($suite_ns <= 250000000) }"; then
+    echo "ci.sh: full analysis suite pass took ${suite_ns}ns, budget is 250ms" >&2
+    exit 1
+fi
 
 echo "==> bench smoke (transport + pubsub + kvstore + relay + metrics, 1x)"
 bench_out=$(go test -run '^$' -bench . -benchtime 1x \

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	viper-vet [-only a,b] [-skip a,b] [-pkgs p1,p2] [-json] [patterns...]
+//	viper-vet [-only a,b] [-skip a,b] [-pkgs p1,p2] [-json] [-timing] [patterns...]
 //
 // Patterns default to ./... and accept plain directories or Go-style
 // "dir/..." wildcards, resolved within the enclosing module.
@@ -22,6 +22,10 @@
 // the format ci.sh archives as an artifact. The exit code still reflects
 // only unsuppressed findings, so a waiver keeps the gate green while the
 // artifact records what was waived.
+//
+// With -timing, a per-analyzer wall-time breakdown follows the findings:
+// an aligned text table by default, or one {timing, analyzer, ms} object
+// per analyzer under -json.
 package main
 
 import (
@@ -45,6 +49,15 @@ type jsonFinding struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
+// jsonTiming is the -json -timing wire form of one analyzer's wall
+// time; Timing is always true so consumers can split the two record
+// kinds in the shared output stream.
+type jsonTiming struct {
+	Timing   bool    `json:"timing"`
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -60,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pkgsFlag := fs.String("pkgs", "", "comma-separated packages to analyze (import paths or module-relative; overrides patterns)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (including suppressed ones)")
+	timing := fs.Bool("timing", false, "print a per-analyzer wall-time breakdown after the findings")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: viper-vet [-only a,b] [-skip a,b] [-pkgs p1,p2] [patterns...]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
@@ -89,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "viper-vet: %v\n", err)
 		return 2
 	}
+	loader.Warn = stderr
 	patterns := fs.Args()
 	if *pkgsFlag != "" {
 		if len(patterns) > 0 {
@@ -110,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.RunAll(pkgs, analyzers)
+	diags, timings := analysis.RunAllTimed(pkgs, analyzers)
 	cwd, _ := os.Getwd()
 	enc := json.NewEncoder(stdout)
 	unsuppressed := 0
@@ -135,6 +150,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			})
 		case !d.Suppressed:
 			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	if *timing {
+		for _, tm := range timings {
+			if *jsonOut {
+				enc.Encode(jsonTiming{Timing: true, Analyzer: tm.Analyzer, Millis: float64(tm.Elapsed.Microseconds()) / 1000})
+			} else {
+				fmt.Fprintf(stdout, "%-15s %8.2fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
+			}
 		}
 	}
 	if unsuppressed > 0 {

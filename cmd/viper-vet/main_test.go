@@ -34,6 +34,12 @@ func send(b *box, ch chan int) {
 	b.mu.Unlock()
 }
 `,
+		"testonly/only_test.go": `package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}
+`,
 		"waived/waived.go": `package waived
 
 import "sync"
@@ -171,5 +177,72 @@ func TestListAndAnalyzerSelection(t *testing.T) {
 	// Skipping the only violated analyzer turns the dirty package clean.
 	if code, _, _ := runVet(t, "-skip", "lockedsend", "-pkgs", "dirty"); code != 0 {
 		t.Fatal("-skip lockedsend must silence the dirty package")
+	}
+}
+
+// TestPkgsLoadsTestOnlyPackage: a -pkgs entry whose directory holds
+// only test files used to fail the whole run; now it warns on stderr
+// and analyzes the in-package tests.
+func TestPkgsLoadsTestOnlyPackage(t *testing.T) {
+	writeTestModule(t)
+	code, _, stderr := runVet(t, "-pkgs", "testonly")
+	if code != 0 {
+		t.Fatalf("test-only package: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "only test files") {
+		t.Fatalf("expected a test-only warning on stderr, got %q", stderr)
+	}
+	// Listed alongside a normal package it still contributes, and the
+	// normal package's findings are unaffected.
+	code, stdout, stderr := runVet(t, "-pkgs", "testonly,dirty")
+	if code != 1 || !strings.Contains(stdout, "[lockedsend]") {
+		t.Fatalf("testonly,dirty: exit %d stdout %q stderr %q", code, stdout, stderr)
+	}
+}
+
+// TestTimingBreakdown: -timing appends one wall-time line per analyzer
+// (text), or one {timing, analyzer, ms} object per analyzer with -json.
+func TestTimingBreakdown(t *testing.T) {
+	writeTestModule(t)
+	code, stdout, stderr := runVet(t, "-timing", "-only", "lockedsend,spinloop", "-pkgs", "clean")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, name := range []string{"lockedsend", "spinloop"} {
+		if !strings.Contains(stdout, name) {
+			t.Fatalf("timing table missing %s: %q", name, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "ms") {
+		t.Fatalf("timing table missing a ms column: %q", stdout)
+	}
+
+	code, stdout, _ = runVet(t, "-timing", "-json", "-only", "lockedsend", "-pkgs", "dirty")
+	if code != 1 {
+		t.Fatalf("dirty -json -timing: exit %d, want 1", code)
+	}
+	var sawFinding, sawTiming bool
+	sc := bufio.NewScanner(strings.NewReader(stdout))
+	for sc.Scan() {
+		var rec struct {
+			Timing   bool    `json:"timing"`
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"ms"`
+			Message  string  `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		if rec.Timing {
+			sawTiming = true
+			if rec.Analyzer != "lockedsend" || rec.Millis < 0 {
+				t.Fatalf("bad timing record: %q", sc.Text())
+			}
+		} else if rec.Message != "" {
+			sawFinding = true
+		}
+	}
+	if !sawFinding || !sawTiming {
+		t.Fatalf("want both finding and timing records, got finding=%v timing=%v in %q", sawFinding, sawTiming, stdout)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -51,6 +52,10 @@ type Pass struct {
 	// ImportPath is the package's import path (fixtures may override it
 	// to probe path-scoped analyzers).
 	ImportPath string
+	// Prog is the batch-wide inter-procedural index (call graph and
+	// summaries, DESIGN §7c). Nil in direct single-analyzer harnesses;
+	// analyzers must degrade to intra-procedural behavior without it.
+	Prog *Program
 
 	analyzer string
 	report   func(Diagnostic)
@@ -85,6 +90,7 @@ type Analyzer struct {
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ChanLife,
 		CloseLeak,
 		CtxFlow,
 		ErrorEq,
@@ -92,11 +98,13 @@ func All() []*Analyzer {
 		GoLeak,
 		Layering,
 		LockedSend,
+		LockOrder,
 		MetricReg,
 		PairBalance,
 		PoolOwn,
 		SimclockPurity,
 		SpinLoop,
+		SummaryDrift,
 		WaitMisuse,
 	}
 }
@@ -130,22 +138,46 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // back marked Suppressed instead of dropped, so callers (viper-vet
 // -json) can archive the full picture.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAllTimed(pkgs, analyzers)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's wall time summed over every package
+// of a RunAllTimed batch.
+type AnalyzerTiming struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunAllTimed is RunAll plus a per-analyzer wall-time breakdown, in the
+// analyzers' given order. Shared inter-procedural work (the Program's
+// call graph and summaries) is built lazily by whichever analyzer asks
+// first and lands in that analyzer's bucket.
+func RunAllTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var diags []Diagnostic
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Analyzer = a.Name
+	}
+	prog := newProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, err := range pkg.TypeErrors {
 			diags = append(diags, typeErrorDiagnostic(err))
 		}
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Fset:       pkg.Fset,
 				Files:      pkg.Files,
 				Pkg:        pkg.Pkg,
 				Info:       pkg.Info,
 				ImportPath: pkg.ImportPath,
+				Prog:       prog,
 				analyzer:   a.Name,
 			}
 			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			start := time.Now()
 			a.Run(pass)
+			timings[i].Elapsed += time.Since(start)
 		}
 	}
 	diags = applySuppressions(diags, pkgs)
@@ -162,7 +194,7 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	return diags, timings
 }
 
 func typeErrorDiagnostic(err error) Diagnostic {

@@ -265,3 +265,62 @@ func TestCFGContinueTargetsPost(t *testing.T) {
 		t.Fatalf("post block has %d predecessors, want >= 2 (fall-out + continue)", preds)
 	}
 }
+
+func TestCFGGotoIntoLoopMarksUnsupported(t *testing.T) {
+	// A goto that jumps into a loop body would create an edge the builder
+	// has no context for; the whole graph must be skipped, not patched.
+	g := buildFromSource(t, "goto inner\nfor {\ninner:\n\t_ = 1\n\tbreak\n}\nreturn")
+	if !g.unsupported {
+		t.Fatal("goto into a loop body must mark the graph unsupported")
+	}
+}
+
+func TestCFGLabeledBreakOutOfNestedSelect(t *testing.T) {
+	g := buildFromSource(t, "ch := make(chan int)\nouter:\nfor {\n\tselect {\n\tcase <-ch:\n\t\tbreak outer\n\tdefault:\n\t}\n}\nreturn")
+	if g.unsupported {
+		t.Fatal("labeled break out of a select marked unsupported")
+	}
+	// `break outer` must escape both the select and the loop: the return
+	// after the loop is reachable only through it.
+	found := false
+	for blk := range reachable(g) {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("return after `break outer` from a nested select is unreachable in the CFG")
+	}
+}
+
+func TestCFGEmptyForLoopHasNoExit(t *testing.T) {
+	g := buildFromSource(t, "for {\n}\n_ = 1")
+	if g.unsupported {
+		t.Fatal("empty for {} marked unsupported")
+	}
+	// With no condition and no break, the after block (holding the dead
+	// assignment) must not be reachable from entry — the loop spins
+	// forever and the engine must not merge post-loop state back in.
+	seen := reachable(g)
+	for blk := range seen {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatal("statement after an empty for {} is reachable; the loop has no exit")
+			}
+		}
+	}
+	// The loop itself must still have its back edge.
+	hasBack := false
+	for blk := range seen {
+		for _, e := range blk.succs {
+			if e.to.index <= blk.index && blk != g.entry {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("empty for {} produced no back edge")
+	}
+}

@@ -63,6 +63,9 @@ type callPattern struct {
 
 // ownRule is one acquire/release protocol.
 type ownRule struct {
+	// key is the rule's short identifier in //vet:summary directives
+	// ("blob", "encoder", "pin", "credit").
+	key string
 	// what names the tracked resource in diagnostics ("pooled blob",
 	// "pin", "credit").
 	what     string
@@ -245,12 +248,26 @@ func (s *flowState) join(o *flowState) bool {
 
 // ownEngine runs one rule over one function body.
 type ownEngine struct {
-	pass      *Pass
-	rule      *ownRule
-	tracked   map[*types.Var]bool
-	fresh     map[*types.Var]bool
+	pass    *Pass
+	rule    *ownRule
+	tracked map[*types.Var]bool
+	fresh   map[*types.Var]bool
+	// sums are the per-function ownership summaries (DESIGN §7c) the
+	// engine consults at call sites so a tracked token survives helper
+	// calls; nil disables the inter-procedural layer.
+	sums map[*types.Func]*ownSummary
+	// inf, when non-nil, switches the engine into summary-inference
+	// mode: reporting stays off and parameter states are recorded at
+	// every exit instead.
+	inf       *ownInference
 	reporting bool
+	recording bool
 	funcEnd   token.Pos
+	// exempt marks parameters whose own-function summary effect is
+	// effAcquires: held-at-every-exit is the helper's contract (the
+	// caller inherits the obligation), not a leak. Params that release
+	// on some paths but not others stay reportable.
+	exempt map[*types.Var]bool
 }
 
 // runOwnership applies every in-scope rule to every function (and every
@@ -264,6 +281,12 @@ func runOwnership(pass *Pass, rules []*ownRule) {
 	}
 	if len(active) == 0 {
 		return
+	}
+	sums := make(map[*ownRule]map[*types.Func]*ownSummary, len(active))
+	if pass.Prog != nil {
+		for _, r := range active {
+			sums[r] = pass.Prog.ownSummariesFor(r)
+		}
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -281,26 +304,38 @@ func runOwnership(pass *Pass, rules []*ownRule) {
 				return true
 			}
 			for _, r := range active {
-				analyzeOwnership(pass, r, scope, body)
+				analyzeOwnership(pass, r, scope, body, sums[r])
 			}
 			return true // descend: nested FuncLits get their own pass
 		})
 	}
 }
 
-// analyzeOwnership runs one rule over one function body.
-func analyzeOwnership(pass *Pass, rule *ownRule, scope ast.Node, body *ast.BlockStmt) {
-	e := &ownEngine{pass: pass, rule: rule, funcEnd: body.Rbrace}
+// analyzeOwnership runs one rule over one function body with reporting.
+func analyzeOwnership(pass *Pass, rule *ownRule, scope ast.Node, body *ast.BlockStmt, sums map[*types.Func]*ownSummary) {
+	e := &ownEngine{pass: pass, rule: rule, sums: sums, funcEnd: body.Rbrace}
 	e.tracked = e.collectTracked(scope, body)
 	if len(e.tracked) == 0 {
 		return
 	}
+	e.exempt = acquireContractParams(pass, scope, sums)
 	if rule.reportUnacquired {
 		e.fresh = findFreshLocals(pass.Info, body)
 	}
+	e.reporting = true
+	e.runFlow(body)
+}
+
+// runFlow builds the CFG, runs the fixpoint silently, then replays each
+// block once on the stable in-states with the engine's reporting (or
+// inference recording) active. Returns false when the body cannot be
+// analyzed (goto, non-converging fixpoint).
+func (e *ownEngine) runFlow(body *ast.BlockStmt) bool {
+	reporting := e.reporting
+	e.reporting = false
 	g := buildCFG(body)
 	if g.unsupported {
-		return
+		return false
 	}
 	in := make([]*flowState, len(g.blocks))
 	in[g.entry.index] = newFlowState()
@@ -308,7 +343,7 @@ func analyzeOwnership(pass *Pass, rule *ownRule, scope ast.Node, body *ast.Block
 	iters, cap := 0, (len(g.blocks)+4)*32
 	for len(work) > 0 {
 		if iters++; iters > cap {
-			return // abandon: no reports from a non-converged analysis
+			return false // abandon: no reports from a non-converged analysis
 		}
 		blk := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -327,8 +362,9 @@ func analyzeOwnership(pass *Pass, rule *ownRule, scope ast.Node, body *ast.Block
 			}
 		}
 	}
-	// Replay once on the stable in-states with reporting enabled.
-	e.reporting = true
+	// Replay once on the stable in-states with reporting/recording on.
+	e.reporting = reporting
+	e.recording = e.inf != nil
 	for _, blk := range g.blocks {
 		if in[blk.index] == nil {
 			continue // unreachable
@@ -339,6 +375,7 @@ func analyzeOwnership(pass *Pass, rule *ownRule, scope ast.Node, body *ast.Block
 		}
 		e.blockExitCheck(blk, st)
 	}
+	return true
 }
 
 // collectTracked finds every variable that appears in a token position
@@ -372,9 +409,39 @@ func (e *ownEngine) collectTracked(scope ast.Node, body *ast.BlockStmt) map[*typ
 				consider(callToken(e.pass.Info, call, p))
 			}
 		}
+		// Summarized helpers put their tokens in play too: a result the
+		// helper acquires, or an argument/receiver it has a non-opaque
+		// effect on, is tracked exactly like a tabled token.
+		if sum := e.calleeSummary(call); sum != nil {
+			if sum.result == effAcquires {
+				consider(assignedVar(e.pass.Info, body, call))
+			}
+			for i, a := range call.Args {
+				if sum.paramEffect(i) != effOpaque {
+					consider(identVar(e.pass.Info, a))
+				}
+			}
+			if sum.recv != effOpaque {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					consider(identVar(e.pass.Info, sel.X))
+				}
+			}
+		}
 		return true
 	})
 	return tracked
+}
+
+// calleeSummary resolves call's callee against the summary table.
+func (e *ownEngine) calleeSummary(call *ast.CallExpr) *ownSummary {
+	if e.sums == nil {
+		return nil
+	}
+	fn := calleeFunc(e.pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	return e.sums[fn]
 }
 
 // assignedVar finds the variable the call's first result is bound to,
@@ -480,13 +547,29 @@ func (e *ownEngine) transfer(n ast.Node, st *flowState) {
 			}
 		}
 	case *ast.ReturnStmt:
+		if e.recording && len(n.Results) > 0 {
+			// Result inference looks at the first result before the
+			// return escapes it: a tracked var still held here is a
+			// candidate result-acquire; nil stays neutral (the error
+			// path of a (T, error) acquire); anything else disqualifies.
+			e.inf.resultSeen = true
+			first := ast.Unparen(n.Results[0])
+			if v := identVar(e.pass.Info, first); v != nil && e.tracked[v] && st.get(v) == stHeld {
+				e.inf.resultHeld = true
+			} else if !isNilIdent(first) {
+				e.inf.resultOther = true
+			}
+		}
 		for _, r := range n.Results {
 			e.scanExpr(r, st)
 			e.escapeValue(r, st)
 		}
+		if e.recording {
+			e.inf.recordExit(st)
+		}
 		if e.reporting {
 			for v, s := range st.vals {
-				if s == stHeld {
+				if s == stHeld && !e.exempt[v] {
 					e.pass.Reportf(n.Pos(), e.rule.leakMsg, v.Name())
 				}
 			}
@@ -534,19 +617,16 @@ func (e *ownEngine) assign(n *ast.AssignStmt, st *flowState) {
 				} else {
 					tok = callToken(e.pass.Info, call, p)
 				}
-				if tok != nil && e.tracked[tok] {
-					prior := st.get(tok)
-					st.vals[tok] = stHeld
-					if len(n.Lhs) == 2 {
-						if cond := identVar(e.pass.Info, n.Lhs[1]); cond != nil {
-							if isBoolVar(cond) {
-								st.refines[cond] = refineInfo{token: tok, prior: prior, okForm: true}
-							} else if types.Identical(cond.Type(), types.Universe.Lookup("error").Type()) {
-								st.refines[cond] = refineInfo{token: tok, prior: prior}
-							}
-						}
-					}
-				}
+				e.bindAcquire(n, tok, st)
+				return
+			}
+			// A summarized helper whose result is a held token binds
+			// exactly like a tabled acquire (cross-call acquire: the
+			// helper acquired on the caller's behalf, DESIGN §7c).
+			if sum := e.calleeSummary(call); sum != nil && sum.result == effAcquires {
+				e.summaryCallEffects(call, sum, st)
+				e.invalidateLhs(n, st)
+				e.bindAcquire(n, identVar(e.pass.Info, n.Lhs[0]), st)
 				return
 			}
 		}
@@ -586,10 +666,36 @@ func (e *ownEngine) valueSpec(vs *ast.ValueSpec, st *flowState) {
 				}
 				return
 			}
+			if sum := e.calleeSummary(call); sum != nil && sum.result == effAcquires {
+				e.summaryCallEffects(call, sum, st)
+				if tok := identVar(e.pass.Info, vs.Names[0]); tok != nil && e.tracked[tok] {
+					st.vals[tok] = stHeld
+				}
+				return
+			}
 		}
 	}
 	for _, v := range vs.Values {
 		e.scanExpr(v, st)
+	}
+}
+
+// bindAcquire binds tok as held and, for `v, err :=` / `v, ok :=`
+// forms, records the failure-edge refinement that reverts the acquire.
+func (e *ownEngine) bindAcquire(n *ast.AssignStmt, tok *types.Var, st *flowState) {
+	if tok == nil || !e.tracked[tok] {
+		return
+	}
+	prior := st.get(tok)
+	st.vals[tok] = stHeld
+	if len(n.Lhs) == 2 {
+		if cond := identVar(e.pass.Info, n.Lhs[1]); cond != nil {
+			if isBoolVar(cond) {
+				st.refines[cond] = refineInfo{token: tok, prior: prior, okForm: true}
+			} else if types.Identical(cond.Type(), types.Universe.Lookup("error").Type()) {
+				st.refines[cond] = refineInfo{token: tok, prior: prior}
+			}
+		}
 	}
 }
 
@@ -646,6 +752,14 @@ func (e *ownEngine) applyDeferredRelease(v *types.Var, pos token.Pos, st *flowSt
 		}
 		st.vals[v] = stReleased
 	case stNone:
+		if e.inf != nil {
+			if _, isParam := e.inf.params[v]; isParam {
+				// Inference: `defer Release(b)` on a passed-in token is
+				// the releases effect the summary exists to record.
+				e.inf.deferReleased[v] = true
+				return
+			}
+		}
 		// A deferred release before any acquire: ordering is beyond the
 		// model, stop tracking.
 		st.vals[v] = stEscaped
@@ -662,6 +776,14 @@ func (e *ownEngine) applyRelease(v *types.Var, pos token.Pos, st *flowState) {
 		}
 		st.vals[v] = stReleased
 	case stNone:
+		if e.inf != nil {
+			if _, isParam := e.inf.params[v]; isParam {
+				// Inference: releasing a parameter the caller handed us
+				// is exactly the effect the summary records.
+				st.vals[v] = stReleased
+				return
+			}
+		}
 		if e.rule.reportUnacquired && e.fresh[v] {
 			if e.reporting {
 				e.pass.Reportf(pos, e.rule.unacquiredMsg, v.Name())
@@ -769,6 +891,14 @@ func (e *ownEngine) call(x *ast.CallExpr, st *flowState) {
 		}
 		// Any other conversion may alias the backing store: escape.
 	}
+	// A summarized module-local callee: apply its per-slot effects
+	// instead of the blanket escape (DESIGN §7c). A result-acquiring
+	// summary in expression position leaves the result discarded —
+	// silence, same as a discarded tabled acquire.
+	if sum := e.calleeSummary(x); sum != nil {
+		e.summaryCallEffects(x, sum, st)
+		return
+	}
 	// Untabled call: arguments escape; a method receiver is an escape
 	// for value tokens but an ordinary use for handle tokens.
 	if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
@@ -785,6 +915,48 @@ func (e *ownEngine) call(x *ast.CallExpr, st *flowState) {
 	for _, a := range x.Args {
 		e.scanExpr(a, st) // report use-after-release before escaping
 		e.escapeValue(a, st)
+	}
+}
+
+// summaryCallEffects applies a summarized callee's per-slot effects to
+// the call's receiver and arguments.
+func (e *ownEngine) summaryCallEffects(call *ast.CallExpr, sum *ownSummary, st *flowState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		e.applySlotEffect(sel.X, sum.recv, call.Pos(), st)
+	}
+	for i, a := range call.Args {
+		e.applySlotEffect(a, sum.paramEffect(i), call.Pos(), st)
+	}
+}
+
+// applySlotEffect applies one summarized effect to one call operand.
+// Effects bind only to plain tracked identifiers; any other operand
+// shape (or an opaque slot) falls back to the v3 scan+escape.
+func (e *ownEngine) applySlotEffect(x ast.Expr, eff ownEffect, pos token.Pos, st *flowState) {
+	id, _ := ast.Unparen(x).(*ast.Ident)
+	var v *types.Var
+	if id != nil {
+		v, _ = e.pass.Info.Uses[id].(*types.Var)
+	}
+	if v == nil || !e.tracked[v] {
+		e.scanExpr(x, st)
+		if eff == effOpaque || eff == effTransfers {
+			e.escapeValue(x, st)
+		}
+		return
+	}
+	switch eff {
+	case effNone:
+		// Pure use: the obligation survives the call. This is the v3
+		// blind spot the summary layer removes.
+		e.useIdent(id, st)
+	case effReleases:
+		e.applyRelease(v, pos, st)
+	case effAcquires:
+		st.vals[v] = stHeld
+	default: // effOpaque, effTransfers
+		e.useIdent(id, st)
+		e.escapeVar(v, st)
 	}
 }
 
@@ -963,18 +1135,59 @@ func (e *ownEngine) blockExitCheck(blk *cfgBlock, st *flowState) {
 	if n := len(blk.nodes); n > 0 {
 		switch last := blk.nodes[n-1].(type) {
 		case *ast.ReturnStmt:
-			return
+			return // recorded and reported at the ReturnStmt itself
 		case *ast.ExprStmt:
 			if call, ok := last.X.(*ast.CallExpr); ok {
 				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-					return
+					return // a panic exit makes every effect claim vacuous
 				}
 			}
 		}
 	}
+	if e.recording {
+		e.inf.recordExit(st)
+	}
+	if !e.reporting {
+		return
+	}
 	for v, s := range st.vals {
-		if s == stHeld {
+		if s == stHeld && !e.exempt[v] {
 			e.pass.Reportf(e.funcEnd, e.rule.leakMsg, v.Name())
 		}
 	}
+}
+
+// acquireContractParams returns the parameters of a declared function
+// whose summary effect is effAcquires: the function deliberately hands
+// its caller a held token through that slot, so exiting held is its
+// contract rather than a leak. The contract needs a counterparty — a
+// function no one in the module calls has no caller to inherit the
+// obligation, so its held exits stay reportable.
+func acquireContractParams(pass *Pass, scope ast.Node, sums map[*types.Func]*ownSummary) map[*types.Var]bool {
+	fd, ok := scope.(*ast.FuncDecl)
+	if !ok || sums == nil {
+		return nil
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil || pass.Prog == nil || !pass.Prog.hasCaller(fn) {
+		return nil
+	}
+	sum := sums[fn]
+	if sum == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var exempt map[*types.Var]bool
+	for i, eff := range sum.params {
+		if eff == effAcquires && i < sig.Params().Len() {
+			if exempt == nil {
+				exempt = map[*types.Var]bool{}
+			}
+			exempt[sig.Params().At(i)] = true
+		}
+	}
+	return exempt
 }

@@ -188,3 +188,15 @@ func parseWants(t *testing.T, pkg *Package) []wantExpectation {
 	}
 	return wants
 }
+
+func TestGoldenLockOrder(t *testing.T) {
+	runGolden(t, LockOrder, "testdata/src/lockorder", "viper/internal/transport")
+}
+
+func TestGoldenChanLife(t *testing.T) {
+	runGolden(t, ChanLife, "testdata/src/chanlife", "viper/internal/pubsub")
+}
+
+func TestGoldenSummaryDrift(t *testing.T) {
+	runGolden(t, SummaryDrift, "testdata/src/summarydrift", "viper/internal/metrics")
+}

@@ -19,6 +19,7 @@ package analysis
 
 var pairbalanceRules = []*ownRule{
 	{
+		key:  "pin",
 		what: "pin",
 		acquires: []callPattern{
 			{pkgPath: "viper/internal/relay", typeName: "Relay", funcName: "pin", token: tokenArg},
@@ -36,6 +37,7 @@ var pairbalanceRules = []*ownRule{
 		unacquiredMsg:    "version %s unpinned without a dominating pin: it was created in this function and never pinned",
 	},
 	{
+		key:  "credit",
 		what: "credit",
 		acquires: []callPattern{
 			{pkgPath: "viper/internal/transport", typeName: "Link", funcName: "Recv", token: tokenRecv},

@@ -21,6 +21,7 @@ var poolownScope = map[string]bool{
 
 var poolownRules = []*ownRule{
 	{
+		key:  "blob",
 		what: "pooled blob",
 		acquires: []callPattern{
 			{pkgPath: "viper/internal/vformat", funcName: "EncodeChunked", token: tokenResult},
@@ -36,6 +37,7 @@ var poolownRules = []*ownRule{
 		useAfterMsg: "pooled blob %s used after release: the pool may already have re-issued its backing array (DESIGN §8)",
 	},
 	{
+		key:  "encoder",
 		what: "chunk encoder",
 		acquires: []callPattern{
 			{pkgPath: "viper/internal/vformat", funcName: "NewChunkEncoder", token: tokenResult},

@@ -1,0 +1,227 @@
+// Program: the inter-procedural layer under the v4 analyzers (DESIGN
+// §7c). A Program indexes every function declared in the packages of
+// one Run batch, resolves a same-module call graph through go/types,
+// and orders it bottom-up by strongly connected components so that
+// per-function summaries (ownership effects in summary.go, lock sets in
+// locksummary.go) can be computed callees-first in one pass. Mutual
+// recursion collapses into one SCC; summary clients treat every member
+// of a multi-function SCC conservatively (unknown effects) rather than
+// iterating to a fixpoint — false negatives over false positives, as
+// everywhere else in the suite.
+//
+// The Program is built lazily: RunAll attaches one to every Pass, but
+// the function index and SCC order are only computed the first time an
+// analyzer asks, so `viper-vet -only lockedsend` style runs stay as
+// cheap as they were before the inter-procedural layer existed.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// progFunc is one module function with a body in the loaded batch.
+type progFunc struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// callees are the module-local functions called from decl's body,
+	// excluding calls made inside nested function literals (a literal's
+	// body does not run when this function is called).
+	callees []*types.Func
+	// sccSize is the size of the function's SCC; >1 (or a self-loop)
+	// means recursion, which the summary layers refuse to model.
+	sccSize  int
+	selfLoop bool
+}
+
+// Program spans every package of one RunAll batch.
+type Program struct {
+	pkgs []*Package
+
+	built bool
+	fns   map[*types.Func]*progFunc
+	// called marks functions with at least one module-local caller
+	// (self-recursion excluded): only those can rely on a caller to
+	// inherit a summary-declared obligation.
+	called map[*types.Func]bool
+	// order lists every progFunc bottom-up: each function appears after
+	// all functions it (transitively) calls, except within its own SCC.
+	order []*progFunc
+
+	ownSums  map[*ownRule]map[*types.Func]*ownSummary
+	ownInfs  map[*ownRule]map[*types.Func]*ownSummary
+	declSums map[*types.Func][]declaredSummary
+	declErrs []Diagnostic
+
+	lockBuilt bool
+	lockInfo  *lockGraph
+}
+
+func newProgram(pkgs []*Package) *Program {
+	return &Program{pkgs: pkgs}
+}
+
+// hasCaller reports whether some other function in the batch calls fn.
+func (prog *Program) hasCaller(fn *types.Func) bool {
+	prog.build()
+	return prog.called[fn]
+}
+
+// funcOf resolves fn to its progFunc, or nil when fn has no body in the
+// batch (declared in an unloaded package, or body-less).
+func (prog *Program) funcOf(fn *types.Func) *progFunc {
+	prog.build()
+	return prog.fns[fn]
+}
+
+// build indexes the batch's function declarations and computes the
+// bottom-up SCC order. Idempotent.
+func (prog *Program) build() {
+	if prog.built {
+		return
+	}
+	prog.built = true
+	prog.fns = make(map[*types.Func]*progFunc)
+	for _, pkg := range prog.pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.fns[fn] = &progFunc{fn: fn, decl: fd, pkg: pkg}
+			}
+		}
+	}
+	prog.called = make(map[*types.Func]bool)
+	for _, pf := range prog.fns {
+		pf.callees = prog.calleesOf(pf)
+		for _, c := range pf.callees {
+			if c != pf.fn {
+				prog.called[c] = true
+			}
+		}
+	}
+	prog.computeSCCs()
+	prog.parseDeclaredSummaries()
+}
+
+// calleesOf collects the module-local functions pf's body calls
+// directly, skipping nested function literals.
+func (prog *Program) calleesOf(pf *progFunc) []*types.Func {
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	walkFuncBody(pf.decl.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pf.pkg.Info, call)
+		if fn == nil || seen[fn] {
+			return
+		}
+		if _, inBatch := prog.fns[fn]; !inBatch {
+			return
+		}
+		seen[fn] = true
+		out = append(out, fn)
+	})
+	return out
+}
+
+// walkFuncBody visits every node of body except the interiors of nested
+// function literals (their statements execute on a different activation).
+func walkFuncBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// computeSCCs runs Tarjan's algorithm over the call graph. Tarjan emits
+// each SCC only after every SCC it reaches has been emitted, so the
+// emission order is exactly the bottom-up (callees-first) order the
+// summary layers need.
+func (prog *Program) computeSCCs() {
+	// Deterministic iteration: sort roots by position so the order (and
+	// any diagnostics derived from it) is stable across runs.
+	roots := make([]*progFunc, 0, len(prog.fns))
+	for _, pf := range prog.fns {
+		roots = append(roots, pf)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].decl.Pos() < roots[j].decl.Pos() })
+
+	index := make(map[*progFunc]int)
+	low := make(map[*progFunc]int)
+	onStack := make(map[*progFunc]bool)
+	var stack []*progFunc
+	next := 0
+
+	var strongconnect func(v *progFunc)
+	strongconnect = func(v *progFunc) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, calleeFn := range v.callees {
+			w := prog.fns[calleeFn]
+			if w == nil {
+				continue
+			}
+			if w == v {
+				v.selfLoop = true
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*progFunc
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			for _, m := range scc {
+				m.sccSize = len(scc)
+			}
+			// Within one SCC, keep source order for determinism.
+			sort.Slice(scc, func(i, j int) bool { return scc[i].decl.Pos() < scc[j].decl.Pos() })
+			prog.order = append(prog.order, scc...)
+		}
+	}
+	for _, pf := range roots {
+		if _, seen := index[pf]; !seen {
+			strongconnect(pf)
+		}
+	}
+}
+
+// recursive reports whether pf participates in recursion (multi-member
+// SCC or a direct self-call); summaries refuse to model such functions.
+func (pf *progFunc) recursive() bool {
+	return pf.sccSize > 1 || pf.selfLoop
+}

@@ -1,0 +1,571 @@
+// Ownership-effect summaries: the inter-procedural half of the
+// poolown/pairbalance protocol analyzers (DESIGN §7c). For every
+// function in the Program, and per ownership rule, the summary records
+// what a call does to each token-typed parameter, to the receiver, and
+// to the first result:
+//
+//	opaque    — not modeled (wrong type, recursion, goto, variadic);
+//	            callers escape the argument, exactly as v3 did
+//	none      — pure use: the callee never acquires, releases, or
+//	            retains the token; the caller's obligation survives the
+//	            call (this is the v3 blind spot the layer removes)
+//	acquires  — the callee creates an obligation the caller now owes
+//	            (param: pin-style; result: returns a held token)
+//	releases  — the callee discharges the caller's obligation
+//	transfers — the callee retains/aliases the token; the caller must
+//	            stop tracking (store, send, return, closure capture)
+//
+// Summaries are inferred bottom-up in SCC order by running the same
+// CFG+fixpoint engine as the analyzers with reporting disabled, seeding
+// token-typed parameters and recording their joined state at every
+// exit. Recursive functions and unsupported CFGs stay opaque. A
+// function may instead declare its summary by hand with a
+// //vet:summary directive (consumed in preference to inference); the
+// summarydrift analyzer keeps such declarations honest.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+type ownEffect uint8
+
+const (
+	effOpaque ownEffect = iota // zero value: not modeled, caller escapes
+	effNone
+	effAcquires
+	effReleases
+	effTransfers
+)
+
+func (e ownEffect) String() string {
+	switch e {
+	case effNone:
+		return "none"
+	case effAcquires:
+		return "acquires"
+	case effReleases:
+		return "releases"
+	case effTransfers:
+		return "transfers"
+	}
+	return "opaque"
+}
+
+func effectFromString(s string) (ownEffect, bool) {
+	switch s {
+	case "none":
+		return effNone, true
+	case "acquires":
+		return effAcquires, true
+	case "releases":
+		return effReleases, true
+	case "transfers":
+		return effTransfers, true
+	}
+	return effOpaque, false
+}
+
+// ownSummary is one function's per-rule ownership effects.
+type ownSummary struct {
+	recv   ownEffect
+	params []ownEffect
+	// result is effAcquires when the function returns a held token as
+	// its first result on every non-nil return path; effNone otherwise.
+	result ownEffect
+	// resultErrPaired marks (T, ..., error) signatures: callers binding
+	// `v, err :=` get the same failure-edge refinement as a tabled
+	// acquire.
+	resultErrPaired bool
+}
+
+func (s *ownSummary) paramEffect(i int) ownEffect {
+	if s == nil || i < 0 || i >= len(s.params) {
+		return effOpaque
+	}
+	return s.params[i]
+}
+
+// interesting reports whether consuming this summary can ever differ
+// from the v3 blanket-escape behavior.
+func (s *ownSummary) interesting() bool {
+	if s == nil {
+		return false
+	}
+	if s.recv != effOpaque && s.recv != effTransfers {
+		return true
+	}
+	if s.result == effAcquires {
+		return true
+	}
+	for _, p := range s.params {
+		if p != effOpaque && p != effTransfers {
+			return true
+		}
+	}
+	return false
+}
+
+// allOwnRules returns every ownership rule the summary layer serves.
+func allOwnRules() []*ownRule {
+	var all []*ownRule
+	all = append(all, poolownRules...)
+	all = append(all, pairbalanceRules...)
+	return all
+}
+
+func ownRuleByKey(key string) *ownRule {
+	for _, r := range allOwnRules() {
+		if r.key == key {
+			return r
+		}
+	}
+	return nil
+}
+
+// tokenTypesOf resolves the rule's acquire/release patterns against the
+// batch's type information and returns the set of types a token can
+// have. Patterns whose package is not reachable from the batch resolve
+// to nothing (their call sites cannot appear either).
+func (prog *Program) tokenTypesOf(rule *ownRule) []types.Type {
+	var out []types.Type
+	add := func(t types.Type) {
+		if t == nil {
+			return
+		}
+		for _, have := range out {
+			if types.Identical(have, t) {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	pats := make([]callPattern, 0, len(rule.acquires)+len(rule.releases))
+	pats = append(pats, rule.acquires...)
+	pats = append(pats, rule.releases...)
+	for _, p := range pats {
+		fn := prog.lookupPattern(p)
+		if fn == nil {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch p.token {
+		case tokenResult:
+			if sig.Results().Len() > 0 {
+				add(sig.Results().At(0).Type())
+			}
+		case tokenArg:
+			if sig.Params().Len() > 0 {
+				add(sig.Params().At(0).Type())
+			}
+		case tokenRecv:
+			if sig.Recv() != nil {
+				add(sig.Recv().Type())
+			}
+		}
+	}
+	return out
+}
+
+// lookupPattern finds the *types.Func a callPattern names, searching
+// the batch's packages and their transitive imports.
+func (prog *Program) lookupPattern(p callPattern) *types.Func {
+	for _, pkg := range prog.pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		target := pkg.Pkg
+		if target.Path() != p.pkgPath {
+			target = findImport(pkg.Pkg, p.pkgPath)
+		}
+		if target == nil {
+			continue
+		}
+		if p.typeName == "" {
+			if fn, ok := target.Scope().Lookup(p.funcName).(*types.Func); ok {
+				return fn
+			}
+			continue
+		}
+		tn, ok := target.Scope().Lookup(p.typeName).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == p.funcName {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+func typeMatchesToken(t types.Type, toks []types.Type) bool {
+	for _, tt := range toks {
+		if types.Identical(t, tt) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownSummariesFor returns the consumption summaries (declared preferred
+// over inferred) for every function in the batch, computing and caching
+// them on first use.
+func (prog *Program) ownSummariesFor(rule *ownRule) map[*types.Func]*ownSummary {
+	if prog.ownSums == nil {
+		prog.ownSums = make(map[*ownRule]map[*types.Func]*ownSummary)
+		prog.ownInfs = make(map[*ownRule]map[*types.Func]*ownSummary)
+	}
+	if sums, ok := prog.ownSums[rule]; ok {
+		return sums
+	}
+	prog.build()
+	toks := prog.tokenTypesOf(rule)
+	sums := make(map[*types.Func]*ownSummary)
+	infs := make(map[*types.Func]*ownSummary)
+	for _, pf := range prog.order {
+		var inferred *ownSummary
+		if !pf.recursive() {
+			inferred = inferOwnSummary(pf, rule, toks, sums)
+		}
+		if inferred != nil {
+			infs[pf.fn] = inferred
+		}
+		if d := prog.declaredOwn(pf.fn, rule.key); d != nil {
+			sums[pf.fn] = d.toOwnSummary(pf.fn)
+		} else if inferred.interesting() {
+			sums[pf.fn] = inferred
+		}
+	}
+	prog.ownSums[rule] = sums
+	prog.ownInfs[rule] = infs
+	return sums
+}
+
+// inferredOwnFor exposes the inference-only results for summarydrift.
+func (prog *Program) inferredOwnFor(rule *ownRule) map[*types.Func]*ownSummary {
+	prog.ownSummariesFor(rule)
+	return prog.ownInfs[rule]
+}
+
+// ownInference accumulates per-exit facts while the engine replays a
+// function during summary inference.
+type ownInference struct {
+	// params maps each tracked token-typed parameter (and the receiver,
+	// under index -1) to its position.
+	params map[*types.Var]int
+	// deferReleased marks parameters released by a defer with no prior
+	// acquire (the `defer ReleaseBuffer(b)` idiom on a passed-in blob).
+	deferReleased map[*types.Var]bool
+	exit          map[*types.Var]ownState
+	exitSeen      bool
+	resultSeen    bool
+	resultHeld    bool
+	resultOther   bool
+}
+
+// recordExit joins the states of all summarized parameters at one
+// function exit into the running per-parameter join.
+func (inf *ownInference) recordExit(st *flowState) {
+	if !inf.exitSeen {
+		inf.exitSeen = true
+		inf.exit = make(map[*types.Var]ownState, len(inf.params))
+		for v := range inf.params {
+			inf.exit[v] = st.get(v)
+		}
+		return
+	}
+	for v := range inf.params {
+		inf.exit[v] = exitJoin(inf.exit[v], st.get(v))
+	}
+}
+
+// exitJoin merges states across distinct exits. Unlike the intra-CFG
+// joinOwn (where none⊔held stays held so leaks keep reporting), a slot
+// held on only SOME exits is not an acquire contract — it is either the
+// caller's bug to see or a shape too path-dependent to summarize — so
+// mixed heldness degrades to stMaybe (consumed as transfers).
+func exitJoin(a, b ownState) ownState {
+	if (a == stHeld) != (b == stHeld) {
+		return stMaybe
+	}
+	return joinOwn(a, b)
+}
+
+// inferOwnSummary runs the ownership engine over pf with reporting
+// disabled and derives the per-slot effects from the recorded exits.
+func inferOwnSummary(pf *progFunc, rule *ownRule, toks []types.Type, sums map[*types.Func]*ownSummary) *ownSummary {
+	sig, ok := pf.fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	sum := &ownSummary{params: make([]ownEffect, sig.Params().Len())}
+	if sig.Results().Len() > 0 {
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		sum.resultErrPaired = sig.Results().Len() >= 2 &&
+			types.Identical(last, types.Universe.Lookup("error").Type())
+	}
+
+	inf := &ownInference{params: map[*types.Var]int{}, deferReleased: map[*types.Var]bool{}}
+	addParam := func(v *types.Var, idx int, variadicLast bool) {
+		if v == nil || v.Name() == "" || v.Name() == "_" || variadicLast {
+			return
+		}
+		if typeMatchesToken(v.Type(), toks) {
+			inf.params[v] = idx
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		addParam(sig.Params().At(i), i, sig.Variadic() && i == sig.Params().Len()-1)
+	}
+	if sig.Recv() != nil {
+		addParam(sig.Recv(), -1, false)
+	}
+
+	pass := &Pass{
+		Fset:       pf.pkg.Fset,
+		Files:      pf.pkg.Files,
+		Pkg:        pf.pkg.Pkg,
+		Info:       pf.pkg.Info,
+		ImportPath: pf.pkg.ImportPath,
+		report:     func(Diagnostic) {},
+	}
+	e := &ownEngine{pass: pass, rule: rule, sums: sums, inf: inf, funcEnd: pf.decl.Body.Rbrace}
+	e.tracked = e.collectTracked(pf.decl, pf.decl.Body)
+	for v := range inf.params {
+		e.tracked[v] = true
+	}
+	if len(e.tracked) == 0 {
+		return sum // nothing relevant inside: all slots stay opaque
+	}
+	if !e.runFlow(pf.decl.Body) {
+		return nil // goto / non-converging fixpoint: unknown
+	}
+
+	assign := func(v *types.Var, idx int) {
+		eff := paramEffect(inf.exit[v], inf.deferReleased[v], inf.exitSeen)
+		if idx == -1 {
+			sum.recv = eff
+		} else {
+			sum.params[idx] = eff
+		}
+	}
+	for v, idx := range inf.params {
+		assign(v, idx)
+	}
+	if inf.resultSeen && inf.resultHeld && !inf.resultOther {
+		sum.result = effAcquires
+	}
+	return sum
+}
+
+// paramEffect translates a parameter's joined exit state into its
+// summary effect.
+func paramEffect(exit ownState, deferReleased, exitSeen bool) ownEffect {
+	if !exitSeen {
+		// Every path panics; a call here never returns, so any effect
+		// claim is vacuous. Opaque keeps callers conservative.
+		return effOpaque
+	}
+	if deferReleased {
+		if exit == stNone {
+			return effReleases
+		}
+		return effTransfers
+	}
+	switch exit {
+	case stNone:
+		return effNone
+	case stHeld:
+		return effAcquires
+	case stHeldDeferred:
+		return effNone // acquired and deferred-released inside: balanced
+	case stReleased:
+		return effReleases
+	}
+	return effTransfers
+}
+
+// --- declared summaries (//vet:summary) --------------------------------
+
+// declaredSummary is one parsed //vet:summary directive.
+type declaredSummary struct {
+	pos    token.Pos
+	domain string // "own" or "locks"
+
+	// own domain
+	ruleKey string
+	slots   map[string]ownEffect // "recv", "result", "param<N>"
+
+	// locks domain
+	lockIDs   []string // nil with locksNone=false never happens post-parse
+	locksNone bool
+}
+
+const summaryDirective = "//vet:summary"
+
+// parseSummaryDirectives extracts the //vet:summary directives from one
+// function's doc comment. Malformed directives come back as error
+// strings paired with their positions so summarydrift can report them.
+func parseSummaryDirectives(doc *ast.CommentGroup) (decls []declaredSummary, errs []summaryParseError) {
+	if doc == nil {
+		return nil, nil
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, summaryDirective)
+		if !ok {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		d, err := parseSummaryText(strings.TrimSpace(rest))
+		if err != "" {
+			errs = append(errs, summaryParseError{pos: c.Pos(), msg: err})
+			continue
+		}
+		d.pos = c.Pos()
+		decls = append(decls, d)
+	}
+	return decls, errs
+}
+
+type summaryParseError struct {
+	pos token.Pos
+	msg string
+}
+
+func parseSummaryText(text string) (declaredSummary, string) {
+	const usage = "malformed //vet:summary (want `own:<rule> slot=effect ...` or `locks none|acquires=id,...`)"
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return declaredSummary{}, usage
+	}
+	if key, ok := strings.CutPrefix(fields[0], "own:"); ok {
+		if ownRuleByKey(key) == nil {
+			return declaredSummary{}, fmt.Sprintf("//vet:summary names unknown ownership rule %q", key)
+		}
+		d := declaredSummary{domain: "own", ruleKey: key, slots: map[string]ownEffect{}}
+		if len(fields) < 2 {
+			return declaredSummary{}, usage
+		}
+		for _, f := range fields[1:] {
+			slot, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return declaredSummary{}, usage
+			}
+			eff, ok := effectFromString(val)
+			if !ok {
+				return declaredSummary{}, fmt.Sprintf("//vet:summary has unknown effect %q (want none/acquires/releases/transfers)", val)
+			}
+			switch {
+			case slot == "recv":
+			case slot == "result":
+				if eff != effNone && eff != effAcquires {
+					return declaredSummary{}, "//vet:summary result effect must be none or acquires"
+				}
+			case strings.HasPrefix(slot, "param"):
+				if _, err := strconv.Atoi(strings.TrimPrefix(slot, "param")); err != nil {
+					return declaredSummary{}, usage
+				}
+			default:
+				return declaredSummary{}, fmt.Sprintf("//vet:summary has unknown slot %q (want recv, result, or param<N>)", slot)
+			}
+			if _, dup := d.slots[slot]; dup {
+				return declaredSummary{}, fmt.Sprintf("//vet:summary repeats slot %q", slot)
+			}
+			d.slots[slot] = eff
+		}
+		return d, ""
+	}
+	if fields[0] == "locks" {
+		if len(fields) != 2 {
+			return declaredSummary{}, usage
+		}
+		if fields[1] == "none" {
+			return declaredSummary{domain: "locks", locksNone: true}, ""
+		}
+		ids, ok := strings.CutPrefix(fields[1], "acquires=")
+		if !ok || ids == "" {
+			return declaredSummary{}, usage
+		}
+		return declaredSummary{domain: "locks", lockIDs: strings.Split(ids, ",")}, ""
+	}
+	return declaredSummary{}, usage
+}
+
+// toOwnSummary sizes a declared own-domain summary to fn's signature;
+// undeclared slots stay opaque (v3 behavior).
+func (d *declaredSummary) toOwnSummary(fn *types.Func) *ownSummary {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	sum := &ownSummary{params: make([]ownEffect, sig.Params().Len())}
+	if sig.Results().Len() >= 2 {
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		sum.resultErrPaired = types.Identical(last, types.Universe.Lookup("error").Type())
+	}
+	for slot, eff := range d.slots {
+		switch {
+		case slot == "recv":
+			sum.recv = eff
+		case slot == "result":
+			sum.result = eff
+		default:
+			if i, err := strconv.Atoi(strings.TrimPrefix(slot, "param")); err == nil && i >= 0 && i < len(sum.params) {
+				sum.params[i] = eff
+			}
+		}
+	}
+	return sum
+}
+
+// parseDeclaredSummaries indexes every function's well-formed
+// directives; malformed ones are summarydrift's to report (it re-parses
+// the files of its own package).
+func (prog *Program) parseDeclaredSummaries() {
+	prog.declSums = make(map[*types.Func][]declaredSummary)
+	for fn, pf := range prog.fns {
+		decls, _ := parseSummaryDirectives(pf.decl.Doc)
+		if len(decls) > 0 {
+			prog.declSums[fn] = decls
+		}
+	}
+}
+
+// declaredOwn returns fn's declared summary for the given rule key.
+func (prog *Program) declaredOwn(fn *types.Func, key string) *declaredSummary {
+	for i := range prog.declSums[fn] {
+		d := &prog.declSums[fn][i]
+		if d.domain == "own" && d.ruleKey == key {
+			return d
+		}
+	}
+	return nil
+}
+
+// declaredLocks returns fn's declared lock summary, if any.
+func (prog *Program) declaredLocks(fn *types.Func) *declaredSummary {
+	for i := range prog.declSums[fn] {
+		d := &prog.declSums[fn][i]
+		if d.domain == "locks" {
+			return d
+		}
+	}
+	return nil
+}

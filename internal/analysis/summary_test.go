@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestInferredSummariesOverRepo pins the inter-procedural layer to real
+// in-tree functions under the pin rule. The relay's fan-out loop pins a
+// version in next() and hands it to session.send, which discharges the
+// pin through `defer s.r.unpin(v)`. v3's escape-on-any-call heuristic
+// went blind at the `s.send(v)` call site — the pin/unpin pairing
+// crossed a function boundary it could not see — while the v4 summary
+// proves param0=releases and carries the obligation through the call.
+func TestInferredSummariesOverRepo(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load(filepath.Join(l.ModuleRoot(), "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := newProgram(pkgs)
+	rule := ownRuleByKey("pin")
+	if rule == nil {
+		t.Fatal("pin rule missing")
+	}
+	infs := prog.inferredOwnFor(rule)
+	found := false
+	for fn, sum := range infs {
+		if fn.Pkg() == nil || fn.Pkg().Path() != "viper/internal/relay" || fn.Name() != "send" {
+			continue
+		}
+		found = true
+		if got := sum.paramEffect(0); got != effReleases {
+			t.Errorf("relay session.send param0 inferred %v, want releases (deferred unpin)", got)
+		}
+		if !prog.hasCaller(fn) {
+			t.Errorf("session.send has no recorded module-local caller; the fan-out loop calls it")
+		}
+	}
+	if !found {
+		t.Fatal("no inferred pin summary for the relay's session.send")
+	}
+}

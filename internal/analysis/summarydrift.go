@@ -1,0 +1,162 @@
+// summarydrift keeps //vet:summary directives honest. A declared
+// summary overrides inference wherever the summary layers consume one
+// (ownership effects in summary.go, lock sets in locksummary.go), which
+// makes a stale declaration a silent hole in every downstream analyzer.
+// This analyzer re-derives the inferred summary for each declaring
+// function and reports:
+//
+//   - malformed directives (bad grammar, unknown rule keys or effects),
+//   - slots that do not exist on the function's signature,
+//   - ownership slots whose declared effect contradicts the inferred
+//     one (inference-opaque slots are exempt: opacity is exactly what a
+//     declaration is for), and
+//   - lock sets that understate reality — locks the body provably
+//     acquires but the declaration omits (over-declaring is harmless
+//     conservatism and allowed).
+//
+// Functions inference refuses to model (recursion, goto) keep their
+// declarations unchecked; that is the declaration's purpose.
+//
+// Diagnostics anchor on the declaring function's name (not the comment
+// line): the message quotes the offending directive.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SummaryDrift reports //vet:summary declarations that diverge from the
+// inferred summaries.
+var SummaryDrift = &Analyzer{
+	Name: "summarydrift",
+	Doc:  "hand-declared //vet:summary directives must not contradict the inferred summaries",
+	Run:  runSummaryDrift,
+}
+
+func runSummaryDrift(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			decls, errs := parseSummaryDirectives(fd.Doc)
+			for _, e := range errs {
+				pass.Reportf(fd.Name.Pos(), "%s", e.msg)
+			}
+			if len(decls) == 0 {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			for i := range decls {
+				checkDeclared(pass, fn, fd, &decls[i])
+			}
+		}
+	}
+}
+
+func checkDeclared(pass *Pass, fn *types.Func, fd *ast.FuncDecl, d *declaredSummary) {
+	switch d.domain {
+	case "own":
+		checkOwnDrift(pass, fn, fd, d)
+	case "locks":
+		checkLockDrift(pass, fn, fd, d)
+	}
+}
+
+func checkOwnDrift(pass *Pass, fn *types.Func, fd *ast.FuncDecl, d *declaredSummary) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Signature shape first: a slot that does not exist can never be
+	// consumed and is always a mistake.
+	for slot := range d.slots {
+		switch {
+		case slot == "recv":
+			if sig.Recv() == nil {
+				pass.Reportf(fd.Name.Pos(), "//vet:summary declares recv but %s is not a method", fn.Name())
+			}
+		case strings.HasPrefix(slot, "param"):
+			if i, err := strconv.Atoi(strings.TrimPrefix(slot, "param")); err == nil && i >= sig.Params().Len() {
+				pass.Reportf(fd.Name.Pos(), "//vet:summary declares %s but %s has only %d parameter(s)", slot, fn.Name(), sig.Params().Len())
+			}
+		case slot == "result":
+			if sig.Results().Len() == 0 {
+				pass.Reportf(fd.Name.Pos(), "//vet:summary declares result but %s returns nothing", fn.Name())
+			}
+		}
+	}
+	if pass.Prog == nil {
+		return
+	}
+	rule := ownRuleByKey(d.ruleKey)
+	if rule == nil {
+		return // parse already rejected unknown keys
+	}
+	inferred := pass.Prog.inferredOwnFor(rule)[fn]
+	if inferred == nil {
+		return // recursion or goto: the declaration stands, unchecked
+	}
+	slotEff := func(slot string) ownEffect {
+		switch {
+		case slot == "recv":
+			return inferred.recv
+		case slot == "result":
+			return inferred.result
+		default:
+			if i, err := strconv.Atoi(strings.TrimPrefix(slot, "param")); err == nil {
+				return inferred.paramEffect(i)
+			}
+		}
+		return effOpaque
+	}
+	// Deterministic report order across map iteration.
+	slots := make([]string, 0, len(d.slots))
+	for slot := range d.slots {
+		slots = append(slots, slot)
+	}
+	sort.Strings(slots)
+	for _, slot := range slots {
+		declared := d.slots[slot]
+		got := slotEff(slot)
+		if got == effOpaque || got == declared {
+			continue // opaque = uninferable: exactly what declarations are for
+		}
+		pass.Reportf(fd.Name.Pos(), "//vet:summary drift on %s: declares %s=%s but analysis of the body infers %s (rule %s)", fn.Name(), slot, declared, got, d.ruleKey)
+	}
+}
+
+func checkLockDrift(pass *Pass, fn *types.Func, fd *ast.FuncDecl, d *declaredSummary) {
+	if pass.Prog == nil {
+		return
+	}
+	inferred := pass.Prog.lockGraphInfo().inferred[fn]
+	if inferred == nil {
+		return // outside the lock graph's scope: nothing to compare
+	}
+	declared := d.lockSet()
+	var missing []string
+	for id := range inferred {
+		if !declared[id] {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	what := "locks none"
+	if !d.locksNone {
+		what = "locks acquires=" + strings.Join(d.lockIDs, ",")
+	}
+	pass.Reportf(fd.Name.Pos(), "//vet:summary drift on %s: declares %s but the body (or a callee) also acquires %s", fn.Name(), what, strings.Join(missing, ", "))
+}

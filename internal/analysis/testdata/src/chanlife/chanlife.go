@@ -1,0 +1,168 @@
+// Golden fixture for chanlife, loaded under viper/internal/pubsub (an
+// in-scope delivery package). The server struct at the bottom
+// reproduces the historical pubsub bug pair: the unguarded
+// close(s.done) in Close that panicked on a second call, and the racy
+// select-default close guard that double-closed under concurrency.
+package chanfix
+
+import "sync"
+
+// --- flow layer: double close and send-on-closed -----------------------
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "ch is closed twice on this path"
+}
+
+func closeThenDefer() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch) // want "ch is closed here and again by the deferred close at line \d+"
+}
+
+func dupDeferredClose() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want "ch has two deferred closes"
+}
+
+func deferAfterClosed() {
+	ch := make(chan int)
+	close(ch)
+	defer close(ch) // want "deferred close of ch, but it is already closed at line \d+"
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch, which is already closed on this path"
+}
+
+func sendMaybeClosed(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	}
+	ch <- 1 // want "send on ch, which may already be closed"
+}
+
+// branchClose closes on one arm and sends on the other: the paths never
+// meet, so both are clean.
+func branchClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+
+// closeAndReplace is the sanctioned reset shape: the reassignment gives
+// the key a fresh identity, so the second close is not a double close.
+type waker struct{ wake chan struct{} }
+
+func (w *waker) reset() {
+	close(w.wake)
+	w.wake = make(chan struct{})
+	close(w.wake)
+}
+
+// --- close ownership ---------------------------------------------------
+
+// drainAndClose closes a bidirectional parameter it did not make.
+func drainAndClose(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want "closes parameter channel ch it does not own"
+}
+
+// producerClose takes the send-only side: the sanctioned closer.
+func producerClose(ch chan<- int) {
+	close(ch)
+}
+
+// --- select patterns ---------------------------------------------------
+
+type conn struct {
+	closed chan struct{}
+	work   chan int
+}
+
+// shutdownRacy is the remote Consumer.Close historical shape: the
+// non-blocking receive is a TOCTOU guard, and once the default wins the
+// only receive of the shutdown channel is skipped for good.
+func (c *conn) shutdownRacy() {
+	select {
+	case <-c.closed: // want "the default case can skip this receive of c.closed"
+	default:
+		close(c.closed) // want "guarded only by a non-blocking receive"
+	}
+}
+
+// pollLoop re-checks every iteration: the in-loop default is the
+// sanctioned non-blocking poll.
+func (c *conn) pollLoop() {
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		if _, ok := <-c.work; !ok {
+			return
+		}
+	}
+}
+
+// chargeThenWait polls once but blocks on the same channel later, so
+// the shutdown signal is still observed.
+func (c *conn) chargeThenWait() {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	<-c.closed
+}
+
+// --- Close/Stop/Shutdown methods ---------------------------------------
+
+type server struct {
+	done chan struct{}
+}
+
+// Close reproduces the pubsub server bug: the unguarded close panics
+// when Close is called twice.
+func (s *server) Close() error {
+	close(s.done) // want "Close unconditionally closes s.done"
+	return nil
+}
+
+type fixedServer struct {
+	done chan struct{}
+	once sync.Once
+}
+
+// Close is the fix shape: sync.Once makes the close idempotent.
+func (s *fixedServer) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+type guarded struct {
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Stop guards with a flag under a lock: a conditional close is the
+// caller's chosen idempotence strategy and left alone.
+func (g *guarded) Stop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.closed {
+		g.closed = true
+		close(g.done)
+	}
+}

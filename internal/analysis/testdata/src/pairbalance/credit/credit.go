@@ -72,3 +72,32 @@ func doubleGrant(link *transport.Link) error {
 	link.Grant(1) // want "credit granted twice on link"
 	return nil
 }
+
+// --- cross-call shapes (the v4 summary layer) --------------------------
+
+// pullFrame receives one frame, swallowing the error: the link handle
+// comes back charged either way (inferred param0=acquires).
+func pullFrame(link *transport.Link) transport.Frame {
+	frame, _ := link.Recv()
+	return frame
+}
+
+// ack re-mints one credit through a helper (inferred param0=releases).
+func ack(link *transport.Link) {
+	link.Grant(1)
+}
+
+// leakViaHelperRecv: v3 treated pullFrame as an opaque call and stayed
+// silent; the summary charges the link, and this return owes a Grant.
+func leakViaHelperRecv(link *transport.Link) transport.Frame {
+	frame := pullFrame(link)
+	return frame // want "frames received on link but no credit granted back"
+}
+
+// helperGrant is clean: pullFrame's charge is discharged by ack's
+// summary before the return.
+func helperGrant(link *transport.Link) transport.Frame {
+	frame := pullFrame(link)
+	ack(link)
+	return frame
+}

@@ -87,3 +87,38 @@ func (r *Relay) pinnedSwitch(v *version, mode int) error {
 		return errWrite // want "pinned version v is not unpinned on this return path"
 	}
 }
+
+// --- cross-call shapes (the v4 summary layer) --------------------------
+
+// acquireSlot pins through a helper (inferred param0=acquires).
+func (r *Relay) acquireSlot(v *version) { r.pin(v) }
+
+// releaseSlot unpins through a helper (inferred param0=releases).
+func (r *Relay) releaseSlot(v *version) { r.unpin(v) }
+
+// leakViaHelperPin: v3 never saw the pin happen inside the helper and
+// stayed silent everywhere; the summary charges v and the error return
+// leaks it.
+func (r *Relay) leakViaHelperPin(v *version) error {
+	r.acquireSlot(v)
+	if err := write(v.blob); err != nil {
+		return err // want "pinned version v is not unpinned on this return path"
+	}
+	r.unpin(v)
+	return nil
+}
+
+// helperBalanced is clean end-to-end through both helpers.
+func (r *Relay) helperBalanced(v *version) error {
+	r.acquireSlot(v)
+	r.releaseSlot(v)
+	return nil
+}
+
+// doubleViaHelper unpins through the helper and then again directly:
+// v3 lost track at the helper call; v4 sees the count go negative.
+func (r *Relay) doubleViaHelper(v *version) {
+	r.pin(v)
+	r.releaseSlot(v)
+	r.unpin(v) // want "version v unpinned twice"
+}

@@ -15,7 +15,12 @@ var errSend = errors.New("send failed")
 
 func sendHeader() error { return errSend }
 
-func send(b []byte) error { return nil }
+// send retains the blob (the v4 summary layer infers param0=transfers);
+// a stub that ignored its argument would now be seen through, and the
+// callers below would correctly be flagged as leaks.
+func send(b []byte) error { outbox = append(outbox, b); return nil }
+
+var outbox [][]byte
 
 // leakOnHeaderSendFailure is the PR-4 bug: encode succeeds, the header
 // send fails, and the early error return drops the pooled blob.
@@ -121,4 +126,84 @@ func waived(ctx context.Context, ckpt *vformat.Checkpoint) error {
 	_ = blob[0]
 	//lint:ignore poolown fixture demonstrates a waived leak
 	return errSend
+}
+
+// --- cross-call shapes (the v4 summary layer) --------------------------
+
+// verifyRecord mirrors vformat.VerifyChunkRecord: a pure reader over
+// the pooled bytes (inferred param0=none). v3 treated any untabled call
+// as an escape and went silent; the summary keeps the obligation alive.
+func verifyRecord(b []byte) bool {
+	n := 0
+	for _, x := range b {
+		n += int(x)
+	}
+	return n != 0
+}
+
+// leakAfterPureUse is the blind spot v4 removes: the verify call no
+// longer launders the blob, so the early return still leaks it.
+func leakAfterPureUse(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	ok := verifyRecord(blob)
+	if !ok {
+		return errSend // want "pooled blob blob leaks on this return path"
+	}
+	vformat.ReleaseBuffer(blob)
+	return nil
+}
+
+// discard releases through a helper (inferred param0=releases).
+func discard(b []byte) {
+	vformat.ReleaseBuffer(b)
+}
+
+// helperReleaseClean is clean: the helper's summary discharges the
+// obligation on the success path.
+func helperReleaseClean(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return err
+	}
+	discard(blob)
+	return nil
+}
+
+// doubleViaHelper releases through the helper and then again directly:
+// v3 lost track at the helper call; v4 sees the double release.
+func doubleViaHelper(ctx context.Context, ckpt *vformat.Checkpoint) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return
+	}
+	discard(blob)
+	vformat.ReleaseBuffer(blob) // want "pooled blob blob released twice"
+}
+
+// encodeOwned acquires through its result (inferred result=acquires
+// with the error-pair refinement): callers inherit the obligation with
+// no //vet:summary needed.
+func encodeOwned(ctx context.Context, ckpt *vformat.Checkpoint) ([]byte, error) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// leakFromHelperAcquire leaks a blob minted by the helper above — a
+// shape v3 could not see at all.
+func leakFromHelperAcquire(ctx context.Context, ckpt *vformat.Checkpoint) error {
+	blob, err := encodeOwned(ctx, ckpt)
+	if err != nil {
+		return err // refined: the helper's acquire failed
+	}
+	if len(blob) == 0 {
+		return errSend // want "pooled blob blob leaks on this return path"
+	}
+	vformat.ReleaseBuffer(blob)
+	return nil
 }

@@ -1,0 +1,105 @@
+// Golden fixture for summarydrift, loaded under viper/internal/metrics
+// (inside the lock graph's scope, so lock declarations are checked
+// too). Diagnostics anchor on the declaring function's name.
+package driftfix
+
+import (
+	"sync"
+
+	"viper/internal/vformat"
+)
+
+var sink [][]byte
+
+// --- ownership drift ---------------------------------------------------
+
+// stash retains its argument, but the declaration claims pure use: a
+// stale summary that would silence every caller-side leak.
+//
+//vet:summary own:blob param0=none
+func stash(b []byte) { // want "drift on stash: declares param0=none but analysis of the body infers transfers"
+	sink = append(sink, b)
+}
+
+// releaseBuf declares exactly what the body does: clean.
+//
+//vet:summary own:blob param0=releases
+func releaseBuf(b []byte) {
+	vformat.ReleaseBuffer(b)
+}
+
+// helperRecursive is recursion: inference refuses to model it, so the
+// declaration stands unchecked — that is what declarations are for.
+//
+//vet:summary own:blob param0=none
+func helperRecursive(b []byte, n int) {
+	if n > 0 {
+		helperRecursive(b, n-1)
+	}
+	sink = append(sink, b)
+}
+
+// --- malformed directives ----------------------------------------------
+
+//vet:summary own:bogus param0=none
+func badRule() { // want "names unknown ownership rule .bogus."
+}
+
+//vet:summary own:blob param0=sometimes
+func badEffect(b []byte) { // want "unknown effect .sometimes."
+	vformat.ReleaseBuffer(b)
+}
+
+//vet:summary locks maybe
+func badLocks() { // want "malformed //vet:summary"
+}
+
+// --- slots that do not exist -------------------------------------------
+
+//vet:summary own:blob param2=releases
+func noSuchParam(b []byte) { // want "declares param2 but noSuchParam has only 1 parameter"
+	vformat.ReleaseBuffer(b)
+}
+
+//vet:summary own:blob recv=none
+func notMethod(b []byte) { // want "declares recv but notMethod is not a method"
+	vformat.ReleaseBuffer(b)
+}
+
+//vet:summary own:blob result=acquires
+func noResult(b []byte) { // want "declares result but noResult returns nothing"
+	vformat.ReleaseBuffer(b)
+}
+
+// --- lock-set drift ----------------------------------------------------
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump acquires c.mu but declares otherwise: callers relying on the
+// summary would build a lock graph with a hole in it.
+//
+//vet:summary locks none
+func (c *counter) bump() { // want "declares locks none but the body .or a callee. also acquires .*counter.mu"
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// read declares exactly what it takes: clean.
+//
+//vet:summary locks acquires=viper/internal/metrics.counter.mu
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// peek over-declares: harmless conservatism, allowed.
+//
+//vet:summary locks acquires=viper/internal/metrics.counter.mu
+func (c *counter) peek() int {
+	return c.n
+}

@@ -128,3 +128,16 @@ func TestProtocolAbruptDisconnectDuringSet(t *testing.T) {
 		t.Fatalf("reply = %q", got)
 	}
 }
+
+// TestServerCloseIdempotent: Close must be safe to call more than once.
+// Before the sync.Once guard the second call panicked on the double
+// close of s.done (found by viper-vet's chanlife analyzer).
+func TestServerCloseIdempotent(t *testing.T) {
+	s := NewServer(NewStore())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,7 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	done     chan struct{}
+	once     sync.Once
 	wg       sync.WaitGroup
 }
 
@@ -168,9 +169,10 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 	return nil
 }
 
-// Close stops the listener and closes every open connection.
+// Close stops the listener and closes every open connection. It is
+// idempotent: only the first call closes the done channel.
 func (s *Server) Close() error {
-	close(s.done)
+	s.once.Do(func() { close(s.done) })
 	s.mu.Lock()
 	if s.listener != nil {
 		s.listener.Close()

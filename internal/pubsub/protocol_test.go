@@ -130,3 +130,16 @@ func TestPubSubSubscriberReceivesOwnPublishes(t *testing.T) {
 		t.Fatal("self-publish not delivered")
 	}
 }
+
+// TestServerCloseIdempotent: Close must be safe to call more than once.
+// Before the sync.Once guard the second call panicked on the double
+// close of s.done (found by viper-vet's chanlife analyzer).
+func TestServerCloseIdempotent(t *testing.T) {
+	s := NewServer(NewBroker(4))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

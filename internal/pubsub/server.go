@@ -26,6 +26,7 @@ type Server struct {
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	done     chan struct{}
+	once     sync.Once
 	wg       sync.WaitGroup
 }
 
@@ -151,9 +152,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener and closes all connections.
+// Close stops the listener and closes all connections. It is
+// idempotent: only the first call closes the done channel.
 func (s *Server) Close() error {
-	close(s.done)
+	s.once.Do(func() { close(s.done) })
 	s.mu.Lock()
 	if s.listener != nil {
 		s.listener.Close()

@@ -89,3 +89,21 @@ func TestCloseCancelsLifecycleContext(t *testing.T) {
 		t.Fatalf("Publish after Close = %v, want context.Canceled", err)
 	}
 }
+
+// TestConsumerCloseConcurrent: Close must be idempotent under
+// concurrency. The original guard — a non-blocking receive on c.closed
+// before close(c.closed) — let two goroutines both take the default
+// branch and double-close (TOCTOU, found by viper-vet's chanlife
+// analyzer); sync.Once makes the close race-free.
+func TestConsumerCloseConcurrent(t *testing.T) {
+	_, cons := startPairBase(t, context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cons.Close()
+		}()
+	}
+	wg.Wait()
+}

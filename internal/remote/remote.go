@@ -506,9 +506,10 @@ type Consumer struct {
 	policy   retry.Policy
 	clock    simclock.Clock
 
-	frames chan transport.Frame
-	stash  *transport.Frame // link frame that overshot its notification
-	closed chan struct{}
+	frames    chan transport.Frame
+	stash     *transport.Frame // link frame that overshot its notification
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	// lifeCtx is the lifecycle context minted from
 	// ConsumerConfig.BaseContext; lifeCancel fires in Close.
@@ -923,13 +924,11 @@ func (c *Consumer) LatestMeta() (*core.ModelMeta, error) {
 }
 
 // Close cancels the lifecycle context and tears down all connections.
+// It is idempotent and safe to call concurrently: only the first call
+// closes the shutdown channel.
 func (c *Consumer) Close() {
 	c.lifeCancel()
-	select {
-	case <-c.closed:
-	default:
-		close(c.closed)
-	}
+	c.closeOnce.Do(func() { close(c.closed) })
 	c.link.Close()
 	c.ps.Close()
 	c.kv.Close()
