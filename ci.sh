@@ -266,4 +266,41 @@ if ! awk "BEGIN { exit !($credit_fast_p99 <= $base_fast_p99) }"; then
     exit 1
 fi
 
+# PR 9's gate: content-addressed delta distribution. A steady-state
+# training run is replayed through the remote producer → consumer pair
+# over real TCP twice — reconciliation off (every checkpoint ships
+# whole) and on (manifest + only the chunks whose content hashes the
+# receiver lacks). Three hard floors keep the tentpole honest at the
+# default chunk size: steady-state wire bytes reduced at least 3x
+# (measured margin is ~5x beyond that), zero torn streams in either
+# phase, and every reconciled install byte-identical to a full decode
+# of the producer's staged blob. The reduction is deterministic (fixed
+# training seed, exact byte counts off the transport counters), so the
+# 3x floor does not flake with runner load.
+echo "==> delta dedup scenario (full snapshots vs chunk-addressed deltas)"
+go run ./cmd/viper-bench -exp deltadedup -json > BENCH_7.json
+go run ./cmd/viper-bench -exp deltadedup
+
+dedup_reduction=$(awk -F': *|,' '/"reduction"/ { print $2; exit }' BENCH_7.json)
+dedup_torn=$(awk -F': *|,' '/"torn_streams"/ { print $2; exit }' BENCH_7.json)
+dedup_identical=$(awk -F': *|,' '/"identical"/ { print $2; exit }' BENCH_7.json)
+if [ -z "$dedup_reduction" ] || [ -z "$dedup_torn" ] || [ -z "$dedup_identical" ]; then
+    echo "ci.sh: BENCH_7.json missing delta-dedup gate fields" >&2
+    exit 1
+fi
+echo "wrote BENCH_7.json (reduction ${dedup_reduction}x, torn ${dedup_torn}, identical ${dedup_identical})"
+
+if ! awk "BEGIN { exit !($dedup_reduction >= 3) }"; then
+    echo "ci.sh: delta distribution reduced steady-state wire bytes only ${dedup_reduction}x; gate is 3x" >&2
+    exit 1
+fi
+if [ "$dedup_torn" != "0" ]; then
+    echo "ci.sh: delta-dedup scenario tore ${dedup_torn} streams; must be exactly 0" >&2
+    exit 1
+fi
+if [ "$dedup_identical" != "true" ]; then
+    echo "ci.sh: a reconciled install was not byte-identical to the full decode" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

@@ -14,9 +14,16 @@
 // baseline against credit-based flow control with whole-group shedding
 // on a mixed fast/slow consumer fleet; with -json it emits the
 // machine-readable comparison ci.sh records as BENCH_6.json.
+//
+// The deltadedup experiment measures content-addressed delta
+// distribution: a steady-state training run is replayed through the
+// remote producer → consumer pair over real TCP with reconciliation
+// off and on, and the two phases' wire bytes give the dedup ratio;
+// with -json it emits the comparison ci.sh records as BENCH_7.json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,9 +37,9 @@ import (
 var jsonOut *bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|slowconsumer|all")
+	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|slowconsumer|deltadedup|all")
 	quick := flag.Bool("quick", false, "run reduced-scale configurations")
-	jsonOut = flag.Bool("json", false, "emit machine-readable JSON (slowconsumer only)")
+	jsonOut = flag.Bool("json", false, "emit machine-readable JSON (slowconsumer and deltadedup only)")
 	flag.Parse()
 
 	runners := map[string]func(bool) error{
@@ -44,8 +51,9 @@ func main() {
 		"table1":       runTable1,
 		"ablations":    runAblations,
 		"slowconsumer": runSlowConsumer,
+		"deltadedup":   runDeltaDedup,
 	}
-	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations", "slowconsumer"}
+	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations", "slowconsumer", "deltadedup"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -246,5 +254,34 @@ func runSlowConsumer(quick bool) error {
 				o.Name, o.TornStreams, o.Completed, o.FinalVersion, o.P50, o.P99)
 		}
 	}
+	return nil
+}
+
+func runDeltaDedup(quick bool) error {
+	cfg := experiments.DefaultDeltaDedupConfig()
+	if quick {
+		cfg.Versions = 4
+		cfg.InputLen = 1024
+	}
+	res, err := experiments.RunDeltaDedup(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Printf("delta dedup: %d steady-state versions of a %.1f MiB / %d-chunk model (eps %g)\n",
+		res.Versions, float64(res.ModelBytes)/(1<<20), res.Chunks, cfg.DeltaEps)
+	fmt.Printf("  full snapshots : %10d wire bytes\n", res.FullWireBytes)
+	fmt.Printf("  delta streams  : %10d wire bytes  (%.1fx reduction)\n", res.DeltaWireBytes, res.Reduction)
+	fmt.Printf("  chunks sent=%d deduped=%d bytes_saved=%d delta_sends=%d\n",
+		res.ChunksSent, res.ChunksDeduped, res.BytesSaved, res.DeltaSends)
+	fmt.Printf("  torn=%d identical=%v max_suppression_err=%.3g\n",
+		res.TornStreams, res.Identical, res.MaxSuppressionErr)
 	return nil
 }

@@ -31,15 +31,17 @@ func main() {
 	updates := flag.Int("updates", 8, "number of model updates to apply before exiting (0 = until timeout)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-update wait timeout")
 	seed := flag.Int64("seed", 1, "inference-data seed")
+	noDelta := flag.Bool("no-delta", false, "disable chunk-delta reconciliation (always pull full streams)")
+	chunkCache := flag.Int("chunk-cache", 0, "chunk hash cache entries (0 = default)")
 	flag.Parse()
 
-	if err := run(*metaAddr, *notifyAddr, *producerAddr, *updates, *timeout, *seed); err != nil {
+	if err := run(*metaAddr, *notifyAddr, *producerAddr, *updates, *timeout, *seed, *noDelta, *chunkCache); err != nil {
 		fmt.Fprintf(os.Stderr, "viper-consumer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(metaAddr, notifyAddr, producerAddr string, updates int, timeout time.Duration, seed int64) error {
+func run(metaAddr, notifyAddr, producerAddr string, updates int, timeout time.Duration, seed int64, noDelta bool, chunkCache int) error {
 	rng := rand.New(rand.NewSource(seed + 100))
 	serving := models.TC1(rng, 32)
 	data, err := dataset.SynthesizeClassification(dataset.ClassificationConfig{
@@ -49,11 +51,13 @@ func run(metaAddr, notifyAddr, producerAddr string, updates int, timeout time.Du
 		return err
 	}
 	cons, err := remote.NewConsumer(remote.ConsumerConfig{
-		Model:        "tc1",
-		MetaAddr:     metaAddr,
-		NotifyAddr:   notifyAddr,
-		ProducerAddr: producerAddr,
-		Serving:      serving,
+		Model:                 "tc1",
+		MetaAddr:              metaAddr,
+		NotifyAddr:            notifyAddr,
+		ProducerAddr:          producerAddr,
+		Serving:               serving,
+		DisableDeltaReconcile: noDelta,
+		ChunkHashCache:        chunkCache,
 	})
 	if err != nil {
 		return err
@@ -80,6 +84,8 @@ func run(metaAddr, notifyAddr, producerAddr string, updates int, timeout time.Du
 			ckpt.Version, ckpt.Iteration, ckpt.TrainLoss, time.Since(start).Round(time.Microsecond),
 			lv, nn.Accuracy(pred, data.Y))
 	}
-	fmt.Printf("viper-consumer: applied %d updates\n", applied)
+	s := cons.Stats()
+	fmt.Printf("viper-consumer: applied %d updates (%d via link, %d delta-reconciled, %d staged)\n",
+		applied, s.LinkLoads, s.DeltaLoads, s.StagedLoads)
 	return nil
 }

@@ -1,8 +1,8 @@
 // Command viper-inspect dumps the contents of a serialized Viper
 // checkpoint file in any of the reproduction's wire formats: the lean
-// vformat, quantized (vquant), delta (vdelta), chunked v2 (vchunk), or
-// the h5lite baseline container. It auto-detects the format from the
-// file's magic.
+// vformat, quantized (vquant), delta (vdelta), chunked v2 (vchunk),
+// manifest-bearing chunk-reconciliation blobs (vrecon), or the h5lite
+// baseline container. It auto-detects the format from the file's magic.
 //
 // Usage:
 //
@@ -93,6 +93,11 @@ type jsonSummary struct {
 	// Delta fields (format "vdelta" only).
 	BaseVersion uint64 `json:"base_version,omitempty"`
 	Changed     int    `json:"changed_elements,omitempty"`
+	// Reconciliation fields (format "vrecon" only): how many chunk
+	// records the blob carries vs. elides as deduplicated against a
+	// previously published version.
+	CarriedChunks int `json:"carried_chunks,omitempty"`
+	ElidedChunks  int `json:"elided_chunks,omitempty"`
 }
 
 // jsonTensor is one per-tensor NDJSON line.
@@ -107,15 +112,22 @@ type jsonTensor struct {
 	Std      *float64 `json:"std,omitempty"`
 }
 
-// jsonChunk is one per-chunk layout NDJSON line (chunked v2 files).
+// jsonChunk is one per-chunk layout NDJSON line (chunked v2 and
+// manifest-bearing files).
 type jsonChunk struct {
 	Kind      string `json:"kind"` // "chunk"
 	Index     int    `json:"index"`
-	StartElem int64  `json:"start_elem"`
-	Elements  int    `json:"elements"`
-	Offset    int    `json:"offset"`
-	Size      int    `json:"size"`
+	StartElem int64  `json:"start_elem,omitempty"`
+	Elements  int    `json:"elements,omitempty"`
+	Offset    int    `json:"offset,omitempty"`
+	Size      int    `json:"size,omitempty"`
 	CRCOK     bool   `json:"crc_ok"`
+	// Hash is the chunk record's truncated-SHA-256 content hash (hex) —
+	// the key content-addressed dedup collapses identical chunks under.
+	Hash string `json:"hash,omitempty"`
+	// Elided marks a chunk a vrecon blob does not carry (the receiver
+	// reconciles it from a previously published version).
+	Elided bool `json:"elided,omitempty"`
 }
 
 func inspect(blob []byte, stats, jsonOut bool) error {
@@ -144,6 +156,8 @@ func inspect(blob []byte, stats, jsonOut bool) error {
 		e.checkpoint(ckpt, jsonSummary{Format: "vquant", Precision: prec.String()})
 	case "VPRC0002":
 		return e.chunked(blob)
+	case "VPRM0001":
+		return e.manifest(blob)
 	case "VPRD0001":
 		delta, err := vformat.DecodeDelta(blob)
 		if err != nil {
@@ -175,7 +189,14 @@ type jsonRelayVersion struct {
 	Key     string `json:"key"`
 	Chunks  int    `json:"chunks"`
 	Bytes   int64  `json:"bytes"`
-	CRCOK   bool   `json:"crc_ok"`
+	// Deduped counts chunks that were already resident in the relay's
+	// content-addressed store when this version arrived; Delta marks a
+	// version ingested as a manifest+missing stream rather than a full
+	// push; Hashes are the per-chunk content hashes (hex, chunk order).
+	Deduped int      `json:"deduped,omitempty"`
+	Delta   bool     `json:"delta,omitempty"`
+	Hashes  []string `json:"hashes,omitempty"`
+	CRCOK   bool     `json:"crc_ok"`
 }
 
 // inspectRelay queries a running relay node's cached version inventory
@@ -190,7 +211,9 @@ func inspectRelay(addr string, jsonOut bool) error {
 		for _, v := range inv {
 			enc.Encode(jsonRelayVersion{
 				Kind: "relay-version", Model: v.Model, Version: v.Version,
-				Key: v.Key, Chunks: v.Chunks, Bytes: v.Bytes, CRCOK: v.CRCOK,
+				Key: v.Key, Chunks: v.Chunks, Bytes: v.Bytes,
+				Deduped: v.Deduped, Delta: v.Delta, Hashes: v.Hashes,
+				CRCOK: v.CRCOK,
 			})
 		}
 		return nil
@@ -205,8 +228,15 @@ func inspectRelay(addr string, jsonOut bool) error {
 		if v.Chunks == 0 {
 			chunks = "monolithic"
 		}
-		fmt.Printf("  %s v%-6d %-14s %10d bytes  crc %s  (%s)\n",
-			v.Model, v.Version, chunks, v.Bytes, status, v.Key)
+		extra := ""
+		if v.Deduped > 0 {
+			extra = fmt.Sprintf("  %d deduped", v.Deduped)
+		}
+		if v.Delta {
+			extra += "  delta-ingested"
+		}
+		fmt.Printf("  %s v%-6d %-14s %10d bytes  crc %s%s  (%s)\n",
+			v.Model, v.Version, chunks, v.Bytes, status, extra, v.Key)
 	}
 	return nil
 }
@@ -243,6 +273,7 @@ func (e *emitter) chunked(blob []byte) error {
 			e.enc.Encode(jsonChunk{
 				Kind: "chunk", Index: r.Index, StartElem: r.Start,
 				Elements: r.Elems, Offset: r.Offset, Size: r.Size, CRCOK: r.CRCOK,
+				Hash: vformat.HashChunkRecord(blob[r.Offset : r.Offset+r.Size]).String(),
 			})
 		}
 		return nil
@@ -263,8 +294,70 @@ func (e *emitter) chunked(blob []byte) error {
 		if !r.CRCOK {
 			status = "CORRUPT"
 		}
-		fmt.Printf("  chunk %-4d elems [%d, %d)  bytes [%d, %d)  crc %s\n",
-			r.Index, r.Start, r.Start+int64(r.Elems), r.Offset, r.Offset+r.Size, status)
+		hash := vformat.HashChunkRecord(blob[r.Offset : r.Offset+r.Size])
+		fmt.Printf("  chunk %-4d elems [%d, %d)  bytes [%d, %d)  crc %s  hash %s\n",
+			r.Index, r.Start, r.Start+int64(r.Elems), r.Offset, r.Offset+r.Size, status, hash)
+	}
+	return nil
+}
+
+// manifest reports a manifest-bearing vrecon blob: the embedded header,
+// the per-chunk content hashes, and which records the blob carries vs.
+// elides as deduplicated against a previously published version. The
+// weights themselves cannot be decoded from the file alone — the elided
+// records live in the receiver's chunk cache.
+func (e *emitter) manifest(blob []byte) error {
+	man, err := vformat.ParseManifest(blob)
+	if err != nil {
+		return err
+	}
+	_, hdr, _, err := vformat.ParseChunkHeader(man.Header)
+	if err != nil {
+		return err
+	}
+	// Assemble against an empty cache: whatever stays missing is exactly
+	// the elided (deduplicated) chunk set.
+	asm, err := vformat.NewManifestAssembler(blob, nil)
+	if err != nil {
+		return err
+	}
+	elided := make(map[vformat.ChunkHash]bool)
+	for _, h := range asm.MissingHashes() {
+		elided[h] = true
+	}
+	carried := man.Layout.NumChunks - len(elided)
+	if e.json {
+		e.enc.Encode(jsonSummary{
+			Kind: "checkpoint", Format: "vrecon",
+			Model: hdr.ModelName, Version: hdr.Version,
+			Iteration: hdr.Iteration, Loss: hdr.TrainLoss,
+			Bytes:      int64(len(blob)),
+			Precision:  man.Layout.Precision.String(),
+			ChunkElems: man.Layout.ChunkElems, TotalElems: man.Layout.TotalElems,
+			NumChunks:     man.Layout.NumChunks,
+			CarriedChunks: carried, ElidedChunks: len(elided),
+		})
+		for i, h := range man.Hashes {
+			e.enc.Encode(jsonChunk{
+				Kind: "chunk", Index: i, CRCOK: true,
+				Hash: h.String(), Elided: elided[h],
+			})
+		}
+		return nil
+	}
+	fmt.Printf("format:    vrecon (manifest-bearing chunk reconciliation, wire precision %s)\n", man.Layout.Precision)
+	fmt.Printf("model:     %s\n", hdr.ModelName)
+	fmt.Printf("version:   %d\n", hdr.Version)
+	fmt.Printf("iteration: %d\n", hdr.Iteration)
+	fmt.Printf("loss:      %g\n", hdr.TrainLoss)
+	fmt.Printf("chunks:    %d x %d elements (%d total): %d carried, %d deduplicated\n",
+		man.Layout.NumChunks, man.Layout.ChunkElems, man.Layout.TotalElems, carried, len(elided))
+	for i, h := range man.Hashes {
+		origin := "carried"
+		if elided[h] {
+			origin = "deduped"
+		}
+		fmt.Printf("  chunk %-4d hash %s  %s\n", i, h, origin)
 	}
 	return nil
 }

@@ -43,15 +43,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "training seed")
 	chunk := flag.Int("chunk", vformat.DefaultChunkBytes,
 		"chunk size in bytes for the streamed wire format (0 = legacy monolithic frames)")
+	deltaEps := flag.Float64("delta-eps", 1e-6,
+		"base-suppression threshold for chunk-level delta publishing: elements that move less re-encode their previous wire value so unchanged chunks dedup (0 = exact-match dedup only)")
 	flag.Parse()
 
-	if err := run(*metaAddr, *notifyAddr, *listenAddr, *relayAddr, *epochs, *warmup, *seed, *chunk); err != nil {
+	if err := run(*metaAddr, *notifyAddr, *listenAddr, *relayAddr, *epochs, *warmup, *seed, *chunk, *deltaEps); err != nil {
 		fmt.Fprintf(os.Stderr, "viper-producer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(metaAddr, notifyAddr, listenAddr, relayAddr string, epochs, warmup int, seed int64, chunk int) error {
+func run(metaAddr, notifyAddr, listenAddr, relayAddr string, epochs, warmup int, seed int64, chunk int, deltaEps float64) error {
 	if epochs <= warmup {
 		return fmt.Errorf("epochs (%d) must exceed warmup (%d)", epochs, warmup)
 	}
@@ -78,6 +80,7 @@ func run(metaAddr, notifyAddr, listenAddr, relayAddr string, epochs, warmup int,
 		RelayAddr:  relayAddr,
 		OnListen:   func(a string) { fmt.Printf("viper-producer: link bound to %s\n", a) },
 		ChunkSize:  chunk,
+		DeltaEps:   deltaEps,
 	})
 	if err != nil {
 		return err

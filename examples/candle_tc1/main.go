@@ -54,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	serving := models.TC1(rand.New(rand.NewSource(12)), 32)
-	consumer, err := viper.NewConsumer(env, "tc1", serving)
+	consumer, err := viper.NewConsumer(env, "tc1", viper.WithServing(serving))
 	if err != nil {
 		log.Fatal(err)
 	}

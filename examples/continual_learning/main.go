@@ -71,7 +71,7 @@ func runStream(trainSets, testSets []*dataset.Classification, useReplay bool) fl
 	if err != nil {
 		log.Fatal(err)
 	}
-	consumer, err := viper.NewConsumer(env, "stream", serving)
+	consumer, err := viper.NewConsumer(env, "stream", viper.WithServing(serving))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -52,7 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 	serving := models.PtychoNN(rand.New(rand.NewSource(8)), inputLen)
-	consumer, err := viper.NewConsumer(env, "ptychonn", serving)
+	consumer, err := viper.NewConsumer(env, "ptychonn", viper.WithServing(serving))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 
 	// The inference side: a second model instance kept in sync by Viper.
 	servingModel := models.TC1(rand.New(rand.NewSource(2)), 32)
-	consumer, err := viper.NewConsumer(env, "tc1", servingModel)
+	consumer, err := viper.NewConsumer(env, "tc1", viper.WithServing(servingModel))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func newPipeline(t *testing.T, cfg ProducerConfig) *pipelineFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	consumer, err := NewConsumer(env, cfg.Model, serving)
+	consumer, err := NewConsumer(env, cfg.Model, WithServing(serving))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,6 +91,7 @@ func TestGoldenPoolOwn(t *testing.T) {
 func TestGoldenPairBalance(t *testing.T) {
 	runGolden(t, PairBalance, "testdata/src/pairbalance/pin", "viper/internal/relay")
 	runGolden(t, PairBalance, "testdata/src/pairbalance/credit", "viper/internal/core")
+	runGolden(t, PairBalance, "testdata/src/pairbalance/chunkref", "viper/internal/relay")
 }
 
 func TestGoldenCtxFlow(t *testing.T) {

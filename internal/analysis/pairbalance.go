@@ -1,5 +1,5 @@
-// pairbalance enforces table-driven acquire/release pairing on the two
-// protocol pairs PRs 5–6 introduced:
+// pairbalance enforces table-driven acquire/release pairing on the
+// protocol pairs PRs 5–6 and 9 introduced:
 //
 //   - relay pin/unpin: a cache version pinned for a send must be
 //     unpinned on every path, or eviction blocks forever; and a version
@@ -10,10 +10,16 @@
 //     before returning, or the producer's Send/Grant window drains and
 //     stalls. The link handle is the token, so an initial
 //     Grant(window) with no prior Recv is deliberately not flagged.
+//   - chunk refcount retain/release (DESIGN §11): a content-addressed
+//     store entry retained for a version build must be parked in a
+//     held list (ownership transfer) or released on every path — a
+//     superseded build that drops its entries without releaseChunk
+//     strands their refcounts above zero and the store never evicts
+//     the records (leak-on-supersede).
 //
-// Both rules ride the ownership engine in dataflow.go; selector-field
-// receivers (c.link) are untracked by design — false negatives over
-// false positives.
+// All three rules ride the ownership engine in dataflow.go;
+// selector-field receivers (c.link) are untracked by design — false
+// negatives over false positives.
 
 package analysis
 
@@ -57,12 +63,30 @@ var pairbalanceRules = []*ownRule{
 		doubleMsg:   "credit granted twice on %s for a single receive: the window inflates past its cap",
 		useAfterMsg: "link %s used after its credit was granted back", // unreachable for handle tokens; kept for the template contract
 	},
+	{
+		key:  "chunkref",
+		what: "chunk reference",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/relay", typeName: "Relay", funcName: "retainChunk", token: tokenArg},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/relay", typeName: "Relay", funcName: "releaseChunk", token: tokenArg},
+		},
+		scope: map[string]bool{
+			"viper/internal/relay": true,
+		},
+		reportUnacquired: true,
+		leakMsg:          "chunk entry %s retained but not released or parked on this return path: its refcount never drains and the store leaks the record on supersede (DESIGN §11)",
+		doubleMsg:        "chunk entry %s released twice: the refcount can hit zero while another version still holds it and the store frees a live record (DESIGN §11)",
+		useAfterMsg:      "chunk entry %s used after release: the store may already have evicted its record (DESIGN §11)",
+		unacquiredMsg:    "chunk entry %s released without a dominating retain: it was created in this function and never retained, so the refcount goes negative (DESIGN §11)",
+	},
 }
 
 // PairBalance flags unbalanced acquire/release protocol pairs.
 var PairBalance = &Analyzer{
 	Name: "pairbalance",
-	Doc:  "relay pin/unpin and credit Recv/Grant pairs must balance on every path",
+	Doc:  "relay pin/unpin, credit Recv/Grant, and chunk retain/release pairs must balance on every path",
 	Run: func(pass *Pass) {
 		runOwnership(pass, pairbalanceRules)
 	},

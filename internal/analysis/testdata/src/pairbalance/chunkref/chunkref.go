@@ -1,0 +1,107 @@
+// Golden fixture for pairbalance's chunkref rule, loaded under
+// viper/internal/relay. The real Relay's retainChunk/releaseChunk are
+// unexported, so the fixture declares stand-ins under the same import
+// path — matching is by package path + receiver type + method name,
+// exactly how the real sites resolve. leakOnSupersede reproduces the
+// bug class the rule exists for: a version build superseded mid-ingest
+// returns early and drops its interned entries without releasing their
+// references, so the content-addressed store can never evict the
+// records (DESIGN §11).
+package relayfix
+
+import "errors"
+
+var errSuperseded = errors.New("superseded")
+
+type chunkEntry struct {
+	refs    int
+	payload []byte
+}
+
+type version struct {
+	held []*chunkEntry
+}
+
+type Relay struct {
+	chunks map[string]*chunkEntry
+}
+
+func (r *Relay) retainChunk(e *chunkEntry)  { e.refs++ }
+func (r *Relay) releaseChunk(e *chunkEntry) { e.refs-- }
+
+// leakOnSupersede is the bug class: a newer version of the same model
+// lands while this build is still ingesting, the build is abandoned on
+// the error path, and the freshly retained entry keeps its reference
+// forever — the store's refcount never drains back to zero.
+func (r *Relay) leakOnSupersede(e *chunkEntry, superseded bool) error {
+	r.retainChunk(e)
+	if superseded {
+		return errSuperseded // want "chunk entry e retained but not released or parked on this return path"
+	}
+	r.releaseChunk(e)
+	return nil
+}
+
+// balanced releases on every path via defer.
+func (r *Relay) balanced(e *chunkEntry, superseded bool) error {
+	r.retainChunk(e)
+	defer r.releaseChunk(e)
+	if superseded {
+		return errSuperseded
+	}
+	return nil
+}
+
+// parkedInHeld transfers the reference into a version's held list —
+// releaseChunk will find it there when the version is freed, so the
+// retain is discharged by the store, not this function.
+func (r *Relay) parkedInHeld(v *version, e *chunkEntry) {
+	r.retainChunk(e)
+	v.held = append(v.held, e)
+}
+
+// retainAndReturn hands the retained entry to the caller, who inherits
+// the release obligation (the internChunkLocked shape).
+func (r *Relay) retainAndReturn(e *chunkEntry) *chunkEntry {
+	r.retainChunk(e)
+	return e
+}
+
+func (r *Relay) doubleRelease(e *chunkEntry) {
+	r.retainChunk(e)
+	r.releaseChunk(e)
+	r.releaseChunk(e) // want "chunk entry e released twice"
+}
+
+// useAfterRelease reads the entry after dropping the reference: the
+// store may already have evicted its record.
+func (r *Relay) useAfterRelease(e *chunkEntry) []byte {
+	r.retainChunk(e)
+	r.releaseChunk(e)
+	return e.payload // want "chunk entry e used after release"
+}
+
+// releaseFresh drops a reference on an entry born in this function
+// that was never retained: the refcount goes negative.
+func (r *Relay) releaseFresh() {
+	e := &chunkEntry{}
+	r.releaseChunk(e) // want "chunk entry e released without a dominating retain"
+}
+
+// releaseHandedIn is clean: the entry came from the store, so its
+// reference was taken elsewhere — not ours to judge intra-procedurally.
+func (r *Relay) releaseHandedIn(hash string) {
+	e := r.chunks[hash]
+	if e != nil {
+		r.releaseChunk(e)
+	}
+}
+
+// releaseLoop drains a version's held list — every entry is handed in,
+// released exactly once each.
+func (r *Relay) releaseLoop(v *version) {
+	for _, e := range v.held {
+		r.releaseChunk(e)
+	}
+	v.held = nil
+}

@@ -113,20 +113,22 @@ func TestSaveChunkedQuantized(t *testing.T) {
 	}
 }
 
-// TestSaveChunkedIncremental: the chunked pipeline still produces delta
-// frames between full refreshes, and the consumer follows the chain.
+// TestSaveChunkedIncremental: between full refreshes the chunked
+// pipeline ships manifest-bearing "vrecon" blobs carrying only the
+// chunks that changed, and the consumer reconciles the rest from the
+// chunk cache seeded by the full install.
 func TestSaveChunkedIncremental(t *testing.T) {
 	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
 		Model:       "tc1",
 		Strategy:    Strategy{Route: RouteHost, Mode: ModeSync},
-		ChunkSize:   2 << 10,
+		ChunkSize:   256, // 32 elems/chunk: the 212-param model spans 7 chunks
 		Incremental: true,
 		FullEvery:   4,
 	})
 	sub := c.Subscribe()
 	defer sub.Close()
 	model := testModel(3)
-	wantFormats := []string{"vchunk", "vdelta", "vdelta"}
+	wantFormats := []string{"vchunk", "vrecon", "vrecon"}
 	for i, want := range wantFormats {
 		// Nudge one parameter so each delta is small but non-empty.
 		params := model.Params()
@@ -148,6 +150,150 @@ func TestSaveChunkedIncremental(t *testing.T) {
 				if got.Weights[ti].Data[tj] != snap[ti].Data[tj] {
 					t.Fatalf("after save %d weights differ at %d/%d", i, ti, tj)
 				}
+			}
+		}
+	}
+}
+
+// TestChunkedReconFullRefreshCadence: the vrecon chain re-anchors with
+// a full vchunk checkpoint every FullEvery versions, and the consumer
+// tracks the whole sequence byte-identically.
+func TestChunkedReconFullRefreshCadence(t *testing.T) {
+	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:       "tc1",
+		Strategy:    Strategy{Route: RouteHost, Mode: ModeSync},
+		ChunkSize:   256,
+		Incremental: true,
+		FullEvery:   3,
+	})
+	sub := c.Subscribe()
+	defer sub.Close()
+	model := testModel(6)
+	want := []string{"vchunk", "vrecon", "vrecon", "vchunk", "vrecon", "vrecon", "vchunk"}
+	for i, wantFormat := range want {
+		params := model.Params()
+		params[0].Value.Data()[i] += 0.25
+		snap := nn.TakeSnapshot(model)
+		rep, err := h.Save(snap, uint64(i), 0.5)
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		if rep.Meta.Format != wantFormat {
+			t.Fatalf("save %d format = %q, want %q", i, rep.Meta.Format, wantFormat)
+		}
+		if _, err := c.HandleNotification(<-sub.C); err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		got := c.ActiveModel()
+		for ti := range snap {
+			for tj := range snap[ti].Data {
+				if got.Weights[ti].Data[tj] != snap[ti].Data[tj] {
+					t.Fatalf("after save %d weights differ at %d/%d", i, ti, tj)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedReconAccountedSize: a one-chunk change between versions
+// shrinks the accounted transfer to a fraction of the virtual size.
+func TestChunkedReconAccountedSize(t *testing.T) {
+	const virtual = int64(1 << 30)
+	_, h, c := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:       "tc1",
+		Strategy:    Strategy{Route: RouteHost, Mode: ModeSync},
+		ChunkSize:   256,
+		Incremental: true,
+		VirtualSize: virtual,
+	})
+	sub := c.Subscribe()
+	defer sub.Close()
+	model := testModel(7)
+	rep1, err := h.Save(nn.TakeSnapshot(model), 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Meta.Size != virtual {
+		t.Fatalf("full size = %d, want %d", rep1.Meta.Size, virtual)
+	}
+	if _, err := c.HandleNotification(<-sub.C); err != nil {
+		t.Fatal(err)
+	}
+	model.Params()[0].Value.Data()[0] += 1
+	rep2, err := h.Save(nn.TakeSnapshot(model), 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Meta.Format != "vrecon" {
+		t.Fatalf("second format = %q, want vrecon", rep2.Meta.Format)
+	}
+	if rep2.Meta.Size >= virtual/2 {
+		t.Fatalf("recon accounted size = %d, want well under the virtual %d", rep2.Meta.Size, virtual)
+	}
+}
+
+// TestChunkedReconColdCacheErrors: a consumer that joins mid-chain has
+// no chunks to reconcile against — the vrecon load fails loudly (like a
+// broken vdelta chain) and the next scheduled full refresh repairs it.
+func TestChunkedReconColdCacheErrors(t *testing.T) {
+	env, h, c1 := chunkedHandlerConsumer(t, HandlerConfig{
+		Model:       "tc1",
+		Strategy:    Strategy{Route: RouteHost, Mode: ModeSync},
+		ChunkSize:   256,
+		Incremental: true,
+		FullEvery:   2,
+	})
+	sub1 := c1.Subscribe()
+	defer sub1.Close()
+	model := testModel(8)
+	if _, err := h.Save(nn.TakeSnapshot(model), 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.HandleNotification(<-sub1.C); err != nil {
+		t.Fatal(err)
+	}
+
+	// A late joiner with its own links misses v1 entirely.
+	c2, err := NewExtraConsumer(env, "tc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2 := c2.Subscribe()
+	defer sub2.Close()
+
+	model.Params()[0].Value.Data()[0] += 1
+	rep, err := h.Save(nn.TakeSnapshot(model), 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vrecon" {
+		t.Fatalf("format = %q, want vrecon", rep.Meta.Format)
+	}
+	msg := <-sub2.C
+	if _, err := c2.HandleNotification(msg); !errors.Is(err, vformat.ErrMissingChunk) {
+		t.Fatalf("cold-cache load = %v, want ErrMissingChunk", err)
+	}
+	if _, err := c1.HandleNotification(<-sub1.C); err != nil {
+		t.Fatalf("warm consumer must follow the chain: %v", err)
+	}
+
+	// v3 is the scheduled full refresh; the cold consumer catches up.
+	snap3 := nn.TakeSnapshot(model)
+	rep3, err := h.Save(snap3, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Meta.Format != "vchunk" {
+		t.Fatalf("refresh format = %q, want vchunk", rep3.Meta.Format)
+	}
+	if _, err := c2.HandleNotification(<-sub2.C); err != nil {
+		t.Fatalf("full refresh must repair the cold consumer: %v", err)
+	}
+	got := c2.ActiveModel()
+	for ti := range snap3 {
+		for tj := range snap3[ti].Data {
+			if got.Weights[ti].Data[tj] != snap3[ti].Data[tj] {
+				t.Fatalf("repaired weights differ at %d/%d", ti, tj)
 			}
 		}
 	}

@@ -82,36 +82,82 @@ type Consumer struct {
 	serving   nn.Model
 	servingMu sync.Mutex
 
+	// cache retains chunk records from installed incremental chunked
+	// checkpoints so "vrecon" manifest blobs — which carry only the
+	// records that changed — can be reconciled locally (nil when delta
+	// reconciliation is disabled).
+	cache *vformat.ChunkCache
+
+	// base backs the context-free API forms (Poll, Load,
+	// HandleNotification); never nil.
+	base context.Context
+
 	mu      sync.Mutex
 	loads   int64
 	lastVer uint64
 }
 
-// NewConsumer constructs a consumer for the named model. serving may be
-// nil; if set, every installed checkpoint is restored into it.
-func NewConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
+// ConsumerOptions configures a consumer built by NewConsumerOpts — the
+// expanded constructor behind the public functional-options API.
+type ConsumerOptions struct {
+	// Serving is an optional live model kept in sync with the buffer so
+	// inference can run real forward passes.
+	Serving nn.Model
+	// ExtraLinks provisions a dedicated link pair (env.AddConsumerLinks)
+	// instead of sharing the environment's primary pair — the
+	// multi-consumer broadcast pattern.
+	ExtraLinks bool
+	// BaseContext backs the context-free API forms (Poll, Load,
+	// HandleNotification); nil selects context.Background(). Use it to
+	// bound every implicit fetch/decode to an application lifetime
+	// without threading a context through each call site.
+	BaseContext context.Context
+	// DisableDeltaReconcile drops the consumer's chunk cache: "vrecon"
+	// payloads then fail to decode unless self-contained, and the
+	// producer should be configured for full streams.
+	DisableDeltaReconcile bool
+	// ChunkHashCache bounds the chunk cache entries (0 = a default
+	// sized for a few snapshots at the default chunk size).
+	ChunkHashCache int
+}
+
+// NewConsumerOpts constructs a consumer for the named model with the
+// full option set.
+func NewConsumerOpts(env *Env, model string, o ConsumerOptions) (*Consumer, error) {
 	if env == nil {
 		return nil, errors.New("core: nil environment")
 	}
 	if model == "" {
 		return nil, errors.New("core: empty model name")
 	}
-	return &Consumer{
-		env: env, model: model, buf: NewDoubleBuffer(), serving: serving,
+	if o.BaseContext == nil {
+		o.BaseContext = context.Background()
+	}
+	c := &Consumer{
+		env: env, model: model, buf: NewDoubleBuffer(), serving: o.Serving,
 		gpuLink: env.GPULink, hostLink: env.HostLink,
-	}, nil
+		base: o.BaseContext,
+	}
+	if !o.DisableDeltaReconcile {
+		c.cache = vformat.NewChunkCache(o.ChunkHashCache)
+	}
+	if o.ExtraLinks {
+		c.gpuLink, c.hostLink = env.AddConsumerLinks()
+	}
+	return c, nil
+}
+
+// NewConsumer constructs a consumer for the named model. serving may be
+// nil; if set, every installed checkpoint is restored into it.
+func NewConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
+	return NewConsumerOpts(env, model, ConsumerOptions{Serving: serving})
 }
 
 // NewExtraConsumer constructs an additional consumer with its own
 // dedicated link pair (env.AddConsumerLinks), enabling the
 // multi-consumer broadcast pattern the paper lists as future work.
 func NewExtraConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
-	c, err := NewConsumer(env, model, serving)
-	if err != nil {
-		return nil, err
-	}
-	c.gpuLink, c.hostLink = env.AddConsumerLinks()
-	return c, nil
+	return NewConsumerOpts(env, model, ConsumerOptions{Serving: serving, ExtraLinks: true})
 }
 
 // Buffer exposes the double buffer (for inspection and serving).
@@ -175,8 +221,7 @@ func (c *Consumer) LatestMeta() (*ModelMeta, error) {
 // and loads it if present — the baseline pull-based path the paper
 // criticizes. It returns (nil, false, nil) when nothing new exists.
 func (c *Consumer) Poll() (*LoadReport, bool, error) {
-	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of PollContext
-	return c.PollContext(context.Background())
+	return c.PollContext(c.base)
 }
 
 // PollContext is Poll with cancellation.
@@ -205,8 +250,7 @@ func (c *Consumer) PollContext(ctx context.Context) (*LoadReport, bool, error) {
 // It returns (nil, nil) when the notified version is already superseded
 // by the active one (a newer frame was applied earlier).
 func (c *Consumer) HandleNotification(msg pubsub.Message) (*LoadReport, error) {
-	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of HandleNotificationContext
-	return c.HandleNotificationContext(context.Background(), msg)
+	return c.HandleNotificationContext(c.base, msg)
 }
 
 // HandleNotificationContext is HandleNotification with cancellation: a
@@ -228,8 +272,7 @@ func (c *Consumer) HandleNotificationContext(ctx context.Context, msg pubsub.Mes
 // always want the latest model). A notification for a version at or
 // below the active one is skipped, returning (nil, nil).
 func (c *Consumer) Load(meta *ModelMeta) (*LoadReport, error) {
-	//lint:ignore ctxflow compat shim: the context-free API is the documented uncancellable form of LoadContext
-	return c.LoadContext(context.Background(), meta)
+	return c.LoadContext(c.base, meta)
 }
 
 // LoadContext is Load with cancellation: the context is checked before
@@ -331,7 +374,7 @@ func (c *Consumer) RecoverFromPFS() (*LoadReport, error) {
 		if err != nil {
 			continue
 		}
-		if meta.Format == "vdelta" || !c.env.Cluster.PFS.Has(meta.Path) {
+		if meta.Format == "vdelta" || meta.Format == "vrecon" || !c.env.Cluster.PFS.Has(meta.Path) {
 			continue
 		}
 		recovered := *meta
@@ -408,8 +451,24 @@ func (c *Consumer) decodePayload(ctx context.Context, meta *ModelMeta, payload [
 	case "vchunk":
 		// Chunked v2 blob: per-chunk CRC verification and decode fan out
 		// over the worker pool, writing straight into the preallocated
-		// snapshot.
+		// snapshot. Incremental chains seed the chunk cache so the
+		// "vrecon" versions that follow can reconcile against it.
+		if meta.Incremental && c.cache != nil {
+			_ = c.cache.PutAll(payload)
+		}
 		return vformat.DecodeChunked(ctx, payload, 0)
+	case "vrecon":
+		// Manifest-bearing chunked blob: the records the producer elided
+		// are pulled from the cache seeded by earlier installs (which
+		// ReconcileBlob also keeps current with the records carried
+		// here). A cold cache — restarted consumer mid-chain — is an
+		// error, like a broken vdelta chain; the next scheduled full
+		// refresh repairs it.
+		ckpt, _, err := vformat.ReconcileBlob(ctx, payload, c.cache)
+		if err != nil {
+			return nil, fmt.Errorf("core: reconciling chunked delta v%d: %w", meta.Version, err)
+		}
+		return ckpt, nil
 	case "vdelta":
 		delta, err := vformat.DecodeDelta(payload)
 		if err != nil {

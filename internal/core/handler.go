@@ -142,6 +142,15 @@ type WeightsHandler struct {
 	version  uint64
 	stats    HandlerStats
 	lastSent nn.Snapshot // previous published weights (incremental mode)
+	// lastHashes are the per-chunk content hashes of the last published
+	// chunked checkpoint — the set a "vrecon" manifest may elide against
+	// (chunked incremental mode only).
+	lastHashes []vformat.ChunkHash
+	// pendingBase/pendingHashes stage the incremental state computed by
+	// encodeChunked until SaveContext commits the save; a failed save
+	// leaves lastSent/lastHashes at the last published version.
+	pendingBase   nn.Snapshot
+	pendingHashes []vformat.ChunkHash
 }
 
 // HandlerConfig configures a WeightsHandler.
@@ -262,6 +271,8 @@ func (h *WeightsHandler) ResumeFrom(version uint64) {
 		h.version = version
 	}
 	h.lastSent = nil
+	h.lastHashes = nil
+	h.pendingBase, h.pendingHashes = nil, nil
 	h.mu.Unlock()
 }
 
@@ -355,14 +366,21 @@ func (h *WeightsHandler) encodeDelta(ckpt *vformat.Checkpoint, fullLen int) ([]b
 
 // encodeChunked is the chunked-pipeline encode: full checkpoints become
 // one wire-format-v2 blob built by the worker pool in a single pass over
-// the weights (precision conversion folded in), with incremental deltas
-// still encoded sparsely when they beat a full chunk stream. In-process
-// routes ship the blob as one frame to preserve the links' latest-wins
-// queue semantics; multi-frame streaming lives in the remote transport.
+// the weights (precision conversion folded in), with per-chunk content
+// hashes computed in-stride. In incremental mode the versions between
+// full refreshes are encoded against the previous version's wire values
+// (ChunkOptions.Base), so a chunk whose elements all stayed within
+// DeltaEps re-encodes byte-identically and its content hash matches the
+// previous version's; the payload is then a manifest-bearing "vrecon"
+// blob carrying only the records the consumer cannot already hold, and
+// the consumer reconciles the elided ones from its chunk cache.
+// In-process routes ship the blob as one frame to preserve the links'
+// latest-wins queue semantics; multi-frame streaming lives in the
+// remote transport.
 func (h *WeightsHandler) encodeChunked(ctx context.Context, ckpt *vformat.Checkpoint) ([]byte, string, int64, error) {
 	// The payload-equivalent of a lean full encode (8 bytes/element),
-	// the reference both for virtual-size scaling and the delta-vs-full
-	// decision — computed without actually doing a monolithic encode.
+	// the reference for virtual-size scaling — computed without actually
+	// doing a monolithic encode.
 	physFull := ckpt.Weights.NumBytes()
 	if physFull < 1 {
 		physFull = 1
@@ -371,22 +389,72 @@ func (h *WeightsHandler) encodeChunked(ctx context.Context, ckpt *vformat.Checkp
 	if baseSize <= 0 {
 		baseSize = physFull
 	}
-	if payload, ok, err := h.encodeDelta(ckpt, int(physFull)); err != nil {
-		return nil, "", 0, err
-	} else if ok {
-		size := int64(float64(baseSize) * float64(len(payload)) / float64(physFull))
-		if size < 1 {
-			size = 1
-		}
-		return payload, "vdelta", size, nil
-	}
-	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{
+	opts := vformat.ChunkOptions{
 		Precision:   h.precision,
 		ChunkBytes:  h.chunkSize,
 		Parallelism: h.parallelism,
-	})
+	}
+	h.mu.Lock()
+	base, prev := h.lastSent, h.lastHashes
+	h.mu.Unlock()
+	// Full refresh on the first version and every fullEvery-th one,
+	// bounding how long a restarted consumer can be stuck reconciling
+	// against chunks it never cached.
+	recon := h.incremental && base != nil && len(prev) > 0 &&
+		(ckpt.Version-1)%uint64(h.fullEvery) != 0 && sameStructure(base, ckpt.Weights)
+	if recon {
+		opts.Base, opts.BaseEps = base, h.deltaEps
+	}
+	enc, err := vformat.NewChunkEncoder(ckpt, opts)
 	if err != nil {
 		return nil, "", 0, fmt.Errorf("core: chunked encode: %w", err)
+	}
+	if err := enc.EncodeStream(ctx, nil); err != nil {
+		enc.Release()
+		return nil, "", 0, fmt.Errorf("core: chunked encode: %w", err)
+	}
+	blob, err := enc.Blob()
+	if err != nil {
+		enc.Release()
+		return nil, "", 0, err
+	}
+	hashes, err := enc.Hashes()
+	if err != nil {
+		enc.Release()
+		return nil, "", 0, err
+	}
+	if h.incremental {
+		h.mu.Lock()
+		h.pendingHashes = hashes
+		if recon {
+			// putElemsBase updated base in place to this version's wire
+			// values; keep it as the next encode's comparison base.
+			h.pendingBase = base
+		} else {
+			h.pendingBase = ckpt.Weights.Clone()
+		}
+		h.mu.Unlock()
+	}
+	if recon {
+		have := make(map[vformat.ChunkHash]bool, len(prev))
+		for _, ch := range prev {
+			have[ch] = true
+		}
+		delta, _, _, elided, err := vformat.BuildManifestBlob(blob, func(ch vformat.ChunkHash) bool { return have[ch] })
+		if err != nil {
+			enc.Release()
+			return nil, "", 0, fmt.Errorf("core: building manifest blob: %w", err)
+		}
+		if elided > 0 && len(delta) < len(blob) {
+			// The manifest blob is freshly allocated, so the pooled full
+			// blob can go back (the hashes outlive it by contract).
+			enc.Release()
+			size := int64(float64(baseSize) * float64(len(delta)) / float64(physFull))
+			if size < 1 {
+				size = 1
+			}
+			return delta, "vrecon", size, nil
+		}
 	}
 	// The blob's ownership transfers to the storage tiers/links below, so
 	// it is never returned to the buffer pool here.
@@ -400,7 +468,22 @@ func (h *WeightsHandler) encodeChunked(ctx context.Context, ckpt *vformat.Checkp
 	} else {
 		size = int64(len(blob))
 	}
+	//lint:ignore poolown the blob's ownership transfers to the storage tiers/links below; Release here would double-issue the pooled buffer
 	return blob, "vchunk", size, nil
+}
+
+// sameStructure reports whether two snapshots share tensor names and
+// sizes — the prerequisite for base-suppressed chunk encoding.
+func sameStructure(a, b nn.Snapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+	}
+	return true
 }
 
 // Save checkpoints the given snapshot taken at iteration with the
@@ -481,9 +564,10 @@ func (h *WeightsHandler) SaveContext(ctx context.Context, snapshot nn.Snapshot, 
 		}
 		// Fault-tolerance flush to PFS in the background: it consumes
 		// PFS time but does not stall training; account it separately.
-		// Deltas are not flushed — a recovery cannot replay a chain —
-		// so the PFS history holds only self-contained checkpoints.
-		if h.flushHistory && location != RoutePFS && format != "vdelta" {
+		// Deltas and reconciled chunk subsets are not flushed — a
+		// recovery cannot replay a chain — so the PFS history holds only
+		// self-contained checkpoints.
+		if h.flushHistory && location != RoutePFS && format != "vdelta" && format != "vrecon" {
 			if err := h.env.Cluster.PFS.Put(key, payload, size); err == nil {
 				flushTime = h.env.Cluster.PFS.WriteTime(size)
 				h.mu.Lock()
@@ -526,7 +610,14 @@ func (h *WeightsHandler) SaveContext(ctx context.Context, snapshot nn.Snapshot, 
 	h.stats.Saves++
 	h.stats.TotalStall += stall
 	if h.incremental {
-		h.lastSent = snapshot.Clone()
+		if h.chunkSize > 0 {
+			// encodeChunked staged this version's wire-value base and
+			// chunk hashes; commit them only now that the save landed.
+			h.lastSent, h.lastHashes = h.pendingBase, h.pendingHashes
+			h.pendingBase, h.pendingHashes = nil, nil
+		} else {
+			h.lastSent = snapshot.Clone()
+		}
 	}
 	h.mu.Unlock()
 	h.env.Trace.Record(trace.Event{

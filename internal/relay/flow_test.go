@@ -118,8 +118,11 @@ func TestServePinsBorrowedVersionAcrossRelease(t *testing.T) {
 }
 
 // TestEvictionReleasesUnpinnedVersions: normal retention churn frees
-// the evicted versions' storage immediately and the cache-bytes gauge
-// tracks only what is retained.
+// the evicted versions' storage immediately, and the cache-bytes gauge
+// tracks what is actually resident — with content-addressed chunk
+// storage, identical chunks shared by the retained versions are charged
+// once, so residency lands strictly below the logical inventory total
+// by exactly the deduped record bytes.
 func TestEvictionReleasesUnpinnedVersions(t *testing.T) {
 	r := testRelay(t, 2)
 	prod, err := transport.DialTCP(r.IngestAddr())
@@ -141,18 +144,31 @@ func TestEvictionReleasesUnpinnedVersions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var retained int64
+	uniqueHashes := map[string]bool{}
 	for _, vi := range inv {
 		retained += vi.Bytes
+		// The same snapshot pushed under every version: the second
+		// retained version must have deduped every one of its chunks.
+		if vi.Version == 5 && vi.Deduped != vi.Chunks {
+			t.Fatalf("v%d deduped %d of %d chunks, want all", vi.Version, vi.Deduped, vi.Chunks)
+		}
+		for _, h := range vi.Hashes {
+			uniqueHashes[h] = true
+		}
 	}
 	snaps := r.MetricsSnapshots()
-	var cacheBytes int64
+	var cacheBytes, uniqueChunks int64
 	for _, s := range snaps {
 		if s.Registry == "relay" {
 			cacheBytes = s.Get("cache_bytes").Value
+			uniqueChunks = s.Get("unique_chunks").Value
 		}
 	}
-	if cacheBytes != retained {
-		t.Fatalf("cache_bytes gauge %d != retained inventory bytes %d", cacheBytes, retained)
+	if cacheBytes >= retained {
+		t.Fatalf("cache_bytes gauge %d should sit below logical inventory bytes %d (shared chunks charged once)", cacheBytes, retained)
+	}
+	if int(uniqueChunks) != len(uniqueHashes) {
+		t.Fatalf("unique_chunks gauge %d != %d distinct inventory hashes", uniqueChunks, len(uniqueHashes))
 	}
 }
 

@@ -5,17 +5,30 @@
 //
 // The producer pushes each version's chunked v2 stream to the relay
 // exactly once (remote.ProducerConfig.RelayAddr); the relay caches the
-// already-encoded header+chunk frames verbatim per (model, version) —
-// it never decodes checkpoint payloads — and fans them out to every
-// connected consumer over the unchanged consumer wire protocol, so
-// remote.Consumer works against a relay serve address exactly as it
-// does against a producer's direct-link address. Each consumer session
-// has independent progress; a newly completed version supersedes an
-// in-flight fan-out of an older one (latest-wins, the consumer's torn-
-// stream machinery absorbs the cut); and late joiners are served the
-// newest complete version straight from the chunk cache, without any
-// producer involvement. A bounded number of versions is retained per
-// model (oldest evicted first).
+// encoded chunk records in a content-addressed store — it never decodes
+// checkpoint payloads — and fans them out to every connected consumer
+// over the unchanged consumer wire protocol, so remote.Consumer works
+// against a relay serve address exactly as it does against a producer's
+// direct-link address. Each consumer session has independent progress;
+// a newly completed version supersedes an in-flight fan-out of an older
+// one (latest-wins, the consumer's torn-stream machinery absorbs the
+// cut); and late joiners are served the newest complete version
+// straight from the chunk store, without any producer involvement. A
+// bounded number of versions is retained per model (oldest evicted
+// first).
+//
+// Storage is keyed by chunk content hash (vformat.ChunkHash) and
+// refcounted: a chunk shared by several cached versions is resident
+// once, and is freed when the last version referencing it is released.
+// The same hashes drive delta distribution in both directions. Upstream,
+// the relay advertises a committed version's hashes to the producer
+// (transport.HaveKey), which then pushes the next version as a manifest
+// frame plus only the records the relay lacks; advertised-but-evicted
+// chunks are recovered with a need-list (transport.NeedKey) back to the
+// producer, so an admitted delta stream always commits whole or not at
+// all. Downstream, a consumer session that advertised its own have-list
+// is served manifest+missing deltas the same way, and its need-lists
+// are answered from the chunk store.
 //
 // When a version's stream completes, the relay records relay-served
 // metadata in the KV store and republishes the model's update channel,
@@ -65,6 +78,11 @@ const RejectKey = "viper/relay/reject"
 const (
 	rejectReasonSessions = "sessions"
 	rejectReasonRate     = "rate"
+	// rejectReasonResend marks a need-list the relay could not satisfy
+	// (the chunks left the store): the off-stream notice tears the
+	// consumer's collect cleanly so it falls back to a full fetch rather
+	// than waiting for records that will never come.
+	rejectReasonResend = "resend"
 )
 
 // Overload error taxonomy. ErrOverloaded is the base every admission
@@ -128,9 +146,14 @@ var inst = struct {
 	rejectedVersions  *metrics.Counter
 	pinnedEvictions   *metrics.Counter
 	releasedVersions  *metrics.Counter
+	dedupedChunks     *metrics.Counter
+	deltaVersions     *metrics.Counter
+	deltaFanouts      *metrics.Counter
+	needResends       *metrics.Counter
 	cacheBytes        *metrics.Gauge
 	openSessions      *metrics.Gauge
 	modelCount        *metrics.Gauge
+	uniqueChunks      *metrics.Gauge
 }{
 	ingestFrames:      registry.Counter("ingest_frames"),
 	cachedVersions:    registry.Counter("cached_versions"),
@@ -146,9 +169,14 @@ var inst = struct {
 	rejectedVersions:  registry.Counter("rejected_versions"),
 	pinnedEvictions:   registry.Counter("pinned_evictions"),
 	releasedVersions:  registry.Counter("released_versions"),
+	dedupedChunks:     registry.Counter("deduped_chunks"),
+	deltaVersions:     registry.Counter("delta_versions"),
+	deltaFanouts:      registry.Counter("delta_fanouts"),
+	needResends:       registry.Counter("need_resends"),
 	cacheBytes:        registry.Gauge("cache_bytes"),
 	openSessions:      registry.Gauge("open_sessions"),
 	modelCount:        registry.Gauge("models"),
+	uniqueChunks:      registry.Gauge("unique_chunks"),
 }
 
 // Config configures a relay node.
@@ -232,25 +260,61 @@ type Stats struct {
 	PinnedEvictions int64
 	// ReleasedVersions counts versions whose cached frames were freed.
 	ReleasedVersions int64
+	// DedupedChunks counts ingested chunks that were already resident in
+	// the content-addressed store (manifest prefills and identical
+	// records alike) and so cost no new storage.
+	DedupedChunks int64
+	// DeltaVersions counts versions committed from a manifest (delta)
+	// ingest stream.
+	DeltaVersions int64
+	// DeltaFanouts counts fan-outs served as manifest+missing deltas
+	// against a consumer's advertised have-list.
+	DeltaFanouts int64
+	// NeedResends counts need-lists exchanged to recover
+	// advertised-but-evicted chunks: requests the relay sent upstream
+	// plus requests it answered for consumers.
+	NeedResends int64
 }
 
-// version is one cached (model, version): the encoded frames exactly as
-// the producer sent them. Frames are immutable once the version is
-// committed; sessions borrow them read-only via a Relay.framesOf
-// snapshot after pinning. Eviction releases the frame storage (returning the bytes to
-// the cache budget) — but never while a session holds a pin: the
-// release is deferred to the last unpin, so a mid-fanout borrow can
-// never observe freed storage. pins/evicted/released are guarded by
-// Relay.mu.
+// chunkEntry is one resident chunk record in the content-addressed
+// store: the encoded record bytes (index, span, payload, CRC — exactly
+// as a producer sent them) plus a reference count of the cached
+// versions (and pending builds) that include it. Guarded by Relay.mu;
+// payload is immutable once interned.
+type chunkEntry struct {
+	hash    vformat.ChunkHash
+	payload []byte
+	refs    int
+}
+
+// version is one cached (model, version). A monolithic version keeps
+// its single frame verbatim; a chunked version keeps only its header
+// frame plus the ordered content hashes of its records — the bytes live
+// in the relay's refcounted chunk store, shared with every other
+// version holding the same content (held carries one reference per
+// hash position). Frames and store payloads are immutable once the
+// version is committed; sessions borrow them read-only after pinning.
+// Eviction releases the version's chunk references (returning
+// no-longer-shared bytes to the cache budget) — but never while a
+// session holds a pin: the release is deferred to the last unpin, so a
+// mid-fanout borrow can never observe freed storage. pins/evicted/
+// released/held are guarded by Relay.mu.
 type version struct {
-	model  string
-	vnum   uint64
-	key    string
-	frames []transport.Frame
-	chunks int
-	bytes  int64
-	crcOK  bool
-	meta   *core.ModelMeta
+	model     string
+	vnum      uint64
+	key       string
+	frames    []transport.Frame
+	hashes    []vformat.ChunkHash
+	held      []*chunkEntry
+	manifest  []byte
+	chunks    int
+	bytes     int64 // logical payload size (header + every record)
+	resident  int64 // bytes charged to the cache beyond shared chunks
+	deduped   int   // chunks that were already resident at ingest
+	delta     bool  // ingested as manifest+missing rather than a full stream
+	reconcile bool  // sender is delta-capable: advertise hashes back
+	crcOK     bool
+	meta      *core.ModelMeta
 
 	pins     int
 	evicted  bool
@@ -270,9 +334,19 @@ func (mc *modelCache) newest() *version {
 }
 
 // building is one in-progress stream assembly on an ingest connection.
+// want counts the record frames the sender announced; left counts the
+// chunk positions still uncovered (for a delta stream the two differ:
+// positions prefilled from the store are covered before any record
+// arrives, and a stale have-list can leave left > 0 after all want
+// records landed — recovered via a need-list to the producer).
 type building struct {
-	v    *version
-	want int
+	v        *version
+	want     int
+	got      int
+	left     int
+	covered  []bool
+	missing  map[vformat.ChunkHash]int // uncovered positions by hash (delta)
+	needSent bool
 }
 
 // tokenBucket is one model's ingest admission state (guarded by
@@ -301,6 +375,7 @@ type Relay struct {
 
 	mu         sync.Mutex
 	models     map[string]*modelCache
+	chunks     map[vformat.ChunkHash]*chunkEntry
 	ingests    map[*transport.TCPLink]struct{}
 	sessions   map[*session]struct{}
 	buckets    map[string]*tokenBucket
@@ -342,6 +417,7 @@ func New(cfg Config) (*Relay, error) {
 		clock:       policyClock(pol),
 		closed:      make(chan struct{}),
 		models:      make(map[string]*modelCache),
+		chunks:      make(map[vformat.ChunkHash]*chunkEntry),
 		ingests:     make(map[*transport.TCPLink]struct{}),
 		sessions:    make(map[*session]struct{}),
 		buckets:     make(map[string]*tokenBucket),
@@ -426,10 +502,15 @@ func (r *Relay) syncMetricsLocked() {
 	inst.rejectedVersions.Add(cur.RejectedVersions - prev.RejectedVersions)
 	inst.pinnedEvictions.Add(cur.PinnedEvictions - prev.PinnedEvictions)
 	inst.releasedVersions.Add(cur.ReleasedVersions - prev.ReleasedVersions)
+	inst.dedupedChunks.Add(cur.DedupedChunks - prev.DedupedChunks)
+	inst.deltaVersions.Add(cur.DeltaVersions - prev.DeltaVersions)
+	inst.deltaFanouts.Add(cur.DeltaFanouts - prev.DeltaFanouts)
+	inst.needResends.Add(cur.NeedResends - prev.NeedResends)
 	r.synced = cur
 	inst.cacheBytes.Set(r.cacheBytes)
 	inst.openSessions.Set(int64(len(r.sessions)))
 	inst.modelCount.Set(int64(len(r.models)))
+	inst.uniqueChunks.Set(int64(len(r.chunks)))
 }
 
 func (r *Relay) bump(f func(*Stats)) {
@@ -469,6 +550,43 @@ func (r *Relay) admitVersion(model string) bool {
 	return true
 }
 
+// retainChunk takes one reference on a store entry. Callers hold r.mu
+// and must park the entry somewhere releaseChunk will find it (a
+// version's held list): every retain must be balanced by exactly one
+// release (see viper-vet's pairbalance chunkref rule).
+func (r *Relay) retainChunk(e *chunkEntry) { e.refs++ }
+
+// releaseChunk drops one reference; the last release evicts the entry
+// from the store and returns its bytes to the cache budget. Callers
+// hold r.mu.
+func (r *Relay) releaseChunk(e *chunkEntry) {
+	e.refs--
+	if e.refs <= 0 {
+		delete(r.chunks, e.hash)
+		r.cacheBytes -= int64(len(e.payload))
+	}
+}
+
+// internChunkLocked interns one verified chunk record into the
+// content-addressed store and takes a reference on the caller's behalf
+// (the caller parks the returned entry in its version's held list). An
+// already-resident record costs no new storage and is counted as
+// deduped against v. Callers hold r.mu.
+func (r *Relay) internChunkLocked(rec []byte, v *version) *chunkEntry {
+	h := vformat.HashChunkRecord(rec)
+	e := r.chunks[h]
+	if e == nil {
+		e = &chunkEntry{hash: h, payload: append([]byte(nil), rec...)}
+		r.chunks[h] = e
+		r.cacheBytes += int64(len(e.payload))
+	} else {
+		r.stats.DedupedChunks++
+		v.deduped++
+	}
+	r.retainChunk(e)
+	return e
+}
+
 // unpin releases a fan-out's borrow (taken by next() under the catalog
 // lock), freeing the frames of a version whose eviction was deferred
 // while pinned.
@@ -493,28 +611,37 @@ func (r *Relay) releaseLocked(v *version) {
 	r.freeLocked(v)
 }
 
-// freeLocked drops v's frame storage and returns its bytes to the cache
-// accounting. Callers hold r.mu and have ensured pins == 0.
+// freeLocked drops v's frame storage, releases its chunk references
+// (evicting chunks no other version shares), and returns v's resident
+// bytes to the cache accounting. Callers hold r.mu and have ensured
+// pins == 0.
 func (r *Relay) freeLocked(v *version) {
 	if v.released {
 		return
 	}
 	v.released = true
 	v.frames = nil
-	r.cacheBytes -= v.bytes
+	v.manifest = nil
+	for _, e := range v.held {
+		r.releaseChunk(e)
+	}
+	v.held = nil
+	r.cacheBytes -= v.resident
 	r.stats.ReleasedVersions++
 }
 
-// framesOf snapshots v's frame slice under the relay lock. The caller
-// must hold a pin: pinned storage is never freed (freeLocked is the
-// only writer of the slice header and it defers to the last unpin), and
-// the frames themselves are immutable after commit, so one synchronized
-// read of the header keeps the whole fan-out lock-free — per-frame
-// locking here serializes 32-way fan-out against ingest.
-func (r *Relay) framesOf(v *version) []transport.Frame {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return v.frames
+// chunkFrame rebuilds one record frame for fan-out: the wire shape a
+// producer would have sent, with the stream identity (model, version,
+// relay metadata) copied from the version's header frame.
+func chunkFrame(head transport.Frame, rec []byte) transport.Frame {
+	f := transport.ChunkRecordFrame(head.Key, rec, 0)
+	if m := head.Meta["model"]; m != "" {
+		f.Meta["model"] = m
+	}
+	if v := head.Meta["version"]; v != "" {
+		f.Meta["version"] = v
+	}
+	return f
 }
 
 // Close stops both listeners, tears down every connection, and waits
@@ -586,6 +713,12 @@ func (r *Relay) handleIngest(link *transport.TCPLink) {
 		r.mu.Lock()
 		delete(r.ingests, link)
 		r.stats.AbandonedBuilds += int64(len(pending))
+		for _, b := range pending {
+			for _, e := range b.v.held {
+				r.releaseChunk(e)
+			}
+			b.v.held = nil
+		}
 		r.mu.Unlock()
 	}()
 	for {
@@ -623,33 +756,39 @@ func (r *Relay) handleFrame(link *transport.TCPLink, f transport.Frame, pending 
 	}
 	vnum, _ := strconv.ParseUint(f.Meta["version"], 10, 64)
 	switch {
-	case transport.IsChunkHeader(f):
+	case transport.IsChunkHeader(f) || transport.IsManifestHeader(f):
 		want, err := strconv.Atoi(f.Meta[transport.MetaChunkCount])
 		if err != nil || want < 0 {
 			r.bump(func(s *Stats) { s.StrayFrames++ })
 			return
 		}
 		if old := pending[model]; old != nil {
+			delete(pending, model)
+			r.releaseBuild(old)
 			r.bump(func(s *Stats) { s.SupersededBuilds++ })
 		}
 		delete(rejected, model)
 		if !r.admitVersion(model) {
-			delete(pending, model)
 			rejected[model] = f.Key
 			link.Send(rejectFrame(rejectReasonRate, model, f.Meta["version"]))
+			return
+		}
+		if transport.IsManifestHeader(f) {
+			r.startDeltaBuild(link, f, model, vnum, want, pending)
 			return
 		}
 		v := &version{
 			model: model, vnum: vnum, key: f.Key,
 			frames: []transport.Frame{f},
-			chunks: want, bytes: int64(len(f.Payload)), crcOK: true,
+			hashes: make([]vformat.ChunkHash, want),
+			chunks: want, crcOK: true,
+			reconcile: f.Meta[transport.MetaReconcile] == "1",
 		}
 		if want == 0 {
-			delete(pending, model)
-			r.commit(v)
+			r.commit(link, v)
 			return
 		}
-		pending[model] = &building{v: v, want: want}
+		pending[model] = &building{v: v, want: want, left: want, covered: make([]bool, want)}
 	case transport.IsChunkFrame(f):
 		if rejected[model] == f.Key {
 			return
@@ -664,15 +803,11 @@ func (r *Relay) handleFrame(link *transport.TCPLink, f transport.Frame, pending 
 			// build rather than cache (and fan out) a stream consumers
 			// would reject chunk-by-chunk.
 			delete(pending, model)
+			r.releaseBuild(b)
 			r.bump(func(s *Stats) { s.CorruptChunks++ })
 			return
 		}
-		b.v.frames = append(b.v.frames, f)
-		b.v.bytes += int64(len(f.Payload))
-		if len(b.v.frames) == b.want+1 {
-			delete(pending, model)
-			r.commit(b.v)
-		}
+		r.addRecord(link, f, b, pending)
 	default:
 		// A monolithic (non-chunked) frame is a complete single-frame
 		// version; the frame-level CRC already vouched for it.
@@ -683,16 +818,168 @@ func (r *Relay) handleFrame(link *transport.TCPLink, f transport.Frame, pending 
 		v := &version{
 			model: model, vnum: vnum, key: f.Key,
 			frames: []transport.Frame{f},
-			bytes:  int64(len(f.Payload)), crcOK: true,
+			bytes:  int64(len(f.Payload)), resident: int64(len(f.Payload)),
+			crcOK: true,
 		}
-		r.commit(v)
+		r.commit(link, v)
 	}
 }
 
+// startDeltaBuild opens a build from a manifest frame: the version's
+// hash list comes from the manifest, positions whose chunks are already
+// resident are prefilled from the store, and only the rest wait on
+// record frames. A manifest that prefills completely commits on the
+// spot; one whose sender will push nothing (want == 0) but that still
+// has gaps — the producer planned against a have-list the relay has
+// since evicted — asks for the gaps immediately.
+func (r *Relay) startDeltaBuild(link *transport.TCPLink, f transport.Frame, model string, vnum uint64, want int, pending map[string]*building) {
+	man, err := vformat.ParseManifest(f.Payload)
+	if err != nil {
+		r.bump(func(s *Stats) { s.CorruptChunks++ })
+		return
+	}
+	hf := transport.Frame{Key: f.Key, Payload: man.Header, Meta: make(map[string]string, len(f.Meta))}
+	for k, mv := range f.Meta {
+		hf.Meta[k] = mv
+	}
+	hf.Meta[transport.MetaChunkRole] = transport.ChunkRoleHeader
+	hf.Meta[transport.MetaChunkCount] = strconv.Itoa(len(man.Hashes))
+	v := &version{
+		model: model, vnum: vnum, key: f.Key,
+		frames: []transport.Frame{hf},
+		hashes: man.Hashes,
+		chunks: len(man.Hashes), delta: true, reconcile: true, crcOK: true,
+	}
+	b := &building{
+		v: v, want: want, left: len(man.Hashes),
+		covered: make([]bool, len(man.Hashes)),
+		missing: make(map[vformat.ChunkHash]int, len(man.Hashes)),
+	}
+	r.mu.Lock()
+	for i, h := range man.Hashes {
+		if e := r.chunks[h]; e != nil {
+			r.retainChunk(e)
+			v.held = append(v.held, e)
+			b.covered[i] = true
+			b.left--
+			v.deduped++
+			r.stats.DedupedChunks++
+		} else {
+			b.missing[h] = i
+		}
+	}
+	r.mu.Unlock()
+	if b.left == 0 {
+		r.commit(link, v)
+		return
+	}
+	pending[model] = b
+	if b.got >= b.want {
+		r.sendNeedList(link, b)
+	}
+}
+
+// addRecord folds one verified chunk record into its build, interning
+// the bytes into the content-addressed store, and commits the version
+// once every position is covered. On a delta build that received every
+// announced record and still has gaps, the missing hashes are requested
+// from the producer (the relay evicted them after advertising).
+func (r *Relay) addRecord(link *transport.TCPLink, f transport.Frame, b *building, pending map[string]*building) {
+	pos := -1
+	if b.v.delta {
+		h := vformat.HashChunkRecord(f.Payload)
+		p, ok := b.missing[h]
+		if !ok {
+			// A record the manifest does not miss (duplicate or stale):
+			// drop it, it covers nothing.
+			b.got++
+			r.bump(func(s *Stats) { s.StrayFrames++ })
+			r.maybeNeed(link, b)
+			return
+		}
+		delete(b.missing, h)
+		pos = p
+	} else {
+		pos = recordIndex(f.Payload)
+		if pos < 0 || pos >= len(b.covered) || b.covered[pos] {
+			r.bump(func(s *Stats) { s.StrayFrames++ })
+			return
+		}
+	}
+	b.got++
+	b.covered[pos] = true
+	b.left--
+	r.mu.Lock()
+	e := r.internChunkLocked(f.Payload, b.v)
+	b.v.held = append(b.v.held, e)
+	b.v.hashes[pos] = e.hash
+	r.mu.Unlock()
+	if b.left == 0 {
+		delete(pending, b.v.model)
+		r.commit(link, b.v)
+		return
+	}
+	r.maybeNeed(link, b)
+}
+
+// maybeNeed sends the build's remaining missing hashes upstream once
+// the announced record count has fully landed (delta builds only; sent
+// at most once per build).
+func (r *Relay) maybeNeed(link *transport.TCPLink, b *building) {
+	if b.v.delta && !b.needSent && b.got >= b.want && b.left > 0 {
+		r.sendNeedList(link, b)
+	}
+}
+
+// sendNeedList asks the producer to re-send the chunks a manifest
+// advertised as held but the store no longer has.
+func (r *Relay) sendNeedList(link *transport.TCPLink, b *building) {
+	need := make([]vformat.ChunkHash, 0, len(b.missing))
+	for h := range b.missing {
+		need = append(need, h)
+	}
+	b.needSent = true
+	r.bump(func(s *Stats) { s.NeedResends++ })
+	link.Send(transport.NewNeedFrame(b.v.key, need))
+}
+
+// releaseBuild returns an abandoned build's chunk references to the
+// store.
+func (r *Relay) releaseBuild(b *building) {
+	r.mu.Lock()
+	for _, e := range b.v.held {
+		r.releaseChunk(e)
+	}
+	b.v.held = nil
+	r.mu.Unlock()
+}
+
+// recordIndex reads the chunk index embedded in an encoded record (-1
+// if the record is too short to carry one).
+func recordIndex(rec []byte) int {
+	if len(rec) < 8 {
+		return -1
+	}
+	return int(uint32(rec[4]) | uint32(rec[5])<<8 | uint32(rec[6])<<16 | uint32(rec[7])<<24)
+}
+
 // commit inserts a completed version into the cache, wakes every
-// consumer session, and — when the version is the model's newest —
-// records relay-served metadata and republishes the update channel.
-func (r *Relay) commit(v *version) {
+// consumer session, advertises the version's chunk hashes upstream (so
+// the producer can push the next version as a delta), and — when the
+// version is the model's newest — records relay-served metadata and
+// republishes the update channel.
+func (r *Relay) commit(link *transport.TCPLink, v *version) {
+	if len(v.hashes) > 0 || v.chunks > 0 {
+		// A chunked version's logical size is the header plus every
+		// record; only the header (plus the derived manifest) is charged
+		// to the cache beyond the shared chunk store.
+		v.bytes = int64(len(v.frames[0].Payload))
+		for _, e := range v.held {
+			v.bytes += int64(len(e.payload))
+		}
+		v.resident = int64(len(v.frames[0].Payload))
+		v.manifest = vformat.EncodeManifest(v.frames[0].Payload, v.hashes)
+	}
 	v.meta = r.metaFor(v)
 	r.mu.Lock()
 	mc := r.models[v.model]
@@ -712,7 +999,10 @@ func (r *Relay) commit(v *version) {
 		copy(mc.versions[i+1:], mc.versions[i:])
 		mc.versions[i] = v
 	}
-	r.cacheBytes += v.bytes
+	r.cacheBytes += v.resident
+	if v.delta {
+		r.stats.DeltaVersions++
+	}
 	if len(mc.versions) > r.retained {
 		evict := len(mc.versions) - r.retained
 		for _, old := range mc.versions[:evict] {
@@ -728,6 +1018,15 @@ func (r *Relay) commit(v *version) {
 	close(r.wake)
 	r.wake = make(chan struct{})
 	r.mu.Unlock()
+	if v.reconcile && len(v.hashes) > 0 && link != nil {
+		// Advertise what the store now holds for this model, so the
+		// producer's next push can elide the chunks that did not change
+		// (best-effort: a lost have-list only costs a full push). Only
+		// delta-capable senders get this: one that never reads its link
+		// would accumulate unread frames until TCP backpressure stalled
+		// our ingest goroutine.
+		link.Send(transport.NewHaveFrame(v.model, v.vnum, v.hashes))
+	}
 	if newest {
 		r.announce(v)
 	}
@@ -821,7 +1120,7 @@ func (r *Relay) acceptServe() {
 		if err != nil {
 			return
 		}
-		s := &session{r: r, link: link, done: make(chan struct{})}
+		s := &session{r: r, link: link, done: make(chan struct{}), needs: make(chan transport.Frame, 4)}
 		r.mu.Lock()
 		select {
 		case <-r.closed:
@@ -854,14 +1153,32 @@ func (r *Relay) acceptServe() {
 }
 
 // session is one connected consumer: a writer goroutine fanning cached
-// versions out (run) and a reader goroutine detecting disconnects
-// (watch). Progress is per-session, so a slow consumer never stalls the
-// others or the producer.
+// versions out (run) and a reader goroutine parsing the consumer's
+// reconciliation frames and detecting disconnects (watch). Progress —
+// and the advertised have-set — is per-session, so a slow consumer
+// never stalls the others or the producer.
 type session struct {
-	r    *Relay
-	link *transport.TCPLink
-	done chan struct{}
-	once sync.Once
+	r     *Relay
+	link  *transport.TCPLink
+	done  chan struct{}
+	once  sync.Once
+	needs chan transport.Frame
+
+	mu   sync.Mutex
+	have map[vformat.ChunkHash]bool
+}
+
+// setHave replaces the session's advertised chunk set (the consumer
+// sends its whole cache inventory each time, so replacement — not
+// merge — keeps the set bounded by what the consumer actually holds).
+func (s *session) setHave(hashes []vformat.ChunkHash) {
+	set := make(map[vformat.ChunkHash]bool, len(hashes))
+	for _, h := range hashes {
+		set[h] = true
+	}
+	s.mu.Lock()
+	s.have = set
+	s.mu.Unlock()
 }
 
 // close tears the session down (idempotent; called by either goroutine
@@ -876,15 +1193,35 @@ func (s *session) close() {
 	})
 }
 
-// watch drains the consumer side of the link. Consumers never send
-// frames; a Recv return means the peer disconnected (or the relay is
-// closing), which must cancel the writer promptly.
+// watch drains the consumer side of the link: have-lists update the
+// session's advertised chunk set, need-lists are routed to the writer
+// goroutine (which owns the link's send side), and a Recv error means
+// the peer disconnected (or the relay is closing), which must cancel
+// the writer promptly.
 func (s *session) watch() {
 	defer s.r.wg.Done()
 	defer s.close()
 	for {
-		if _, err := s.link.Recv(); err != nil {
+		f, err := s.link.Recv()
+		if err != nil {
 			return
+		}
+		switch {
+		case transport.IsHaveFrame(f):
+			if _, _, hashes, err := transport.ParseHaveFrame(f); err == nil {
+				s.setHave(hashes)
+			}
+		case transport.IsNeedFrame(f):
+			// Bounded hand-off: an overflowing need queue drops the
+			// request, and the consumer's collect tears on the next
+			// version instead of assembling short.
+			select {
+			case s.needs <- f:
+			default:
+				s.r.bump(func(st *Stats) { st.StrayFrames++ })
+			}
+		default:
+			s.r.bump(func(st *Stats) { st.StrayFrames++ })
 		}
 	}
 }
@@ -897,9 +1234,16 @@ func (s *session) run() {
 	defer s.close()
 	sent := make(map[string]uint64)
 	for {
+		if !s.drainNeeds() {
+			return
+		}
 		v, wake := s.r.next(sent)
 		if v == nil {
 			select {
+			case nf := <-s.needs:
+				if !s.answerNeed(nf) {
+					return
+				}
 			case <-wake:
 			case <-s.done:
 				return
@@ -915,18 +1259,72 @@ func (s *session) run() {
 	}
 }
 
+// drainNeeds answers every queued need-list before the writer moves on
+// to the next version, so a consumer blocked on a re-send is never left
+// waiting behind a park. Returns false when the connection is gone.
+func (s *session) drainNeeds() bool {
+	for {
+		select {
+		case nf := <-s.needs:
+			if !s.answerNeed(nf) {
+				return false
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// answerNeed re-sends requested records from the chunk store. When any
+// requested chunk has left the store (the consumer asked after the
+// referencing versions were evicted), the whole request is refused with
+// an off-stream notice — the consumer's collect tears cleanly and falls
+// back to a full fetch, never assembling a short checkpoint. Returns
+// false when the connection is gone.
+func (s *session) answerNeed(nf transport.Frame) bool {
+	key, hashes, err := transport.ParseNeedFrame(nf)
+	if err != nil {
+		s.r.bump(func(st *Stats) { st.StrayFrames++ })
+		return true
+	}
+	recs := make([][]byte, 0, len(hashes))
+	complete := true
+	s.r.mu.Lock()
+	for _, h := range hashes {
+		e := s.r.chunks[h]
+		if e == nil {
+			complete = false
+			break
+		}
+		recs = append(recs, e.payload)
+	}
+	s.r.mu.Unlock()
+	if !complete {
+		return s.link.Send(rejectFrame(rejectReasonResend, "", "")) == nil
+	}
+	for _, rec := range recs {
+		if s.link.Send(transport.ChunkRecordFrame(key, rec, 0)) != nil {
+			return false
+		}
+	}
+	s.r.bump(func(st *Stats) { st.NeedResends++ })
+	return true
+}
+
 // send fans one cached version out to the consumer. The version is
 // pinned for the duration of the borrow: eviction (or a same-vnum
 // replacement) concurrent with the fan-out defers its storage release
-// to the unpin, so the stream is sent intact even when ingest churn
-// pushes v out of the retained window mid-serve. A newer complete
-// version superseding v mid-stream still aborts the fan-out
-// (latest-wins); the consumer's torn-stream handling copes with the
-// cut, and the outer loop immediately starts on the newer version.
-// Returns false when the connection is gone.
+// to the unpin — and pinned versions keep their chunk references, so
+// every store payload framesFor snapshots stays immutable and resident
+// for the whole borrow. A newer complete version superseding v
+// mid-stream still aborts the fan-out (latest-wins); the consumer's
+// torn-stream handling copes with the cut, and the outer loop
+// immediately starts on the newer version. Returns false when the
+// connection is gone.
 func (s *session) send(v *version) bool {
 	defer s.r.unpin(v) // next() pinned v under the catalog lock
-	for i, f := range s.r.framesOf(v) {
+	frames, delta := s.framesFor(v)
+	for i, f := range frames {
 		if i > 0 && s.r.newestVnum(v.model) > v.vnum {
 			s.r.bump(func(st *Stats) { st.AbandonedFanouts++ })
 			return true
@@ -942,8 +1340,65 @@ func (s *session) send(v *version) bool {
 			return false
 		}
 	}
-	s.r.bump(func(st *Stats) { st.ServedVersions++ })
+	s.r.bump(func(st *Stats) {
+		st.ServedVersions++
+		if delta {
+			st.DeltaFanouts++
+		}
+	})
 	return true
+}
+
+// framesFor builds the frame sequence that serves v to this consumer:
+// the verbatim frame for a monolithic version; a rebuilt header plus
+// every record for a chunked version; or — when the consumer advertised
+// a have-set overlapping v — a manifest frame plus only the records the
+// consumer lacks. The snapshot happens under the relay lock; the caller
+// holds a pin, so the referenced store payloads cannot be freed or
+// mutated while the borrow lasts. Reports whether the sequence is a
+// delta.
+func (s *session) framesFor(v *version) ([]transport.Frame, bool) {
+	s.mu.Lock()
+	have := s.have
+	s.mu.Unlock()
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if len(v.hashes) == 0 {
+		return v.frames, false
+	}
+	head := v.frames[0]
+	var missing [][]byte
+	overlap := 0
+	for _, h := range v.hashes {
+		if have[h] {
+			overlap++
+			continue
+		}
+		if e := s.r.chunks[h]; e != nil {
+			missing = append(missing, e.payload)
+		}
+	}
+	if overlap == 0 {
+		// Nothing to elide: classic full fan-out, header plus all records.
+		frames := make([]transport.Frame, 0, len(missing)+1)
+		frames = append(frames, head)
+		for _, rec := range missing {
+			frames = append(frames, chunkFrame(head, rec))
+		}
+		return frames, false
+	}
+	mf := transport.Frame{Key: head.Key, Payload: v.manifest, Meta: make(map[string]string, len(head.Meta))}
+	for k, mv := range head.Meta {
+		mf.Meta[k] = mv
+	}
+	mf.Meta[transport.MetaChunkRole] = transport.ChunkRoleManifest
+	mf.Meta[transport.MetaChunkCount] = strconv.Itoa(len(missing))
+	frames := make([]transport.Frame, 0, len(missing)+1)
+	frames = append(frames, mf)
+	for _, rec := range missing {
+		frames = append(frames, chunkFrame(head, rec))
+	}
+	return frames, true
 }
 
 // VersionInfo is one cached version's inventory entry.
@@ -956,8 +1411,19 @@ type VersionInfo struct {
 	Key string `json:"key"`
 	// Chunks is the chunk-frame count (0 for a monolithic version).
 	Chunks int `json:"chunks"`
-	// Bytes is the cached payload size across all frames.
+	// Bytes is the logical payload size across all frames (what a full
+	// fan-out of this version ships).
 	Bytes int64 `json:"bytes"`
+	// Deduped is how many of the version's chunks were already resident
+	// in the content-addressed store when it arrived (cross-version
+	// dedup; 0 for a monolithic version).
+	Deduped int `json:"deduped"`
+	// Delta reports whether the version was ingested as a
+	// manifest+missing delta stream rather than a full push.
+	Delta bool `json:"delta"`
+	// Hashes lists the version's per-chunk content hashes (hex, chunk
+	// order; empty for a monolithic version).
+	Hashes []string `json:"hashes,omitempty"`
 	// CRCOK reports whether every chunk record passed CRC verification
 	// at ingest.
 	CRCOK bool `json:"crc_ok"`
@@ -969,10 +1435,15 @@ func (r *Relay) Inventory() []VersionInfo {
 	inv := make([]VersionInfo, 0, 8)
 	for _, mc := range r.models {
 		for _, v := range mc.versions {
-			inv = append(inv, VersionInfo{
+			vi := VersionInfo{
 				Model: v.model, Version: v.vnum, Key: v.key,
-				Chunks: v.chunks, Bytes: v.bytes, CRCOK: v.crcOK,
-			})
+				Chunks: v.chunks, Bytes: v.bytes,
+				Deduped: v.deduped, Delta: v.delta, CRCOK: v.crcOK,
+			}
+			for _, h := range v.hashes {
+				vi.Hashes = append(vi.Hashes, h.String())
+			}
+			inv = append(inv, vi)
 		}
 	}
 	r.mu.Unlock()

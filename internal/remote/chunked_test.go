@@ -18,6 +18,8 @@ type chunkedPairConfig struct {
 	linkWrap  func(net.Conn) net.Conn
 	linkDial  func(addr string) (net.Conn, error)
 	linkWait  time.Duration
+	noDelta   bool    // disable delta reconciliation on both ends
+	deltaEps  float64 // producer-side base-suppression threshold
 }
 
 // startChunkedPair wires a chunked-pipeline producer and a consumer
@@ -35,17 +37,20 @@ func startChunkedPair(t *testing.T, serving nn.Model, cfg chunkedPairConfig) (*P
 		prod, prodErr = NewProducer(ProducerConfig{
 			Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
 			ListenAddr: "127.0.0.1:0", OnListen: func(a string) { linkAddr <- a },
-			Retry:     chaosPolicy(21),
-			LinkWrap:  cfg.linkWrap,
-			ChunkSize: cfg.chunkSize,
+			Retry:                 chaosPolicy(21),
+			LinkWrap:              cfg.linkWrap,
+			ChunkSize:             cfg.chunkSize,
+			DisableDeltaReconcile: cfg.noDelta,
+			DeltaEps:              cfg.deltaEps,
 		})
 	}()
 	cons, err := NewConsumer(ConsumerConfig{
 		Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
 		ProducerAddr: <-linkAddr, Serving: serving,
-		Retry:    chaosPolicy(22),
-		LinkWait: cfg.linkWait,
-		LinkDial: cfg.linkDial,
+		Retry:                 chaosPolicy(22),
+		LinkWait:              cfg.linkWait,
+		LinkDial:              cfg.linkDial,
+		DisableDeltaReconcile: cfg.noDelta,
 	})
 	if err != nil {
 		t.Fatal(err)

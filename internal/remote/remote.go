@@ -91,6 +91,22 @@ type ProducerConfig struct {
 	// Parallelism bounds the chunk-encode worker pool (0 = GOMAXPROCS).
 	// Only meaningful with ChunkSize set.
 	Parallelism int
+	// DisableDeltaReconcile turns off chunk-level delta publishing. By
+	// default (with ChunkSize set) the producer reads have-lists the
+	// receiver sends back, ships subsequent versions as manifest+missing
+	// delta streams, and answers need-lists for chunks the receiver
+	// advertised but lost. Disabling restores the always-full chunked
+	// streams (and the producer never reads its link).
+	DisableDeltaReconcile bool
+	// DeltaEps, when positive (and delta publishing is on), enables
+	// base-suppressed encoding: an element that moved less than
+	// DeltaEps from the previously published wire value re-encodes
+	// that value, so chunks whose weights only drifted stay
+	// byte-identical across versions and dedup against the receiver's
+	// advertised store. Per-element error is bounded by DeltaEps
+	// (suppressed elements hold the last value that moved; error does
+	// not accumulate). Zero deduplicates only exactly-unchanged chunks.
+	DeltaEps float64
 	// BaseContext is the root of the producer's lifecycle context: the
 	// context-free Publish runs under it, and Close cancels it, so an
 	// in-flight publish aborts instead of outliving the producer. Nil
@@ -117,6 +133,9 @@ var inst = struct {
 	skippedVersions    *metrics.Counter
 	staleNotifications *metrics.Counter
 	discardedFrames    *metrics.Counter
+	deltaLoads         *metrics.Counter
+	haveLists          *metrics.Counter
+	deltaSends         *metrics.Counter
 }{
 	linkSends:          registry.Counter("producer_link_sends"),
 	linkFailures:       registry.Counter("producer_link_failures"),
@@ -127,6 +146,9 @@ var inst = struct {
 	skippedVersions:    registry.Counter("consumer_skipped_versions"),
 	staleNotifications: registry.Counter("consumer_stale_notifications"),
 	discardedFrames:    registry.Counter("consumer_discarded_frames"),
+	deltaLoads:         registry.Counter("consumer_delta_loads"),
+	haveLists:          registry.Counter("producer_have_lists"),
+	deltaSends:         registry.Counter("producer_delta_sends"),
 }
 
 // ProducerStats counts producer-side delivery activity.
@@ -138,6 +160,12 @@ type ProducerStats struct {
 	LinkFailures int64
 	// Staged counts checkpoint payloads written to the KV staging area.
 	Staged int64
+	// HaveLists counts chunk advertisements absorbed from the receiver
+	// (delta publishing only).
+	HaveLists int64
+	// DeltaSends counts publishes that left as manifest delta streams
+	// rather than full chunk streams (a subset of LinkSends).
+	DeltaSends int64
 }
 
 // Producer publishes checkpoints to a remote consumer.
@@ -153,6 +181,12 @@ type Producer struct {
 	relay     bool
 	chunkSize int
 	workers   int
+	recon     bool    // chunk-level delta publishing enabled
+	deltaEps  float64 // base-suppression threshold (0 = exact dedup only)
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	// lifeCtx is the lifecycle context minted from
 	// ProducerConfig.BaseContext; lifeCancel fires in Close.
@@ -162,6 +196,23 @@ type Producer struct {
 	mu      sync.Mutex
 	version uint64
 	stats   ProducerStats
+	// peerHave is the receiver's most recent chunk advertisement; the
+	// pump replaces the map wholesale, so a snapshot taken under mu is
+	// safe to read lock-free afterwards.
+	peerHave map[vformat.ChunkHash]bool
+	// lastBlob/lastKey/lastTags remember the newest published chunked
+	// blob so need-lists for it can be answered after the encoder is
+	// released. Only the latest version is answerable: a need-list for a
+	// superseded build is ignored (latest-wins; the receiver's build is
+	// superseded moments later anyway).
+	lastBlob []byte
+	lastKey  string
+	lastTags map[string]string
+	// lastSnap is the previous publish's wire values, the comparison
+	// base for DeltaEps suppression. putElemsBase mutates it in place
+	// to each new version's wire values, keeping producer-side
+	// comparisons aligned with what receivers actually hold.
+	lastSnap nn.Snapshot
 }
 
 // policyOrDefault substitutes the standard wall-clock schedule for a
@@ -247,12 +298,122 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 		cfg.BaseContext = context.Background()
 	}
 	lifeCtx, lifeCancel := context.WithCancel(cfg.BaseContext)
-	return &Producer{
+	p := &Producer{
 		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
 		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
 		relay: cfg.RelayAddr != "", chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
-		lifeCtx: lifeCtx, lifeCancel: lifeCancel,
-	}, nil
+		recon:    cfg.ChunkSize > 0 && !cfg.DisableDeltaReconcile,
+		deltaEps: cfg.DeltaEps,
+		closed:   make(chan struct{}),
+		lifeCtx:  lifeCtx, lifeCancel: lifeCancel,
+	}
+	if p.recon {
+		p.wg.Add(1)
+		go p.pump()
+	}
+	return p, nil
+}
+
+// pump is the delta-publishing producer's reader loop: have-lists
+// replace the receiver's advertised chunk set, need-lists are answered
+// from the last published blob, anything else (e.g. relay admission
+// rejections) is dropped. Mirrors the consumer pump's interruptible
+// backoff so a faulted link never spins and Close is prompt.
+func (p *Producer) pump() {
+	defer p.wg.Done()
+	backoff := initialBackoff(p.policy)
+	for {
+		f, err := p.link.Recv()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			select {
+			case <-p.clock.After(backoff):
+			case <-p.closed:
+				return
+			}
+			backoff = nextBackoff(p.policy, backoff)
+			continue
+		}
+		backoff = initialBackoff(p.policy)
+		switch {
+		case transport.IsHaveFrame(f):
+			model, _, hashes, err := transport.ParseHaveFrame(f)
+			if err != nil || model != p.model {
+				continue
+			}
+			set := make(map[vformat.ChunkHash]bool, len(hashes))
+			for _, h := range hashes {
+				set[h] = true
+			}
+			p.mu.Lock()
+			p.peerHave = set
+			p.stats.HaveLists++
+			p.mu.Unlock()
+			inst.haveLists.Inc()
+		case transport.IsNeedFrame(f):
+			p.answerNeed(f)
+		}
+	}
+}
+
+// answerNeed re-sends the requested chunk records of the latest
+// published version. Requests for anything else are dropped: the
+// receiver's partial build is about to be superseded by a newer push.
+func (p *Producer) answerNeed(f transport.Frame) {
+	key, hashes, err := transport.ParseNeedFrame(f)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	blob, lastKey, tags := p.lastBlob, p.lastKey, p.lastTags
+	p.mu.Unlock()
+	if blob == nil || key != lastKey {
+		return
+	}
+	need := make(map[vformat.ChunkHash]bool, len(hashes))
+	for _, h := range hashes {
+		need[h] = true
+	}
+	conn := transport.WithMeta(p.link, tags)
+	_ = vformat.WalkChunkRecords(blob, func(rec []byte) error {
+		if need[vformat.HashChunkRecord(rec)] {
+			return conn.Send(transport.ChunkRecordFrame(key, rec, 0))
+		}
+		return nil
+	})
+}
+
+// sameShape reports whether two snapshots share tensor names and sizes
+// — the prerequisite for base-suppressed encoding (a restart or
+// reshape falls back to a clean full encode).
+func sameShape(a, b nn.Snapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// rememberBlob retains a copy of the newest published chunked blob (and
+// its frame tags) for answering need-lists; blob aliases the encoder's
+// pooled buffer, so the copy must not.
+func (p *Producer) rememberBlob(key string, tags map[string]string, blob []byte) {
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	p.mu.Lock()
+	p.lastBlob, p.lastKey, p.lastTags = cp, key, tags
+	p.mu.Unlock()
 }
 
 // Publish serializes and ships a checkpoint: frame(s) over the direct
@@ -326,15 +487,47 @@ func (p *Producer) attachRelayMeta(tags map[string]string, ckpt *vformat.Checkpo
 // is on the wire, and the completed blob (one buffer-pool allocation)
 // doubles as the KV staging copy.
 func (p *Producer) publishChunked(ctx context.Context, ckpt *vformat.Checkpoint, key string, tags map[string]string) (*core.ModelMeta, error) {
-	enc, err := vformat.NewChunkEncoder(ckpt, vformat.ChunkOptions{
+	opts := vformat.ChunkOptions{
 		ChunkBytes:  p.chunkSize,
 		Parallelism: p.workers,
-	})
+	}
+	// Base-suppressed encoding keeps chunk bytes (and so content
+	// hashes) stable across versions whose weights only drifted within
+	// DeltaEps — without it, real training moves every element a hair
+	// each step and no chunk ever dedups. The base is encoded with
+	// every chunked publish once delta mode is on, not just delta
+	// sends: the first full stream seeds the hashes later deltas elide
+	// against.
+	if p.recon && p.deltaEps > 0 {
+		p.mu.Lock()
+		base := p.lastSnap
+		p.mu.Unlock()
+		if base != nil && sameShape(base, ckpt.Weights) {
+			opts.Base, opts.BaseEps = base, p.deltaEps
+		} else {
+			base = ckpt.Weights.Clone()
+			p.mu.Lock()
+			p.lastSnap = base
+			p.mu.Unlock()
+		}
+	}
+	enc, err := vformat.NewChunkEncoder(ckpt, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer enc.Release()
+	if p.recon {
+		// Mark the stream delta-capable so the receiver advertises its
+		// chunk store back for the next version's planning.
+		tags[transport.MetaReconcile] = "1"
+	}
 	p.attachRelayMeta(tags, ckpt, key, int64(enc.EncodedSize()), "vchunk")
+	p.mu.Lock()
+	have := p.peerHave
+	p.mu.Unlock()
+	if p.recon && len(have) > 0 {
+		return p.publishDelta(ctx, enc, ckpt, key, tags, have)
+	}
 	sendErr := transport.SendChunked(ctx, transport.WithMeta(p.link, tags), key, enc, 0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -348,6 +541,40 @@ func (p *Producer) publishChunked(ctx context.Context, ckpt *vformat.Checkpoint,
 		}
 	}
 	if err != nil {
+		return nil, err
+	}
+	if p.recon {
+		p.rememberBlob(key, tags, blob)
+	}
+	return p.finishPublish(ctx, ckpt, key, blob, "vchunk", sendErr)
+}
+
+// publishDelta ships ckpt as a manifest plus only the chunk records the
+// receiver's advertised store lacks. The staging copy and metadata are
+// unchanged — they carry the complete blob — so the staging fallback
+// and late-joining consumers are oblivious to how the link frames were
+// elided.
+func (p *Producer) publishDelta(ctx context.Context, enc *vformat.ChunkEncoder, ckpt *vformat.Checkpoint, key string, tags map[string]string, have map[vformat.ChunkHash]bool) (*core.ModelMeta, error) {
+	if err := enc.EncodeStream(ctx, nil); err != nil {
+		return nil, err
+	}
+	blob, err := enc.Blob()
+	if err != nil {
+		return nil, err
+	}
+	manifest, records, hashes, _, err := vformat.PlanDelta(blob, func(h vformat.ChunkHash) bool { return have[h] })
+	if err != nil {
+		return nil, err
+	}
+	// Remember before sending: the receiver's need-list can arrive while
+	// the tail of this stream is still leaving.
+	p.rememberBlob(key, tags, blob)
+	p.mu.Lock()
+	p.stats.DeltaSends++
+	p.mu.Unlock()
+	inst.deltaSends.Inc()
+	sendErr := transport.SendChunkedDelta(ctx, transport.WithMeta(p.link, tags), key, manifest, records, len(hashes), len(blob), 0)
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return p.finishPublish(ctx, ckpt, key, blob, "vchunk", sendErr)
@@ -436,13 +663,16 @@ func (p *Producer) Stats() ProducerStats {
 	return p.stats
 }
 
-// Close cancels the lifecycle context and tears down all connections.
+// Close cancels the lifecycle context and tears down all connections,
+// then waits for the reader pump (if any) to drain.
 func (p *Producer) Close() {
 	p.lifeCancel()
+	p.closeOnce.Do(func() { close(p.closed) })
 	if p.ln != nil {
 		p.ln.Close()
 	}
 	p.link.Close()
+	p.wg.Wait()
 	p.ps.Close()
 	p.kv.Close()
 }
@@ -471,6 +701,26 @@ type ConsumerConfig struct {
 	LinkDial func(addr string) (net.Conn, error)
 	// MetaDial, if set, replaces the metadata client dial.
 	MetaDial func(addr string) (net.Conn, error)
+	// DisableDeltaReconcile turns off chunk-level delta reconciliation.
+	// By default the consumer keeps a content-addressed cache of the
+	// chunk records it has seen, advertises it to the sender after every
+	// install (transport.HaveKey), and accepts manifest delta streams
+	// that ship only the chunks that changed — recovering
+	// advertised-but-evicted chunks with a need-list, and falling back
+	// to the staging path rather than ever assembling a torn
+	// checkpoint. Disabling restores the always-full streams.
+	DisableDeltaReconcile bool
+	// ChunkHashCache bounds the reconciliation chunk cache, in entries
+	// (0 selects the vformat default). Only meaningful while delta
+	// reconciliation is enabled.
+	ChunkHashCache int
+	// FrameBuffer sizes the pump's frame buffer, in frames (default 32).
+	// A stream longer than the buffer is shed if Next is not draining
+	// concurrently, converging through staging instead of the link;
+	// receivers that expect whole multi-chunk checkpoints on the link
+	// (e.g. a delta-off baseline of a large model) need room for a full
+	// stream.
+	FrameBuffer int
 	// BaseContext is the root of the consumer's lifecycle context: the
 	// context-free Next runs under it, and Close cancels it, so a
 	// blocked wait aborts instead of outliving the consumer. Nil
@@ -492,6 +742,10 @@ type ConsumerStats struct {
 	StaleNotifications int64
 	// DiscardedFrames counts link frames superseded before installation.
 	DiscardedFrames int64
+	// DeltaLoads counts link loads that arrived as manifest delta
+	// streams reconciled against the chunk cache (a subset of
+	// LinkLoads).
+	DeltaLoads int64
 }
 
 // Consumer receives checkpoints pushed by a remote producer.
@@ -505,6 +759,10 @@ type Consumer struct {
 	linkWait time.Duration
 	policy   retry.Policy
 	clock    simclock.Clock
+	// cache is the content-addressed record cache delta reconciliation
+	// runs against (nil when disabled). Its own lock makes it safe to
+	// fill from the collect loop and snapshot for advertisements.
+	cache *vformat.ChunkCache
 
 	frames    chan transport.Frame
 	stash     *transport.Frame // link frame that overshot its notification
@@ -569,13 +827,20 @@ func NewConsumer(cfg ConsumerConfig) (*Consumer, error) {
 		cfg.BaseContext = context.Background()
 	}
 	lifeCtx, lifeCancel := context.WithCancel(cfg.BaseContext)
+	frameBuf := cfg.FrameBuffer
+	if frameBuf <= 0 {
+		frameBuf = 32
+	}
 	c := &Consumer{
 		model: cfg.Model, kv: kv, ps: ps, link: link,
 		events: events, serving: cfg.Serving,
 		linkWait: linkWait, policy: pol, clock: policyClock(pol),
-		frames:  make(chan transport.Frame, 32),
+		frames:  make(chan transport.Frame, frameBuf),
 		closed:  make(chan struct{}),
 		lifeCtx: lifeCtx, lifeCancel: lifeCancel,
+	}
+	if !cfg.DisableDeltaReconcile {
+		c.cache = vformat.NewChunkCache(cfg.ChunkHashCache)
 	}
 	go c.pump()
 	return c, nil
@@ -733,6 +998,7 @@ func (c *Consumer) bump(f func(*ConsumerStats)) {
 	inst.skippedVersions.Add(after.SkippedVersions - before.SkippedVersions)
 	inst.staleNotifications.Add(after.StaleNotifications - before.StaleNotifications)
 	inst.discardedFrames.Add(after.DiscardedFrames - before.DiscardedFrames)
+	inst.deltaLoads.Add(after.DeltaLoads - before.DeltaLoads)
 }
 
 // fetch obtains the checkpoint for meta from the direct link, falling
@@ -805,20 +1071,29 @@ func (c *Consumer) fetch(ctx context.Context, meta *core.ModelMeta) (*vformat.Ch
 // unusable and the caller should backfill from staging; a non-nil
 // foreign frame interrupted the chunk stream and still needs handling.
 func (c *Consumer) resolveFrame(ctx context.Context, f *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+	if transport.IsManifestHeader(*f) {
+		return c.collectDeltaStream(ctx, f, meta)
+	}
 	if transport.IsChunkHeader(*f) {
 		return c.collectChunkStream(ctx, f, meta)
 	}
 	return c.decodeFrame(f, meta), nil
 }
 
-// collectChunkStream assembles the chunk stream opened by header,
-// receiving successive frames from the pump under the link-wait bound.
-// Decode and CRC verification happen per chunk as frames arrive.
-func (c *Consumer) collectChunkStream(ctx context.Context, header *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+// streamRecv builds the collect loops' receive function: frames come
+// from the pump under the link-wait bound, and every chunk record of
+// the stream is mirrored into the reconciliation cache as it passes (a
+// corrupted record keys itself under the hash of its corrupted bytes,
+// which no manifest will ever reference, so caching before CRC
+// verification is safe).
+func (c *Consumer) streamRecv(ctx context.Context, key string) func() (transport.Frame, error) {
 	timer := c.clock.After(c.linkWait)
-	recv := func() (transport.Frame, error) {
+	return func() (transport.Frame, error) {
 		select {
 		case f := <-c.frames:
+			if c.cache != nil && f.Key == key && transport.IsChunkFrame(f) {
+				c.cache.Put(vformat.HashChunkRecord(f.Payload), f.Payload)
+			}
 			return f, nil
 		case <-timer:
 			return transport.Frame{}, ErrTimeout
@@ -828,13 +1103,44 @@ func (c *Consumer) collectChunkStream(ctx context.Context, header *transport.Fra
 			return transport.Frame{}, errors.New("remote: consumer closed")
 		}
 	}
-	ckpt, foreign, err := transport.CollectChunked(ctx, *header, recv)
+}
+
+// collectChunkStream assembles the chunk stream opened by header,
+// receiving successive frames from the pump under the link-wait bound.
+// Decode and CRC verification happen per chunk as frames arrive.
+func (c *Consumer) collectChunkStream(ctx context.Context, header *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+	ckpt, foreign, err := transport.CollectChunked(ctx, *header, c.streamRecv(ctx, header.Key))
 	if err != nil {
 		return nil, foreign
 	}
 	if ckpt.ModelName != c.model || ckpt.Version != meta.Version {
 		return nil, nil
 	}
+	return ckpt, nil
+}
+
+// collectDeltaStream reconciles the manifest delta stream opened by
+// header against the chunk cache: advertised chunks are reused in
+// place, the missing records arrive from the pump, and a chunk the
+// cache lost since advertising is need-listed back to the sender over
+// the link. Any failure (including an off-stream refusal of the
+// need-list) surfaces as an unusable stream — the caller backfills from
+// staging rather than assembling torn.
+func (c *Consumer) collectDeltaStream(ctx context.Context, header *transport.Frame, meta *core.ModelMeta) (*vformat.Checkpoint, *transport.Frame) {
+	if c.cache == nil {
+		// Reconciliation disabled: nothing advertised, so a manifest
+		// stream is unexpected; let the staging path carry the version.
+		return nil, nil
+	}
+	send := func(f transport.Frame) error { return c.link.Send(f) }
+	ckpt, foreign, _, err := transport.CollectChunkedDelta(ctx, *header, c.streamRecv(ctx, header.Key), send, c.cache)
+	if err != nil {
+		return nil, foreign
+	}
+	if ckpt.ModelName != c.model || ckpt.Version != meta.Version {
+		return nil, nil
+	}
+	c.bump(func(s *ConsumerStats) { s.DeltaLoads++ })
 	return ckpt, nil
 }
 
@@ -871,12 +1177,20 @@ func (c *Consumer) fetchStaged(ctx context.Context, meta *core.ModelMeta) (*vfor
 		return nil, fmt.Errorf("remote: staged checkpoint is %s/v%d, want %s/v%d",
 			ckpt.ModelName, ckpt.Version, c.model, meta.Version)
 	}
+	if c.cache != nil {
+		// A chunked staging blob replenishes the reconciliation cache
+		// (monolithic blobs carry no records; the error is expected).
+		_ = c.cache.PutAll([]byte(raw))
+	}
 	c.bump(func(s *ConsumerStats) { s.StagedLoads++ })
 	return ckpt, nil
 }
 
-// install makes ckpt the active checkpoint and restores the serving
-// model.
+// install makes ckpt the active checkpoint, restores the serving
+// model, and (with reconciliation on) advertises the chunk cache back
+// to the sender so the next version can travel as a delta. The
+// advertisement is best-effort: a lost have-list only costs one full
+// stream.
 func (c *Consumer) install(ckpt *vformat.Checkpoint) error {
 	c.mu.Lock()
 	c.active = ckpt
@@ -887,6 +1201,11 @@ func (c *Consumer) install(ckpt *vformat.Checkpoint) error {
 	if c.serving != nil {
 		if err := nn.RestoreSnapshot(c.serving, ckpt.Weights); err != nil {
 			return fmt.Errorf("remote: restore: %w", err)
+		}
+	}
+	if c.cache != nil {
+		if hs := c.cache.Hashes(); len(hs) > 0 {
+			_ = c.link.Send(transport.NewHaveFrame(c.model, ckpt.Version, hs))
 		}
 	}
 	return nil

@@ -36,6 +36,42 @@ const (
 	ChunkRoleHeader = "header"
 	// ChunkRoleChunk is the MetaChunkRole value of a chunk frame.
 	ChunkRoleChunk = "chunk"
+	// ChunkRoleManifest is the MetaChunkRole value of a delta-stream
+	// manifest frame: the payload is a vformat manifest and
+	// MetaChunkCount counts only the missing-chunk frames that follow.
+	ChunkRoleManifest = "manifest"
+)
+
+// Reconciliation side-channel frames (delta distribution).
+const (
+	// HaveKey is the frame key of a have-list: a receiver advertising
+	// the chunk content hashes it holds, so the next send can elide
+	// them. Meta carries the model and last installed version.
+	HaveKey = "viper/chunk-have"
+	// NeedKey is the frame key of a need-list: a receiver that
+	// advertised chunks it has since evicted asks the sender to re-send
+	// them mid-stream. Meta carries the stream key being reconciled.
+	NeedKey = "viper/chunk-need"
+	// MetaHaveModel and MetaHaveVersion annotate a have-list.
+	MetaHaveModel   = "have-model"
+	MetaHaveVersion = "have-version"
+	// MetaNeedFor carries the stream key a need-list belongs to.
+	MetaNeedFor = "need-for"
+	// MetaReconcile on a stream header marks the sender as
+	// delta-capable: it reads its link and consumes have/need frames, so
+	// the receiver may advertise its chunk store back. Senders that do
+	// not set it are never sent reconciliation traffic (a legacy
+	// producer that never Recvs would otherwise accumulate frames until
+	// TCP backpressure stalled the peer).
+	MetaReconcile = "vchunk-reconcile"
+)
+
+// Dedup accounting for the delta distribution path, reported under the
+// transport registry alongside the link counters.
+var (
+	chunksSent    = registry.Counter("chunks_sent_total")
+	chunksDeduped = registry.Counter("chunks_deduped_total")
+	bytesSaved    = registry.Counter("bytes_saved_total")
 )
 
 // ErrTornStream is returned by CollectChunked when a foreign frame
@@ -48,6 +84,67 @@ func IsChunkHeader(f Frame) bool { return f.Meta[MetaChunkRole] == ChunkRoleHead
 
 // IsChunkFrame reports whether f is a chunk-data frame.
 func IsChunkFrame(f Frame) bool { return f.Meta[MetaChunkRole] == ChunkRoleChunk }
+
+// IsManifestHeader reports whether f opens a delta (manifest) stream.
+func IsManifestHeader(f Frame) bool { return f.Meta[MetaChunkRole] == ChunkRoleManifest }
+
+// IsHaveFrame reports whether f is a have-list advertisement.
+func IsHaveFrame(f Frame) bool { return f.Key == HaveKey }
+
+// IsNeedFrame reports whether f is a mid-stream re-send request.
+func IsNeedFrame(f Frame) bool { return f.Key == NeedKey }
+
+// NewHaveFrame builds a have-list advertising hashes for model at
+// version (the receiver's freshly installed checkpoint).
+func NewHaveFrame(model string, version uint64, hashes []vformat.ChunkHash) Frame {
+	return Frame{
+		Key:     HaveKey,
+		Payload: vformat.AppendHashes(nil, hashes),
+		Meta: map[string]string{
+			MetaHaveModel:   model,
+			MetaHaveVersion: strconv.FormatUint(version, 10),
+		},
+	}
+}
+
+// ParseHaveFrame extracts the model, version, and hash list of a
+// have-list frame.
+func ParseHaveFrame(f Frame) (model string, version uint64, hashes []vformat.ChunkHash, err error) {
+	if !IsHaveFrame(f) {
+		return "", 0, nil, fmt.Errorf("transport: frame %q is not a have-list", f.Key)
+	}
+	version, err = strconv.ParseUint(f.Meta[MetaHaveVersion], 10, 64)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("transport: have-list version: %w", err)
+	}
+	hashes, err = vformat.SplitHashes(f.Payload)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return f.Meta[MetaHaveModel], version, hashes, nil
+}
+
+// NewNeedFrame builds a re-send request for hashes of the stream
+// identified by streamKey.
+func NewNeedFrame(streamKey string, hashes []vformat.ChunkHash) Frame {
+	return Frame{
+		Key:     NeedKey,
+		Payload: vformat.AppendHashes(nil, hashes),
+		Meta:    map[string]string{MetaNeedFor: streamKey},
+	}
+}
+
+// ParseNeedFrame extracts the stream key and hash list of a need-list.
+func ParseNeedFrame(f Frame) (streamKey string, hashes []vformat.ChunkHash, err error) {
+	if !IsNeedFrame(f) {
+		return "", nil, fmt.Errorf("transport: frame %q is not a need-list", f.Key)
+	}
+	hashes, err = vformat.SplitHashes(f.Payload)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.Meta[MetaNeedFor], hashes, nil
+}
 
 // splitVirtual apportions a whole-checkpoint virtual size across a
 // stream's frames in proportion to their physical sizes, so the
@@ -85,6 +182,7 @@ func SendChunked(ctx context.Context, conn Conn, key string, enc *vformat.ChunkE
 		return fmt.Errorf("transport: chunk stream header: %w", err)
 	}
 	return enc.EncodeStream(ctx, func(idx int, rec []byte) error {
+		chunksSent.Inc()
 		return conn.Send(Frame{
 			Key:         key,
 			Payload:     rec,
@@ -95,6 +193,75 @@ func SendChunked(ctx context.Context, conn Conn, key string, enc *vformat.ChunkE
 			},
 		})
 	})
+}
+
+// SendChunkedDelta streams a delta: one manifest frame, then only the
+// records the receiver's have-list did not cover. records must already
+// be encoded (delta sends trade the encode/send overlap for the
+// manifest, which needs every hash up front — steady-state deltas are
+// small, so the trade wins). fullSize is the full blob's byte size:
+// virtual sizing stays proportional to it, so a delta charges the
+// bandwidth model only for the bytes it actually ships. totalChunks is
+// the version's chunk count; the difference against len(records) is
+// what the dedup counters record.
+func SendChunkedDelta(ctx context.Context, conn Conn, key string, manifest []byte, records [][]byte, totalChunks, fullSize int, virtualSize int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	mf := Frame{
+		Key:         key,
+		Payload:     manifest,
+		VirtualSize: splitVirtual(virtualSize, fullSize, len(manifest)),
+		Meta: map[string]string{
+			MetaChunkRole:  ChunkRoleManifest,
+			MetaChunkCount: strconv.Itoa(len(records)),
+		},
+	}
+	if err := conn.Send(mf); err != nil {
+		return fmt.Errorf("transport: delta stream manifest: %w", err)
+	}
+	saved := int64(0)
+	for _, rec := range records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunksSent.Inc()
+		if err := conn.Send(ChunkRecordFrame(key, rec, splitVirtual(virtualSize, fullSize, len(rec)))); err != nil {
+			return err
+		}
+	}
+	if deduped := totalChunks - len(records); deduped > 0 {
+		chunksDeduped.Add(int64(deduped))
+		for _, rec := range records {
+			saved -= int64(len(rec))
+		}
+		// Saved bytes = full payload bytes minus what actually shipped
+		// (the manifest is overhead against the saving).
+		saved += int64(fullSize) - int64(len(manifest))
+		if saved > 0 {
+			bytesSaved.Add(saved)
+		}
+	}
+	return nil
+}
+
+// ChunkRecordFrame wraps one encoded chunk record as a stream frame,
+// reading the chunk index out of the record bytes. The relay uses it to
+// rebuild record frames from its content-addressed chunk store.
+func ChunkRecordFrame(key string, rec []byte, virtual int64) Frame {
+	idx := 0
+	if len(rec) >= 8 {
+		idx = int(uint32(rec[4]) | uint32(rec[5])<<8 | uint32(rec[6])<<16 | uint32(rec[7])<<24)
+	}
+	return Frame{
+		Key:         key,
+		Payload:     rec,
+		VirtualSize: virtual,
+		Meta: map[string]string{
+			MetaChunkRole:  ChunkRoleChunk,
+			MetaChunkIndex: strconv.Itoa(idx),
+		},
+	}
 }
 
 // CollectChunked assembles the chunk stream opened by header, calling
@@ -134,4 +301,66 @@ func CollectChunked(ctx context.Context, header Frame, recv func() (Frame, error
 		return nil, nil, err
 	}
 	return ckpt, nil, nil
+}
+
+// CollectChunkedDelta reconciles the delta stream opened by manifest:
+// chunks already held locally (per cache) are reused, missing-chunk
+// frames are collected from recv, and — if the stream ends with gaps
+// because this receiver advertised chunks it has since evicted — a
+// need-list is sent back through send and assembly continues with the
+// re-sent records. The checkpoint is only ever returned complete and
+// CRC-verified: a stream that cannot be finished fails with
+// ErrTornStream or ErrMissingChunk, never a torn install. send may be
+// nil when the link has no backchannel; evicted chunks then fail the
+// collect and the caller falls back to a full fetch.
+func CollectChunkedDelta(ctx context.Context, manifest Frame, recv func() (Frame, error), send func(Frame) error, cache *vformat.ChunkCache) (*vformat.Checkpoint, *Frame, int, error) {
+	if !IsManifestHeader(manifest) {
+		return nil, nil, 0, fmt.Errorf("transport: frame %q is not a delta-stream manifest", manifest.Key)
+	}
+	asm, err := vformat.NewManifestAssembler(manifest.Payload, cache)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	expected, err := strconv.Atoi(manifest.Meta[MetaChunkCount])
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("transport: delta manifest chunk count: %w", err)
+	}
+	received, needSent := 0, false
+	for !asm.Complete() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, asm.Reused(), err
+		}
+		if received >= expected && !needSent {
+			// Everything the sender planned to ship arrived, yet chunks
+			// are still missing: we advertised hashes we no longer hold.
+			// Ask for a re-send rather than assembling torn.
+			missing := asm.MissingHashes()
+			if send == nil {
+				return nil, nil, asm.Reused(), fmt.Errorf("%w: %d chunks evicted since advertisement and no backchannel",
+					vformat.ErrMissingChunk, len(missing))
+			}
+			if err := send(NewNeedFrame(manifest.Key, missing)); err != nil {
+				return nil, nil, asm.Reused(), fmt.Errorf("transport: need-list send: %w", err)
+			}
+			needSent = true
+		}
+		f, err := recv()
+		if err != nil {
+			return nil, nil, asm.Reused(), fmt.Errorf("transport: delta stream after %d received: %w", received, err)
+		}
+		if !IsChunkFrame(f) || f.Key != manifest.Key {
+			foreign := f
+			return nil, &foreign, asm.Reused(), fmt.Errorf("%w: got frame %q mid-delta-stream",
+				ErrTornStream, f.Key)
+		}
+		if _, err := asm.Add(f.Payload); err != nil {
+			return nil, nil, asm.Reused(), err
+		}
+		received++
+	}
+	ckpt, err := asm.Checkpoint()
+	if err != nil {
+		return nil, nil, asm.Reused(), err
+	}
+	return ckpt, nil, asm.Reused(), nil
 }

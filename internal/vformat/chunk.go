@@ -70,6 +70,18 @@ type ChunkOptions struct {
 	ChunkBytes int
 	// Parallelism bounds the encode/decode worker pool (<=0 = GOMAXPROCS).
 	Parallelism int
+	// Base, when non-nil, is the previously published snapshot: an
+	// element whose move from Base is within BaseEps encodes the Base
+	// value instead, so chunks whose weights only drifted produce
+	// byte-identical records across versions and content-addressed
+	// dedup collapses them. Per-element error is bounded by BaseEps
+	// (suppressed elements hold the last value that moved, they do not
+	// accumulate drift). A Base whose structure does not match the
+	// snapshot is ignored.
+	Base nn.Snapshot
+	// BaseEps is the suppression threshold used with Base (0 = exact
+	// match only).
+	BaseEps float64
 }
 
 // normalized returns opts with defaults applied, validating Precision.
@@ -188,6 +200,41 @@ func putElems(dst []byte, p Precision, vals []float64) {
 	}
 }
 
+// putElemsBase encodes vals into dst at precision p with dedup
+// suppression against base (the per-element wire values of the
+// previous version): an element within eps of its base re-encodes the
+// base value — byte-identical to last time — while an element that
+// moved updates base to its decoded wire value and encodes that. base
+// is mutated in place so the caller can hand the same snapshot to the
+// next version's encode and keep comparisons aligned with what
+// consumers actually hold (error stays bounded by eps, it does not
+// accumulate).
+func putElemsBase(dst []byte, p Precision, vals, base []float64, eps float64) {
+	switch p {
+	case PrecFloat32:
+		for i, v := range vals {
+			if d := v - base[i]; d > eps || d < -eps {
+				base[i] = float64(float32(v))
+			}
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(base[i])))
+		}
+	case PrecFloat16:
+		for i, v := range vals {
+			if d := v - base[i]; d > eps || d < -eps {
+				base[i] = Float16ToFloat64(Float16FromFloat64(v))
+			}
+			binary.LittleEndian.PutUint16(dst[2*i:], Float16FromFloat64(base[i]))
+		}
+	default:
+		for i, v := range vals {
+			if d := v - base[i]; d > eps || d < -eps {
+				base[i] = v
+			}
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(base[i]))
+		}
+	}
+}
+
 // getElems decodes src at precision p into dst, re-expanding to float64.
 func getElems(dst []float64, p Precision, src []byte) {
 	switch p {
@@ -207,8 +254,10 @@ func getElems(dst []float64, p Precision, src []byte) {
 }
 
 // encodeChunkInto writes chunk idx's full record into dst (whose length
-// must be recordSize(idx)) in a single pass over the weights.
-func (l *ChunkLayout) encodeChunkInto(dst []byte, weights nn.Snapshot, idx int) {
+// must be recordSize(idx)) in a single pass over the weights. A non-nil
+// base enables dedup suppression (see putElemsBase); distinct chunks
+// touch disjoint base spans, so concurrent workers are safe.
+func (l *ChunkLayout) encodeChunkInto(dst []byte, weights, base nn.Snapshot, eps float64, idx int) {
 	start, count := l.chunkSpan(idx)
 	copy(dst, chunkRecMagic)
 	binary.LittleEndian.PutUint32(dst[4:], uint32(idx))
@@ -230,7 +279,11 @@ func (l *ChunkLayout) encodeChunkInto(dst []byte, weights nn.Snapshot, idx int) 
 		if n > end-pos {
 			n = end - pos
 		}
-		putElems(dst[off:off+int(n)*stride], l.Precision, weights[ti].Data[lo:lo+n])
+		if base != nil {
+			putElemsBase(dst[off:off+int(n)*stride], l.Precision, weights[ti].Data[lo:lo+n], base[ti].Data[lo:lo+n], eps)
+		} else {
+			putElems(dst[off:off+int(n)*stride], l.Precision, weights[ti].Data[lo:lo+n])
+		}
 		off += int(n) * stride
 		pos += n
 		ti++
@@ -481,6 +534,7 @@ type ChunkEncoder struct {
 	header []byte
 	blob   []byte // header + records, pool-owned
 	offs   []int  // record offsets within blob
+	hashes []ChunkHash
 	done   bool
 }
 
@@ -489,6 +543,9 @@ func NewChunkEncoder(ckpt *Checkpoint, opts ChunkOptions) (*ChunkEncoder, error)
 	opts, err := opts.normalized()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Base != nil && !baseMatches(ckpt.Weights, opts.Base) {
+		opts.Base = nil // restart or reshape: fall back to a clean full encode
 	}
 	layout := planLayout(ckpt.Weights, opts)
 	header := encodeChunkHeader(ckpt, layout)
@@ -503,7 +560,22 @@ func NewChunkEncoder(ckpt *Checkpoint, opts ChunkOptions) (*ChunkEncoder, error)
 	return &ChunkEncoder{
 		ckpt: ckpt, opts: opts, layout: layout,
 		header: blob[:len(header)], blob: blob, offs: offs,
+		hashes: make([]ChunkHash, layout.NumChunks),
 	}, nil
+}
+
+// baseMatches reports whether base has the same tensor structure as
+// weights (a prerequisite for per-element suppression).
+func baseMatches(weights, base nn.Snapshot) bool {
+	if len(base) != len(weights) {
+		return false
+	}
+	for i := range weights {
+		if base[i].Name != weights[i].Name || len(base[i].Data) != len(weights[i].Data) {
+			return false
+		}
+	}
+	return true
 }
 
 // Layout returns the planned chunk layout.
@@ -554,7 +626,8 @@ func (e *ChunkEncoder) EncodeStream(ctx context.Context, emit func(idx int, reco
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			e.layout.encodeChunkInto(e.record(i), e.ckpt.Weights, i)
+			e.layout.encodeChunkInto(e.record(i), e.ckpt.Weights, e.opts.Base, e.opts.BaseEps, i)
+			e.hashes[i] = HashChunkRecord(e.record(i))
 			doEmit(i)
 		}
 		e.done = true
@@ -571,7 +644,10 @@ func (e *ChunkEncoder) EncodeStream(ctx context.Context, emit func(idx int, reco
 				if ctx.Err() != nil {
 					continue // drain remaining jobs without encoding
 				}
-				e.layout.encodeChunkInto(e.record(idx), e.ckpt.Weights, idx)
+				e.layout.encodeChunkInto(e.record(idx), e.ckpt.Weights, e.opts.Base, e.opts.BaseEps, idx)
+				// Content hash in-stride with the CRC, while the record is
+				// hot in cache and other workers keep encoding.
+				e.hashes[idx] = HashChunkRecord(e.record(idx))
 				completions <- idx // buffered to n: never blocks
 			}
 		}()
@@ -612,6 +688,16 @@ func (e *ChunkEncoder) EncodeStream(ctx context.Context, emit func(idx int, reco
 	}
 	e.done = true
 	return emitErr
+}
+
+// Hashes returns the per-chunk content hashes (index order) after a
+// successful EncodeStream; unlike records they do not alias the blob
+// and stay valid past Release.
+func (e *ChunkEncoder) Hashes() ([]ChunkHash, error) {
+	if !e.done {
+		return nil, ErrIncompleteStream
+	}
+	return e.hashes, nil
 }
 
 // Blob returns the complete chunked container (header + every record)
@@ -834,9 +920,15 @@ func IsChunked(blob []byte) bool {
 }
 
 // DecodeAuto decodes a self-contained checkpoint blob in any full-model
-// wire format — lean v1 (VPRF), quantized (VPRQ), or chunked v2 (VPRC) —
+// wire format — lean v1 (VPRF), quantized (VPRQ), chunked v2 (VPRC), or
+// a manifest-bearing blob (VPRM) that carries its full record set —
 // dispatching on the magic. Delta blobs are not self-contained and are
-// rejected.
+// rejected; a manifest-bearing blob missing records (a wire delta that
+// needs a chunk cache) fails with ErrMissingChunk rather than decoding
+// a torn checkpoint. The VPRM case is what keeps KV-staged recovery
+// working when delta distribution is on: producers stage the full
+// manifest-bearing blob and a consumer backfilling after a relay death
+// full-decodes it here with no cache at all.
 func DecodeAuto(ctx context.Context, blob []byte, parallelism int) (*Checkpoint, error) {
 	if len(blob) < 8 {
 		return nil, fmt.Errorf("vformat: blob too short (%d bytes)", len(blob))
@@ -849,6 +941,9 @@ func DecodeAuto(ctx context.Context, blob []byte, parallelism int) (*Checkpoint,
 		return ckpt, err
 	case chunkMagic:
 		return DecodeChunked(ctx, blob, parallelism)
+	case manifestMagic:
+		ckpt, _, err := ReconcileBlob(ctx, blob, nil)
+		return ckpt, err
 	default:
 		return nil, fmt.Errorf("vformat: unknown checkpoint magic %q", blob[:8])
 	}

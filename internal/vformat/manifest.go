@@ -1,0 +1,491 @@
+package vformat
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Content-addressed manifests (wire format v2.1, magic VPRM0001): every
+// v2 chunk record has a stable content hash — SHA-256 of the full
+// record bytes truncated to 16 bytes — so identical chunks across
+// adjacent checkpoint versions can be recognized, stored, and shipped
+// once. A manifest pairs the v2 stream header with the ordered hash
+// list of its chunks; a manifest-bearing blob appends any subset of the
+// records behind it. A receiver that still holds records from the
+// previous version reconciles the new checkpoint locally: cached
+// records fill the gaps, only changed chunks travel on the wire
+// (rsync's algorithm specialized to fixed chunk boundaries).
+//
+// Manifest-bearing blob layout:
+//
+//	"VPRM0001" | headerLen u32 | v2 header bytes (VPRC0002 …) |
+//	numChunks u32 | hash × numChunks (16 bytes each) | crc u32 |
+//	chunk records … (any subset, packed back-to-back)
+//
+// The CRC covers every byte from the magic through the hash list. A
+// blob carrying every record is "full" and self-contained: DecodeAuto
+// decodes it without a cache, which is what keeps KV-staged recovery
+// working when delta mode is on.
+
+const (
+	// manifestMagic starts a manifest or manifest-bearing blob.
+	manifestMagic = "VPRM0001"
+	// ChunkHashLen is the truncated content-hash size in bytes.
+	ChunkHashLen = 16
+	// defaultChunkCacheEntries bounds a ChunkCache when the caller does
+	// not choose a size: at the default 256 KiB chunk payload this is
+	// ~256 MiB of retained records, a few full snapshots' worth.
+	defaultChunkCacheEntries = 1024
+)
+
+// ErrMissingChunk is returned when a manifest references a chunk that
+// is neither carried by the blob nor available from the local cache.
+var ErrMissingChunk = errors.New("vformat: manifest references a chunk not held locally")
+
+// ChunkHash is the truncated SHA-256 content hash of one encoded chunk
+// record (header, payload, and trailing CRC included), the stable
+// identity a chunk keeps across versions, caches, and relays.
+type ChunkHash [ChunkHashLen]byte
+
+// String renders the hash as lowercase hex.
+func (h ChunkHash) String() string { return hex.EncodeToString(h[:]) }
+
+// HashChunkRecord computes the content hash of one encoded chunk
+// record. Identical record bytes — same span, same encoded payload —
+// yield the same hash regardless of which version shipped them.
+func HashChunkRecord(rec []byte) ChunkHash {
+	sum := sha256.Sum256(rec)
+	var h ChunkHash
+	copy(h[:], sum[:ChunkHashLen])
+	return h
+}
+
+// AppendHashes appends each hash's raw bytes to b (the wire layout of
+// have-lists and need-lists).
+func AppendHashes(b []byte, hashes []ChunkHash) []byte {
+	for _, h := range hashes {
+		b = append(b, h[:]...)
+	}
+	return b
+}
+
+// SplitHashes parses a packed hash list produced by AppendHashes.
+func SplitHashes(b []byte) ([]ChunkHash, error) {
+	if len(b)%ChunkHashLen != 0 {
+		return nil, fmt.Errorf("vformat: hash list length %d is not a multiple of %d", len(b), ChunkHashLen)
+	}
+	hashes := make([]ChunkHash, len(b)/ChunkHashLen)
+	for i := range hashes {
+		copy(hashes[i][:], b[i*ChunkHashLen:])
+	}
+	return hashes, nil
+}
+
+// EncodeManifest builds the manifest section for a v2 header and its
+// ordered chunk hashes. The result is self-delimiting: it is both a
+// standalone wire payload and the prefix of a manifest-bearing blob.
+func EncodeManifest(header []byte, hashes []ChunkHash) []byte {
+	b := make([]byte, 0, len(manifestMagic)+4+len(header)+4+len(hashes)*ChunkHashLen+4)
+	b = append(b, manifestMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(header)))
+	b = append(b, header...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(hashes)))
+	b = AppendHashes(b, hashes)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// ChunkManifest is a parsed manifest: the embedded v2 header, its
+// layout, and the ordered content hashes of every chunk.
+type ChunkManifest struct {
+	// Header is the embedded v2 stream header (VPRC0002 …).
+	Header []byte
+	// Layout is the parsed chunk layout of Header.
+	Layout *ChunkLayout
+	// Hashes holds chunk i's content hash at index i.
+	Hashes []ChunkHash
+	// Len is the encoded manifest section length; in a manifest-bearing
+	// blob, chunk records start at this offset.
+	Len int
+}
+
+// IsManifest reports whether blob starts with the manifest magic.
+func IsManifest(blob []byte) bool {
+	return len(blob) >= len(manifestMagic) && string(blob[:len(manifestMagic)]) == manifestMagic
+}
+
+// ParseManifest parses the manifest section at the head of b (trailing
+// record bytes, if any, are ignored).
+func ParseManifest(b []byte) (*ChunkManifest, error) {
+	if !IsManifest(b) {
+		return nil, fmt.Errorf("vformat: bad manifest magic")
+	}
+	r := &headerReader{b: b, off: len(manifestMagic)}
+	hl, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if hl > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible embedded header length %d", ErrCorruptChunk, hl)
+	}
+	header, err := r.take(int(hl))
+	if err != nil {
+		return nil, err
+	}
+	layout, _, _, err := ParseChunkHeader(header)
+	if err != nil {
+		return nil, fmt.Errorf("vformat: manifest embedded header: %w", err)
+	}
+	nc, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nc) != layout.NumChunks {
+		return nil, fmt.Errorf("%w: manifest lists %d hashes for %d chunks", ErrCorruptChunk, nc, layout.NumChunks)
+	}
+	raw, err := r.take(int(nc) * ChunkHashLen)
+	if err != nil {
+		return nil, err
+	}
+	body := r.off
+	sum, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if sum != crc32.ChecksumIEEE(b[:body]) {
+		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorruptChunk)
+	}
+	hashes, _ := SplitHashes(raw)
+	return &ChunkManifest{Header: header, Layout: layout, Hashes: hashes, Len: r.off}, nil
+}
+
+// PlanDelta plans a delta send from a plain chunked blob: the manifest
+// section plus the records the have predicate does not claim (nil have
+// keeps every record). The returned records alias blob. elided is the
+// byte total of the records left out.
+func PlanDelta(blob []byte, have func(ChunkHash) bool) (manifest []byte, records [][]byte, hashes []ChunkHash, elided int64, err error) {
+	layout, _, headerLen, err := ParseChunkHeader(blob)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	hashes = make([]ChunkHash, 0, layout.NumChunks)
+	err = splitRecords(layout, blob, headerLen, func(rec []byte) error {
+		h := HashChunkRecord(rec)
+		hashes = append(hashes, h)
+		if have != nil && have(h) {
+			elided += int64(len(rec))
+		} else {
+			records = append(records, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return EncodeManifest(blob[:headerLen], hashes), records, hashes, elided, nil
+}
+
+// BuildManifestBlob assembles a manifest-bearing blob from a plain
+// chunked blob: the manifest section followed by every record whose
+// hash the have predicate does not claim. A nil have keeps every record
+// (a full, self-contained blob). It returns the blob, the per-chunk
+// hashes, the number of records carried, and the bytes elided.
+func BuildManifestBlob(blob []byte, have func(ChunkHash) bool) (delta []byte, hashes []ChunkHash, carried int, elided int64, err error) {
+	manifest, keep, hashes, elided, err := PlanDelta(blob, have)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	size := len(manifest)
+	for _, rec := range keep {
+		size += len(rec)
+	}
+	delta = make([]byte, 0, size)
+	delta = append(delta, manifest...)
+	for _, rec := range keep {
+		delta = append(delta, rec...)
+	}
+	return delta, hashes, len(keep), elided, nil
+}
+
+// WalkChunkRecords walks the packed chunk records of a plain chunked
+// blob, calling fn with each record slice (aliasing blob).
+func WalkChunkRecords(blob []byte, fn func(rec []byte) error) error {
+	layout, _, headerLen, err := ParseChunkHeader(blob)
+	if err != nil {
+		return err
+	}
+	return splitRecords(layout, blob, headerLen, fn)
+}
+
+// ChunkHashesOf returns the ordered content hashes of every record in a
+// plain chunked blob.
+func ChunkHashesOf(blob []byte) ([]ChunkHash, error) {
+	var hashes []ChunkHash
+	err := WalkChunkRecords(blob, func(rec []byte) error {
+		hashes = append(hashes, HashChunkRecord(rec))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hashes, nil
+}
+
+// ChunkCache retains recently seen chunk records keyed by content hash,
+// the consumer-side half of delta reconciliation. Entries are copied in
+// and evicted least-recently-used by entry count. All methods are safe
+// for concurrent use.
+type ChunkCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[ChunkHash]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type chunkCacheEntry struct {
+	hash ChunkHash
+	rec  []byte
+}
+
+// NewChunkCache builds a cache bounded to max entries (<=0 selects the
+// default, ~a few snapshots at the default chunk size).
+func NewChunkCache(max int) *ChunkCache {
+	if max <= 0 {
+		max = defaultChunkCacheEntries
+	}
+	return &ChunkCache{max: max, m: make(map[ChunkHash]*list.Element), ll: list.New()}
+}
+
+// Put copies rec into the cache under its content hash.
+func (c *ChunkCache) Put(h ChunkHash, rec []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[h]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	c.m[h] = c.ll.PushFront(&chunkCacheEntry{hash: h, rec: cp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*chunkCacheEntry).hash)
+	}
+}
+
+// Get returns the cached record for h, refreshing its recency. The
+// returned bytes are owned by the cache: callers must not mutate them.
+func (c *ChunkCache) Get(h ChunkHash) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[h]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*chunkCacheEntry).rec, true
+}
+
+// Drop removes h from the cache if present (chaos drills use this to
+// simulate eviction between advertisement and delivery).
+func (c *ChunkCache) Drop(h ChunkHash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[h]; ok {
+		c.ll.Remove(el)
+		delete(c.m, h)
+	}
+}
+
+// Len returns the number of cached records.
+func (c *ChunkCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hashes returns the cached hashes, most recently used first — the
+// have-list a consumer advertises upstream.
+func (c *ChunkCache) Hashes() []ChunkHash {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hashes := make([]ChunkHash, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		hashes = append(hashes, el.Value.(*chunkCacheEntry).hash)
+	}
+	return hashes
+}
+
+// PutAll hashes and caches every record of a plain chunked blob —
+// how a consumer seeds its cache from a full-snapshot install.
+func (c *ChunkCache) PutAll(blob []byte) error {
+	return WalkChunkRecords(blob, func(rec []byte) error {
+		c.Put(HashChunkRecord(rec), rec)
+		return nil
+	})
+}
+
+// ManifestAssembler reconciles one manifest against locally held
+// chunks: cached records are decoded immediately, wire records are
+// added as they arrive, and the set of hashes still outstanding is
+// reported so the receiver can ask the sender to re-send chunks it
+// advertised but no longer holds. Add may be called concurrently.
+type ManifestAssembler struct {
+	man    *ChunkManifest
+	asm    *ChunkAssembler
+	cache  *ChunkCache
+	byHash map[ChunkHash]int // record bytes embed the index, so hashes are position-unique
+
+	mu      sync.Mutex
+	covered []bool
+	reused  int
+}
+
+// NewManifestAssembler parses the manifest section of blob (a bare
+// manifest payload or a manifest-bearing blob) and seeds the assembly
+// from cache (nil = no local chunks). Records carried by the blob
+// itself are added too.
+func NewManifestAssembler(blob []byte, cache *ChunkCache) (*ManifestAssembler, error) {
+	man, err := ParseManifest(blob)
+	if err != nil {
+		return nil, err
+	}
+	asm, err := NewChunkAssembler(man.Header)
+	if err != nil {
+		return nil, err
+	}
+	a := &ManifestAssembler{
+		man: man, asm: asm, cache: cache,
+		byHash:  make(map[ChunkHash]int, len(man.Hashes)),
+		covered: make([]bool, man.Layout.NumChunks),
+	}
+	for i, h := range man.Hashes {
+		a.byHash[h] = i
+	}
+	// Cached chunks first: decode straight into the target snapshot.
+	if cache != nil {
+		for i, h := range man.Hashes {
+			rec, ok := cache.Get(h)
+			if !ok {
+				continue
+			}
+			if _, err := asm.Add(rec); err != nil {
+				// A cached record that no longer verifies is treated as
+				// absent: the wire copy (or a re-send) will cover it.
+				cache.Drop(h)
+				continue
+			}
+			a.covered[i] = true
+			a.reused++
+		}
+	}
+	// Then any records the blob carries inline.
+	if err := a.addPacked(blob[man.Len:]); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// addPacked walks records packed back-to-back (a manifest-bearing
+// blob's tail) and adds each.
+func (a *ManifestAssembler) addPacked(tail []byte) error {
+	stride := a.man.Layout.Precision.BytesPerElement()
+	off := 0
+	for off < len(tail) {
+		if off+chunkRecHeaderLen > len(tail) {
+			return fmt.Errorf("%w: truncated record after manifest", ErrCorruptChunk)
+		}
+		count := int(binary.LittleEndian.Uint32(tail[off+16:]))
+		size := chunkRecOverhead + count*stride
+		if count > a.man.Layout.ChunkElems || off+size > len(tail) {
+			return fmt.Errorf("%w: record overruns manifest blob", ErrCorruptChunk)
+		}
+		if _, err := a.Add(tail[off : off+size]); err != nil {
+			return err
+		}
+		off += size
+	}
+	return nil
+}
+
+// Manifest returns the parsed manifest.
+func (a *ManifestAssembler) Manifest() *ChunkManifest { return a.man }
+
+// Reused returns how many chunks were satisfied from the local cache.
+func (a *ManifestAssembler) Reused() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reused
+}
+
+// Add verifies and decodes one wire record, caching it for future
+// reconciliations, and reports whether assembly is now complete.
+func (a *ManifestAssembler) Add(rec []byte) (complete bool, err error) {
+	done, err := a.asm.Add(rec)
+	if err != nil {
+		return false, err
+	}
+	h := HashChunkRecord(rec)
+	a.mu.Lock()
+	if idx, ok := a.byHash[h]; ok {
+		a.covered[idx] = true
+	}
+	a.mu.Unlock()
+	if a.cache != nil {
+		a.cache.Put(h, rec)
+	}
+	return done, nil
+}
+
+// Complete reports whether every chunk has been assembled.
+func (a *ManifestAssembler) Complete() bool { return a.asm.Complete() }
+
+// MissingHashes returns the content hashes still outstanding — the
+// need-list the receiver sends when an advertised chunk turned out to
+// be gone locally.
+func (a *ManifestAssembler) MissingHashes() []ChunkHash {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var missing []ChunkHash
+	for i, c := range a.covered {
+		if !c {
+			missing = append(missing, a.man.Hashes[i])
+		}
+	}
+	return missing
+}
+
+// Checkpoint returns the reconciled checkpoint, or ErrIncompleteStream
+// while chunks are outstanding.
+func (a *ManifestAssembler) Checkpoint() (*Checkpoint, error) { return a.asm.Checkpoint() }
+
+// ReconcileBlob decodes a manifest-bearing blob, pulling records the
+// blob does not carry from cache (nil cache = the blob must be full).
+// It returns the checkpoint and how many chunks came from the cache; a
+// gap neither source covers is ErrMissingChunk.
+func ReconcileBlob(ctx context.Context, blob []byte, cache *ChunkCache) (*Checkpoint, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	a, err := NewManifestAssembler(blob, cache)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !a.Complete() {
+		missing := a.MissingHashes()
+		return nil, a.Reused(), fmt.Errorf("%w: %d of %d chunks unavailable (first %s)",
+			ErrMissingChunk, len(missing), a.man.Layout.NumChunks, missing[0])
+	}
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		return nil, a.Reused(), err
+	}
+	return ckpt, a.Reused(), nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"viper/internal/models"
 	"viper/internal/nn"
+	"viper/internal/vformat"
 )
 
 // optionsPair builds a producer through the functional-options API and
@@ -19,7 +20,7 @@ func optionsPair(t *testing.T, opts ...Option) (*Producer, *Consumer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := NewConsumer(env, "nt3", nil)
+	cons, err := NewConsumer(env, "nt3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +99,21 @@ func TestOptionsCompose(t *testing.T) {
 	if _, err := cons.HandleNotification(<-sub.C); err != nil {
 		t.Fatal(err)
 	}
-	// Second save rides the delta chain.
+	// Second save rides the chunk-reconciliation chain: a manifest plus
+	// only the chunks that changed.
 	m.Params()[0].Value.Data()[0] += 1
 	rep2, err := prod.SaveWeights(nn.TakeSnapshot(m), 2, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep2.Meta.Format != "vdelta" {
-		t.Fatalf("second format = %q, want vdelta", rep2.Meta.Format)
+	if rep2.Meta.Format != "vrecon" {
+		t.Fatalf("second format = %q, want vrecon", rep2.Meta.Format)
+	}
+	if rep2.Meta.Size >= int64(1<<30) {
+		t.Fatalf("recon accounted size = %d, want under the full virtual size", rep2.Meta.Size)
+	}
+	if _, err := cons.HandleNotification(<-sub.C); err != nil {
+		t.Fatalf("reconciled load: %v", err)
 	}
 }
 
@@ -147,5 +155,87 @@ func TestSaveWeightsContextCancelled(t *testing.T) {
 	}
 	if _, err := cons.LatestMeta(); err == nil {
 		t.Fatal("metadata published for a cancelled save")
+	}
+}
+
+// TestConsumerOptionsDeltaReconcileOff: a consumer built with
+// WithDeltaReconcile(false) has no chunk cache, so a "vrecon" payload
+// that elided chunks fails loudly instead of reconciling, while a
+// default consumer on the same chain follows it.
+func TestConsumerOptionsDeltaReconcileOff(t *testing.T) {
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3",
+		WithIncremental(0, 8),
+		WithChunkSize(2<<10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewConsumer(env, "nt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewConsumer(env, "nt3", WithExtra(), WithDeltaReconcile(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSub := warm.Subscribe()
+	defer warmSub.Close()
+	coldSub := cold.Subscribe()
+	defer coldSub.Close()
+
+	m := models.NT3(rand.New(rand.NewSource(11)), 32)
+	if _, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.HandleNotification(<-warmSub.C); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.HandleNotification(<-coldSub.C); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Params()[0].Value.Data()[0] += 1
+	rep, err := prod.SaveWeights(nn.TakeSnapshot(m), 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Format != "vrecon" {
+		t.Fatalf("format = %q, want vrecon", rep.Meta.Format)
+	}
+	if _, err := warm.HandleNotification(<-warmSub.C); err != nil {
+		t.Fatalf("reconciling consumer: %v", err)
+	}
+	if _, err := cold.HandleNotification(<-coldSub.C); !errors.Is(err, vformat.ErrMissingChunk) {
+		t.Fatalf("cache-less consumer load = %v, want ErrMissingChunk", err)
+	}
+}
+
+// TestConsumerOptionsBaseContext: WithBaseContext bounds the
+// context-free API forms — a cancelled base context aborts
+// HandleNotification before anything is installed.
+func TestConsumerOptionsBaseContext(t *testing.T) {
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cons, err := NewConsumer(env, "nt3", WithBaseContext(ctx), WithChunkHashCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cons.Subscribe()
+	defer sub.Close()
+	m := models.NT3(rand.New(rand.NewSource(13)), 32)
+	if _, err := prod.SaveWeights(nn.TakeSnapshot(m), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := cons.HandleNotification(<-sub.C); !errors.Is(err, context.Canceled) {
+		t.Fatalf("HandleNotification = %v, want context.Canceled", err)
+	}
+	if cons.ActiveModel() != nil {
+		t.Fatal("cancelled load installed a checkpoint")
 	}
 }

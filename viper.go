@@ -20,7 +20,7 @@
 //	prod, _ := viper.NewProducer(env, "tc1",
 //		viper.WithStrategy(viper.Strategy{Route: viper.RouteGPU, Mode: viper.ModeAsync}),
 //	)
-//	cons, _ := viper.NewConsumer(env, "tc1", nil)
+//	cons, _ := viper.NewConsumer(env, "tc1")
 //	sub := cons.Subscribe()
 //	prod.SaveWeights(nn.TakeSnapshot(model), iter, loss)
 //	report, _ := cons.HandleNotification(<-sub.C)
@@ -266,17 +266,79 @@ func (p *Producer) NewCheckpointCallback(model nn.Model, schedule Schedule) (*co
 	return core.NewCheckpointCallback(model, p.handler, schedule)
 }
 
-// NewConsumer constructs the inference-side runtime. serving may be nil;
-// when set, each update is restored into it so real forward passes run on
-// the latest weights — the paper's load_weights(model).
-func NewConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
-	return core.NewConsumer(env, model, serving)
+// ConsumerOption configures a Consumer built by NewConsumer.
+type ConsumerOption func(*core.ConsumerOptions)
+
+// WithServing keeps a live model instance in sync with the consumer's
+// double buffer so real forward passes always run on the latest
+// weights.
+func WithServing(m nn.Model) ConsumerOption {
+	return func(o *core.ConsumerOptions) { o.Serving = m }
+}
+
+// WithExtra provisions the consumer with its own dedicated broadcast
+// link pair instead of sharing the environment's primary pair — the
+// multi-consumer pattern.
+func WithExtra() ConsumerOption {
+	return func(o *core.ConsumerOptions) { o.ExtraLinks = true }
+}
+
+// WithBaseContext bounds the context-free consumer APIs (Poll, Load,
+// HandleNotification) to ctx instead of context.Background(), so an
+// application can cancel every implicit fetch/decode at shutdown
+// without switching to the Context call forms.
+func WithBaseContext(ctx context.Context) ConsumerOption {
+	return func(o *core.ConsumerOptions) { o.BaseContext = ctx }
+}
+
+// WithDeltaReconcile toggles chunk-level delta reconciliation (default
+// on): the consumer caches the chunk records of installed checkpoints
+// so an incremental chunked producer can ship only the chunks that
+// changed ("vrecon") and the rest reconcile locally. Turning it off
+// drops the cache; pair it with a producer configured for full
+// streams.
+func WithDeltaReconcile(on bool) ConsumerOption {
+	return func(o *core.ConsumerOptions) { o.DisableDeltaReconcile = !on }
+}
+
+// WithChunkHashCache bounds the consumer's chunk cache to n records
+// (0 = a default sized for a few snapshots at DefaultChunkSize).
+func WithChunkHashCache(n int) ConsumerOption {
+	return func(o *core.ConsumerOptions) { o.ChunkHashCache = n }
+}
+
+// NewConsumer constructs the inference-side runtime — the paper's
+// load_weights(model). Without options it shares the environment's
+// primary links, serves no live model instance, and reconciles chunk
+// deltas against a default-sized cache.
+func NewConsumer(env *Env, model string, opts ...ConsumerOption) (*Consumer, error) {
+	var o core.ConsumerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewConsumerOpts(env, model, o)
+}
+
+// NewServingConsumer constructs a consumer that restores every update
+// into serving.
+//
+// Deprecated: use NewConsumer with WithServing. This shim keeps
+// pre-options callers compiling.
+func NewServingConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
+	return NewConsumer(env, model, WithServing(serving))
 }
 
 // NewExtraConsumer constructs an additional consumer with its own
 // dedicated broadcast links (the multi-consumer pattern).
+//
+// Deprecated: use NewConsumer with WithExtra (plus WithServing for a
+// live model). This shim keeps pre-options callers compiling.
 func NewExtraConsumer(env *Env, model string, serving nn.Model) (*Consumer, error) {
-	return core.NewExtraConsumer(env, model, serving)
+	opts := []ConsumerOption{WithExtra()}
+	if serving != nil {
+		opts = append(opts, WithServing(serving))
+	}
+	return NewConsumer(env, model, opts...)
 }
 
 // Schedules (paper §4.3).

@@ -23,7 +23,7 @@ func TestPublicAPISaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := NewConsumer(env, "nt3", serving)
+	cons, err := NewConsumer(env, "nt3", WithServing(serving))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestTraceRecorderThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := NewConsumer(env, "nt3", nil)
+	cons, err := NewConsumer(env, "nt3")
 	if err != nil {
 		t.Fatal(err)
 	}
