@@ -42,7 +42,7 @@ echo "==> leakcheck packages (-race -count=1)"
 go test -race -count=1 \
     ./internal/transport/ ./internal/pubsub/ ./internal/remote/ \
     ./internal/kvstore/ ./internal/coupled/ ./internal/relay/ \
-    ./internal/metrics/
+    ./internal/metrics/ ./internal/chunkstore/
 
 # PR 7's visibility smoke, hardened in PR 8 into a hard gate: one timed
 # pass of the full 16-analyzer suite (and the dataflow subset) over the
@@ -67,10 +67,10 @@ if ! awk "BEGIN { exit !($suite_ns <= 250000000) }"; then
     exit 1
 fi
 
-echo "==> bench smoke (transport + pubsub + kvstore + relay + metrics, 1x)"
+echo "==> bench smoke (transport + pubsub + kvstore + relay + metrics + chunkstore, 1x)"
 bench_out=$(go test -run '^$' -bench . -benchtime 1x \
     ./internal/transport/ ./internal/pubsub/ ./internal/kvstore/ \
-    ./internal/relay/ ./internal/metrics/)
+    ./internal/relay/ ./internal/metrics/ ./internal/chunkstore/)
 echo "$bench_out"
 
 # Record the smoke pass as machine-readable evidence for this PR.
@@ -300,6 +300,56 @@ if [ "$dedup_torn" != "0" ]; then
 fi
 if [ "$dedup_identical" != "true" ]; then
     echo "ci.sh: a reconciled install was not byte-identical to the full decode" >&2
+    exit 1
+fi
+
+# PR 10's gate: the durable chunk store. Three hard floors keep the
+# crash-consistency and durability claims honest. Warm restart: a
+# 64-version / paper-scale history must recover (manifest-log replay +
+# torn-tail scan + full reload of every version) inside a fixed wall
+# budget — 2 s is ~50x the measured replay cost, so the bound rejects
+# accidental O(history²) recovery without flaking on a loaded runner.
+# Late joiner: a consumer served from demoted disk shells after a relay
+# restart must install within 25% of one served from the resident cache
+# (measured ratio is ~1.0 — the TCP transfer dominates; minima across
+# trials filter dial jitter). Chaos: with ≥10% of store writes failing
+# mid-append/mid-commit/mid-GC, every post-crash reopen must serve zero
+# corrupt chunks — exact, not a threshold — and every surviving version
+# must reload byte-identically (the experiment errors out otherwise).
+echo "==> store recovery scenario (warm restart + late joiner + chaos)"
+go run ./cmd/viper-bench -exp storerecovery -json > BENCH_8.json
+go run ./cmd/viper-bench -exp storerecovery
+
+recovery_ns=$(awk -F': *|,' '/"recovery_ns"/ { print $2; exit }' BENCH_8.json)
+disk_over_cache=$(awk -F': *|,' '/"disk_over_cache"/ { print $2; exit }' BENCH_8.json)
+store_identical=$(awk -F': *|,' '/"identical"/ { print $2; exit }' BENCH_8.json)
+store_faults=$(awk -F': *|,' '/"faults_injected"/ { print $2; exit }' BENCH_8.json)
+store_corrupt=$(awk -F': *|,' '/"corrupt_chunks"/ { print $2; exit }' BENCH_8.json)
+if [ -z "$recovery_ns" ] || [ -z "$disk_over_cache" ] || [ -z "$store_identical" ] \
+    || [ -z "$store_faults" ] || [ -z "$store_corrupt" ]; then
+    echo "ci.sh: BENCH_8.json missing store-recovery gate fields" >&2
+    exit 1
+fi
+echo "wrote BENCH_8.json (recovery ${recovery_ns}ns, disk/cache ${disk_over_cache}, faults ${store_faults}, corrupt ${store_corrupt})"
+
+if ! awk "BEGIN { exit !($recovery_ns <= 2000000000) }"; then
+    echo "ci.sh: 64-version warm-restart recovery took ${recovery_ns}ns; budget is 2s" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($disk_over_cache <= 1.25) }"; then
+    echo "ci.sh: disk-served late-joiner install is ${disk_over_cache}x the cache-served install; gate is 1.25x" >&2
+    exit 1
+fi
+if [ "$store_identical" != "true" ]; then
+    echo "ci.sh: a late-joiner install did not match the published weights bit for bit" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($store_faults >= 10) }"; then
+    echo "ci.sh: chaos phase injected only ${store_faults} faults; the drill needs at least 10" >&2
+    exit 1
+fi
+if [ "$store_corrupt" != "0" ]; then
+    echo "ci.sh: ${store_corrupt} corrupt chunks served after injected crashes; must be exactly 0" >&2
     exit 1
 fi
 

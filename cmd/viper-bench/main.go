@@ -20,6 +20,12 @@
 // remote producer → consumer pair over real TCP with reconciliation
 // off and on, and the two phases' wire bytes give the dedup ratio;
 // with -json it emits the comparison ci.sh records as BENCH_7.json.
+//
+// The storerecovery experiment measures the durable chunk store: a
+// 64-version warm-restart recovery, a cache-served vs. disk-served
+// late-joiner install through a store-backed relay, and a fault-injected
+// chaos loop with post-crash verification; with -json it emits the
+// document ci.sh records as BENCH_8.json.
 package main
 
 import (
@@ -37,23 +43,24 @@ import (
 var jsonOut *bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|slowconsumer|deltadedup|all")
+	exp := flag.String("exp", "all", "experiment to run: fig5|fig6|fig8|fig9|fig10|table1|ablations|slowconsumer|deltadedup|storerecovery|all")
 	quick := flag.Bool("quick", false, "run reduced-scale configurations")
 	jsonOut = flag.Bool("json", false, "emit machine-readable JSON (slowconsumer and deltadedup only)")
 	flag.Parse()
 
 	runners := map[string]func(bool) error{
-		"fig5":         runFig5,
-		"fig6":         runFig6,
-		"fig8":         runFig8,
-		"fig9":         runFig9,
-		"fig10":        runFig10,
-		"table1":       runTable1,
-		"ablations":    runAblations,
-		"slowconsumer": runSlowConsumer,
-		"deltadedup":   runDeltaDedup,
+		"fig5":          runFig5,
+		"fig6":          runFig6,
+		"fig8":          runFig8,
+		"fig9":          runFig9,
+		"fig10":         runFig10,
+		"table1":        runTable1,
+		"ablations":     runAblations,
+		"slowconsumer":  runSlowConsumer,
+		"deltadedup":    runDeltaDedup,
+		"storerecovery": runStoreRecovery,
 	}
-	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations", "slowconsumer", "deltadedup"}
+	order := []string{"fig5", "fig6", "fig8", "fig9", "fig10", "table1", "ablations", "slowconsumer", "deltadedup", "storerecovery"}
 
 	run := func(name string) {
 		start := time.Now()
@@ -283,5 +290,39 @@ func runDeltaDedup(quick bool) error {
 		res.ChunksSent, res.ChunksDeduped, res.BytesSaved, res.DeltaSends)
 	fmt.Printf("  torn=%d identical=%v max_suppression_err=%.3g\n",
 		res.TornStreams, res.Identical, res.MaxSuppressionErr)
+	return nil
+}
+
+func runStoreRecovery(quick bool) error {
+	dir, err := os.MkdirTemp("", "viper-bench8-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := experiments.DefaultStoreRecoveryConfig(dir)
+	if quick {
+		cfg.Versions = 8
+		cfg.RelayElems = 1 << 17
+		cfg.ChaosRounds = 10
+		cfg.Trials = 2
+	}
+	res, err := experiments.RunStoreRecovery(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	fmt.Printf("store recovery: %d versions / %d unique chunks / %d bytes recovered in %v\n",
+		res.Versions, res.Chunks, res.StoreBytes, time.Duration(res.RecoveryNS))
+	fmt.Printf("  late joiner  : cache %v, disk %v  (%.2fx, identical=%v)\n",
+		time.Duration(res.CacheNS), time.Duration(res.DiskNS), res.DiskOverCache, res.Identical)
+	fmt.Printf("  chaos        : %d/%d ops failed, %d crashes, %d versions survived, %d loads verified, corrupt=%d\n",
+		res.FaultsInjected, res.FaultOps, res.Crashes, res.ChaosVersions, res.VerifiedLoads, res.CorruptChunks)
 	return nil
 }

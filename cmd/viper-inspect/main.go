@@ -10,6 +10,7 @@
 //	viper-inspect -stats checkpoint.bin  # per-tensor statistics
 //	viper-inspect -json checkpoint.bin   # machine-readable dump
 //	viper-inspect -relay 127.0.0.1:7464  # live relay cache inventory
+//	viper-inspect -store /var/viper      # durable chunk-store inventory
 //
 // With -json, output is one JSON object per line (the same NDJSON
 // convention as viper-vet -json): a "checkpoint" summary object first,
@@ -21,6 +22,15 @@
 // viper-relay node (its ingest address) and dumps the cached version
 // inventory: one line per (model, version) with chunk count, byte size,
 // and CRC status; with -json, one "relay-version" NDJSON object each.
+//
+// With -store, the tool opens a durable chunk-store directory (the
+// -store dir of a viper-relay, or a producer's WithTimeTravel dir) and
+// dumps the recovered inventory: a store summary (segments, live/dead
+// bytes, unique chunks) followed by one line per committed version;
+// with -json, a "store" object then "store-version" NDJSON objects.
+// Opening replays the manifest log exactly as crash recovery does, so
+// the dump doubles as an offline consistency check — torn tails are
+// reported in the summary's truncated_tails.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"math"
 	"os"
 
+	"viper/internal/chunkstore"
 	"viper/internal/h5lite"
 	"viper/internal/relay"
 	"viper/internal/vformat"
@@ -40,6 +51,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-tensor min/max/mean/std")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per line (summary, tensors, chunk layout)")
 	relayAddr := flag.String("relay", "", "dump a running relay's cached version inventory instead of reading a file (ingest address)")
+	storeDir := flag.String("store", "", "dump a durable chunk-store directory's recovered inventory instead of reading a file")
 	flag.Parse()
 	if *relayAddr != "" {
 		if err := inspectRelay(*relayAddr, *jsonOut); err != nil {
@@ -48,8 +60,15 @@ func main() {
 		}
 		return
 	}
+	if *storeDir != "" {
+		if err := inspectStore(*storeDir, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "viper-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] [-json] <checkpoint-file> | viper-inspect -relay <addr> [-json]")
+		fmt.Fprintln(os.Stderr, "usage: viper-inspect [-stats] [-json] <checkpoint-file> | viper-inspect -relay <addr> [-json] | viper-inspect -store <dir> [-json]")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -237,6 +256,106 @@ func inspectRelay(addr string, jsonOut bool) error {
 		}
 		fmt.Printf("  %s v%-6d %-14s %10d bytes  crc %s%s  (%s)\n",
 			v.Model, v.Version, chunks, v.Bytes, status, extra, v.Key)
+	}
+	return nil
+}
+
+// jsonStore is the leading summary object of a -store dump.
+type jsonStore struct {
+	Kind           string `json:"kind"` // "store"
+	Dir            string `json:"dir"`
+	Models         int    `json:"models"`
+	Versions       int    `json:"versions"`
+	Chunks         int    `json:"chunks"`
+	Segments       int    `json:"segments"`
+	LiveBytes      int64  `json:"live_bytes"`
+	DeadBytes      int64  `json:"dead_bytes"`
+	TruncatedTails int64  `json:"truncated_tails,omitempty"`
+	CorruptChunks  int64  `json:"corrupt_chunks,omitempty"`
+	RecoveryNS     int64  `json:"recovery_ns"`
+}
+
+// jsonStoreVersion is one committed-version NDJSON line of a -store
+// dump.
+type jsonStoreVersion struct {
+	Kind       string   `json:"kind"` // "store-version"
+	Model      string   `json:"model"`
+	Version    uint64   `json:"version"`
+	Key        string   `json:"key"`
+	Chunks     int      `json:"chunks"`
+	Bytes      int64    `json:"bytes"`
+	Monolithic bool     `json:"monolithic,omitempty"`
+	SavedAt    string   `json:"saved_at,omitempty"`
+	Hashes     []string `json:"hashes,omitempty"`
+}
+
+// inspectStore opens a durable chunk-store directory (running its
+// normal crash recovery) and renders the recovered inventory.
+func inspectStore(dir string, jsonOut bool) error {
+	st, err := chunkstore.Open(dir, chunkstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	stats := st.Stats()
+	models := st.Models()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(jsonStore{
+			Kind: "store", Dir: dir, Models: len(models),
+			Versions: stats.Versions, Chunks: stats.Chunks,
+			Segments: stats.Segments, LiveBytes: stats.LiveBytes,
+			DeadBytes:      stats.DeadBytes,
+			TruncatedTails: stats.TruncatedTails,
+			CorruptChunks:  stats.CorruptChunks,
+			RecoveryNS:     stats.Recovery.Nanoseconds(),
+		})
+		for _, m := range models {
+			for _, v := range st.Versions(m) {
+				meta, ok := st.Meta(m, v)
+				if !ok {
+					continue
+				}
+				hashes := make([]string, 0, len(meta.Hashes))
+				if !meta.Monolithic {
+					for _, h := range meta.Hashes {
+						hashes = append(hashes, h.String())
+					}
+				}
+				enc.Encode(jsonStoreVersion{
+					Kind: "store-version", Model: meta.Model,
+					Version: meta.Version, Key: meta.Key,
+					Chunks: len(hashes), Bytes: meta.Bytes,
+					Monolithic: meta.Monolithic,
+					SavedAt:    meta.SavedAt.UTC().Format("2006-01-02T15:04:05Z"),
+					Hashes:     hashes,
+				})
+			}
+		}
+		return nil
+	}
+	fmt.Printf("store:     %s\n", dir)
+	fmt.Printf("recovered: %d models, %d versions, %d unique chunks in %v\n",
+		len(models), stats.Versions, stats.Chunks, stats.Recovery)
+	fmt.Printf("segments:  %d (%d live bytes, %d dead)\n",
+		stats.Segments, stats.LiveBytes, stats.DeadBytes)
+	if stats.TruncatedTails > 0 {
+		fmt.Printf("repaired:  %d torn segment tail(s) truncated on open\n", stats.TruncatedTails)
+	}
+	for _, m := range models {
+		for _, v := range st.Versions(m) {
+			meta, ok := st.Meta(m, v)
+			if !ok {
+				continue
+			}
+			chunks := fmt.Sprintf("%d chunks", len(meta.Hashes))
+			if meta.Monolithic {
+				chunks = "monolithic"
+			}
+			fmt.Printf("  %s v%-6d %-14s %10d bytes  %s  (%s)\n",
+				m, v, chunks, meta.Bytes,
+				meta.SavedAt.UTC().Format("2006-01-02T15:04:05Z"), meta.Key)
+		}
 	}
 	return nil
 }

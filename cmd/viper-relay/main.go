@@ -10,6 +10,14 @@
 //
 //	viper-relay -meta 127.0.0.1:7461 -notify 127.0.0.1:7462 \
 //	    -ingest 127.0.0.1:7464 -serve 127.0.0.1:7465 -retain 4
+//
+// With -store, the relay also persists every ingested version to a
+// durable content-addressed chunk store in the given directory and
+// recovers its full inventory from it on restart, so late joiners can
+// be served history that predates the process. -store-keep,
+// -store-bytes, and -store-age bound the on-disk history (zero means
+// unbounded); memory eviction then merely demotes versions to disk
+// instead of dropping them.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"viper/internal/chunkstore"
 	"viper/internal/relay"
 )
 
@@ -27,7 +36,11 @@ func main() {
 	notifyAddr := flag.String("notify", "127.0.0.1:7462", "notification broker address (empty disables relay republishing)")
 	ingestAddr := flag.String("ingest", "127.0.0.1:7464", "address to accept the producer's version pushes on")
 	serveAddr := flag.String("serve", "127.0.0.1:7465", "address to accept consumer links on")
-	retain := flag.Int("retain", relay.DefaultRetained, "cached versions kept per model (oldest evicted first)")
+	retain := flag.Int("retain", relay.DefaultRetained, "cached versions kept per model (oldest demoted or evicted first)")
+	storeDir := flag.String("store", "", "directory for the durable chunk store (empty disables persistence)")
+	storeKeep := flag.Int("store-keep", 0, "stored versions kept per model (0 = unbounded; requires -store)")
+	storeBytes := flag.Int64("store-bytes", 0, "stored payload bytes kept per model (0 = unbounded; requires -store)")
+	storeAge := flag.Duration("store-age", 0, "maximum stored version age (0 = unbounded; requires -store)")
 	flag.Parse()
 
 	r, err := relay.New(relay.Config{
@@ -36,6 +49,12 @@ func main() {
 		MetaAddr:   *metaAddr,
 		NotifyAddr: *notifyAddr,
 		Retained:   *retain,
+		StoreDir:   *storeDir,
+		StoreRetention: chunkstore.Retention{
+			MaxVersions: *storeKeep,
+			MaxBytes:    *storeBytes,
+			MaxAge:      *storeAge,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "viper-relay: %v\n", err)
@@ -44,6 +63,11 @@ func main() {
 
 	fmt.Printf("viper-relay: ingest on %s, serving consumers on %s (retaining %d versions/model)\n",
 		r.IngestAddr(), r.ServeAddr(), *retain)
+	if *storeDir != "" {
+		st := r.Stats()
+		fmt.Printf("viper-relay: durable store at %s (%d versions recovered)\n",
+			*storeDir, st.HydratedVersions)
+	}
 	fmt.Println("viper-relay: press Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
@@ -54,4 +78,8 @@ func main() {
 	st := r.Stats()
 	fmt.Printf("viper-relay: cached %d versions, served %d fan-outs to %d sessions (%d superseded mid-stream)\n",
 		st.CachedVersions, st.ServedVersions, st.Sessions, st.AbandonedFanouts)
+	if *storeDir != "" {
+		fmt.Printf("viper-relay: stored %d versions, demoted %d to disk (%d store errors)\n",
+			st.StoredVersions, st.DemotedVersions, st.StoreErrors)
+	}
 }

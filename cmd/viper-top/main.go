@@ -2,7 +2,8 @@
 // first-class observability surface over internal/metrics. It dials the
 // relay's ingest address (the same wire viper-inspect -relay uses) and
 // renders every registry the relay process exposes: transport link and
-// TCP counters, relay cache/session/admission state, and whichever of
+// TCP counters, relay cache/session/admission state, the durable chunk
+// store (when the relay runs with -store), and whichever of
 // remote/pubsub/kvstore are linked into the node.
 //
 // Usage:
@@ -63,11 +64,14 @@ type jsonMetrics struct {
 	Points   []metrics.Point `json:"points"`
 }
 
-// jsonInventory is the cache-summary NDJSON line.
+// jsonInventory is the cache-summary NDJSON line. Stored counts the
+// cached versions also persisted in the relay's durable chunk store
+// (zero when the relay runs without -store).
 type jsonInventory struct {
 	Kind     string `json:"kind"` // "inventory"
 	Versions int    `json:"versions"`
 	Bytes    int64  `json:"bytes"`
+	Stored   int    `json:"stored,omitempty"`
 }
 
 // render fetches one snapshot pair (metrics + inventory) and writes it.
@@ -81,8 +85,12 @@ func render(w io.Writer, addr string, tick int, jsonOut bool) error {
 		return err
 	}
 	var cachedBytes int64
+	stored := 0
 	for _, v := range inv {
 		cachedBytes += v.Bytes
+		if v.Stored {
+			stored++
+		}
 	}
 	if jsonOut {
 		enc := json.NewEncoder(w)
@@ -91,10 +99,14 @@ func render(w io.Writer, addr string, tick int, jsonOut bool) error {
 				return err
 			}
 		}
-		return enc.Encode(jsonInventory{Kind: "inventory", Versions: len(inv), Bytes: cachedBytes})
+		return enc.Encode(jsonInventory{Kind: "inventory", Versions: len(inv), Bytes: cachedBytes, Stored: stored})
 	}
 	fmt.Fprintf(w, "=== viper-top  relay %s  tick %d ===\n", addr, tick)
-	fmt.Fprintf(w, "cache: %d versions, %d bytes\n\n", len(inv), cachedBytes)
+	fmt.Fprintf(w, "cache: %d versions, %d bytes\n", len(inv), cachedBytes)
+	if stored > 0 {
+		fmt.Fprintf(w, "store: %d of %d versions durable\n", stored, len(inv))
+	}
+	fmt.Fprintln(w)
 	for _, s := range snaps {
 		if len(s.Points) == 0 {
 			continue

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"viper"
 	"viper/internal/dataset"
@@ -54,6 +55,75 @@ func main() {
 	fmt.Println("\nphase-0 accuracy after the final phase:")
 	fmt.Printf("  naive:  %.2f  (catastrophic forgetting)\n", naive)
 	fmt.Printf("  replay: %.2f  (mitigated)\n", replay)
+
+	fmt.Println("\n=== time travel: roll back a harmful phase ===")
+	runTimeTravel(trainSets, testSets)
+}
+
+// runTimeTravel demonstrates the durable checkpoint store: the producer
+// persists every version, a drift phase degrades the model, and
+// Rollback rewinds both the weights and the version lineage to the last
+// good checkpoint — the continual-learning answer to a bad task.
+func runTimeTravel(trainSets, testSets []*dataset.Classification) {
+	dir, err := os.MkdirTemp("", "viper-timetravel-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	env := viper.NewEnv(viper.NewVirtualClock())
+	net := modelFor(rand.New(rand.NewSource(20)))
+	producer, err := viper.NewProducer(env, "stream", viper.WithTimeTravel(dir, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+
+	// Phase 0 trains normally; every epoch's checkpoint lands in the
+	// store.
+	task := &train.ClassificationTask{Net: net, Data: trainSets[0], Eval: testSets[0], Opt: nn.NewSGD(0.01, 0.5)}
+	tr := &train.Trainer{Task: task, BatchSize: 8, Seed: 21}
+	callback, err := producer.NewCheckpointCallback(net, viper.NewFixedSchedule(80, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.Callbacks = []train.Callback{callback}
+	if _, err := tr.Run(epochsEach); err != nil {
+		log.Fatal(err)
+	}
+	good := producer.Handler().Version()
+	goodAcc := nn.Accuracy(net.Predict(testSets[0].X), testSets[0].Y)
+	fmt.Printf("after phase 0: v%d stored, phase0=%.2f (versions %v)\n",
+		good, goodAcc, producer.Versions())
+
+	// The drifted phase overwrites old competence (no replay buffer
+	// here, deliberately).
+	task = &train.ClassificationTask{Net: net, Data: trainSets[len(trainSets)-1], Eval: testSets[0], Opt: nn.NewSGD(0.05, 0.5)}
+	tr = &train.Trainer{Task: task, BatchSize: 8, Seed: 22}
+	callback, err = producer.NewCheckpointCallback(net, viper.NewFixedSchedule(80, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.Callbacks = []train.Callback{callback}
+	if _, err := tr.Run(epochsEach); err != nil {
+		log.Fatal(err)
+	}
+	badAcc := nn.Accuracy(net.Predict(testSets[0].X), testSets[0].Y)
+	fmt.Printf("after drift:   v%d stored, phase0=%.2f (degraded)\n",
+		producer.Handler().Version(), badAcc)
+
+	// Roll back: reload the last good version from the store, restore
+	// the trainer's weights, and continue the lineage from there.
+	ckpt, err := producer.Rollback(good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nn.RestoreSnapshot(net, ckpt.Weights); err != nil {
+		log.Fatal(err)
+	}
+	backAcc := nn.Accuracy(net.Predict(testSets[0].X), testSets[0].Y)
+	fmt.Printf("rolled back to v%d: phase0=%.2f restored (versions %v)\n",
+		good, backAcc, producer.Versions())
 }
 
 // runStream trains through the drifting phases, shipping checkpoints via

@@ -55,6 +55,7 @@ func TestGoldenLayering(t *testing.T) {
 	runGolden(t, Layering, "testdata/src/layering/simclockbad", "viper/internal/simclock")
 	runGolden(t, Layering, "testdata/src/layering/metricsbad", "viper/internal/metrics")
 	runGolden(t, Layering, "testdata/src/layering/corebad", "viper/internal/vformat")
+	runGolden(t, Layering, "testdata/src/layering/storebad", "viper/internal/chunkstore")
 	// The same clean fixture is legal both as a whitelisted core importer
 	// and as a cmd/ package outside the internal layering rules.
 	runGolden(t, Layering, "testdata/src/layering/clean", "viper/internal/remote")

@@ -1,5 +1,6 @@
 // goleak flags goroutine launches in the long-lived delivery packages
-// (transport, pubsub, remote, kvstore, coupled, relay, metrics) that
+// (transport, pubsub, remote, kvstore, coupled, relay, metrics,
+// chunkstore) that
 // have no shutdown path. In those packages a `go` statement outlives a single request:
 // accept loops, reader pumps, and per-subscriber writers run until the
 // process — or their owner — stops them, and PR 1's chaos/retry paths
@@ -49,13 +50,14 @@ var GoLeak = &Analyzer{
 // stoppable: every one of them owns connections or pumps that survive
 // individual operations.
 var goLeakScope = map[string]bool{
-	"viper/internal/transport": true,
-	"viper/internal/pubsub":    true,
-	"viper/internal/remote":    true,
-	"viper/internal/kvstore":   true,
-	"viper/internal/coupled":   true,
-	"viper/internal/relay":     true,
-	"viper/internal/metrics":   true,
+	"viper/internal/transport":  true,
+	"viper/internal/pubsub":     true,
+	"viper/internal/remote":     true,
+	"viper/internal/kvstore":    true,
+	"viper/internal/coupled":    true,
+	"viper/internal/relay":      true,
+	"viper/internal/metrics":    true,
+	"viper/internal/chunkstore": true,
 }
 
 // shutdownChanName matches channel identifiers conventionally used as

@@ -11,6 +11,10 @@
 //     its instruments there, so an internal import from metrics would be
 //     one hop from a cycle and would couple the observability surface to
 //     the code it observes;
+//   - chunkstore is the durable storage leaf: relay, remote, and core
+//     all persist through it, so an import of any delivery-layer package
+//     from chunkstore would cycle the DAG and drag networking into every
+//     process that only wants local durability;
 //   - core is the in-process composition root and stays leaf-only: only
 //     the top-level composition layers (coupled, experiments, remote)
 //     may import it, keeping "depends on core" equivalent to "is a
@@ -72,6 +76,9 @@ func runLayering(pass *Pass) {
 			}
 			if mathLayer[self] && deliveryLayer[target] {
 				pass.Reportf(imp.Pos(), "math-layer package %s must not import delivery-layer package %s; move the shared code down or invert the dependency", self, target)
+			}
+			if self == "chunkstore" && deliveryLayer[target] {
+				pass.Reportf(imp.Pos(), "chunkstore is the storage leaf under the delivery layer and must not import %s; the delivery layers persist through chunkstore, never the reverse", target)
 			}
 			if target == "core" && !coreImporters[self] {
 				pass.Reportf(imp.Pos(), "core is leaf-only: only coupled, experiments, and remote may import it, not %s", self)

@@ -12,11 +12,12 @@
 package analysis
 
 var poolownScope = map[string]bool{
-	"viper/internal/vformat": true,
-	"viper/internal/core":    true,
-	"viper/internal/remote":  true,
-	"viper/internal/relay":   true,
-	"viper/internal/coupled": true,
+	"viper/internal/vformat":    true,
+	"viper/internal/core":       true,
+	"viper/internal/remote":     true,
+	"viper/internal/relay":      true,
+	"viper/internal/coupled":    true,
+	"viper/internal/chunkstore": true,
 }
 
 var poolownRules = []*ownRule{
@@ -35,6 +36,24 @@ var poolownRules = []*ownRule{
 		leakMsg:     "pooled blob %s leaks on this return path: release it (vformat.ReleaseBuffer) or transfer ownership before returning (DESIGN §8)",
 		doubleMsg:   "pooled blob %s released twice: the pool would hand the same backing array to two owners (DESIGN §8)",
 		useAfterMsg: "pooled blob %s used after release: the pool may already have re-issued its backing array (DESIGN §8)",
+	},
+	{
+		// The chunk store's segment scratch pool follows the same
+		// exactly-once contract: getBuf buffers back entry assembly, log
+		// replay, and compaction reads, and a buffer that escapes putBuf
+		// on an error return grows the heap on every crash-recovery pass.
+		key:  "scratch",
+		what: "pooled scratch buffer",
+		acquires: []callPattern{
+			{pkgPath: "viper/internal/chunkstore", funcName: "getBuf", token: tokenResult},
+		},
+		releases: []callPattern{
+			{pkgPath: "viper/internal/chunkstore", funcName: "putBuf", token: tokenArg},
+		},
+		scope:       poolownScope,
+		leakMsg:     "pooled scratch buffer %s leaks on this return path: return it with putBuf or transfer ownership before returning (DESIGN §12)",
+		doubleMsg:   "pooled scratch buffer %s released twice: the pool would hand the same backing array to two owners (DESIGN §12)",
+		useAfterMsg: "pooled scratch buffer %s used after putBuf: the pool may already have re-issued its backing array (DESIGN §12)",
 	},
 	{
 		key:  "encoder",

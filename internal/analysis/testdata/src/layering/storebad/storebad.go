@@ -1,0 +1,11 @@
+// Package chunkstore is a golden fixture loaded under the synthetic
+// import path viper/internal/chunkstore: the storage leaf sits below the
+// delivery layer, so importing relay (or any other delivery package)
+// inverts the DAG.
+package chunkstore
+
+import (
+	"viper/internal/relay" // want "chunkstore is the storage leaf under the delivery layer and must not import relay"
+)
+
+var _ = relay.DefaultRetained

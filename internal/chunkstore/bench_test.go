@@ -1,0 +1,79 @@
+package chunkstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"viper/internal/vformat"
+)
+
+// benchBlob is ~1 MiB of chunked checkpoint at the default chunk size.
+func benchBlob(b *testing.B, seed int64, version uint64) []byte {
+	b.Helper()
+	blob, err := vformat.EncodeChunked(context.Background(),
+		testCheckpoint(seed, 128<<10, version), vformat.ChunkOptions{ChunkBytes: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blob
+}
+
+func BenchmarkPutBlob(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{Retention: Retention{MaxVersions: 8}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	blob := benchBlob(b, 1, 1)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.PutBlob("m", uint64(i+1), "k", blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadVersion(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	blob := benchBlob(b, 1, 1)
+	if err := s.PutBlob("m", 1, "k", blob); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.LoadVersion("m", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReopen(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := uint64(1); v <= 16; v++ {
+		if err := s.PutBlob("m", v, fmt.Sprintf("m/v%08d", v), benchBlob(b, int64(v), v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,462 @@
+package chunkstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"viper/internal/nn"
+	"viper/internal/simclock"
+	"viper/internal/vformat"
+)
+
+// testCheckpoint builds a deterministic checkpoint whose content is
+// fully determined by seed, so byte-identity across store round-trips
+// is checkable.
+func testCheckpoint(seed int64, elems int, version uint64) *vformat.Checkpoint {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return &vformat.Checkpoint{
+		ModelName: "storetest",
+		Version:   version,
+		Iteration: 100 * version,
+		TrainLoss: 0.5,
+		Weights: nn.Snapshot{
+			{Name: "w", Shape: []int{elems}, Data: data},
+		},
+	}
+}
+
+// testBlob encodes a chunked v2 blob with small chunks so even modest
+// checkpoints span many records.
+func testBlob(t *testing.T, seed int64, elems int, version uint64) []byte {
+	t.Helper()
+	blob, err := vformat.EncodeChunked(context.Background(), testCheckpoint(seed, elems, version),
+		vformat.ChunkOptions{ChunkBytes: 1024})
+	if err != nil {
+		t.Fatalf("EncodeChunked: %v", err)
+	}
+	return blob
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestPutLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	blob := testBlob(t, 1, 4096, 1)
+	if err := s.PutBlob("m", 1, "m/v00000001", blob); err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	got, err := s.LoadVersion("m", 1)
+	if err != nil {
+		t.Fatalf("LoadVersion: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("round-trip mismatch: %d bytes in, %d out", len(blob), len(got))
+	}
+	// The reassembled blob must decode through the standard auto path.
+	ckpt, err := vformat.DecodeAuto(context.Background(), got, 2)
+	if err != nil {
+		t.Fatalf("DecodeAuto: %v", err)
+	}
+	if ckpt.Version != uint64(1) || len(ckpt.Weights) != 1 {
+		t.Fatalf("decoded checkpoint wrong: v%d, %d tensors", ckpt.Version, len(ckpt.Weights))
+	}
+	meta, ok := s.Meta("m", 1)
+	if !ok || meta.Key != "m/v00000001" || meta.Monolithic {
+		t.Fatalf("Meta = %+v, ok=%v", meta, ok)
+	}
+	if _, err := s.LoadVersion("m", 99); err == nil {
+		t.Fatal("LoadVersion of unknown version succeeded")
+	}
+}
+
+func TestMonolithicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	blob, err := testCheckpoint(2, 512, 3).Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := s.PutBlob("m", 3, "m/v00000003", blob); err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	meta, ok := s.Meta("m", 3)
+	if !ok || !meta.Monolithic {
+		t.Fatalf("expected monolithic meta, got %+v ok=%v", meta, ok)
+	}
+	got, err := s.LoadVersion("m", 3)
+	if err != nil {
+		t.Fatalf("LoadVersion: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("monolithic round-trip mismatch")
+	}
+	if _, err := vformat.DecodeAuto(context.Background(), got, 0); err != nil {
+		t.Fatalf("DecodeAuto: %v", err)
+	}
+}
+
+func TestDedupAcrossVersions(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	// Same content committed as two versions: all chunks dedup.
+	blob := testBlob(t, 3, 4096, 1)
+	if err := s.PutBlob("m", 1, "k1", blob); err != nil {
+		t.Fatalf("PutBlob v1: %v", err)
+	}
+	before := s.Stats()
+	if err := s.PutBlob("m", 2, "k2", blob); err != nil {
+		t.Fatalf("PutBlob v2: %v", err)
+	}
+	after := s.Stats()
+	if after.DedupedChunks == before.DedupedChunks {
+		t.Fatal("second identical version deduplicated nothing")
+	}
+	if after.LiveBytes != before.LiveBytes {
+		t.Fatalf("identical content grew live bytes: %d -> %d", before.LiveBytes, after.LiveBytes)
+	}
+	if got, err := s.LoadVersion("m", 2); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("v2 load mismatch (err=%v)", err)
+	}
+}
+
+func TestReopenRecoversInventory(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	blobs := map[uint64][]byte{}
+	for v := uint64(1); v <= 5; v++ {
+		blobs[v] = testBlob(t, int64(v), 2048, v)
+		if err := s.PutBlob("m", v, fmt.Sprintf("m/v%08d", v), blobs[v]); err != nil {
+			t.Fatalf("PutBlob v%d: %v", v, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	vs := s2.Versions("m")
+	if len(vs) != 5 {
+		t.Fatalf("recovered %d versions, want 5: %v", len(vs), vs)
+	}
+	for v, want := range blobs {
+		got, err := s2.LoadVersion("m", v)
+		if err != nil {
+			t.Fatalf("LoadVersion v%d after reopen: %v", v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("v%d differs after reopen", v)
+		}
+	}
+	if models := s2.Models(); len(models) != 1 || models[0] != "m" {
+		t.Fatalf("Models = %v", models)
+	}
+}
+
+func TestTornTailsTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	blob := testBlob(t, 4, 2048, 1)
+	if err := s.PutBlob("m", 1, "k", blob); err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	s.Close()
+
+	// Simulate a torn final write in both files: garbage that parses as
+	// a plausible entry header but fails its CRC, plus a short tail.
+	for _, name := range []string{"manifest.log", segName(0)} {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		if _, err := f.Write([]byte{entryChunk, 4, 0, 0, 0, 0xde, 0xad}); err != nil {
+			t.Fatalf("append garbage: %v", err)
+		}
+		f.Close()
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if st := s2.Stats(); st.TruncatedTails < 2 {
+		t.Fatalf("TruncatedTails = %d, want >= 2", st.TruncatedTails)
+	}
+	got, err := s2.LoadVersion("m", 1)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("v1 unreadable after torn-tail recovery (err=%v)", err)
+	}
+	// The store must keep accepting commits after truncation.
+	if err := s2.PutBlob("m", 2, "k2", testBlob(t, 5, 2048, 2)); err != nil {
+		t.Fatalf("PutBlob after recovery: %v", err)
+	}
+}
+
+func TestRetentionMaxVersions(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Retention: Retention{MaxVersions: 3}})
+	defer s.Close()
+	for v := uint64(1); v <= 10; v++ {
+		if err := s.PutBlob("m", v, "k", testBlob(t, int64(v), 1024, v)); err != nil {
+			t.Fatalf("PutBlob v%d: %v", v, err)
+		}
+	}
+	vs := s.Versions("m")
+	if len(vs) != 3 || vs[0] != 8 || vs[2] != 10 {
+		t.Fatalf("Versions = %v, want [8 9 10]", vs)
+	}
+	if _, err := s.LoadVersion("m", 1); err == nil {
+		t.Fatal("retired version still loadable")
+	}
+	if st := s.Stats(); st.Retired != 7 {
+		t.Fatalf("Retired = %d, want 7", st.Retired)
+	}
+}
+
+func TestRetentionMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtualManual()
+	s := mustOpen(t, dir, Options{
+		Retention: Retention{MaxAge: time.Hour},
+		Clock:     clock,
+	})
+	defer s.Close()
+	if err := s.PutBlob("m", 1, "k", testBlob(t, 10, 1024, 1)); err != nil {
+		t.Fatalf("PutBlob v1: %v", err)
+	}
+	clock.Advance(2 * time.Hour)
+	if err := s.PutBlob("m", 2, "k", testBlob(t, 11, 1024, 2)); err != nil {
+		t.Fatalf("PutBlob v2: %v", err)
+	}
+	if vs := s.Versions("m"); len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("Versions = %v, want [2]", vs)
+	}
+	// The newest version survives any age.
+	clock.Advance(48 * time.Hour)
+	if err := s.GC(); err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if vs := s.Versions("m"); len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("newest version evicted by age: %v", vs)
+	}
+}
+
+func TestRetentionMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Retention: Retention{MaxBytes: 1}})
+	defer s.Close()
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.PutBlob("m", v, "k", testBlob(t, int64(v), 1024, v)); err != nil {
+			t.Fatalf("PutBlob v%d: %v", v, err)
+		}
+	}
+	// Budget of one byte still keeps the newest version.
+	if vs := s.Versions("m"); len(vs) != 1 || vs[0] != 3 {
+		t.Fatalf("Versions = %v, want [3]", vs)
+	}
+}
+
+// TestManifestBlobAcrossSegments commits a full version, then a
+// manifest-bearing delta whose elided chunks resolve against chunks
+// already on disk — spanning multiple segment files — and checks the
+// reassembled blob is byte-identical to the full encoding and decodes
+// through DecodeAuto.
+func TestManifestBlobAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// 2 KiB segments with 1 KiB chunks: every couple of records rotates
+	// the segment, so any version's chunks span many files.
+	s := mustOpen(t, dir, Options{SegmentBytes: 2048})
+	defer s.Close()
+
+	full1 := testBlob(t, 20, 8192, 1)
+	if err := s.PutBlob("m", 1, "k1", full1); err != nil {
+		t.Fatalf("PutBlob v1: %v", err)
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("Segments = %d, want several (rotation broken?)", st.Segments)
+	}
+
+	// Version 2 shares most chunks with version 1 (same seed, a tweaked
+	// tail) — encode it, then build the delta against what the store
+	// already holds.
+	ckpt2 := testCheckpoint(20, 8192, 2)
+	ckpt2.Weights[0].Data[8191] = 42
+	full2, err := vformat.EncodeChunked(context.Background(), ckpt2, vformat.ChunkOptions{ChunkBytes: 1024})
+	if err != nil {
+		t.Fatalf("EncodeChunked v2: %v", err)
+	}
+	delta, _, carried, elided, err := vformat.BuildManifestBlob(full2, s.Contains)
+	if err != nil {
+		t.Fatalf("BuildManifestBlob: %v", err)
+	}
+	if elided == 0 {
+		t.Fatalf("delta elided nothing (carried=%d)", carried)
+	}
+	if err := s.PutBlob("m", 2, "k2", delta); err != nil {
+		t.Fatalf("PutBlob delta: %v", err)
+	}
+	got, err := s.LoadVersion("m", 2)
+	if err != nil {
+		t.Fatalf("LoadVersion v2: %v", err)
+	}
+	if !bytes.Equal(got, full2) {
+		t.Fatal("delta-committed version does not reassemble to the full blob")
+	}
+	ckpt, err := vformat.DecodeAuto(context.Background(), got, 2)
+	if err != nil {
+		t.Fatalf("DecodeAuto: %v", err)
+	}
+	if ckpt.Weights[0].Data[8191] != 42 {
+		t.Fatal("decoded weights lost the v2 mutation")
+	}
+
+	// And the whole thing survives a restart.
+	s.Close()
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 2048})
+	defer s2.Close()
+	got2, err := s2.LoadVersion("m", 2)
+	if err != nil || !bytes.Equal(got2, full2) {
+		t.Fatalf("v2 differs after reopen (err=%v)", err)
+	}
+}
+
+// PutBlob of a manifest delta whose elided chunks are NOT on disk must
+// fail loudly instead of committing an unloadable version.
+func TestManifestBlobMissingChunksRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	full := testBlob(t, 21, 4096, 1)
+	hashes, err := vformat.ChunkHashesOf(full)
+	if err != nil {
+		t.Fatalf("ChunkHashesOf: %v", err)
+	}
+	drop := map[vformat.ChunkHash]bool{hashes[0]: true}
+	delta, _, _, _, err := vformat.BuildManifestBlob(full, func(h vformat.ChunkHash) bool { return drop[h] })
+	if err != nil {
+		t.Fatalf("BuildManifestBlob: %v", err)
+	}
+	if err := s.PutBlob("m", 1, "k", delta); err == nil {
+		t.Fatal("PutBlob committed a delta with unresolvable chunks")
+	}
+	if len(s.Versions("m")) != 0 {
+		t.Fatal("partial version left in catalog")
+	}
+}
+
+func TestGCReclaimsDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 2048, Retention: Retention{MaxVersions: 1}})
+	defer s.Close()
+	for v := uint64(1); v <= 6; v++ {
+		// Distinct content every version: retiring v leaves fully-dead
+		// segments behind.
+		if err := s.PutBlob("m", v, "k", testBlob(t, int64(100+v), 4096, v)); err != nil {
+			t.Fatalf("PutBlob v%d: %v", v, err)
+		}
+	}
+	st := s.Stats()
+	if st.ReclaimedBytes == 0 {
+		t.Fatal("GC reclaimed nothing despite retired versions")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.vseg"))
+	if len(files) != st.Segments {
+		t.Fatalf("disk has %d segments, store reports %d", len(files), st.Segments)
+	}
+	// The surviving version still loads.
+	if _, err := s.LoadVersion("m", 6); err != nil {
+		t.Fatalf("LoadVersion v6: %v", err)
+	}
+}
+
+func TestRetire(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.PutBlob("m", v, "k", testBlob(t, int64(v), 1024, v)); err != nil {
+			t.Fatalf("PutBlob v%d: %v", v, err)
+		}
+	}
+	if err := s.Retire("m", 2); err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if vs := s.Versions("m"); len(vs) != 2 || vs[0] != 1 || vs[1] != 3 {
+		t.Fatalf("Versions = %v, want [1 3]", vs)
+	}
+	s.Close()
+	// The tombstone is durable.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if vs := s2.Versions("m"); len(vs) != 2 || vs[0] != 1 || vs[1] != 3 {
+		t.Fatalf("after reopen Versions = %v, want [1 3]", vs)
+	}
+}
+
+func TestChunkServeVerifiesCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	blob := testBlob(t, 30, 2048, 1)
+	if err := s.PutBlob("m", 1, "k", blob); err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	hashes, _ := vformat.ChunkHashesOf(blob)
+	rec, ok := s.Chunk(hashes[0])
+	if !ok || !vformat.VerifyChunkRecord(rec) {
+		t.Fatal("stored chunk unreadable")
+	}
+
+	// Flip one payload byte on disk under the store's feet: the store
+	// must refuse to serve the record rather than hand out corruption.
+	s.mu.Lock()
+	loc := s.index[hashes[0]]
+	if _, err := loc.seg.f.WriteAt([]byte{0xff}, loc.off+int64(loc.size)/2); err != nil {
+		s.mu.Unlock()
+		t.Fatalf("corrupt write: %v", err)
+	}
+	s.mu.Unlock()
+	if _, ok := s.Chunk(hashes[0]); ok {
+		t.Fatal("corrupt chunk served")
+	}
+	if _, err := s.LoadVersion("m", 1); err == nil {
+		t.Fatal("LoadVersion served a corrupt chunk")
+	}
+	if st := s.Stats(); st.CorruptChunks == 0 {
+		t.Fatal("corruption not counted")
+	}
+	s.Close()
+}
+
+func TestFailedStoreRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	s.mu.Lock()
+	s.failed = true
+	s.mu.Unlock()
+	if err := s.PutBlob("m", 1, "k", testBlob(t, 40, 1024, 1)); err == nil {
+		t.Fatal("failed store accepted a write")
+	}
+}

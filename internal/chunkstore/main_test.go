@@ -1,0 +1,12 @@
+package chunkstore
+
+import (
+	"os"
+	"testing"
+
+	"viper/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,146 @@
+package chunkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// On-disk layout.
+//
+// A store directory holds numbered segment files and one manifest log:
+//
+//	seg-00000000.vseg   "VSEG0001" | entry…
+//	manifest.log        "VLOG0001" | entry…
+//
+// Every entry in either file uses the same self-delimiting envelope:
+//
+//	kind u8 | bodyLen u32 LE | body | crc u32 LE
+//
+// with the CRC (IEEE) covering kind, bodyLen, and body. Segment entries
+// carry chunk or blob payloads verbatim — a chunk entry's body is the
+// exact v2 wire record (VCHK…), so serving it back is an io.Copy of the
+// body span with no re-encode. The manifest log carries commit and
+// retire records binding model/version to an ordered hash list. Both
+// files are append-only between compactions; a torn final write fails
+// its CRC and is truncated away on Open.
+const (
+	segMagic = "VSEG0001"
+	logMagic = "VLOG0001"
+
+	entryChunk  = 1 // segment: verbatim v2 chunk record
+	entryBlob   = 2 // segment: monolithic checkpoint payload
+	entryCommit = 3 // manifest log: version commit record
+	entryRetire = 4 // manifest log: version retire tombstone
+
+	entryHeaderLen = 1 + 4
+	entryOverhead  = entryHeaderLen + 4
+
+	// maxEntryBody rejects absurd lengths while scanning so a corrupt
+	// length field cannot drive a giant allocation.
+	maxEntryBody = 1 << 30
+)
+
+// bufPool recycles scratch buffers for entry assembly and compaction
+// reads. Callers acquire with getBuf and must release with putBuf.
+var bufPool = sync.Pool{New: func() interface{} { return make([]byte, 0, 64<<10) }}
+
+// getBuf returns a zero-length scratch buffer with at least n capacity.
+// The caller owns it until putBuf.
+func getBuf(n int) []byte {
+	b := bufPool.Get().([]byte)
+	if cap(b) < n {
+		putBuf(b)
+		return make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// growBuf returns a scratch buffer with at least n capacity, recycling
+// b when it is too small. Ownership of b transfers in; the caller owns
+// the result until putBuf.
+func growBuf(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b
+	}
+	putBuf(b)
+	return getBuf(n)
+}
+
+// putBuf returns a buffer acquired by getBuf to the pool.
+func putBuf(b []byte) {
+	bufPool.Put(b[:0]) //nolint:staticcheck // []byte header alloc is fine here
+}
+
+// appendEntry appends one encoded envelope to b and returns it.
+func appendEntry(b []byte, kind byte, body []byte) []byte {
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
+	b = append(b, body...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[len(b)-entryHeaderLen-len(body):]))
+}
+
+// scanEntries walks the envelope sequence of f starting after the
+// 8-byte magic, calling fn with each entry's kind, body offset, and
+// body (a scratch slice valid only for the call). It returns the byte
+// offset just past the last valid entry; any tail beyond it failed
+// validation (short read, bad CRC, bad kind) and should be truncated.
+func scanEntries(f *os.File, size int64, fn func(kind byte, bodyOff int64, body []byte) error) (valid int64, err error) {
+	off := int64(len(segMagic))
+	var hdr [entryHeaderLen]byte
+	scratch := getBuf(0)
+	defer putBuf(scratch)
+	for off < size {
+		if _, rerr := f.ReadAt(hdr[:], off); rerr != nil {
+			return off, nil // torn header
+		}
+		kind := hdr[0]
+		n := int(binary.LittleEndian.Uint32(hdr[1:]))
+		if kind == 0 || kind > entryRetire || n > maxEntryBody {
+			return off, nil // garbage tail
+		}
+		if off+int64(entryOverhead)+int64(n) > size {
+			return off, nil // torn body
+		}
+		scratch = growBuf(scratch, n+4)
+		buf := scratch[:n+4]
+		if _, rerr := f.ReadAt(buf, off+entryHeaderLen); rerr != nil {
+			return off, nil
+		}
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		if crc != binary.LittleEndian.Uint32(buf[n:]) {
+			return off, nil // torn or corrupt entry
+		}
+		if err := fn(kind, off+entryHeaderLen, buf[:n]); err != nil {
+			return off, err
+		}
+		off += int64(entryOverhead) + int64(n)
+	}
+	return off, nil
+}
+
+// segmentFile is one append-only chunk container.
+type segmentFile struct {
+	id   uint64
+	path string
+	f    *os.File
+	// size is the append offset (current file length).
+	size int64
+	// total is the body bytes of every entry in the file, dead or live.
+	total int64
+	// live is the body bytes of entries referenced by at least one
+	// retained version.
+	live int64
+	// dirty marks bytes written since the last fsync.
+	dirty bool
+	// pinned marks appends since the last commit: the entries may
+	// belong to a version still being assembled, so GC must not touch
+	// the file until the next commit seals them.
+	pinned bool
+}
+
+// segName renders a segment file name for an id.
+func segName(id uint64) string { return fmt.Sprintf("seg-%08d.vseg", id) }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"viper/internal/chunkstore"
 	"viper/internal/h5lite"
 	"viper/internal/kvstore"
 	"viper/internal/memsim"
@@ -116,6 +117,9 @@ type HandlerStats struct {
 	// Fallbacks counts saves that had to downgrade their route because a
 	// memory tier was full.
 	Fallbacks int64
+	// StoredVersions counts checkpoints written through to the attached
+	// time-travel store.
+	StoredVersions int64
 }
 
 // WeightsHandler is Viper's memory-first model transfer engine on the
@@ -137,6 +141,11 @@ type WeightsHandler struct {
 	fullEvery    int
 	chunkSize    int
 	parallelism  int
+	// store is the optional time-travel store: every self-contained
+	// save is written through, so older versions remain reloadable
+	// (LoadVersion) and the lineage can be rewound (Rollback). The
+	// store is caller-owned; the handler never closes it.
+	store *chunkstore.Store
 
 	mu       sync.Mutex
 	version  uint64
@@ -189,6 +198,11 @@ type HandlerConfig struct {
 	// Parallelism bounds the encode worker pool and parallel delta
 	// computation (0 = GOMAXPROCS).
 	Parallelism int
+	// Store, when non-nil, attaches a durable time-travel store: every
+	// self-contained checkpoint (not "vdelta"/"vrecon" increments, which
+	// cannot replay alone) is written through at save time. The caller
+	// owns the store's lifecycle.
+	Store *chunkstore.Store
 }
 
 // NewWeightsHandler constructs a producer-side handler.
@@ -241,6 +255,7 @@ func NewWeightsHandler(env *Env, cfg HandlerConfig) (*WeightsHandler, error) {
 		fullEvery:    fullEvery,
 		chunkSize:    cfg.ChunkSize,
 		parallelism:  cfg.Parallelism,
+		store:        cfg.Store,
 	}, nil
 }
 
@@ -274,6 +289,56 @@ func (h *WeightsHandler) ResumeFrom(version uint64) {
 	h.lastHashes = nil
 	h.pendingBase, h.pendingHashes = nil, nil
 	h.mu.Unlock()
+}
+
+// LoadVersion reloads an older checkpoint from the attached
+// time-travel store and decodes it.
+func (h *WeightsHandler) LoadVersion(ctx context.Context, version uint64) (*vformat.Checkpoint, error) {
+	if h.store == nil {
+		return nil, errors.New("core: no time-travel store attached")
+	}
+	blob, err := h.store.LoadVersion(h.model, version)
+	if err != nil {
+		return nil, err
+	}
+	return vformat.DecodeAuto(ctx, blob, h.parallelism)
+}
+
+// StoredVersions lists the versions the attached time-travel store
+// retains, ascending (nil without a store).
+func (h *WeightsHandler) StoredVersions() []uint64 {
+	if h.store == nil {
+		return nil
+	}
+	return h.store.Versions(h.model)
+}
+
+// Rollback rewinds the lineage to an older stored version: the
+// checkpoint is reloaded from the store, every newer stored version is
+// retired, and the next save continues from version+1. The incremental
+// bases are reset, so a delta-mode handler's next save is a full
+// refresh (its chain would otherwise reference the abandoned branch).
+func (h *WeightsHandler) Rollback(ctx context.Context, version uint64) (*vformat.Checkpoint, error) {
+	ckpt, err := h.LoadVersion(ctx, version)
+	if err != nil {
+		return nil, err
+	}
+	for _, vn := range h.store.Versions(h.model) {
+		if vn > version {
+			if err := h.store.Retire(h.model, vn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := h.store.GC(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.version = version
+	h.lastSent, h.lastHashes = nil, nil
+	h.pendingBase, h.pendingHashes = nil, nil
+	h.mu.Unlock()
+	return ckpt, nil
 }
 
 // encode serializes the checkpoint in the strategy's format and returns
@@ -603,6 +668,18 @@ func (h *WeightsHandler) SaveContext(ctx context.Context, snapshot nn.Snapshot, 
 	// instead (the paper's critique), so no event is published.
 	if !h.strategy.Baseline {
 		h.env.Notify.Publish(UpdateChannel(h.model), encoded)
+	}
+
+	// Time-travel write-through: deltas and reconciled subsets are
+	// skipped for the same reason the PFS flush skips them — a replay
+	// cannot reconstruct a chain — so the store holds only
+	// self-contained versions.
+	if h.store != nil && format != "vdelta" && format != "vrecon" {
+		if err := h.store.PutBlob(h.model, version, key, payload); err == nil {
+			h.mu.Lock()
+			h.stats.StoredVersions++
+			h.mu.Unlock()
+		}
 	}
 
 	stall := stallEnd.Sub(start)

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"viper/internal/chunkstore"
 	"viper/internal/core"
 	"viper/internal/kvstore"
 	"viper/internal/metrics"
@@ -150,6 +151,10 @@ var inst = struct {
 	deltaVersions     *metrics.Counter
 	deltaFanouts      *metrics.Counter
 	needResends       *metrics.Counter
+	storedVersions    *metrics.Counter
+	hydratedVersions  *metrics.Counter
+	demotedVersions   *metrics.Counter
+	storeErrors       *metrics.Counter
 	cacheBytes        *metrics.Gauge
 	openSessions      *metrics.Gauge
 	modelCount        *metrics.Gauge
@@ -173,6 +178,10 @@ var inst = struct {
 	deltaVersions:     registry.Counter("delta_versions"),
 	deltaFanouts:      registry.Counter("delta_fanouts"),
 	needResends:       registry.Counter("need_resends"),
+	storedVersions:    registry.Counter("stored_versions"),
+	hydratedVersions:  registry.Counter("hydrated_versions"),
+	demotedVersions:   registry.Counter("demoted_versions"),
+	storeErrors:       registry.Counter("store_errors"),
 	cacheBytes:        registry.Gauge("cache_bytes"),
 	openSessions:      registry.Gauge("open_sessions"),
 	modelCount:        registry.Gauge("models"),
@@ -220,6 +229,19 @@ type Config struct {
 	IngestRate float64
 	// IngestBurst is the rate limiter's bucket capacity (default 1).
 	IngestBurst int
+	// StoreDir, when set, attaches a durable chunkstore rooted at the
+	// directory: every committed version is persisted, cache misses on
+	// the serve path fall through to disk, and a restarted relay
+	// rehydrates its whole inventory instead of waking empty. With a
+	// store attached, Retained only bounds memory residency — history
+	// depth is governed by StoreRetention.
+	StoreDir string
+	// StoreRetention bounds the attached store's on-disk history (zero
+	// values keep everything).
+	StoreRetention chunkstore.Retention
+	// StoreSegmentBytes overrides the store's segment rotation
+	// threshold (0 selects the chunkstore default; mainly for tests).
+	StoreSegmentBytes int64
 }
 
 // Stats counts relay activity.
@@ -274,6 +296,18 @@ type Stats struct {
 	// advertised-but-evicted chunks: requests the relay sent upstream
 	// plus requests it answered for consumers.
 	NeedResends int64
+	// StoredVersions counts committed versions persisted to the
+	// attached chunkstore.
+	StoredVersions int64
+	// HydratedVersions counts catalog entries rebuilt from the attached
+	// chunkstore at startup.
+	HydratedVersions int64
+	// DemotedVersions counts versions whose memory residency was
+	// released while their catalog entry stayed serveable from disk.
+	DemotedVersions int64
+	// StoreErrors counts failed chunkstore writes and reads (the relay
+	// keeps serving from memory when the disk tier misbehaves).
+	StoreErrors int64
 }
 
 // chunkEntry is one resident chunk record in the content-addressed
@@ -314,6 +348,7 @@ type version struct {
 	delta     bool  // ingested as manifest+missing rather than a full stream
 	reconcile bool  // sender is delta-capable: advertise hashes back
 	crcOK     bool
+	stored    bool // persisted in (or hydrated from) the attached chunkstore
 	meta      *core.ModelMeta
 
 	pins     int
@@ -365,6 +400,7 @@ type Relay struct {
 	kv          *kvstore.Client
 	ps          *pubsub.Client
 	clock       simclock.Clock
+	store       *chunkstore.Store
 
 	ingestLn *transport.Listener
 	serveLn  *transport.Listener
@@ -452,6 +488,24 @@ func New(cfg Config) (*Relay, error) {
 	}
 	serveLn.Wrap = cfg.ServeWrap
 	r.ingestLn, r.serveLn = ingestLn, serveLn
+	if cfg.StoreDir != "" {
+		st, err := chunkstore.Open(cfg.StoreDir, chunkstore.Options{
+			SegmentBytes: cfg.StoreSegmentBytes,
+			Retention:    cfg.StoreRetention,
+			Clock:        r.clock,
+		})
+		if err != nil {
+			ingestLn.Close()
+			serveLn.Close()
+			r.closeClients()
+			return nil, fmt.Errorf("relay: store: %w", err)
+		}
+		r.store = st
+		// Hydrate before the accept goroutines exist: the catalog fills
+		// single-threaded and the first consumer already sees the full
+		// recovered inventory.
+		r.hydrateFromStore()
+	}
 	r.wg.Add(2)
 	go r.acceptIngest()
 	go r.acceptServe()
@@ -465,6 +519,128 @@ func (r *Relay) closeClients() {
 	if r.ps != nil {
 		r.ps.Close()
 	}
+}
+
+// hydrateFromStore rebuilds the in-memory catalog from the attached
+// store's recovered inventory. Chunked versions come back as
+// header-resident shells — the records stay on disk and are read
+// through on demand — and monolithic versions reload their payload
+// lazily at first serve. Hydration never announces: the KV/notify
+// state either already reflects these versions or the producer's next
+// push refreshes it.
+func (r *Relay) hydrateFromStore() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, model := range r.store.Models() {
+		mc := r.models[model]
+		if mc == nil {
+			mc = &modelCache{}
+			r.models[model] = mc
+		}
+		for _, vn := range r.store.Versions(model) {
+			m, ok := r.store.Meta(model, vn)
+			if !ok {
+				r.stats.StoreErrors++
+				continue
+			}
+			mc.versions = append(mc.versions, r.versionFromStoreLocked(m))
+			r.stats.HydratedVersions++
+		}
+	}
+	r.syncMetricsLocked()
+}
+
+// versionFromStoreLocked builds the catalog shell for a store-backed
+// version: the header frame (and manifest) resident for a chunked
+// version, nothing resident for a monolithic one. Callers hold r.mu.
+func (r *Relay) versionFromStoreLocked(m chunkstore.VersionMeta) *version {
+	v := &version{
+		model: m.Model, vnum: m.Version, key: m.Key,
+		bytes: m.Bytes, stored: true, crcOK: true,
+	}
+	format := "vformat"
+	if !m.Monolithic {
+		head := transport.Frame{Key: m.Key, Payload: m.Header, Meta: map[string]string{
+			"model":                  m.Model,
+			"version":                strconv.FormatUint(m.Version, 10),
+			transport.MetaChunkRole:  transport.ChunkRoleHeader,
+			transport.MetaChunkCount: strconv.Itoa(len(m.Hashes)),
+		}}
+		v.frames = []transport.Frame{head}
+		v.hashes = m.Hashes
+		v.chunks = len(m.Hashes)
+		v.resident = int64(len(m.Header))
+		v.manifest = vformat.EncodeManifest(m.Header, m.Hashes)
+		r.cacheBytes += v.resident
+		format = "vchunk"
+	}
+	v.meta = &core.ModelMeta{
+		Name: m.Model, Version: m.Version, Path: m.Key,
+		Size: m.Bytes, Format: format, SavedAt: m.SavedAt,
+		Location: core.RouteRelay, Relay: r.ServeAddr(),
+	}
+	return v
+}
+
+// persistVersion writes a freshly committed version through to the
+// attached store: every chunk record first, then the commit record
+// that makes the version durable (the store's fsync barriers order the
+// two). Persistence failure degrades to memory-only caching — the
+// version still serves, it just will not survive a restart.
+func (r *Relay) persistVersion(v *version) {
+	if r.store == nil {
+		return
+	}
+	var err error
+	if len(v.hashes) > 0 {
+		for _, e := range v.held {
+			if _, aerr := r.store.AppendChunk(e.payload); aerr != nil {
+				err = aerr
+				break
+			}
+		}
+		if err == nil {
+			err = r.store.Commit(v.model, v.vnum, v.key, v.frames[0].Payload, v.hashes)
+		}
+	} else {
+		err = r.store.PutMonolithic(v.model, v.vnum, v.key, v.frames[0].Payload)
+	}
+	if err != nil {
+		r.bump(func(s *Stats) { s.StoreErrors++ })
+		return
+	}
+	v.stored = true
+	r.bump(func(s *Stats) { s.StoredVersions++ })
+}
+
+// demoteLocked strips a store-backed version down to its serve shell:
+// a chunked version keeps only its header frame and manifest (records
+// read through from disk at fan-out), a monolithic version drops its
+// payload entirely and reloads at first serve. A pinned version is
+// skipped — an active fan-out is borrowing the payloads — and retried
+// at the next commit. Callers hold r.mu.
+func (r *Relay) demoteLocked(v *version) {
+	if !v.stored || v.released {
+		return
+	}
+	resident := len(v.held) > 0 || (len(v.hashes) == 0 && v.frames != nil)
+	if !resident {
+		return
+	}
+	if v.pins > 0 {
+		r.stats.PinnedEvictions++
+		return
+	}
+	for _, e := range v.held {
+		r.releaseChunk(e)
+	}
+	v.held = nil
+	if len(v.hashes) == 0 {
+		v.frames = nil
+		r.cacheBytes -= v.resident
+		v.resident = 0
+	}
+	r.stats.DemotedVersions++
 }
 
 // IngestAddr returns the bound producer-push address.
@@ -506,6 +682,10 @@ func (r *Relay) syncMetricsLocked() {
 	inst.deltaVersions.Add(cur.DeltaVersions - prev.DeltaVersions)
 	inst.deltaFanouts.Add(cur.DeltaFanouts - prev.DeltaFanouts)
 	inst.needResends.Add(cur.NeedResends - prev.NeedResends)
+	inst.storedVersions.Add(cur.StoredVersions - prev.StoredVersions)
+	inst.hydratedVersions.Add(cur.HydratedVersions - prev.HydratedVersions)
+	inst.demotedVersions.Add(cur.DemotedVersions - prev.DemotedVersions)
+	inst.storeErrors.Add(cur.StoreErrors - prev.StoreErrors)
 	r.synced = cur
 	inst.cacheBytes.Set(r.cacheBytes)
 	inst.openSessions.Set(int64(len(r.sessions)))
@@ -670,6 +850,9 @@ func (r *Relay) Close() {
 	})
 	r.wg.Wait()
 	r.closeClients()
+	if r.store != nil {
+		r.store.Close()
+	}
 }
 
 // acceptIngest accepts successive producer connections. The producer's
@@ -869,6 +1052,24 @@ func (r *Relay) startDeltaBuild(link *transport.TCPLink, f transport.Frame, mode
 		}
 	}
 	r.mu.Unlock()
+	if r.store != nil && b.left > 0 {
+		// Advertised-but-demoted chunks read through from the store, so a
+		// delta push right after a restart (or against a demoted shell)
+		// completes without a need-list round trip.
+		for h, i := range b.missing {
+			rec, ok := r.store.Chunk(h)
+			if !ok {
+				continue
+			}
+			r.mu.Lock()
+			e := r.internChunkLocked(rec, v)
+			v.held = append(v.held, e)
+			r.mu.Unlock()
+			delete(b.missing, h)
+			b.covered[i] = true
+			b.left--
+		}
+	}
 	if b.left == 0 {
 		r.commit(link, v)
 		return
@@ -981,6 +1182,10 @@ func (r *Relay) commit(link *transport.TCPLink, v *version) {
 		v.manifest = vformat.EncodeManifest(v.frames[0].Payload, v.hashes)
 	}
 	v.meta = r.metaFor(v)
+	// Persist before the catalog insert: once consumers can discover the
+	// version its durability status is already settled, and the store's
+	// own retention has run so the delegation below sees fresh state.
+	r.persistVersion(v)
 	r.mu.Lock()
 	mc := r.models[v.model]
 	if mc == nil {
@@ -1003,7 +1208,33 @@ func (r *Relay) commit(link *transport.TCPLink, v *version) {
 	if v.delta {
 		r.stats.DeltaVersions++
 	}
-	if len(mc.versions) > r.retained {
+	if r.store != nil {
+		// Retention is delegated to the store: Retained bounds only the
+		// fully resident window. Older versions the store still holds are
+		// demoted to disk-backed shells (and keep serving); versions the
+		// store's own retention retired leave the catalog entirely.
+		storeHas := make(map[uint64]bool)
+		for _, vn := range r.store.Versions(v.model) {
+			storeHas[vn] = true
+		}
+		lo := len(mc.versions) - r.retained
+		if lo < 0 {
+			lo = 0
+		}
+		kept := mc.versions[:0]
+		for i, old := range mc.versions {
+			switch {
+			case i >= lo:
+				kept = append(kept, old)
+			case storeHas[old.vnum]:
+				r.demoteLocked(old)
+				kept = append(kept, old)
+			default:
+				r.releaseLocked(old)
+			}
+		}
+		mc.versions = kept
+	} else if len(mc.versions) > r.retained {
 		evict := len(mc.versions) - r.retained
 		for _, old := range mc.versions[:evict] {
 			r.releaseLocked(old)
@@ -1288,17 +1519,34 @@ func (s *session) answerNeed(nf transport.Frame) bool {
 		return true
 	}
 	recs := make([][]byte, 0, len(hashes))
-	complete := true
+	var disk []vformat.ChunkHash
+	var diskAt []int
 	s.r.mu.Lock()
 	for _, h := range hashes {
-		e := s.r.chunks[h]
-		if e == nil {
-			complete = false
-			break
+		if e := s.r.chunks[h]; e != nil {
+			recs = append(recs, e.payload)
+			continue
 		}
-		recs = append(recs, e.payload)
+		diskAt = append(diskAt, len(recs))
+		recs = append(recs, nil)
+		disk = append(disk, h)
 	}
 	s.r.mu.Unlock()
+	// Chunks that left memory read through from the durable store; only
+	// a chunk in neither tier refuses the request.
+	complete := true
+	if len(disk) > 0 && s.r.store == nil {
+		complete = false
+	} else {
+		for j, h := range disk {
+			rec, ok := s.r.store.Chunk(h)
+			if !ok {
+				complete = false
+				break
+			}
+			recs[diskAt[j]] = rec
+		}
+	}
 	if !complete {
 		return s.link.Send(rejectFrame(rejectReasonResend, "", "")) == nil
 	}
@@ -1324,6 +1572,13 @@ func (s *session) answerNeed(nf transport.Frame) bool {
 func (s *session) send(v *version) bool {
 	defer s.r.unpin(v) // next() pinned v under the catalog lock
 	frames, delta := s.framesFor(v)
+	if frames == nil {
+		// The version could not be assembled (store read failure or a
+		// chunk in neither tier): abandon this fan-out rather than ship a
+		// short stream; the session moves on to the next commit.
+		s.r.bump(func(st *Stats) { st.AbandonedFanouts++ })
+		return true
+	}
 	for i, f := range frames {
 		if i > 0 && s.r.newestVnum(v.model) > v.vnum {
 			s.r.bump(func(st *Stats) { st.AbandonedFanouts++ })
@@ -1362,12 +1617,33 @@ func (s *session) framesFor(v *version) ([]transport.Frame, bool) {
 	have := s.have
 	s.mu.Unlock()
 	s.r.mu.Lock()
-	defer s.r.mu.Unlock()
 	if len(v.hashes) == 0 {
-		return v.frames, false
+		frames := v.frames
+		stored := v.stored
+		s.r.mu.Unlock()
+		if frames != nil {
+			return frames, false
+		}
+		if !stored || s.r.store == nil {
+			return nil, false
+		}
+		// Demoted or hydrated monolithic shell: reload the payload from
+		// the store for this borrow.
+		blob, err := s.r.store.LoadVersion(v.model, v.vnum)
+		if err != nil {
+			s.r.bump(func(st *Stats) { st.StoreErrors++ })
+			return nil, false
+		}
+		return []transport.Frame{{Key: v.key, Payload: blob, Meta: map[string]string{
+			"model":   v.model,
+			"version": strconv.FormatUint(v.vnum, 10),
+		}}}, false
 	}
 	head := v.frames[0]
+	stored := v.stored
 	var missing [][]byte
+	var disk []vformat.ChunkHash
+	var diskAt []int
 	overlap := 0
 	for _, h := range v.hashes {
 		if have[h] {
@@ -1376,6 +1652,28 @@ func (s *session) framesFor(v *version) ([]transport.Frame, bool) {
 		}
 		if e := s.r.chunks[h]; e != nil {
 			missing = append(missing, e.payload)
+			continue
+		}
+		diskAt = append(diskAt, len(missing))
+		missing = append(missing, nil)
+		disk = append(disk, h)
+	}
+	manifest := v.manifest
+	s.r.mu.Unlock()
+	// Chunk payloads are immutable once interned and the snapshot above
+	// happened under the lock, so releasing it before the (possibly
+	// slow) store reads is safe.
+	if len(disk) > 0 {
+		if !stored || s.r.store == nil {
+			return nil, false
+		}
+		for j, h := range disk {
+			rec, ok := s.r.store.Chunk(h)
+			if !ok {
+				s.r.bump(func(st *Stats) { st.StoreErrors++ })
+				return nil, false
+			}
+			missing[diskAt[j]] = rec
 		}
 	}
 	if overlap == 0 {
@@ -1387,7 +1685,7 @@ func (s *session) framesFor(v *version) ([]transport.Frame, bool) {
 		}
 		return frames, false
 	}
-	mf := transport.Frame{Key: head.Key, Payload: v.manifest, Meta: make(map[string]string, len(head.Meta))}
+	mf := transport.Frame{Key: head.Key, Payload: manifest, Meta: make(map[string]string, len(head.Meta))}
 	for k, mv := range head.Meta {
 		mf.Meta[k] = mv
 	}
@@ -1427,6 +1725,9 @@ type VersionInfo struct {
 	// CRCOK reports whether every chunk record passed CRC verification
 	// at ingest.
 	CRCOK bool `json:"crc_ok"`
+	// Stored reports whether the version is persisted in the relay's
+	// durable chunk store (and so survives a relay restart).
+	Stored bool `json:"stored,omitempty"`
 }
 
 // Inventory snapshots the cache, sorted by model then version.
@@ -1439,6 +1740,7 @@ func (r *Relay) Inventory() []VersionInfo {
 				Model: v.model, Version: v.vnum, Key: v.key,
 				Chunks: v.chunks, Bytes: v.bytes,
 				Deduped: v.deduped, Delta: v.delta, CRCOK: v.crcOK,
+				Stored: v.stored,
 			}
 			for _, h := range v.hashes {
 				vi.Hashes = append(vi.Hashes, h.String())

@@ -1,0 +1,365 @@
+package relay
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"viper/internal/chunkstore"
+	"viper/internal/nn"
+	"viper/internal/remote"
+	"viper/internal/transport"
+	"viper/internal/vformat"
+)
+
+// storeRelay starts a relay with a durable chunk store attached.
+func storeRelay(t *testing.T, dir string, retained int, ret chunkstore.Retention) *Relay {
+	t.Helper()
+	r, err := New(Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		Retained: retained, Retry: quickPolicy(1),
+		StoreDir: dir, StoreRetention: ret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// TestRelayRestartServesFromStore is the durability acceptance drill:
+// a producer pushes versions through a store-backed relay, the relay
+// dies, a fresh relay on the same directory hydrates the full
+// inventory, and a late joiner loads byte-identical weights straight
+// from the recovered cache — zero staged loads, no producer alive.
+func TestRelayRestartServesFromStore(t *testing.T) {
+	metaAddr, notifyAddr := testServices(t)
+	dir := t.TempDir()
+	r1, err := New(Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		MetaAddr: metaAddr, NotifyAddr: notifyAddr, Retry: quickPolicy(2),
+		StoreDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prod, err := remote.NewProducer(remote.ProducerConfig{
+		Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
+		RelayAddr: r1.IngestAddr(), Retry: quickPolicy(3), ChunkSize: 128,
+	})
+	if err != nil {
+		r1.Close()
+		t.Fatal(err)
+	}
+
+	const versions = 3
+	published := make(map[uint64]nn.Snapshot, versions)
+	for v := 1; v <= versions; v++ {
+		snap := nn.TakeSnapshot(testModel(int64(200 + v)))
+		meta, err := prod.Publish(snap, uint64(v*10), float64(v))
+		if err != nil {
+			prod.Close()
+			r1.Close()
+			t.Fatalf("publish %d: %v", v, err)
+		}
+		published[meta.Version] = snap
+	}
+	waitFor(t, 10*time.Second, func() bool { return r1.Stats().StoredVersions == versions }, "versions persisted")
+
+	// Kill both the producer and the relay: the store directory is all
+	// that survives.
+	prod.Close()
+	r1.Close()
+
+	r2 := storeRelay(t, dir, DefaultRetained, chunkstore.Retention{})
+	if st := r2.Stats(); st.HydratedVersions != versions {
+		t.Fatalf("HydratedVersions = %d after restart, want %d", st.HydratedVersions, versions)
+	}
+	inv, err := FetchInventory(r2.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != versions {
+		t.Fatalf("inventory after restart has %d entries, want %d: %+v", len(inv), versions, inv)
+	}
+	for _, vi := range inv {
+		if !vi.Stored || vi.Chunks < 2 || !vi.CRCOK {
+			t.Fatalf("hydrated inventory entry: %+v", vi)
+		}
+	}
+
+	late, err := remote.NewConsumer(remote.ConsumerConfig{
+		Model: "m", MetaAddr: metaAddr, NotifyAddr: notifyAddr,
+		ProducerAddr: r2.ServeAddr(), Retry: quickPolicy(9),
+		LinkWait: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	ckpt, err := late.Next(20 * time.Second)
+	if err != nil {
+		t.Fatalf("late joiner after restart: %v (stats %+v)", err, late.Stats())
+	}
+	if ckpt.Version != versions || !snapshotsEqual(ckpt.Weights, published[versions]) {
+		t.Fatalf("late joiner installed v%d (equal=%v), want byte-identical v%d",
+			ckpt.Version, snapshotsEqual(ckpt.Weights, published[versions]), versions)
+	}
+	if st := late.Stats(); st.StagedLoads != 0 || st.LinkLoads != 1 {
+		t.Fatalf("late joiner did not load from the hydrated cache: %+v", st)
+	}
+}
+
+// TestStoreRetentionDelegation: with a store attached, Retained bounds
+// only the fully resident window; history is governed by the store's
+// retention. Versions the store still holds stay in the catalog as
+// demoted shells, versions the store retired leave entirely.
+func TestStoreRetentionDelegation(t *testing.T) {
+	r := storeRelay(t, t.TempDir(), 1, chunkstore.Retention{MaxVersions: 2})
+	link, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	for v := uint64(1); v <= 4; v++ {
+		pushChunked(t, link, "m", v, nn.TakeSnapshot(testModel(int64(300+v))), 128)
+	}
+	waitFor(t, 10*time.Second, func() bool { return r.Stats().StoredVersions == 4 }, "4 stored versions")
+
+	inv, err := FetchInventory(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != 2 || inv[0].Version != 3 || inv[1].Version != 4 {
+		t.Fatalf("inventory = %+v, want store-retained [3 4]", inv)
+	}
+	for _, vi := range inv {
+		if !vi.Stored {
+			t.Fatalf("retained version not marked stored: %+v", vi)
+		}
+	}
+	st := r.Stats()
+	if st.DemotedVersions == 0 {
+		t.Fatalf("no version was demoted to a disk-backed shell: %+v", st)
+	}
+
+	// The demoted version still serves: v3's records come back whole.
+	r.mu.Lock()
+	var v3 *version
+	for _, v := range r.models["m"].versions {
+		if v.vnum == 3 {
+			v3 = v
+		}
+	}
+	held := 0
+	if v3 != nil {
+		held = len(v3.held)
+	}
+	r.mu.Unlock()
+	if v3 == nil || held != 0 {
+		t.Fatalf("v3 shell: present=%v heldChunks=%d, want a demoted shell", v3 != nil, held)
+	}
+}
+
+// TestEvictedVersionServedFromDisk is the regression drill for the
+// cache-evicted-but-disk-served late joiner: a consumer need-list for
+// chunks that left memory (the referencing version was demoted) must
+// be answered from the store, not refused with a resend notice.
+func TestEvictedVersionServedFromDisk(t *testing.T) {
+	r := storeRelay(t, t.TempDir(), 1, chunkstore.Retention{})
+	link, err := transport.DialTCP(r.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	snap1 := nn.TakeSnapshot(testModel(31))
+	snap2 := nn.TakeSnapshot(testModel(32))
+	blob1, hashes1 := encodeVersion(t, "m", 1, snap1, 128)
+	pushChunked(t, link, "m", 1, snap1, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().StoredVersions == 1 }, "v1 stored")
+	pushChunked(t, link, "m", 2, snap2, 128)
+	waitFor(t, 5*time.Second, func() bool { return r.Stats().DemotedVersions == 1 }, "v1 demoted")
+
+	// v1's chunks are disjoint from v2's and gone from memory now.
+	r.mu.Lock()
+	inMemory := 0
+	for _, h := range hashes1 {
+		if r.chunks[h] != nil {
+			inMemory++
+		}
+	}
+	r.mu.Unlock()
+	if inMemory != 0 {
+		t.Fatalf("%d of v1's chunks still resident, want all on disk only", inMemory)
+	}
+
+	cons, err := transport.DialTCP(r.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	if err := cons.Send(transport.NewNeedFrame("m/v00000001", hashes1)); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[vformat.ChunkHash][]byte, len(hashes1))
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < len(hashes1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("collected %d of %d re-sent records", len(got), len(hashes1))
+		}
+		f, err := cons.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Key == RejectKey {
+			t.Fatalf("need-list refused (%v), want disk-served records", f.Meta)
+		}
+		if f.Key != "m/v00000001" || transport.IsChunkHeader(f) {
+			continue // v2 catch-up traffic
+		}
+		got[vformat.HashChunkRecord(f.Payload)] = append([]byte(nil), f.Payload...)
+	}
+	// Every record must be the byte-exact one v1 was encoded from.
+	want := make(map[vformat.ChunkHash][]byte, len(hashes1))
+	if err := vformat.WalkChunkRecords(blob1, func(rec []byte) error {
+		want[vformat.HashChunkRecord(rec)] = append([]byte(nil), rec...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for h, rec := range got {
+		if !bytes.Equal(rec, want[h]) {
+			t.Fatalf("disk-served record %s differs from the ingested bytes", h)
+		}
+	}
+}
+
+// TestDeltaAfterRestartPrefillsFromStore: a delta push planned against
+// a have-list the relay advertised before it died must still commit
+// after a restart — the elided chunks read through from the store into
+// the new build, with no need-list round trip.
+func TestDeltaAfterRestartPrefillsFromStore(t *testing.T) {
+	dir := t.TempDir()
+	r1 := storeRelay(t, dir, 4, chunkstore.Retention{})
+	link, err := transport.DialTCP(r1.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := nn.TakeSnapshot(testModel(41))
+	pushReconcile(t, link, "m", 1, snap1, 128)
+	_, _, have := recvHave(t, link)
+	link.Close()
+	r1.Close()
+
+	r2 := storeRelay(t, dir, 4, chunkstore.Retention{})
+	if r2.Stats().HydratedVersions != 1 {
+		t.Fatalf("v1 not hydrated: %+v", r2.Stats())
+	}
+	snap2 := nn.TakeSnapshot(testModel(41))
+	snap2[0].Data[0] += 1
+	blob2, hashes2 := encodeVersion(t, "m", 2, snap2, 128)
+	held := make(map[vformat.ChunkHash]bool, len(have))
+	for _, h := range have {
+		held[h] = true
+	}
+	manifest, records, _, _, err := vformat.PlanDelta(blob2, func(h vformat.ChunkHash) bool { return held[h] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) >= len(hashes2) {
+		t.Fatalf("delta ships all %d records, want elision to exercise the prefill", len(records))
+	}
+	link2, err := transport.DialTCP(r2.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link2.Close()
+	tags := ingestTags(t, "m", 2, int64(len(blob2)), true)
+	if err := transport.SendChunkedDelta(context.Background(), transport.WithMeta(link2, tags), "m/v00000002", manifest, records, len(hashes2), len(blob2), 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		s := r2.Stats()
+		return s.CachedVersions == 1 && s.DeltaVersions == 1
+	}, "post-restart delta commit")
+	if st := r2.Stats(); st.NeedResends != 0 {
+		t.Fatalf("delta needed a resend round trip (%+v), want store prefill", st)
+	}
+
+	cons, err := transport.DialTCP(r2.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	var hf transport.Frame
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no v2 header frame")
+		}
+		f, err := cons.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if transport.IsChunkHeader(f) && f.Meta["version"] == "2" {
+			hf = f
+			break
+		}
+	}
+	ckpt, _, err := transport.CollectChunked(context.Background(), hf, cons.Recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Version != 2 || !snapshotsEqual(ckpt.Weights, snap2) {
+		t.Fatalf("post-restart delta assembled v%d (equal=%v), want byte-identical v2",
+			ckpt.Version, snapshotsEqual(ckpt.Weights, snap2))
+	}
+}
+
+// TestMonolithicRestartReload: a monolithic version survives a relay
+// restart as a payload-free shell and reloads from the store at first
+// serve, byte-identically.
+func TestMonolithicRestartReload(t *testing.T) {
+	dir := t.TempDir()
+	r1 := storeRelay(t, dir, 4, chunkstore.Retention{})
+	link, err := transport.DialTCP(r1.IngestAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := &vformat.Checkpoint{ModelName: "m", Version: 1, Weights: nn.TakeSnapshot(testModel(51))}
+	payload, err := ckpt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = link.Send(transport.Frame{
+		Key: "m/v00000001", Payload: payload,
+		Meta: map[string]string{"model": "m", "version": "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r1.Stats().StoredVersions == 1 }, "monolithic stored")
+	link.Close()
+	r1.Close()
+
+	r2 := storeRelay(t, dir, 4, chunkstore.Retention{})
+	cons, err := transport.DialTCP(r2.ServeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	f, err := cons.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Key != "m/v00000001" || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("reloaded monolithic frame key=%q bytes equal=%v, want the original payload", f.Key, bytes.Equal(f.Payload, payload))
+	}
+	if st := r2.Stats(); st.HydratedVersions != 1 {
+		t.Fatalf("stats after monolithic restart: %+v", st)
+	}
+}

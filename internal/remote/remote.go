@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"viper/internal/chunkstore"
 	"viper/internal/core"
 	"viper/internal/kvstore"
 	"viper/internal/metrics"
@@ -112,6 +113,15 @@ type ProducerConfig struct {
 	// in-flight publish aborts instead of outliving the producer. Nil
 	// defaults to context.Background().
 	BaseContext context.Context
+	// StoreDir, when non-empty, attaches a durable content-addressed
+	// store at that directory: every published payload (always the
+	// complete self-contained blob, even when the link carried a delta)
+	// is written through, so the publish history survives producer
+	// restarts and stays reloadable with LoadVersion.
+	StoreDir string
+	// StoreRetention bounds the attached store's history (zero value =
+	// unbounded). Only meaningful with StoreDir.
+	StoreRetention chunkstore.Retention
 }
 
 // registry is the package's metrics surface: delivery-path counters for
@@ -136,6 +146,7 @@ var inst = struct {
 	deltaLoads         *metrics.Counter
 	haveLists          *metrics.Counter
 	deltaSends         *metrics.Counter
+	storedVersions     *metrics.Counter
 }{
 	linkSends:          registry.Counter("producer_link_sends"),
 	linkFailures:       registry.Counter("producer_link_failures"),
@@ -149,6 +160,7 @@ var inst = struct {
 	deltaLoads:         registry.Counter("consumer_delta_loads"),
 	haveLists:          registry.Counter("producer_have_lists"),
 	deltaSends:         registry.Counter("producer_delta_sends"),
+	storedVersions:     registry.Counter("producer_stored_versions"),
 }
 
 // ProducerStats counts producer-side delivery activity.
@@ -166,6 +178,9 @@ type ProducerStats struct {
 	// DeltaSends counts publishes that left as manifest delta streams
 	// rather than full chunk streams (a subset of LinkSends).
 	DeltaSends int64
+	// StoredVersions counts payloads written through to the attached
+	// durable store.
+	StoredVersions int64
 }
 
 // Producer publishes checkpoints to a remote consumer.
@@ -181,8 +196,9 @@ type Producer struct {
 	relay     bool
 	chunkSize int
 	workers   int
-	recon     bool    // chunk-level delta publishing enabled
-	deltaEps  float64 // base-suppression threshold (0 = exact dedup only)
+	recon     bool              // chunk-level delta publishing enabled
+	deltaEps  float64           // base-suppression threshold (0 = exact dedup only)
+	store     *chunkstore.Store // durable publish history (nil without StoreDir)
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -294,12 +310,28 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 		}
 		return nil, fmt.Errorf("remote: link: %w", err)
 	}
+	var store *chunkstore.Store
+	if cfg.StoreDir != "" {
+		store, err = chunkstore.Open(cfg.StoreDir, chunkstore.Options{
+			Retention: cfg.StoreRetention,
+			Clock:     policyClock(pol),
+		})
+		if err != nil {
+			kv.Close()
+			ps.Close()
+			link.Close()
+			if ln != nil {
+				ln.Close()
+			}
+			return nil, fmt.Errorf("remote: store: %w", err)
+		}
+	}
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
 	lifeCtx, lifeCancel := context.WithCancel(cfg.BaseContext)
 	p := &Producer{
-		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link,
+		model: cfg.Model, kv: kv, ps: ps, ln: ln, link: link, store: store,
 		policy: pol, clock: policyClock(pol), stage: !cfg.DisableStaging,
 		relay: cfg.RelayAddr != "", chunkSize: cfg.ChunkSize, workers: cfg.Parallelism,
 		recon:    cfg.ChunkSize > 0 && !cfg.DisableDeltaReconcile,
@@ -625,6 +657,17 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 	} else if sendErr != nil {
 		return nil, fmt.Errorf("remote: link send: %w", sendErr)
 	}
+	if p.store != nil {
+		// The payload here is always the complete self-contained blob
+		// (delta publishes stage and store the full encode), so the
+		// durable history never holds an unreplayable fragment.
+		if err := p.store.PutBlob(p.model, version, key, payload); err == nil {
+			p.mu.Lock()
+			p.stats.StoredVersions++
+			p.mu.Unlock()
+			inst.storedVersions.Inc()
+		}
+	}
 	meta := core.ModelMeta{
 		Name:      p.model,
 		Version:   version,
@@ -647,6 +690,24 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 		return nil, fmt.Errorf("remote: notify: %w", err)
 	}
 	return &meta, nil
+}
+
+// LoadVersion reloads an older published payload from the attached
+// durable store (ErrNotFound-wrapping error without one).
+func (p *Producer) LoadVersion(version uint64) ([]byte, error) {
+	if p.store == nil {
+		return nil, errors.New("remote: no durable store attached")
+	}
+	return p.store.LoadVersion(p.model, version)
+}
+
+// StoredVersions lists the versions the attached durable store retains,
+// oldest first (nil without a store).
+func (p *Producer) StoredVersions() []uint64 {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Versions(p.model)
 }
 
 // Version returns the latest published version.
@@ -675,6 +736,9 @@ func (p *Producer) Close() {
 	p.wg.Wait()
 	p.ps.Close()
 	p.kv.Close()
+	if p.store != nil {
+		p.store.Close()
+	}
 }
 
 // ConsumerConfig configures a remote consumer.

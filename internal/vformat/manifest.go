@@ -223,6 +223,35 @@ func WalkChunkRecords(blob []byte, fn func(rec []byte) error) error {
 	return splitRecords(layout, blob, headerLen, fn)
 }
 
+// SplitManifestRecords walks the chunk records a manifest-bearing blob
+// carries inline (the packed tail after the hash list), calling fn with
+// each record slice (aliasing blob) without decoding payloads. A bare
+// manifest carries no records and fn is never called.
+func SplitManifestRecords(blob []byte, fn func(rec []byte) error) error {
+	man, err := ParseManifest(blob)
+	if err != nil {
+		return err
+	}
+	stride := man.Layout.Precision.BytesPerElement()
+	tail := blob[man.Len:]
+	off := 0
+	for off < len(tail) {
+		if off+chunkRecHeaderLen > len(tail) {
+			return fmt.Errorf("%w: truncated record after manifest", ErrCorruptChunk)
+		}
+		count := int(binary.LittleEndian.Uint32(tail[off+16:]))
+		size := chunkRecOverhead + count*stride
+		if count > man.Layout.ChunkElems || off+size > len(tail) {
+			return fmt.Errorf("%w: record overruns manifest blob", ErrCorruptChunk)
+		}
+		if err := fn(tail[off : off+size]); err != nil {
+			return err
+		}
+		off += size
+	}
+	return nil
+}
+
 // ChunkHashesOf returns the ordered content hashes of every record in a
 // plain chunked blob.
 func ChunkHashesOf(blob []byte) ([]ChunkHash, error) {

@@ -1,0 +1,149 @@
+package viper
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/models"
+	"viper/internal/nn"
+)
+
+// snapsEqual compares two weight snapshots bit-for-bit.
+func snapsEqual(a, b Snapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Data) != len(b[i].Data) {
+			return false
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestTimeTravelRollback drives the WithTimeTravel lifecycle end to
+// end: saves write through to the store, older versions reload
+// byte-identically, Rollback rewinds the lineage, and the history
+// (including the rolled-back counter) survives a producer restart.
+func TestTimeTravelRollback(t *testing.T) {
+	dir := t.TempDir()
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3", WithTimeTravel(dir, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(env, "nt3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cons.Subscribe()
+	defer sub.Close()
+
+	base := nn.TakeSnapshot(models.NT3(rand.New(rand.NewSource(3)), 32))
+	published := make(map[uint64]Snapshot)
+	for v := 1; v <= 4; v++ {
+		snap := base.Clone()
+		snap[0].Data[0] = float64(v)
+		rep, err := prod.SaveWeights(snap, uint64(v*10), 1/float64(v))
+		if err != nil {
+			t.Fatalf("save %d: %v", v, err)
+		}
+		published[rep.Meta.Version] = snap
+		if _, err := cons.HandleNotification(<-sub.C); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := prod.Handler().Stats(); st.StoredVersions != 4 {
+		t.Fatalf("StoredVersions = %d, want 4", st.StoredVersions)
+	}
+	vs := prod.Versions()
+	if len(vs) != 4 || vs[0] != 1 || vs[3] != 4 {
+		t.Fatalf("Versions = %v, want [1 2 3 4]", vs)
+	}
+
+	// Time-travel: an old version reloads byte-identically.
+	ckpt, err := prod.LoadVersion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Version != 2 || !snapsEqual(ckpt.Weights, published[2]) {
+		t.Fatalf("LoadVersion(2) = v%d (equal=%v), want byte-identical v2", ckpt.Version, snapsEqual(ckpt.Weights, published[2]))
+	}
+
+	// Rollback rewinds the lineage: v3/v4 are retired and the next save
+	// continues from v3.
+	ckpt, err = prod.Rollback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapsEqual(ckpt.Weights, published[2]) {
+		t.Fatal("Rollback(2) returned different weights than v2")
+	}
+	if vs := prod.Versions(); len(vs) != 2 || vs[1] != 2 {
+		t.Fatalf("Versions after rollback = %v, want [1 2]", vs)
+	}
+	snap := base.Clone()
+	snap[0].Data[0] = 99
+	rep, err := prod.SaveWeights(snap, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Version != 3 {
+		t.Fatalf("post-rollback save got v%d, want v3", rep.Meta.Version)
+	}
+	published[3] = snap
+	if err := prod.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the reopened producer recovers the history and resumes
+	// the counter past the newest stored version.
+	prod2, err := NewProducer(env, "nt3", WithTimeTravel(dir, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod2.Close()
+	if vs := prod2.Versions(); len(vs) != 3 || vs[2] != 3 {
+		t.Fatalf("Versions after restart = %v, want [1 2 3]", vs)
+	}
+	ckpt, err = prod2.LoadVersion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapsEqual(ckpt.Weights, published[3]) {
+		t.Fatal("v3 did not survive the restart byte-identically")
+	}
+	rep, err = prod2.SaveWeights(base.Clone(), 60, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.Version != 4 {
+		t.Fatalf("post-restart save got v%d, want v4", rep.Meta.Version)
+	}
+}
+
+// TestTimeTravelRetention: TimeTravelKeep bounds the stored history.
+func TestTimeTravelRetention(t *testing.T) {
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3", WithTimeTravel(t.TempDir(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	base := nn.TakeSnapshot(models.NT3(rand.New(rand.NewSource(4)), 32))
+	for v := 1; v <= 5; v++ {
+		snap := base.Clone()
+		snap[0].Data[0] = float64(v)
+		if _, err := prod.SaveWeights(snap, uint64(v), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vs := prod.Versions(); len(vs) != 2 || vs[0] != 4 || vs[1] != 5 {
+		t.Fatalf("Versions = %v, want retention-bounded [4 5]", vs)
+	}
+}

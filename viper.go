@@ -34,6 +34,7 @@ import (
 	"context"
 	"time"
 
+	"viper/internal/chunkstore"
 	"viper/internal/core"
 	"viper/internal/ipp"
 	"viper/internal/nn"
@@ -140,6 +141,14 @@ type ProducerConfig struct {
 	// Parallelism bounds the chunk-encode/decode worker pool
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// TimeTravelDir, when non-empty, attaches a durable content-addressed
+	// store at that directory: every self-contained checkpoint is written
+	// through at save time, older versions stay reloadable with
+	// Producer.LoadVersion, and Producer.Rollback rewinds the lineage.
+	TimeTravelDir string
+	// TimeTravelKeep bounds how many versions the time-travel store
+	// retains (0 = unbounded).
+	TimeTravelKeep int
 }
 
 // Option configures a Producer built by NewProducer.
@@ -194,10 +203,24 @@ func WithParallelism(n int) Option {
 	return func(c *ProducerConfig) { c.Parallelism = n }
 }
 
+// WithTimeTravel attaches a durable time-travel store rooted at dir:
+// each self-contained checkpoint is persisted as content-addressed
+// chunks (shared bytes dedup across versions), the newest keep versions
+// are retained (0 = unbounded), and Producer.LoadVersion/Rollback
+// travel the retained history. The store recovers its full inventory
+// across producer restarts, resuming the version lineage.
+func WithTimeTravel(dir string, keep int) Option {
+	return func(c *ProducerConfig) {
+		c.TimeTravelDir = dir
+		c.TimeTravelKeep = keep
+	}
+}
+
 // Producer is the training-side runtime: it owns the weights handler and
 // exposes the paper's save_weights API.
 type Producer struct {
 	handler *core.WeightsHandler
+	store   *chunkstore.Store // nil without WithTimeTravel
 }
 
 // NewProducer constructs a producer for model in the given environment.
@@ -225,6 +248,17 @@ func NewProducerFromConfig(env *Env, cfg ProducerConfig) (*Producer, error) {
 }
 
 func newProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
+	var store *chunkstore.Store
+	if cfg.TimeTravelDir != "" {
+		var err error
+		store, err = chunkstore.Open(cfg.TimeTravelDir, chunkstore.Options{
+			Retention: chunkstore.Retention{MaxVersions: cfg.TimeTravelKeep},
+			Clock:     env.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	h, err := core.NewWeightsHandler(env, core.HandlerConfig{
 		Model:        cfg.Model,
 		Strategy:     cfg.Strategy,
@@ -236,11 +270,23 @@ func newProducer(env *Env, cfg ProducerConfig) (*Producer, error) {
 		FullEvery:    cfg.FullEvery,
 		ChunkSize:    cfg.ChunkSize,
 		Parallelism:  cfg.Parallelism,
+		Store:        store,
 	})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
-	return &Producer{handler: h}, nil
+	if store != nil {
+		// Continue the version lineage across restarts: the store's
+		// newest retained version seeds the counter, so a reopened
+		// producer never reuses a version number.
+		if m, ok := store.Latest(cfg.Model); ok {
+			h.ResumeFrom(m.Version)
+		}
+	}
+	return &Producer{handler: h, store: store}, nil
 }
 
 // SaveWeights checkpoints the snapshot taken at the given iteration with
@@ -258,6 +304,33 @@ func (p *Producer) SaveWeightsContext(ctx context.Context, snapshot Snapshot, it
 
 // Handler exposes the underlying weights handler (stats, version).
 func (p *Producer) Handler() *core.WeightsHandler { return p.handler }
+
+// LoadVersion reloads an older checkpoint from the time-travel store
+// attached with WithTimeTravel.
+func (p *Producer) LoadVersion(version uint64) (*Checkpoint, error) {
+	return p.handler.LoadVersion(context.Background(), version)
+}
+
+// Versions lists the checkpoint versions the time-travel store retains,
+// oldest first (nil without WithTimeTravel).
+func (p *Producer) Versions() []uint64 { return p.handler.StoredVersions() }
+
+// Rollback rewinds the producer to an older stored version: the
+// checkpoint is reloaded (so the trainer can restore its weights),
+// newer versions are retired from the store, and the next SaveWeights
+// continues the lineage from version+1.
+func (p *Producer) Rollback(version uint64) (*Checkpoint, error) {
+	return p.handler.Rollback(context.Background(), version)
+}
+
+// Close releases the producer's durable resources (the time-travel
+// store, when attached). Safe to call on a store-less producer.
+func (p *Producer) Close() error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Close()
+}
 
 // NewCheckpointCallback attaches a producer to a training loop: add the
 // returned callback to the trainer's callback list and it will checkpoint
