@@ -87,6 +87,10 @@ type ownRule struct {
 
 	// Diagnostic templates; each receives the variable name.
 	leakMsg, doubleMsg, useAfterMsg, unacquiredMsg string
+	// rebindMsg, when non-empty, enables the defer-capture check:
+	// reassigning a variable whose release is pending via a direct
+	// `defer release(v)` (argument already evaluated) is reported.
+	rebindMsg string
 }
 
 func (r *ownRule) inScope(importPath string) bool {
@@ -165,6 +169,16 @@ type refineInfo struct {
 type flowState struct {
 	vals    map[*types.Var]ownState
 	refines map[*types.Var]refineInfo
+	// deferVal marks heldDeferred tokens whose pending release came
+	// from a direct `defer release(v)` call: Go evaluated the argument
+	// at the defer statement, so the release is bound to the value v
+	// held *then*. Reassigning such a variable is the defer-capture
+	// hazard — the deferred call frees the old value while the new one
+	// leaks (or, when the rebinding call already recycled the old one,
+	// the same buffer is released twice). Closure-form defers
+	// (`defer func() { release(v) }()`) read v at exit and do not set
+	// this flag.
+	deferVal map[*types.Var]bool
 }
 
 func newFlowState() *flowState {
@@ -179,14 +193,29 @@ func (s *flowState) clone() *flowState {
 	for k, v := range s.refines {
 		c.refines[k] = v
 	}
+	for k := range s.deferVal {
+		c.setDeferVal(k)
+	}
 	return c
+}
+
+func (s *flowState) setDeferVal(v *types.Var) {
+	if s.deferVal == nil {
+		s.deferVal = map[*types.Var]bool{}
+	}
+	s.deferVal[v] = true
 }
 
 func (s *flowState) get(v *types.Var) ownState { return s.vals[v] }
 
 func (s *flowState) equal(o *flowState) bool {
-	if len(s.vals) != len(o.vals) || len(s.refines) != len(o.refines) {
+	if len(s.vals) != len(o.vals) || len(s.refines) != len(o.refines) || len(s.deferVal) != len(o.deferVal) {
 		return false
+	}
+	for k := range s.deferVal {
+		if !o.deferVal[k] {
+			return false
+		}
 	}
 	for k, v := range s.vals {
 		if ov, ok := o.vals[k]; !ok || ov != v {
@@ -240,6 +269,14 @@ func (s *flowState) join(o *flowState) bool {
 	for k, v := range s.refines {
 		if ov, ok := o.refines[k]; !ok || ov != v {
 			delete(s.refines, k)
+			changed = true
+		}
+	}
+	// A by-value deferred release on either path makes reassignment a
+	// hazard, so the flag joins as a union.
+	for k := range o.deferVal {
+		if !s.deferVal[k] {
+			s.setDeferVal(k)
 			changed = true
 		}
 	}
@@ -631,6 +668,24 @@ func (e *ownEngine) assign(n *ast.AssignStmt, st *flowState) {
 			}
 		}
 	}
+	// Defer-capture hazard, checked before the RHS scan can escape the
+	// token: a variable with a by-value deferred release pending is
+	// being rebound, so the defer will fire on the old value — the
+	// PR-10 growBuf bug class (defer putBuf(b); b = growBuf(b, n)
+	// double-pools the old buffer). Re-slicings of the variable itself
+	// (b = b[:0]) keep the same backing array and are exempt.
+	if e.reporting && e.rule.rebindMsg != "" {
+		for _, lh := range n.Lhs {
+			v := identVar(e.pass.Info, lh)
+			if v == nil || !e.tracked[v] || st.get(v) != stHeldDeferred || !st.deferVal[v] {
+				continue
+			}
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 && isSelfSlice(e.pass.Info, n.Rhs[0], v) {
+				continue
+			}
+			e.pass.Reportf(n.Pos(), e.rule.rebindMsg, v.Name())
+		}
+	}
 	for _, r := range n.Rhs {
 		e.scanExpr(r, st)
 		// x := b aliases the tracked value; stop tracking it.
@@ -645,11 +700,28 @@ func (e *ownEngine) assign(n *ast.AssignStmt, st *flowState) {
 		if v == nil || !e.tracked[v] {
 			continue
 		}
+		delete(st.deferVal, v)
 		switch st.get(v) {
 		case stHeld, stHeldDeferred:
 			st.vals[v] = stEscaped // lost track of an obligation: silence
 		default:
 			st.vals[v] = stNone // fresh, unobligated value
+		}
+	}
+}
+
+// isSelfSlice reports whether expr is a re-slicing rooted at v itself
+// (v[:0], v[:n], v[a:b]): the value identity the deferred release
+// captured is the same backing array, so rebinding is safe.
+func isSelfSlice(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.Ident:
+			return identVar(info, x) == v
+		default:
+			return false
 		}
 	}
 }
@@ -714,6 +786,15 @@ func (e *ownEngine) deferStmt(n *ast.DeferStmt, st *flowState) {
 	if p, ok := e.matchAny(call, e.rule.releases); ok {
 		if tok := callToken(e.pass.Info, call, p); tok != nil && e.tracked[tok] {
 			e.applyDeferredRelease(tok, n.Pos(), st)
+			// Direct form: the argument was evaluated here, so the
+			// pending release is pinned to the current value, not the
+			// variable — a later reassignment is the defer-capture
+			// hazard (see flowState.deferVal). Handle tokens are
+			// long-lived objects, not swappable values; only value
+			// tokens carry the hazard.
+			if !e.rule.handleToken && st.get(tok) == stHeldDeferred {
+				st.setDeferVal(tok)
+			}
 			return
 		}
 	}

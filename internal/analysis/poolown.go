@@ -6,8 +6,11 @@
 // historical bug class is PR 4's header-send-failure recovery: an error
 // return between encode and send that leaks the blob back to the GC
 // instead of the pool. The analyzer flags leak-on-return paths,
-// double-release, and use-after-release; see dataflow.go for the engine
-// and DESIGN.md §7b for its limits.
+// double-release, use-after-release, and rebinding a buffer whose
+// release is pending via a direct `defer putBuf(b)` (the defer already
+// evaluated its argument, so the old value is freed while the new one
+// leaks — the PR-10 growBuf double-pool); see dataflow.go for the
+// engine and DESIGN.md §7b for its limits.
 
 package analysis
 
@@ -36,6 +39,7 @@ var poolownRules = []*ownRule{
 		leakMsg:     "pooled blob %s leaks on this return path: release it (vformat.ReleaseBuffer) or transfer ownership before returning (DESIGN §8)",
 		doubleMsg:   "pooled blob %s released twice: the pool would hand the same backing array to two owners (DESIGN §8)",
 		useAfterMsg: "pooled blob %s used after release: the pool may already have re-issued its backing array (DESIGN §8)",
+		rebindMsg:   "pooled blob %s reassigned after defer captured it for release: the deferred call frees the old value, double-pooling it or leaking the new one — defer a closure instead (DESIGN §8)",
 	},
 	{
 		// The chunk store's segment scratch pool follows the same
@@ -54,6 +58,7 @@ var poolownRules = []*ownRule{
 		leakMsg:     "pooled scratch buffer %s leaks on this return path: return it with putBuf or transfer ownership before returning (DESIGN §12)",
 		doubleMsg:   "pooled scratch buffer %s released twice: the pool would hand the same backing array to two owners (DESIGN §12)",
 		useAfterMsg: "pooled scratch buffer %s used after putBuf: the pool may already have re-issued its backing array (DESIGN §12)",
+		rebindMsg:   "pooled scratch buffer %s reassigned after defer captured it for putBuf: the deferred call pools the old value, double-pooling it or leaking the new one — defer a closure instead (DESIGN §12)",
 	},
 	{
 		key:  "encoder",

@@ -128,6 +128,53 @@ func waived(ctx context.Context, ckpt *vformat.Checkpoint) error {
 	return errSend
 }
 
+// --- defer-capture rebinding (the PR-10 growBuf bug class) -------------
+
+// regrow mimics chunkstore.growBuf's shape from the caller's side: the
+// old blob's ownership transfers in and a replacement comes back.
+func regrow(b []byte, n int) []byte {
+	outbox = append(outbox, b)
+	return make([]byte, 0, n)
+}
+
+// rebindUnderDeferredRelease is the PR-10 bug: `defer ReleaseBuffer(blob)`
+// evaluated its argument at the defer statement, so after the rebind the
+// deferred call frees the original blob — double-pooling it if regrow
+// already recycled it, leaking the replacement either way.
+func rebindUnderDeferredRelease(ctx context.Context, ckpt *vformat.Checkpoint) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return
+	}
+	defer vformat.ReleaseBuffer(blob)
+	blob = regrow(blob, 1<<20) // want "pooled blob blob reassigned after defer captured it for release"
+	_ = blob
+}
+
+// rebindClosureClean is the fix shape: the closure reads blob at exit,
+// so the deferred release always frees the current value.
+func rebindClosureClean(ctx context.Context, ckpt *vformat.Checkpoint) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return
+	}
+	defer func() { vformat.ReleaseBuffer(blob) }()
+	blob = regrow(blob, 1<<20)
+	_ = blob
+}
+
+// resliceClean re-slices the same backing array; the captured value and
+// the current one release identically.
+func resliceClean(ctx context.Context, ckpt *vformat.Checkpoint) {
+	blob, err := vformat.EncodeChunked(ctx, ckpt, vformat.ChunkOptions{})
+	if err != nil {
+		return
+	}
+	defer vformat.ReleaseBuffer(blob)
+	blob = blob[:0]
+	_ = blob
+}
+
 // --- cross-call shapes (the v4 summary layer) --------------------------
 
 // verifyRecord mirrors vformat.VerifyChunkRecord: a pure reader over

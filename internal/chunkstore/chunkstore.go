@@ -536,7 +536,7 @@ func (s *Store) appendBodyLocked(kind byte, body []byte, op string) (*chunkLoc, 
 		return nil, err
 	}
 	buf := getBuf(entryOverhead + len(body))
-	defer putBuf(buf)
+	defer func() { putBuf(buf) }()
 	buf = appendEntry(buf, kind, body)
 	if s.inj != nil {
 		if ferr := s.inj.Op(op); ferr != nil {
@@ -563,7 +563,7 @@ func (s *Store) appendBodyLocked(kind byte, body []byte, op string) (*chunkLoc, 
 // same torn-write fault simulation as segment appends.
 func (s *Store) appendLogLocked(kind byte, body []byte, op string) error {
 	buf := getBuf(entryOverhead + len(body))
-	defer putBuf(buf)
+	defer func() { putBuf(buf) }()
 	buf = appendEntry(buf, kind, body)
 	if s.inj != nil {
 		if ferr := s.inj.Op(op); ferr != nil {
@@ -1060,7 +1060,10 @@ func (s *Store) compactSegmentLocked(seg *segmentFile) error {
 	}
 	sort.Slice(moves, func(i, j int) bool { return moves[i].loc.off < moves[j].loc.off })
 	buf := getBuf(0)
-	defer putBuf(buf)
+	// The closure reads buf at return time: growBuf recycles the old
+	// buffer when it reallocates, so deferring putBuf on the original
+	// value would return the same array to the pool twice.
+	defer func() { putBuf(buf) }()
 	for _, m := range moves {
 		buf = growBuf(buf, m.loc.size)
 		body := buf[:m.loc.size]

@@ -3,6 +3,7 @@ package chunkstore
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -458,5 +459,48 @@ func TestFailedStoreRefusesWrites(t *testing.T) {
 	s.mu.Unlock()
 	if err := s.PutBlob("m", 1, "k", testBlob(t, 40, 1024, 1)); err == nil {
 		t.Fatal("failed store accepted a write")
+	}
+}
+
+// TestInterleavedCommitUnpinsPendingAppends documents why a caller with
+// multiple logical writers (the relay's per-connection ingest
+// goroutines) must serialize whole AppendChunk…Commit sequences behind
+// one lock: Commit clears the pinned flag on *every* segment, not just
+// the committing writer's, so a commit interleaved into another
+// writer's append-then-commit window unpins that writer's
+// not-yet-referenced chunks and the reclaim pass deletes them — the
+// interrupted writer's own Commit then fails with ErrMissingChunk. If
+// pin clearing ever becomes writer-scoped, this test will fail and
+// relay.persistVersion's storeMu serialization can be revisited.
+func TestInterleavedCommitUnpinsPendingAppends(t *testing.T) {
+	// 512-byte segments with 1 KiB chunks: every record rotates, so
+	// writer A's pending chunks sit in sealed (reclaimable) segments.
+	s := mustOpen(t, t.TempDir(), Options{SegmentBytes: 512})
+	defer s.Close()
+
+	// Writer A appends its chunks but has not committed yet.
+	blobA := testBlob(t, 30, 2048, 1)
+	_, _, headerLen, err := vformat.ParseChunkHeader(blobA)
+	if err != nil {
+		t.Fatalf("ParseChunkHeader: %v", err)
+	}
+	var hashesA []vformat.ChunkHash
+	err = vformat.WalkChunkRecords(blobA, func(rec []byte) error {
+		h, aerr := s.AppendChunk(rec)
+		hashesA = append(hashesA, h)
+		return aerr
+	})
+	if err != nil {
+		t.Fatalf("AppendChunk: %v", err)
+	}
+
+	// Writer B's whole put lands inside A's window. Its commit clears
+	// A's segment pins and its reclaim removes A's refs==0 chunks.
+	if err := s.PutBlob("b", 1, "kb", testBlob(t, 31, 2048, 1)); err != nil {
+		t.Fatalf("PutBlob b: %v", err)
+	}
+
+	if err := s.Commit("a", 1, "ka", blobA[:headerLen], hashesA); !errors.Is(err, ErrMissingChunk) {
+		t.Fatalf("Commit after interleaved commit: err = %v, want ErrMissingChunk (pin clearing now writer-scoped?)", err)
 	}
 }

@@ -91,7 +91,11 @@ func scanEntries(f *os.File, size int64, fn func(kind byte, bodyOff int64, body 
 	off := int64(len(segMagic))
 	var hdr [entryHeaderLen]byte
 	scratch := getBuf(0)
-	defer putBuf(scratch)
+	// growBuf may recycle scratch and hand back a replacement, so the
+	// deferred put must read the variable at return time — a plain
+	// `defer putBuf(scratch)` would capture the original buffer and
+	// double-put it into the pool after a reallocation.
+	defer func() { putBuf(scratch) }()
 	for off < size {
 		if _, rerr := f.ReadAt(hdr[:], off); rerr != nil {
 			return off, nil // torn header

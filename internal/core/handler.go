@@ -120,6 +120,10 @@ type HandlerStats struct {
 	// StoredVersions counts checkpoints written through to the attached
 	// time-travel store.
 	StoredVersions int64
+	// StoreErrors counts failed time-travel store writes. The store's
+	// failure mode is sticky until reopen, so a non-zero count with
+	// StoredVersions flat means history has silently stopped accruing.
+	StoreErrors int64
 }
 
 // WeightsHandler is Viper's memory-first model transfer engine on the
@@ -675,11 +679,18 @@ func (h *WeightsHandler) SaveContext(ctx context.Context, snapshot nn.Snapshot, 
 	// cannot reconstruct a chain — so the store holds only
 	// self-contained versions.
 	if h.store != nil && format != "vdelta" && format != "vrecon" {
-		if err := h.store.PutBlob(h.model, version, key, payload); err == nil {
-			h.mu.Lock()
+		err := h.store.PutBlob(h.model, version, key, payload)
+		h.mu.Lock()
+		if err == nil {
 			h.stats.StoredVersions++
-			h.mu.Unlock()
+		} else {
+			// A failed write degrades to memory-only history for this
+			// version; the stat keeps the degradation observable because
+			// the store's sticky failure would otherwise only show as
+			// StoredVersions quietly ceasing to increment.
+			h.stats.StoreErrors++
 		}
+		h.mu.Unlock()
 	}
 
 	stall := stallEnd.Sub(start)

@@ -409,6 +409,15 @@ type Relay struct {
 	closed chan struct{}
 	once   sync.Once
 
+	// storeMu serializes store writes. The chunkstore requires a single
+	// writer goroutine, but persistVersion runs on per-producer ingest
+	// goroutines: with two producers pushing concurrently, writer B's
+	// Commit would clear the segment pins protecting writer A's
+	// appended-but-uncommitted chunks and GC could reclaim them, failing
+	// A's Commit with ErrMissingChunk. Held without r.mu (persistVersion
+	// runs before the catalog insert), so lock order is never an issue.
+	storeMu sync.Mutex
+
 	mu         sync.Mutex
 	models     map[string]*modelCache
 	chunks     map[vformat.ChunkHash]*chunkEntry
@@ -591,6 +600,11 @@ func (r *Relay) persistVersion(v *version) {
 	if r.store == nil {
 		return
 	}
+	// One producer connection persists at a time: the store's
+	// append-then-commit sequence is not safe under concurrent writers
+	// (see storeMu).
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
 	var err error
 	if len(v.hashes) > 0 {
 		for _, e := range v.held {

@@ -363,3 +363,83 @@ func TestMonolithicRestartReload(t *testing.T) {
 		t.Fatalf("stats after monolithic restart: %+v", st)
 	}
 }
+
+// TestConcurrentProducersPersist: persistVersion runs on per-connection
+// ingest goroutines, so two producers pushing at once are two
+// concurrent store writers. The chunkstore's writer contract is
+// single-goroutine — without the relay's storeMu serialization, writer
+// B's Commit clears the segment pins protecting writer A's
+// appended-but-uncommitted chunks, GC reclaims them, and A's Commit
+// fails with ErrMissingChunk: a StoreErrors tick and a cached version
+// that is silently not durable. The producer link sheds frames under
+// backpressure, so not every publish reaches the relay — the invariant
+// is that every version the relay *commits* also persists.
+func TestConcurrentProducersPersist(t *testing.T) {
+	metaAddr, notifyAddr := testServices(t)
+	r := New2(t, Config{
+		IngestAddr: "127.0.0.1:0", ServeAddr: "127.0.0.1:0",
+		MetaAddr: metaAddr, NotifyAddr: notifyAddr, Retry: quickPolicy(5),
+		StoreDir: t.TempDir(),
+		// A tiny retention budget keeps Commit's reclaim pass busy, the
+		// window the race needs.
+		StoreRetention: chunkstore.Retention{MaxVersions: 2},
+		// Constant segment rotation puts appended-but-uncommitted chunks
+		// into sealed segments, the ones an interleaved Commit's reclaim
+		// can delete or compact away.
+		StoreSegmentBytes: 1 << 10,
+	})
+
+	const versions = 40
+	models := []string{"ma", "mb"}
+	errs := make(chan error, len(models))
+	for i, model := range models {
+		go func(seed int64, model string) {
+			prod, err := remote.NewProducer(remote.ProducerConfig{
+				Model: model, MetaAddr: metaAddr, NotifyAddr: notifyAddr,
+				RelayAddr: r.IngestAddr(), Retry: quickPolicy(seed), ChunkSize: 128,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer prod.Close()
+			for v := 1; v <= versions; v++ {
+				if _, err := prod.Publish(nn.TakeSnapshot(testModel(seed+int64(v))), uint64(v), 0.5); err != nil {
+					errs <- err
+					return
+				}
+				// A short gap lets most pushes through the link's
+				// backpressure shedding, maximizing interleaved commits.
+				time.Sleep(time.Millisecond)
+			}
+			errs <- nil
+		}(int64(100*(i+1)), model)
+	}
+	for range models {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Producers are closed; wait for the ingest pipeline to drain.
+	var st Stats
+	waitFor(t, 20*time.Second, func() bool {
+		prev := st
+		st = r.Stats()
+		return st.CachedVersions > int64(len(models)) && st == prev
+	}, "ingest pipeline drained")
+	if st.StoreErrors != 0 || st.StoredVersions != st.CachedVersions {
+		t.Fatalf("concurrent persists lost durability: StoredVersions=%d CachedVersions=%d StoreErrors=%d (stats %+v)",
+			st.StoredVersions, st.CachedVersions, st.StoreErrors, st)
+	}
+}
+
+// New2 builds a relay from cfg with cleanup registered.
+func New2(t *testing.T, cfg Config) *Relay {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}

@@ -147,6 +147,7 @@ var inst = struct {
 	haveLists          *metrics.Counter
 	deltaSends         *metrics.Counter
 	storedVersions     *metrics.Counter
+	storeErrors        *metrics.Counter
 }{
 	linkSends:          registry.Counter("producer_link_sends"),
 	linkFailures:       registry.Counter("producer_link_failures"),
@@ -161,6 +162,7 @@ var inst = struct {
 	haveLists:          registry.Counter("producer_have_lists"),
 	deltaSends:         registry.Counter("producer_delta_sends"),
 	storedVersions:     registry.Counter("producer_stored_versions"),
+	storeErrors:        registry.Counter("producer_store_errors"),
 }
 
 // ProducerStats counts producer-side delivery activity.
@@ -181,6 +183,10 @@ type ProducerStats struct {
 	// StoredVersions counts payloads written through to the attached
 	// durable store.
 	StoredVersions int64
+	// StoreErrors counts failed durable-store writes. The store's
+	// failure mode is sticky until reopen, so a non-zero count with
+	// StoredVersions flat means history silently stopped accruing.
+	StoreErrors int64
 }
 
 // Producer publishes checkpoints to a remote consumer.
@@ -666,6 +672,14 @@ func (p *Producer) finishPublish(ctx context.Context, ckpt *vformat.Checkpoint, 
 			p.stats.StoredVersions++
 			p.mu.Unlock()
 			inst.storedVersions.Inc()
+		} else {
+			// Publication already succeeded; a failed write-through only
+			// degrades this version to memory-resident history, but the
+			// counter keeps the degradation observable.
+			p.mu.Lock()
+			p.stats.StoreErrors++
+			p.mu.Unlock()
+			inst.storeErrors.Inc()
 		}
 	}
 	meta := core.ModelMeta{

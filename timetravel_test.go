@@ -147,3 +147,35 @@ func TestTimeTravelRetention(t *testing.T) {
 		t.Fatalf("Versions = %v, want retention-bounded [4 5]", vs)
 	}
 }
+
+// TestTimeTravelStoreErrorObservable: a failed write-through degrades
+// that version to memory-only history without failing the save, but the
+// degradation must be observable — the store's failure mode is sticky
+// until reopen, so without the StoreErrors counter the only symptom
+// would be StoredVersions quietly ceasing to increment.
+func TestTimeTravelStoreErrorObservable(t *testing.T) {
+	env := NewEnv(NewVirtualClock())
+	prod, err := NewProducer(env, "nt3", WithTimeTravel(t.TempDir(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	base := nn.TakeSnapshot(models.NT3(rand.New(rand.NewSource(5)), 32))
+	if _, err := prod.SaveWeights(base.Clone(), 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the store out from under the handler: every further
+	// write-through fails.
+	if err := prod.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := base.Clone()
+	snap[0].Data[0] = 9
+	if _, err := prod.SaveWeights(snap, 2, 0.5); err != nil {
+		t.Fatalf("save must survive a dead store (memory-only degradation): %v", err)
+	}
+	st := prod.Handler().Stats()
+	if st.StoredVersions != 1 || st.StoreErrors != 1 {
+		t.Fatalf("StoredVersions = %d StoreErrors = %d, want 1 and 1", st.StoredVersions, st.StoreErrors)
+	}
+}
